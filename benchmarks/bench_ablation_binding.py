@@ -1,0 +1,112 @@
+"""Ablation 4 — dynamic binding policies under run-time drift.
+
+QASSA keeps several ranked services per activity precisely so that binding
+can react to run-time QoS (§I.5).  When the plan-time primary degrades
+after selection, UTILITY binding (monitor-estimate-driven) routes around it
+while FAILOVER binding keeps invoking it as long as it answers — paying the
+degraded latency on every call.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.adaptation.monitoring import QoSMonitor, QoSObservation
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+from repro.execution.binding import BindingPolicy, DynamicBinder
+from repro.execution.engine import ExecutionEngine
+from repro.experiments.reporting import render_table
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+DEGRADATION_FACTOR = 20.0
+
+
+def _build_plan(seed):
+    task = Task(
+        "t", sequence(leaf("A", "task:A"), leaf("B", "task:B"),
+                      leaf("C", "task:C")),
+    )
+    generator = ServiceGenerator(PROPS, seed=seed)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 12)
+         for a in task.activities},
+    )
+    request = UserRequest(task, weights={"response_time": 1.0})
+    plan = QASSA(PROPS, config=QassaConfig(alternates_kept=3)).select(
+        request, candidates
+    )
+    return plan
+
+
+def _run_policy(plan, policy, runs=5):
+    """Execute repeatedly while the primaries' real latency is degraded."""
+    degraded = {
+        selection.primary.service_id
+        for selection in plan.selections.values()
+    }
+    monitor = QoSMonitor(PROPS)
+
+    def invoker(service, timestamp):
+        observed = service.advertised_qos
+        if service.service_id in degraded:
+            observed = observed.replace(
+                "response_time",
+                observed["response_time"] * DEGRADATION_FACTOR,
+            )
+        return observed
+
+    # Warm the monitor so utility binding has estimates to act on.
+    for selection in plan.selections.values():
+        for service in selection.services:
+            rt = service.advertised_qos["response_time"]
+            if service.service_id in degraded:
+                rt *= DEGRADATION_FACTOR
+            monitor.observe(
+                QoSObservation(service.service_id, "response_time", rt, 0.0)
+            )
+
+    binder = DynamicBinder(PROPS, monitor=monitor, policy=policy)
+    engine = ExecutionEngine(PROPS, invoker, binder=binder, monitor=monitor)
+    elapsed = []
+    for _ in range(runs):
+        report = engine.execute(plan)
+        elapsed.append(report.elapsed)
+    return statistics.mean(elapsed)
+
+
+def test_ablation_binding_policies(benchmark, emit):
+    rows = []
+    wins = 0
+    for seed in range(5):
+        plan = _build_plan(seed)
+        utility_s = _run_policy(plan, BindingPolicy.UTILITY)
+        failover_s = _run_policy(plan, BindingPolicy.FAILOVER)
+        rows.append([seed, utility_s, failover_s,
+                     failover_s / max(utility_s, 1e-9)])
+        if utility_s < failover_s:
+            wins += 1
+
+    emit(
+        "ablation_binding",
+        render_table(
+            ["seed", "utility binding (s)", "failover binding (s)",
+             "failover/utility"],
+            rows,
+            title="Ablation — binding policy under 20x primary degradation",
+        ),
+    )
+    # Shape claim: run-time-aware binding beats rank-order failover on
+    # every degraded instance.
+    assert wins == 5
+
+    plan = _build_plan(0)
+    benchmark(lambda: _run_policy(plan, BindingPolicy.UTILITY, runs=1))

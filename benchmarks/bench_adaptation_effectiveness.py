@@ -1,0 +1,37 @@
+"""Adaptation effectiveness — the middleware's raison d'être, measured.
+
+Without providing satisfactory QoS, "pervasive computing looses much of its
+interest" (§I.1).  This bench quantifies the end of that argument: a
+composition executed repeatedly while providers die keeps succeeding when
+the adaptation framework repairs it, and decays when it doesn't.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments.figures import exp_adaptation_effectiveness
+from repro.experiments.reporting import render_series
+
+
+def test_adaptation_effectiveness(benchmark, emit):
+    sweep = exp_adaptation_effectiveness(
+        sessions=6, executions_per_session=12, kill_every=2
+    )
+    emit("adaptation_effectiveness", render_series(sweep))
+
+    adapted = [p.values["adapted"] for p in sweep.points]
+    static = [p.values["static"] for p in sweep.points]
+    # Shape claims: adaptation clearly wins on average and per session
+    # (within one execution's worth of noise), and keeps the task usable.
+    assert statistics.mean(adapted) > statistics.mean(static)
+    assert all(a >= s - 1.0 / 12 for a, s in zip(adapted, static))
+    assert statistics.mean(adapted) >= 0.7
+
+    benchmark.pedantic(
+        lambda: exp_adaptation_effectiveness(
+            sessions=1, executions_per_session=6
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Ch. IV §5 — QASSA vs baselines at the default workload point.
+
+The summary comparison behind the chapter's evaluation discussion: one
+table of (algorithm, time, optimality, feasibility).
+"""
+
+from __future__ import annotations
+
+from repro.composition.qassa import QASSA
+from repro.experiments.figures import exp_ch4_summary
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import WorkloadSpec, make_workload
+
+
+def test_ch4_summary_table(benchmark, emit):
+    rows = exp_ch4_summary(activities=4, services=25, constraints=4)
+    emit(
+        "ch4_summary",
+        render_table(
+            ["algorithm", "time_ms", "optimality", "feasible"],
+            rows,
+            title="Ch. IV §5 — QASSA vs baselines (4 activities × 25 services)",
+        ),
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # Shape claims mirroring the chapter's discussion:
+    # 1. exhaustive is orders of magnitude slower than QASSA;
+    assert by_name["exhaustive"][1] > 10 * by_name["qassa"][1]
+    # 2. QASSA's optimality stays close to 1;
+    assert by_name["qassa"][2] >= 0.85
+    # 3. QASSA is feasible where greedy has no guarantee.
+    assert by_name["qassa"][3] is True
+
+    workload = make_workload(
+        WorkloadSpec(activities=4, services_per_activity=25, constraints=4,
+                     seed=8)
+    )
+    selector = QASSA(workload.properties)
+    plan = benchmark(selector.select, workload.request, workload.candidates)
+    assert plan.feasible

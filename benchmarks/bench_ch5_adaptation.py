@@ -1,0 +1,70 @@
+"""Ch. V §7 — behavioural adaptation evaluation.
+
+Homeomorphism determination time as pattern size grows, and the end-to-end
+behavioural adaptation latency (repository search + re-selection) on the
+shopping scenario.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import exp_ch5_homeomorphism
+from repro.experiments.reporting import render_series
+from repro.env.scenarios import build_shopping_scenario
+from repro.middleware.qasom import QASOM
+
+
+def test_ch5_homeomorphism_timing(benchmark, emit):
+    sweep = exp_ch5_homeomorphism(sizes=(4, 6, 8, 10, 12), repetitions=3)
+    emit("ch5_homeomorphism", render_series(sweep))
+
+    # Shape claims: determination always succeeds on the constructed pairs,
+    # and stays interactive (< 1 s) at the largest size.
+    assert all(p.values["found"] == 1.0 for p in sweep.points)
+    times = dict(sweep.series("determination_ms"))
+    assert times[12] < 1000.0
+
+    from repro.adaptation.behaviour_graph import task_to_graph
+    from repro.adaptation.homeomorphism import find_homeomorphism
+    from repro.composition.task import Task, leaf, sequence
+    from repro.semantics.ontology import Ontology
+
+    n = 10
+    ontology = Ontology("bench")
+    root = ontology.declare_class("task:UserActivity")
+    for i in range(n):
+        ontology.declare_class(f"task:Cap{i}", [root])
+    ontology.declare_class("task:Extra", [root])
+    pattern = task_to_graph(
+        Task("p", sequence(*[leaf(f"P{i}", f"task:Cap{i}") for i in range(n)]))
+    )
+    host_members = []
+    for i in range(n):
+        host_members.append(leaf(f"H{i}", f"task:Cap{i}"))
+        host_members.append(leaf(f"X{i}", "task:Extra"))
+    host = task_to_graph(Task("h", sequence(*host_members)))
+
+    result = benchmark(find_homeomorphism, pattern, host, ontology)
+    assert result.found
+
+
+def test_ch5_behavioural_adaptation_end_to_end(benchmark, emit):
+    scenario = build_shopping_scenario(seed=99)
+    middleware = QASOM.for_environment(
+        scenario.environment,
+        scenario.properties,
+        ontology=scenario.ontology,
+        repository=scenario.repository,
+    )
+
+    def adapt():
+        return middleware.behavioural.adapt(scenario.request)
+
+    result = benchmark(adapt)
+    assert result.plan.feasible
+    emit(
+        "ch5_behavioural",
+        "Ch. V — behavioural adaptation on the shopping scenario\n"
+        f"adopted behaviour: {result.behaviour.name}\n"
+        f"alternatives tried: {result.alternatives_tried}\n"
+        f"embedding vertices mapped: {len(result.embedding.vertex_mapping)}",
+    )

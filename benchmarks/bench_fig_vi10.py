@@ -1,0 +1,45 @@
+"""Fig. VI.10 — QASSA execution time with constraints fixed at m and m+sigma.
+
+Under the normal QoS law, bounds at the per-activity mean (m) are tight —
+roughly half the services qualify per dimension — while m+sigma is
+permissive.  The paper observes moderate extra work at m (more lattice
+states explored before a feasible combination) but no blow-up.
+"""
+
+from __future__ import annotations
+
+from repro.composition.qassa import QASSA
+from repro.experiments.figures import fig_vi10
+from repro.experiments.reporting import render_series
+from repro.experiments.workloads import WorkloadSpec, make_workload
+from repro.services.generator import QoSDistribution
+
+
+def test_fig_vi10_constraint_tightness_time(benchmark, emit):
+    sweeps = fig_vi10(service_counts=(10, 25, 50, 75), repetitions=3)
+    for label, sweep in sweeps.items():
+        emit(f"fig_vi10_{label.replace('+', '_')}", render_series(sweep))
+
+    # Shape claim: at the permissive m+sigma setting every point is
+    # feasible; total time stays within 100x between settings (no blow-up).
+    permissive = sweeps["m+sigma"]
+    assert all(p.values.get("feasible") == 1.0 for p in permissive.points)
+    for x in (10, 25, 50, 75):
+        tight_ms = dict(sweeps["m"].series("qassa_ms"))[x]
+        loose_ms = dict(sweeps["m+sigma"].series("qassa_ms"))[x]
+        assert tight_ms < 100 * max(loose_ms, 0.01)
+
+    workload = make_workload(
+        WorkloadSpec(activities=5, services_per_activity=50, constraints=4,
+                     distribution=QoSDistribution.NORMAL, seed=5),
+        sigma_offset=1.0,
+    )
+    selector = QASSA(workload.properties)
+
+    def run():
+        try:
+            return selector.select(workload.request, workload.candidates)
+        except Exception:
+            return None
+
+    benchmark(run)

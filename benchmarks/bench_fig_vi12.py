@@ -1,0 +1,42 @@
+"""Fig. VI.12 — distributed QASSA: local vs global phase execution time.
+
+On the simulated ad hoc environment, the local phase parallelises across
+provider devices (its wall-clock shrinks as nodes grow) while the
+coordinator's global phase is node-count independent.
+"""
+
+from __future__ import annotations
+
+from repro.composition.distributed import DistributedQASSA, round_robin_nodes
+from repro.experiments.figures import fig_vi12
+from repro.experiments.reporting import render_series
+from repro.experiments.workloads import WorkloadSpec, make_workload
+
+
+def test_fig_vi12_distributed_phases(benchmark, emit):
+    sweep = fig_vi12(node_counts=(1, 2, 4, 6, 8), activities=8, services=40)
+    emit("fig_vi12", render_series(sweep))
+
+    local = dict(sweep.series("local_ms"))
+    global_ = dict(sweep.series("global_ms"))
+    # Shape claim 1: spreading over 8 devices cuts the local phase well
+    # below the single-node cost.
+    assert local[8] < local[1] * 0.7
+    # Shape claim 2: the global phase does not grow with node count
+    # (within noise).
+    assert global_[8] < global_[1] * 5 + 5.0
+
+    workload = make_workload(
+        WorkloadSpec(activities=8, services_per_activity=40, constraints=4,
+                     seed=6)
+    )
+    distributed = DistributedQASSA(workload.properties)
+    nodes = round_robin_nodes(workload.candidates.activity_names(), 4)
+
+    def run():
+        return distributed.select(
+            workload.request, workload.candidates, nodes, best_effort=True
+        )
+
+    plan, timing = benchmark(run)
+    assert timing.total_seconds > 0

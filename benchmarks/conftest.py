@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark both (a) registers a pytest-benchmark timing for one
+representative point and (b) regenerates the paper's full series, printing
+it and writing it under ``benchmarks/results/`` so EXPERIMENTS.md can quote
+the exact rows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered series and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

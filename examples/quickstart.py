@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: compose and execute a QoS-constrained task with QASOM.
+
+Builds a tiny pervasive environment from scratch (no prebuilt scenario), so
+every step of the middleware's public API is visible:
+
+1. declare a task ontology and a QoS property set;
+2. populate an environment with provider services;
+3. express a user task with global QoS constraints and weights;
+4. let QASOM discover, select (QASSA) and execute the composition.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.semantics.ontology import Ontology
+from repro.services.generator import ServiceGenerator
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.task import Task, leaf, sequence
+from repro.env.environment import PervasiveEnvironment
+from repro.middleware.qasom import QASOM
+
+
+def main() -> None:
+    # 1. Vocabulary: three capabilities under a common root concept.
+    ontology = Ontology("quickstart-tasks")
+    root = ontology.declare_class("task:Activity")
+    for capability in ("task:Translate", "task:Summarise", "task:Narrate"):
+        ontology.declare_class(capability, [root])
+
+    properties = {
+        name: STANDARD_PROPERTIES[name]
+        for name in ("response_time", "cost", "availability")
+    }
+
+    # 2. A small environment: 8 competing providers per capability.
+    environment = PervasiveEnvironment(seed=1)
+    generator = ServiceGenerator(properties, seed=1)
+    for capability in ("task:Translate", "task:Summarise", "task:Narrate"):
+        for service in generator.candidates(capability, 8):
+            environment.host_on_new_device(service)
+    print(f"environment: {len(environment.registry)} services published")
+
+    # 3. The user task: translate, then summarise, then narrate — with a
+    #    total latency budget and an availability floor.
+    task = Task(
+        "read-aloud",
+        sequence(
+            leaf("Translate", "task:Translate"),
+            leaf("Summarise", "task:Summarise"),
+            leaf("Narrate", "task:Narrate"),
+        ),
+    )
+    request = UserRequest(
+        task=task,
+        constraints=(
+            GlobalConstraint.at_most("response_time", 4000.0),   # ms
+            GlobalConstraint.at_least("availability", 0.3),
+        ),
+        weights={"response_time": 0.5, "cost": 0.3, "availability": 0.2},
+    )
+
+    # 4. Compose and execute.
+    middleware = QASOM.for_environment(environment, properties,
+                                       ontology=ontology)
+    plan = middleware.compose(request)
+    print(f"\nselected composition (utility {plan.utility:.3f}):")
+    for activity, selection in plan.selections.items():
+        alternates = ", ".join(s.name for s in selection.alternates)
+        print(f"  {activity:10s} -> {selection.primary.name}"
+              f"  (alternates: {alternates or 'none'})")
+    print("aggregated QoS:", plan.aggregated_qos)
+    print("meets constraints:", plan.feasible)
+
+    result = middleware.execute(plan)
+    print(f"\nexecution {'succeeded' if result.report.succeeded else 'FAILED'}"
+          f" in {result.report.elapsed:.3f} simulated seconds,"
+          f" total cost {result.report.total_cost:.2f} EUR")
+    for record in result.report.invocations:
+        status = "ok" if record.succeeded else "failed"
+        print(f"  t={record.started_at:7.3f}s  {record.activity_name:10s}"
+              f"  {record.service_id}  [{status}]")
+
+
+if __name__ == "__main__":
+    main()

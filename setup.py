@@ -1,0 +1,11 @@
+"""Setuptools entry point (kept for offline editable installs).
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable builds (which need ``bdist_wheel``) fail.  With this
+``setup.py`` present, ``pip install -e . --no-build-isolation`` falls back to
+the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""QASOM — QoS-aware Service-Oriented Middleware for Pervasive Environments.
+
+A from-scratch Python reproduction of Nebil Ben Mabrouk's middleware
+(MIDDLEWARE 2009 / INRIA ARLES thesis).  The three contributions of the
+paper map onto three subsystem groups:
+
+1. **Semantic end-to-end QoS model** — :mod:`repro.semantics`,
+   :mod:`repro.qos`;
+2. **QoS-aware service composition (QASSA)** — :mod:`repro.services`,
+   :mod:`repro.composition`;
+3. **QoS-driven composition adaptation** — :mod:`repro.adaptation`,
+   :mod:`repro.execution`.
+
+The :mod:`repro.env` simulator stands in for a physical pervasive
+environment, :mod:`repro.middleware` assembles everything into the QASOM
+platform, and :mod:`repro.experiments` regenerates the paper's evaluation.
+
+Quickstart::
+
+    from repro import QASOM, build_shopping_scenario
+
+    scenario = build_shopping_scenario()
+    middleware = QASOM.for_environment(
+        scenario.environment,
+        scenario.properties,
+        ontology=scenario.ontology,
+        repository=scenario.repository,
+    )
+    plan = middleware.compose(scenario.request)
+    result = middleware.execute(plan)
+"""
+
+from repro.errors import ReproError
+from repro.middleware.qasom import QASOM, RunResult
+from repro.middleware.config import MiddlewareConfig
+from repro.qos.model import QoSModel, build_end_to_end_model
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets, CompositionPlan
+from repro.composition.task import Task
+from repro.env.environment import PervasiveEnvironment
+from repro.env.scenarios import (
+    build_hospital_scenario,
+    build_holiday_camp_scenario,
+    build_shopping_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CandidateSets",
+    "CompositionPlan",
+    "GlobalConstraint",
+    "MiddlewareConfig",
+    "PervasiveEnvironment",
+    "QASOM",
+    "QASSA",
+    "QassaConfig",
+    "QoSModel",
+    "ReproError",
+    "RunResult",
+    "STANDARD_PROPERTIES",
+    "Task",
+    "UserRequest",
+    "build_end_to_end_model",
+    "build_hospital_scenario",
+    "build_holiday_camp_scenario",
+    "build_shopping_scenario",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""QoS-driven composition adaptation (S8-S10, Chapter V).
+
+During execution, the QoS actually delivered by the selected services
+fluctuates (churn, mobility, wireless decline).  This package implements the
+paper's adaptation stack:
+
+* :mod:`repro.adaptation.monitoring` — global and *proactive* QoS
+  monitoring: run-time observations, EWMA forecasting, violation detection
+  before the breach happens (§V.1.1);
+* :mod:`repro.adaptation.substitution` — the first adaptation strategy:
+  replace the under-performing service with a pre-selected alternate
+  (§V.1.2);
+* :mod:`repro.adaptation.task_class` — the *task class* concept (§V.5):
+  a repository of functionally equivalent behaviours for a task;
+* :mod:`repro.adaptation.behaviour_graph` — labelled behavioural graphs and
+  the user-task → graph transformation (§V.4, Figs. V.3-V.4);
+* :mod:`repro.adaptation.homeomorphism` — the extended vertex-disjoint
+  subgraph homeomorphism determination with semantic vertex matching, data
+  constraints and particular (split) vertex mappings (§V.6);
+* :mod:`repro.adaptation.behavioural` — the second adaptation strategy:
+  re-fulfil the task through an alternative behaviour (§V.3);
+* :mod:`repro.adaptation.manager` — the framework tying monitor +
+  strategies together (Fig. VI.4).
+"""
+
+from repro.adaptation.behaviour_graph import BehaviouralGraph, task_to_graph
+from repro.adaptation.behavioural import BehaviouralAdaptation
+from repro.adaptation.homeomorphism import (
+    HomeomorphismResult,
+    find_homeomorphism,
+)
+from repro.adaptation.manager import AdaptationManager, AdaptationOutcome
+from repro.adaptation.monitoring import QoSMonitor, MonitorConfig, QoSObservation
+from repro.adaptation.substitution import ServiceSubstitution
+from repro.adaptation.task_class import TaskClass, TaskClassRepository
+
+__all__ = [
+    "AdaptationManager",
+    "AdaptationOutcome",
+    "BehaviouralAdaptation",
+    "BehaviouralGraph",
+    "HomeomorphismResult",
+    "MonitorConfig",
+    "QoSMonitor",
+    "QoSObservation",
+    "ServiceSubstitution",
+    "TaskClass",
+    "TaskClassRepository",
+    "find_homeomorphism",
+    "task_to_graph",
+]

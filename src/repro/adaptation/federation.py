@@ -1,0 +1,142 @@
+"""Federated task class repositories (Ch. VII short-term perspective).
+
+In a truly ad hoc environment there is no central Task Class Repository:
+each device carries a shard — the behaviours its owner published.  The
+thesis' perspectives chapter points at distributing the repository; this
+module implements the natural design:
+
+* a :class:`RepositoryShard` is a plain
+  :class:`~repro.adaptation.task_class.TaskClassRepository` tagged with its
+  hosting device;
+* a :class:`FederatedTaskClassRepository` fans queries out over the shards
+  whose device is currently *alive* (dead devices take their behaviours
+  with them — exactly the dynamics that motivate behavioural adaptation in
+  the first place), merging task classes by name.
+
+The federation quacks like a repository for the operations behavioural
+adaptation uses (iteration, ``require``, ``classes_for``), so it drops into
+:class:`~repro.adaptation.behavioural.BehaviouralAdaptation` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import BehaviouralAdaptationError
+from repro.adaptation.behaviour_graph import task_to_graph
+from repro.adaptation.homeomorphism import (
+    HomeomorphismConfig,
+    HomeomorphismResult,
+    find_homeomorphism,
+)
+from repro.adaptation.task_class import Behaviour, TaskClass, TaskClassRepository
+from repro.composition.task import Task
+from repro.semantics.ontology import Ontology
+
+#: Decides whether a shard's hosting device is currently reachable.
+DeviceLiveness = Callable[[str], bool]
+
+
+@dataclass
+class RepositoryShard:
+    """One device's slice of the federated repository."""
+
+    device_id: str
+    repository: TaskClassRepository
+
+
+class FederatedTaskClassRepository:
+    """A liveness-aware union of per-device repository shards."""
+
+    def __init__(
+        self,
+        ontology: Optional[Ontology] = None,
+        liveness: Optional[DeviceLiveness] = None,
+    ) -> None:
+        self.ontology = ontology
+        self.liveness = liveness
+        self._shards: Dict[str, RepositoryShard] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, device_id: str, repository: TaskClassRepository) -> RepositoryShard:
+        """Register a device's shard (replacing any previous one)."""
+        shard = RepositoryShard(device_id, repository)
+        self._shards[device_id] = shard
+        return shard
+
+    def detach(self, device_id: str) -> None:
+        """Forget a device's shard entirely."""
+        self._shards.pop(device_id, None)
+
+    def shards(self) -> List[RepositoryShard]:
+        return list(self._shards.values())
+
+    def live_shards(self) -> List[RepositoryShard]:
+        """Shards whose device currently answers."""
+        return [
+            shard
+            for shard in self._shards.values()
+            if self.liveness is None or self.liveness(shard.device_id)
+        ]
+
+    # ------------------------------------------------------------------
+    # repository protocol (what BehaviouralAdaptation consumes)
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TaskClass]:
+        return iter(self._merged().values())
+
+    def __len__(self) -> int:
+        return len(self._merged())
+
+    def get(self, name: str) -> Optional[TaskClass]:
+        return self._merged().get(name)
+
+    def require(self, name: str) -> TaskClass:
+        merged = self._merged()
+        task_class = merged.get(name)
+        if task_class is None:
+            raise BehaviouralAdaptationError(
+                f"no live shard offers task class {name!r}"
+            )
+        return task_class
+
+    def classes_for(
+        self,
+        task: Task,
+        config: HomeomorphismConfig = HomeomorphismConfig(),
+    ) -> List[Tuple[TaskClass, Behaviour, HomeomorphismResult]]:
+        """Same contract as TaskClassRepository.classes_for, over the
+        currently-live union."""
+        pattern = task_to_graph(task)
+        hits: List[Tuple[TaskClass, Behaviour, HomeomorphismResult]] = []
+        for task_class in self._merged().values():
+            for behaviour in task_class:
+                outcome = find_homeomorphism(
+                    pattern, behaviour.graph, self.ontology, config
+                )
+                if outcome.found:
+                    hits.append((task_class, behaviour, outcome))
+                    break
+        return hits
+
+    # ------------------------------------------------------------------
+    def _merged(self) -> Dict[str, TaskClass]:
+        """Union of live shards' classes, merged by class name.
+
+        Behaviours sharing a name across shards are deduplicated
+        first-shard-wins (device id order keeps the merge deterministic).
+        """
+        merged: Dict[str, TaskClass] = {}
+        for shard in sorted(self.live_shards(), key=lambda s: s.device_id):
+            for task_class in shard.repository:
+                target = merged.get(task_class.name)
+                if target is None:
+                    target = TaskClass(task_class.name, task_class.description)
+                    merged[task_class.name] = target
+                for behaviour in task_class:
+                    try:
+                        target.add(behaviour)
+                    except BehaviouralAdaptationError:
+                        pass  # same-named behaviour already merged
+        return merged

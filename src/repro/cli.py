@@ -1,0 +1,171 @@
+"""Command-line interface to the QASOM reproduction.
+
+Three subcommands mirror the three ways people use the repository:
+
+* ``scenario`` — run one of the paper's motivating scenarios end to end
+  (compose, execute, adapt) and print the outcome;
+* ``experiment`` — regenerate one of the paper's figures/tables and print
+  the series it plots;
+* ``repository`` — dump a scenario's task-class repository as its XML
+  bundle (the declarative format behavioural adaptation searches).
+
+Invoke as ``python -m repro <command> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.adaptation.repository_io import dump_repository
+from repro.env.scenarios import (
+    Scenario,
+    build_hospital_scenario,
+    build_holiday_camp_scenario,
+    build_shopping_scenario,
+)
+from repro.experiments import figures
+from repro.experiments.reporting import render_series, render_table
+from repro.middleware.qasom import QASOM
+
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {
+    "shopping": build_shopping_scenario,
+    "hospital": build_hospital_scenario,
+    "holiday-camp": build_holiday_camp_scenario,
+}
+
+#: Experiment name -> zero-argument callable producing sweeps/tables.
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "table-iv1": figures.table_iv1,
+    "fig-vi5a": figures.fig_vi5a,
+    "fig-vi5b": figures.fig_vi5b,
+    "fig-vi6a": figures.fig_vi6a,
+    "fig-vi6b": figures.fig_vi6b,
+    "fig-vi7": figures.fig_vi7,
+    "fig-vi8": figures.fig_vi8,
+    "fig-vi9": figures.fig_vi9,
+    "fig-vi10": figures.fig_vi10,
+    "fig-vi11": figures.fig_vi11,
+    "fig-vi12": figures.fig_vi12,
+    "fig-vi13": figures.fig_vi13,
+    "ch4-summary": figures.exp_ch4_summary,
+    "ch5-homeomorphism": figures.exp_ch5_homeomorphism,
+    "adaptation-effectiveness": figures.exp_adaptation_effectiveness,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the three subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QASOM — QoS-aware service-oriented middleware "
+                    "(paper reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="run a paper scenario end to end"
+    )
+    scenario.add_argument("name", choices=sorted(SCENARIOS))
+    scenario.add_argument("--seed", type=int, default=None,
+                          help="environment seed (scenario default if unset)")
+    scenario.add_argument("--services", type=int, default=None,
+                          help="candidate services per activity")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate a paper figure or table"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    repository = subparsers.add_parser(
+        "repository", help="dump a scenario's task-class repository"
+    )
+    repository.add_argument("scenario", choices=sorted(SCENARIOS))
+
+    return parser
+
+
+def _run_scenario(args: argparse.Namespace, out) -> int:
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.services is not None:
+        kwargs["services_per_activity"] = args.services
+    scenario = SCENARIOS[args.name](**kwargs)
+
+    middleware = QASOM.for_environment(
+        scenario.environment,
+        scenario.properties,
+        ontology=scenario.ontology,
+        repository=scenario.repository,
+    )
+    print(f"scenario: {scenario.name}", file=out)
+    print(f"services published: {len(scenario.environment.registry)}",
+          file=out)
+    print(f"task: {scenario.task.name} "
+          f"({scenario.task.size()} activities)", file=out)
+    for constraint in scenario.request.constraints:
+        print(f"  constraint: {constraint}", file=out)
+
+    result = middleware.run(scenario.request)
+    plan = result.plan
+    print(f"\ncomposition utility: {plan.utility:.3f} "
+          f"(feasible: {plan.feasible})", file=out)
+    for activity, selection in plan.selections.items():
+        print(f"  {activity:12s} -> {selection.primary.name}", file=out)
+    print(f"aggregated QoS: {plan.aggregated_qos}", file=out)
+    status = "succeeded" if result.report.succeeded else "FAILED"
+    print(f"\nexecution {status}: "
+          f"{len(result.report.invocations)} invocations, "
+          f"{result.report.elapsed:.3f} s simulated, "
+          f"cost {result.report.total_cost:.2f}", file=out)
+    if result.adaptations:
+        print(f"adaptations: "
+              f"{[a.action.value for a in result.adaptations]}", file=out)
+    return 0 if result.report.succeeded else 1
+
+
+def _print_experiment_result(result, out) -> None:
+    from repro.experiments.harness import Sweep
+
+    if isinstance(result, Sweep):
+        print(render_series(result), file=out)
+    elif isinstance(result, dict):
+        for value in result.values():
+            _print_experiment_result(value, out)
+    elif isinstance(result, list):
+        width = max((len(row) for row in result), default=0)
+        headers = [f"col{i}" for i in range(width)]
+        print(render_table(headers, result), file=out)
+    else:
+        print(result, file=out)
+
+
+def _run_experiment(args: argparse.Namespace, out) -> int:
+    result = EXPERIMENTS[args.name]()
+    _print_experiment_result(result, out)
+    return 0
+
+
+def _run_repository(args: argparse.Namespace, out) -> int:
+    scenario = SCENARIOS[args.scenario]()
+    print(dump_repository(scenario.repository), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "scenario":
+        return _run_scenario(args, out)
+    if args.command == "experiment":
+        return _run_experiment(args, out)
+    if args.command == "repository":
+        return _run_repository(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""QoS-aware service composition (S4-S7) — the paper's core contribution.
+
+Modules:
+
+* :mod:`repro.composition.task` — the composition model: abstract activities
+  structured by composition patterns (sequence, parallel, conditional, loop).
+* :mod:`repro.composition.request` — user requests: a task, global QoS
+  constraints and preference weights.
+* :mod:`repro.composition.aggregation` — QoS aggregation over patterns
+  (Table IV.1) with the pessimistic/optimistic/mean-value approaches.
+* :mod:`repro.composition.utility` — SAW utility normalisation for services
+  and compositions.
+* :mod:`repro.composition.clustering` — the K-means machinery behind QASSA's
+  QoS levels and classes.
+* :mod:`repro.composition.selection` — shared result types and the
+  feasibility checker.
+* :mod:`repro.composition.qassa` — **QASSA**, the clustering-based heuristic
+  for QoS-aware selection under global constraints (§IV.3).
+* :mod:`repro.composition.baselines` — exhaustive, greedy, random and
+  genetic baselines used by the optimality experiments.
+* :mod:`repro.composition.distributed` — the distributed variant of QASSA
+  for ad hoc (infrastructure-less) environments (§IV.4, Fig. VI.12).
+"""
+
+from repro.composition.aggregation import (
+    AggregationApproach,
+    aggregate_composition,
+    aggregate_values,
+)
+from repro.composition.baselines import (
+    ExhaustiveSelection,
+    GeneticSelection,
+    GreedySelection,
+    RandomSelection,
+)
+from repro.composition.distributed import DistributedQASSA
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import (
+    CandidateSets,
+    CompositionPlan,
+    SelectedActivity,
+    SelectionStatistics,
+)
+from repro.composition.task import (
+    Activity,
+    Conditional,
+    Loop,
+    Parallel,
+    Sequence,
+    Task,
+)
+from repro.composition.utility import Normalizer, composition_utility, service_utility
+
+__all__ = [
+    "Activity",
+    "AggregationApproach",
+    "CandidateSets",
+    "CompositionPlan",
+    "Conditional",
+    "DistributedQASSA",
+    "ExhaustiveSelection",
+    "GeneticSelection",
+    "GlobalConstraint",
+    "GreedySelection",
+    "Loop",
+    "Normalizer",
+    "Parallel",
+    "QASSA",
+    "QassaConfig",
+    "RandomSelection",
+    "SelectedActivity",
+    "SelectionStatistics",
+    "Sequence",
+    "Task",
+    "UserRequest",
+    "aggregate_composition",
+    "aggregate_values",
+    "composition_utility",
+    "service_utility",
+]

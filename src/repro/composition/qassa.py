@@ -1,0 +1,607 @@
+"""QASSA — the QoS-Aware Service Selection Algorithm (§IV.3).
+
+QASSA solves QoS-aware selection under *global* QoS constraints — an
+NP-hard problem — with a two-phase heuristic designed for the timeliness,
+adaptation-support and distributivity requirements of pervasive
+environments:
+
+**Local selection phase** (per abstract activity, §IV.3.2):
+
+1. the candidate QoS vectors are normalised against the candidate set
+   (direction-aware min-max, 1 = best);
+2. Pareto-dominated candidates are pruned (a dominated service can always
+   be replaced by its dominator at no loss);
+3. the survivors are clustered with k-means in normalised QoS space;
+4. clusters are ranked by centroid utility into **QoS levels** ``QL_r``
+   (rank 0 = best); each level's highest-utility member becomes its
+   *representative*.
+
+**Global selection phase** (§IV.3.3):
+
+The algorithm searches the *level lattice* — one level choice per activity —
+best-first.  A state's priority is the sum of its levels' centroid
+utilities, which decreases monotonically along lattice edges (levels are
+utility-sorted), so states are explored in near-best-utility order.  For
+each popped state the representatives are aggregated over the task's pattern
+tree and checked against the global constraints:
+
+* **feasible** → the state yields a composition; several top members of each
+  chosen level are kept as ranked alternates (dynamic binding / substitution
+  support);
+* **infeasible** → a bounded *repair* pass swaps cluster members to maximise
+  slack on the most-violated constraint; if repair fails, the state's lattice
+  successors are enqueued.
+
+The search is capped (``max_combinations``); with utility-sorted levels the
+first feasible states found are near-optimal, which is exactly the trade-off
+Figs. VI.5-6 quantify (near-linear time, >90 % optimality).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SelectionError
+from repro.qos.properties import QoSProperty
+from repro.qos.values import QoSVector
+from repro.services.description import ServiceDescription
+from repro.composition.aggregation import AggregationApproach, aggregate_composition
+from repro.composition.clustering import QoSLevel, build_qos_levels
+from repro.composition.request import UserRequest
+from repro.composition.selection import (
+    CandidateSets,
+    CompositionPlan,
+    SelectedActivity,
+    SelectionStatistics,
+    evaluate_assignment,
+    make_global_normalizer,
+)
+from repro.composition.utility import Normalizer, service_utility
+
+
+@dataclass(frozen=True)
+class QassaConfig:
+    """Tuning knobs of QASSA.
+
+    ``levels_per_activity`` is the k of k-means (the paper uses a small
+    constant so the lattice stays tractable).  ``alternates_kept`` bounds
+    how many ranked services each activity retains for dynamic binding.
+    ``max_combinations`` caps the global phase's lattice exploration;
+    ``repair_passes`` bounds the per-state constraint-repair loop.
+    """
+
+    levels_per_activity: int = 4
+    alternates_kept: int = 3
+    max_combinations: int = 5000
+    repair_passes: int = 3
+    refine_candidates: int = 10
+    feasible_beam: int = 2
+    prune_dominated: bool = True
+    seed: int = 0
+
+
+@dataclass
+class LocalSelection:
+    """Output of the local phase for one activity.
+
+    ``services`` are the clustered (post-pruning) candidates; ``reserve``
+    holds the Pareto-dominated ones, utility-sorted — never selected as
+    primaries, but still valid substitutes when the non-dominated pool is
+    too small to fill the alternates quota.
+    """
+
+    activity_name: str
+    services: List[ServiceDescription]
+    points: List[Dict[str, float]]
+    utilities: List[float]
+    levels: List[QoSLevel]
+    normalizer: Normalizer
+    clustering_iterations: int
+    reserve: List[ServiceDescription] = field(default_factory=list)
+
+
+class QASSA:
+    """The centralized QASSA selector.
+
+    Parameters
+    ----------
+    properties:
+        QoS property definitions the selector reasons over (usually the
+        request's relevant subset of the model's registry).
+    approach:
+        Aggregation approach for run-time-unknown patterns.
+    config:
+        Algorithm tuning knobs.
+    """
+
+    def __init__(
+        self,
+        properties: Mapping[str, QoSProperty],
+        approach: AggregationApproach = AggregationApproach.PESSIMISTIC,
+        config: QassaConfig = QassaConfig(),
+    ) -> None:
+        self.properties = dict(properties)
+        self.approach = approach
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        request: UserRequest,
+        candidates: CandidateSets,
+        best_effort: bool = False,
+    ) -> CompositionPlan:
+        """Select a composition fulfilling the request.
+
+        Raises :class:`SelectionError` when no explored combination meets
+        the global constraints, unless ``best_effort`` is set — then the
+        highest-utility infeasible plan is returned with
+        ``plan.feasible == False`` (the adaptation framework uses this to
+        decide whether behavioural adaptation should kick in).
+        """
+        started = time.perf_counter()
+        stats = SelectionStatistics(search_space=candidates.search_space())
+        relevant = self._relevant_properties(request)
+        weights = request.normalised_weights(relevant)
+
+        locals_ = {
+            name: self._local_phase(name, services, relevant, weights, stats)
+            for name, services in candidates.items()
+        }
+        plan = self._global_phase(
+            request, candidates, locals_, relevant, weights, stats, best_effort
+        )
+        stats.elapsed_seconds = time.perf_counter() - started
+        plan.statistics = stats
+        return plan
+
+    def select_ranked(
+        self,
+        request: UserRequest,
+        candidates: CandidateSets,
+        k: int = 3,
+    ) -> List[CompositionPlan]:
+        """Up to ``k`` distinct feasible compositions, best utility first.
+
+        This is the §I.1 shopping-platform behaviour: *"The shopping
+        platform proposes to Bob several compositions of shopping services
+        meeting his requirements.  The proposed compositions are ranked
+        according to their QoS."*  The lattice walk simply keeps going after
+        the first feasible state instead of returning, deduplicating plans
+        by their primary bindings.
+
+        Raises :class:`SelectionError` when not even one feasible
+        composition exists within the exploration budget.
+        """
+        if k < 1:
+            raise SelectionError("k must be >= 1")
+        started = time.perf_counter()
+        stats = SelectionStatistics(search_space=candidates.search_space())
+        relevant = self._relevant_properties(request)
+        weights = request.normalised_weights(relevant)
+        locals_ = {
+            name: self._local_phase(name, services, relevant, weights, stats)
+            for name, services in candidates.items()
+        }
+        plans, _ = self._global_phase_multi(
+            request, candidates, locals_, relevant, weights, stats, k
+        )
+        if not plans:
+            raise SelectionError(
+                "no service composition satisfies the global QoS constraints "
+                f"(explored {stats.combinations_explored} level combinations)"
+            )
+        elapsed = time.perf_counter() - started
+        plans.sort(key=lambda p: -p.utility)
+        for plan in plans:
+            plan.statistics = stats
+        stats.elapsed_seconds = elapsed
+        return plans
+
+    def _global_phase_multi(
+        self,
+        request: UserRequest,
+        candidates: CandidateSets,
+        locals_: Mapping[str, LocalSelection],
+        relevant: Mapping[str, QoSProperty],
+        weights: Mapping[str, float],
+        stats: SelectionStatistics,
+        k: int,
+    ) -> Tuple[List[CompositionPlan], Optional[CompositionPlan]]:
+        """Best-first lattice walk collecting up to ``k`` feasible plans.
+
+        Returns ``(feasible plans, best infeasible plan)`` — the latter for
+        best-effort callers when nothing feasible exists in budget.
+        """
+        task = request.task
+        names = candidates.activity_names()
+        global_norm = make_global_normalizer(task, candidates, relevant, self.approach)
+
+        def state_priority(state: Tuple[int, ...]) -> float:
+            return sum(
+                locals_[name].levels[rank].centroid_utility
+                for name, rank in zip(names, state)
+            )
+
+        start = tuple(0 for _ in names)
+        heap: List[Tuple[float, Tuple[int, ...]]] = [(-state_priority(start), start)]
+        visited = {start}
+        plans: List[CompositionPlan] = []
+        best_infeasible: Optional[CompositionPlan] = None
+        seen_bindings: set = set()
+
+        while heap and stats.combinations_explored < self.config.max_combinations:
+            _, state = heapq.heappop(heap)
+            stats.combinations_explored += 1
+            assignment = {
+                name: locals_[name].services[
+                    locals_[name].levels[rank].representative
+                ]
+                for name, rank in zip(names, state)
+            }
+            aggregated, utility, feasible = evaluate_assignment(
+                task, request, assignment, relevant, global_norm, self.approach
+            )
+            stats.utility_evaluations += 1
+            if not feasible:
+                repaired = self._repair(
+                    request, names, state, locals_, relevant, global_norm, stats
+                )
+                if repaired is not None:
+                    assignment, aggregated, utility = repaired
+                    feasible = True
+            if feasible:
+                assignment, aggregated, utility = self._refine_utility(
+                    request, names, state, locals_, assignment, aggregated,
+                    utility, relevant, global_norm, stats,
+                )
+                binding_key = tuple(
+                    sorted((n, s.service_id) for n, s in assignment.items())
+                )
+                if binding_key not in seen_bindings:
+                    seen_bindings.add(binding_key)
+                    plans.append(
+                        self._make_plan_object(
+                            request, names, state, locals_, assignment,
+                            aggregated, utility, feasible=True,
+                        )
+                    )
+                    if len(plans) >= k:
+                        return plans, best_infeasible
+            else:
+                candidate_plan = self._make_plan_object(
+                    request, names, state, locals_, assignment, aggregated,
+                    utility, feasible=False,
+                )
+                if (
+                    best_infeasible is None
+                    or candidate_plan.utility > best_infeasible.utility
+                ):
+                    best_infeasible = candidate_plan
+            for i in range(len(names)):
+                ranks = list(state)
+                if ranks[i] + 1 < len(locals_[names[i]].levels):
+                    ranks[i] += 1
+                    successor = tuple(ranks)
+                    if successor not in visited:
+                        visited.add(successor)
+                        heapq.heappush(heap, (-state_priority(successor), successor))
+        return plans, best_infeasible
+
+    def local_selections(
+        self, request: UserRequest, candidates: CandidateSets
+    ) -> Dict[str, LocalSelection]:
+        """Run only the local phase (used by the distributed variant, where
+        each device computes its own activities' levels)."""
+        stats = SelectionStatistics()
+        relevant = self._relevant_properties(request)
+        weights = request.normalised_weights(relevant)
+        return {
+            name: self._local_phase(name, services, relevant, weights, stats)
+            for name, services in candidates.items()
+        }
+
+    # ------------------------------------------------------------------
+    # local phase
+    # ------------------------------------------------------------------
+    def _relevant_properties(self, request: UserRequest) -> Dict[str, QoSProperty]:
+        names = request.relevant_properties or tuple(self.properties)
+        missing = [n for n in names if n not in self.properties]
+        if missing:
+            raise SelectionError(
+                f"request refers to properties unknown to the selector: {missing}"
+            )
+        return {n: self.properties[n] for n in names}
+
+    def _local_phase(
+        self,
+        activity_name: str,
+        services: Sequence[ServiceDescription],
+        relevant: Mapping[str, QoSProperty],
+        weights: Mapping[str, float],
+        stats: SelectionStatistics,
+    ) -> LocalSelection:
+        vectors = [s.advertised_qos.restrict(relevant) for s in services]
+        normalizer = Normalizer.from_vectors(vectors, relevant)
+
+        kept_services = list(services)
+        kept_vectors = vectors
+        reserve: List[ServiceDescription] = []
+        if self.config.prune_dominated and len(services) > 1:
+            keep = self._non_dominated_indexes(kept_vectors)
+            kept = set(keep)
+            pruned = [
+                (service_utility(vectors[i], normalizer, weights), services[i])
+                for i in range(len(services))
+                if i not in kept
+            ]
+            pruned.sort(key=lambda pair: -pair[0])
+            reserve = [service for _, service in pruned]
+            kept_services = [kept_services[i] for i in keep]
+            kept_vectors = [kept_vectors[i] for i in keep]
+
+        points = [normalizer.normalise_vector(v) for v in kept_vectors]
+        utilities = [service_utility(v, normalizer, weights) for v in kept_vectors]
+        stats.utility_evaluations += len(utilities)
+
+        levels, km = build_qos_levels(
+            points,
+            utilities,
+            weights,
+            k=self.config.levels_per_activity,
+            seed=self.config.seed,
+        )
+        stats.clustering_iterations += km.iterations
+        return LocalSelection(
+            activity_name=activity_name,
+            services=kept_services,
+            points=points,
+            utilities=utilities,
+            levels=levels,
+            normalizer=normalizer,
+            clustering_iterations=km.iterations,
+            reserve=reserve,
+        )
+
+    @staticmethod
+    def _non_dominated_indexes(vectors: Sequence[QoSVector]) -> List[int]:
+        """Indexes of Pareto-non-dominated vectors (O(n²), n is small)."""
+        keep: List[int] = []
+        for i, v in enumerate(vectors):
+            if not any(
+                j != i and vectors[j].dominates(v) for j in range(len(vectors))
+            ):
+                keep.append(i)
+        return keep or list(range(len(vectors)))
+
+    # ------------------------------------------------------------------
+    # global phase
+    # ------------------------------------------------------------------
+    def _global_phase(
+        self,
+        request: UserRequest,
+        candidates: CandidateSets,
+        locals_: Mapping[str, LocalSelection],
+        relevant: Mapping[str, QoSProperty],
+        weights: Mapping[str, float],
+        stats: SelectionStatistics,
+        best_effort: bool,
+    ) -> CompositionPlan:
+        """The single-answer global phase: walk the lattice collecting a
+        small *beam* of feasible compositions (``config.feasible_beam``)
+        and return the best by utility — the paper's "several compositions
+        providing different levels of QoS", reduced to its champion."""
+        plans, best_infeasible = self._global_phase_multi(
+            request, candidates, locals_, relevant, weights, stats,
+            k=max(self.config.feasible_beam, 1),
+        )
+        if plans:
+            return max(plans, key=lambda p: p.utility)
+        if best_effort and best_infeasible is not None:
+            return best_infeasible
+        raise SelectionError(
+            "no service composition satisfies the global QoS constraints "
+            f"(explored {stats.combinations_explored} level combinations)"
+        )
+
+    def _refine_utility(
+        self,
+        request: UserRequest,
+        names: Sequence[str],
+        state: Tuple[int, ...],
+        locals_: Mapping[str, LocalSelection],
+        assignment: Dict[str, ServiceDescription],
+        aggregated: QoSVector,
+        utility: float,
+        relevant: Mapping[str, QoSProperty],
+        global_norm: Normalizer,
+        stats: SelectionStatistics,
+    ) -> Tuple[Dict[str, ServiceDescription], QoSVector, float]:
+        """Coordinate-ascent polish of a feasible state (one sweep).
+
+        Local SAW utility (which picked the level representatives) and
+        *composition* utility (min-max over aggregated bounds) can disagree,
+        especially on small candidate sets.  For each activity, the top
+        ``config.refine_candidates`` kept services (across all levels,
+        best-local-utility first) are tried in place; a swap is kept when it
+        improves composition utility without breaking feasibility.  Cost is
+        O(n · refine_candidates) aggregations — negligible next to the
+        lattice search.
+        """
+        task = request.task
+        best = (dict(assignment), aggregated, utility)
+        for name, rank in zip(names, state):
+            sel = locals_[name]
+            ordered = sorted(
+                range(len(sel.services)), key=lambda i: -sel.utilities[i]
+            )[: self.config.refine_candidates]
+            current_best = best[2]
+            for idx in ordered:
+                candidate = sel.services[idx]
+                if candidate == best[0][name]:
+                    continue
+                trial = dict(best[0])
+                trial[name] = candidate
+                trial_aggregated, trial_utility, trial_feasible = (
+                    evaluate_assignment(
+                        task, request, trial, relevant, global_norm,
+                        self.approach,
+                    )
+                )
+                stats.utility_evaluations += 1
+                if trial_feasible and trial_utility > current_best:
+                    best = (trial, trial_aggregated, trial_utility)
+                    current_best = trial_utility
+        return best
+
+    def _repair(
+        self,
+        request: UserRequest,
+        names: Sequence[str],
+        state: Tuple[int, ...],
+        locals_: Mapping[str, LocalSelection],
+        relevant: Mapping[str, QoSProperty],
+        global_norm: Normalizer,
+        stats: SelectionStatistics,
+    ) -> Optional[Tuple[Dict[str, ServiceDescription], QoSVector, float]]:
+        """Try to make a level combination feasible by swapping members.
+
+        Within the state's chosen clusters, repeatedly rebind the activity
+        whose swap most improves the most-violated constraint.  Bounded by
+        ``config.repair_passes`` full sweeps.
+        """
+        task = request.task
+        member_lists: Dict[str, List[int]] = {
+            name: locals_[name].levels[rank].member_indexes
+            for name, rank in zip(names, state)
+        }
+        chosen: Dict[str, int] = {
+            name: locals_[name].levels[rank].representative
+            for name, rank in zip(names, state)
+        }
+
+        def current_assignment() -> Dict[str, ServiceDescription]:
+            return {
+                name: locals_[name].services[idx] for name, idx in chosen.items()
+            }
+
+        for _ in range(self.config.repair_passes):
+            assignment = current_assignment()
+            aggregated, utility, feasible = evaluate_assignment(
+                task, request, assignment, relevant, global_norm, self.approach
+            )
+            stats.utility_evaluations += 1
+            if feasible:
+                return assignment, aggregated, utility
+
+            violations = request.violations(aggregated)
+            if not violations:
+                return None
+            # Most violated constraint (largest negative slack magnitude).
+            worst_desc = min(violations, key=lambda k: violations[k])
+            prop_name = worst_desc.split()[0]
+            if prop_name not in relevant:
+                return None
+            prop = relevant[prop_name]
+
+            improved = False
+            for name in names:
+                sel = locals_[name]
+                current = sel.services[chosen[name]].advertised_qos.get(prop_name)
+                best_idx = chosen[name]
+                best_value = current
+                for idx in member_lists[name]:
+                    value = sel.services[idx].advertised_qos.get(prop_name)
+                    if value is None:
+                        continue
+                    if best_value is None or prop.better(value, best_value):
+                        best_value, best_idx = value, idx
+                if best_idx != chosen[name]:
+                    chosen[name] = best_idx
+                    improved = True
+            if not improved:
+                return None
+
+        assignment = current_assignment()
+        aggregated, utility, feasible = evaluate_assignment(
+            task, request, assignment, relevant, global_norm, self.approach
+        )
+        stats.utility_evaluations += 1
+        if feasible:
+            return assignment, aggregated, utility
+        return None
+
+    # ------------------------------------------------------------------
+    def _build_plan(
+        self,
+        request: UserRequest,
+        names: Sequence[str],
+        state: Tuple[int, ...],
+        locals_: Mapping[str, LocalSelection],
+        assignment: Mapping[str, ServiceDescription],
+        aggregated: QoSVector,
+        utility: float,
+        relevant: Mapping[str, QoSProperty],
+        stats: SelectionStatistics,
+    ) -> CompositionPlan:
+        return self._make_plan_object(
+            request, names, state, locals_, assignment, aggregated, utility,
+            feasible=True,
+        )
+
+    def _make_plan_object(
+        self,
+        request: UserRequest,
+        names: Sequence[str],
+        state: Tuple[int, ...],
+        locals_: Mapping[str, LocalSelection],
+        assignment: Mapping[str, ServiceDescription],
+        aggregated: QoSVector,
+        utility: float,
+        feasible: bool,
+    ) -> CompositionPlan:
+        selections: Dict[str, SelectedActivity] = {}
+        for name, rank in zip(names, state):
+            sel = locals_[name]
+            primary = assignment[name]
+            ranked = [primary]
+            # Alternates come from the chosen level first, then from the
+            # remaining levels in rank order, so each activity retains
+            # several services for dynamic binding / substitution (§I.5)
+            # even when its winning cluster is small.
+            level_order = [sel.levels[rank]] + [
+                lv for lv in sel.levels if lv.rank != rank
+            ]
+            quota = 1 + self.config.alternates_kept
+            for level in level_order:
+                for idx in level.member_indexes:
+                    if len(ranked) >= quota:
+                        break
+                    service = sel.services[idx]
+                    if service != primary and service not in ranked:
+                        ranked.append(service)
+                if len(ranked) >= quota:
+                    break
+            # Pareto-pruned candidates back-fill the quota: strictly worse
+            # than their dominators, but a dominated substitute beats no
+            # substitute when providers churn.
+            for service in sel.reserve:
+                if len(ranked) >= quota:
+                    break
+                if service != primary and service not in ranked:
+                    ranked.append(service)
+            selections[name] = SelectedActivity(name, ranked)
+        return CompositionPlan(
+            task=request.task,
+            request=request,
+            selections=selections,
+            aggregated_qos=aggregated,
+            utility=utility,
+            feasible=feasible,
+            approach=self.approach,
+        )

@@ -1,0 +1,43 @@
+"""Pervasive-environment simulator (S12).
+
+The paper's evaluation ran against synthetic service populations on a
+desktop; its motivating scenarios, however, are ad hoc environments made of
+mobile, resource-constrained devices on fluctuating wireless links.  This
+package simulates exactly that substrate so the middleware's full loop —
+discovery, selection, execution, monitoring, adaptation — can be exercised
+end to end:
+
+* :mod:`repro.env.device` — devices with CPU/memory/battery profiles and
+  battery drain;
+* :mod:`repro.env.network` — wireless links whose latency/bandwidth/loss
+  follow bounded random-walk fluctuation processes;
+* :mod:`repro.env.environment` — the environment itself: registry + devices
+  + links + churn + an :data:`~repro.execution.engine.Invoker` that turns
+  advertised QoS into *observed* QoS through the infrastructure state;
+* :mod:`repro.env.scenarios` — ready-made builds of the paper's three
+  scenarios (pervasive shopping, medical visit, holiday camp).
+"""
+
+from repro.env.device import Device, DeviceClass
+from repro.env.environment import EnvironmentConfig, PervasiveEnvironment
+from repro.env.network import FluctuationProcess, WirelessLink, WirelessNetwork
+from repro.env.scenarios import (
+    build_hospital_scenario,
+    build_holiday_camp_scenario,
+    build_shopping_scenario,
+    build_task_ontology,
+)
+
+__all__ = [
+    "Device",
+    "DeviceClass",
+    "EnvironmentConfig",
+    "FluctuationProcess",
+    "PervasiveEnvironment",
+    "WirelessLink",
+    "WirelessNetwork",
+    "build_hospital_scenario",
+    "build_holiday_camp_scenario",
+    "build_shopping_scenario",
+    "build_task_ontology",
+]

@@ -1,0 +1,139 @@
+"""Wireless network model with QoS fluctuation processes.
+
+The decline of wireless connectivity is one of the paper's canonical causes
+of run-time QoS fluctuation (§I.3.4).  Each device is attached to the
+environment through a :class:`WirelessLink` whose latency, bandwidth and
+loss rate evolve as **bounded random walks**: every simulation step adds
+zero-mean noise and a mild pull back towards the nominal value, clipped to
+physical bounds — producing the kind of sustained drifts (a user walking
+away from an access point) that proactive monitoring is designed to catch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import EnvironmentError_
+
+
+@dataclass
+class FluctuationProcess:
+    """A mean-reverting bounded random walk.
+
+    ``value_{t+1} = value_t + gauss(0, volatility·span) +
+    reversion·(nominal - value_t)``, clipped to [minimum, maximum].
+    """
+
+    nominal: float
+    minimum: float
+    maximum: float
+    volatility: float = 0.05
+    reversion: float = 0.1
+    value: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.minimum <= self.nominal <= self.maximum:
+            raise EnvironmentError_(
+                f"nominal {self.nominal} outside [{self.minimum}, {self.maximum}]"
+            )
+        self.value = self.nominal
+
+    def step(self, rng: random.Random) -> float:
+        span = self.maximum - self.minimum
+        noise = rng.gauss(0.0, self.volatility * span)
+        pull = self.reversion * (self.nominal - self.value)
+        self.value = min(max(self.value + noise + pull, self.minimum), self.maximum)
+        return self.value
+
+    def degrade(self, fraction: float) -> None:
+        """Push the walk towards its bad end (mobility event injection)."""
+        span = self.maximum - self.minimum
+        self.value = min(
+            max(self.value - fraction * span, self.minimum), self.maximum
+        )
+
+
+@dataclass
+class WirelessLink:
+    """One device's attachment to the network."""
+
+    device_id: str
+    latency: FluctuationProcess = field(
+        default_factory=lambda: FluctuationProcess(
+            nominal=0.02, minimum=0.002, maximum=0.5
+        )
+    )
+    bandwidth: FluctuationProcess = field(
+        default_factory=lambda: FluctuationProcess(
+            nominal=2e6, minimum=5e4, maximum=5e6
+        )
+    )
+    loss_rate: FluctuationProcess = field(
+        default_factory=lambda: FluctuationProcess(
+            nominal=0.01, minimum=0.0, maximum=0.6
+        )
+    )
+
+    def step(self, rng: random.Random) -> None:
+        self.latency.step(rng)
+        self.bandwidth.step(rng)
+        self.loss_rate.step(rng)
+
+    def degrade(self, fraction: float) -> None:
+        """Worsen every dimension at once (user walked behind a wall)."""
+        # Latency and loss worsen upward, bandwidth downward.
+        span_l = self.latency.maximum - self.latency.minimum
+        self.latency.value = min(
+            self.latency.value + fraction * span_l, self.latency.maximum
+        )
+        span_p = self.loss_rate.maximum - self.loss_rate.minimum
+        self.loss_rate.value = min(
+            self.loss_rate.value + fraction * span_p, self.loss_rate.maximum
+        )
+        self.bandwidth.degrade(fraction)
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        return self.latency.value + payload_bytes / max(self.bandwidth.value, 1.0)
+
+
+class WirelessNetwork:
+    """The set of links, stepped together on the simulated clock."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._links: Dict[str, WirelessLink] = {}
+        self._rng = random.Random(seed)
+
+    def attach(self, device_id: str, link: Optional[WirelessLink] = None) -> WirelessLink:
+        if device_id in self._links:
+            raise EnvironmentError_(f"device {device_id!r} already attached")
+        if link is None:
+            link = WirelessLink(device_id)
+        elif link.device_id != device_id:
+            raise EnvironmentError_(
+                f"link is for {link.device_id!r}, not {device_id!r}"
+            )
+        self._links[device_id] = link
+        return link
+
+    def detach(self, device_id: str) -> None:
+        self._links.pop(device_id, None)
+
+    def link(self, device_id: str) -> WirelessLink:
+        try:
+            return self._links[device_id]
+        except KeyError:
+            raise EnvironmentError_(
+                f"device {device_id!r} is not attached to the network"
+            ) from None
+
+    def has_link(self, device_id: str) -> bool:
+        return device_id in self._links
+
+    def step(self) -> None:
+        for link in self._links.values():
+            link.step(self._rng)
+
+    def links(self) -> Dict[str, WirelessLink]:
+        return dict(self._links)

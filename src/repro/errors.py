@@ -1,0 +1,97 @@
+"""Exception hierarchy for the QASOM middleware reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so user
+code can catch middleware failures with a single ``except`` clause while more
+specific handlers remain possible.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class OntologyError(ReproError):
+    """Raised for malformed ontology definitions or unknown concepts."""
+
+
+class UnknownConceptError(OntologyError):
+    """A concept URI was referenced but never declared in the ontology."""
+
+    def __init__(self, uri: str) -> None:
+        super().__init__(f"unknown concept: {uri!r}")
+        self.uri = uri
+
+
+class UnitError(ReproError):
+    """Raised when two QoS values with incompatible units are combined."""
+
+
+class QoSModelError(ReproError):
+    """Raised for inconsistent QoS model definitions (duplicate properties,
+    contradictory monotonicity, unmappable user terms...)."""
+
+
+class ServiceDescriptionError(ReproError):
+    """Raised when a service description is malformed."""
+
+
+class DiscoveryError(ReproError):
+    """Raised when QoS-aware discovery cannot be performed."""
+
+
+class CompositionError(ReproError):
+    """Base class for composition-stage failures."""
+
+
+class InvalidTaskError(CompositionError):
+    """The user task structure is malformed (empty patterns, duplicate
+    activity names, unbound loop probabilities...)."""
+
+
+class NoCandidateError(CompositionError):
+    """An abstract activity has no functionally matching service candidate,
+    so no composition can fulfil the task."""
+
+    def __init__(self, activity: str) -> None:
+        super().__init__(f"no service candidate for activity {activity!r}")
+        self.activity = activity
+
+
+class SelectionError(CompositionError):
+    """QoS-aware selection could not produce a composition that satisfies the
+    user's global QoS constraints."""
+
+
+class AggregationError(CompositionError):
+    """Raised when a QoS property cannot be aggregated over a pattern."""
+
+
+class ExecutionError(ReproError):
+    """Raised when executing a concrete composition fails irrecoverably."""
+
+
+class BindingError(ExecutionError):
+    """Dynamic binding found no live service for an activity at invoke time."""
+
+
+class AdaptationError(ReproError):
+    """Base class for adaptation-stage failures."""
+
+
+class SubstitutionError(AdaptationError):
+    """Service substitution found no satisfactory replacement."""
+
+
+class BehaviouralAdaptationError(AdaptationError):
+    """No alternative behaviour in the task class can fulfil the user task."""
+
+
+class BpelParseError(ReproError):
+    """Raised when an abstract-BPEL document cannot be parsed."""
+
+
+class EnvironmentError_(ReproError):
+    """Raised for invalid pervasive-environment manipulations (duplicate
+    device identifiers, unknown nodes...)."""

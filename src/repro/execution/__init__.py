@@ -1,0 +1,30 @@
+"""Composition execution substrate (S11).
+
+The paper's prototype executes compositions on a BPEL engine over Web
+Services; here the equivalent is an in-process engine over the environment
+simulator:
+
+* :mod:`repro.execution.clock` — a simulated clock (deterministic time);
+* :mod:`repro.execution.binding` — *dynamic binding* (§I.5): the concrete
+  service for an activity is chosen just before invocation, from the ranked
+  services QASSA kept, using run-time QoS estimates;
+* :mod:`repro.execution.engine` — pattern-tree interpretation with QoS
+  observation and failure reporting into the monitor;
+* :mod:`repro.execution.bpel` — the abstract-BPEL XML dialect for user
+  tasks (parse + serialise), feeding the Fig. VI.13 transformation.
+"""
+
+from repro.execution.binding import DynamicBinder
+from repro.execution.bpel import parse_bpel, to_bpel
+from repro.execution.clock import SimulatedClock
+from repro.execution.engine import ExecutionEngine, ExecutionReport, Invoker
+
+__all__ = [
+    "DynamicBinder",
+    "ExecutionEngine",
+    "ExecutionReport",
+    "Invoker",
+    "SimulatedClock",
+    "parse_bpel",
+    "to_bpel",
+]

@@ -1,0 +1,114 @@
+"""Dynamic binding of services to activities (§I.5).
+
+QASSA returns *several* ranked services per activity; the actual binding is
+deferred to the instant the activity is about to execute.  Three policies
+are provided:
+
+* :attr:`BindingPolicy.UTILITY` (default) — pick, among the still-alive
+  ranked services, the one whose **run-time QoS estimate** (monitor EWMA,
+  falling back to advertised values) yields the best utility under the
+  user's weights — absorbing the gap between advertised and delivered QoS
+  without a full adaptation round;
+* :attr:`BindingPolicy.FAILOVER` — always the highest-ranked live service
+  (QASSA's original ordering), ignoring run-time estimates: cheapest, and
+  the natural baseline for the dynamic-binding ablation;
+* :attr:`BindingPolicy.ROUND_ROBIN` — rotate over the live ranked services
+  per activity, spreading load (and battery drain) across providers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.errors import BindingError
+from repro.qos.properties import QoSProperty
+from repro.services.description import ServiceDescription
+from repro.composition.selection import CompositionPlan
+from repro.composition.utility import Normalizer, service_utility
+from repro.adaptation.monitoring import QoSMonitor
+
+#: Tells the binder whether a service is currently reachable.
+LivenessProbe = Callable[[ServiceDescription], bool]
+
+
+class BindingPolicy(enum.Enum):
+    """How the binder chooses among an activity's live ranked services."""
+
+    UTILITY = "utility"
+    FAILOVER = "failover"
+    ROUND_ROBIN = "round_robin"
+
+
+class DynamicBinder:
+    """Just-in-time activity → service binding."""
+
+    def __init__(
+        self,
+        properties: Mapping[str, QoSProperty],
+        monitor: Optional[QoSMonitor] = None,
+        liveness: Optional[LivenessProbe] = None,
+        policy: BindingPolicy = BindingPolicy.UTILITY,
+    ) -> None:
+        self.properties = dict(properties)
+        self.monitor = monitor
+        self.liveness = liveness
+        self.policy = policy
+        self._round_robin_state: Dict[str, int] = {}
+
+    def bind(self, plan: CompositionPlan, activity_name: str) -> ServiceDescription:
+        """Choose the service to invoke for one activity, right now.
+
+        Raises :class:`BindingError` when every ranked service is dead.
+        """
+        selection = plan.selections.get(activity_name)
+        if selection is None:
+            raise BindingError(f"plan has no activity {activity_name!r}")
+
+        alive = [
+            s for s in selection.services
+            if self.liveness is None or self.liveness(s)
+        ]
+        if not alive:
+            raise BindingError(
+                f"no live service for activity {activity_name!r} "
+                f"(all {len(selection.services)} ranked services are down)"
+            )
+
+        if self.policy is BindingPolicy.FAILOVER or len(alive) == 1:
+            return alive[0]
+        if self.policy is BindingPolicy.ROUND_ROBIN:
+            index = self._round_robin_state.get(activity_name, 0)
+            self._round_robin_state[activity_name] = index + 1
+            return alive[index % len(alive)]
+        return self._best_by_runtime_utility(plan, alive)
+
+    def _best_by_runtime_utility(
+        self, plan: CompositionPlan, alive
+    ) -> ServiceDescription:
+        if self.monitor is None:
+            return alive[0]
+        # Without any run-time evidence the estimates are just the
+        # advertisements QASSA already optimised over — respect the plan's
+        # ranking instead of re-ranking on a different (local) utility.
+        if not any(
+            self.monitor.estimate(service.service_id, name) is not None
+            for service in alive
+            for name in self.properties
+        ):
+            return alive[0]
+        weights = plan.request.normalised_weights(self.properties)
+        vectors = [
+            self.monitor.estimated_vector(s.service_id, s.advertised_qos)
+            for s in alive
+        ]
+        normalizer = Normalizer.from_vectors(vectors, self.properties)
+        scored = [
+            (service_utility(vector, normalizer, weights), service)
+            for vector, service in zip(vectors, alive)
+        ]
+        best_utility, best_service = scored[0]
+        for utility, service in scored[1:]:
+            if utility > best_utility:
+                best_utility, best_service = utility, service
+        return best_service

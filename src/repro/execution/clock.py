@@ -1,0 +1,39 @@
+"""A simulated clock.
+
+All run-time machinery (engine, monitor, environment fluctuation processes)
+shares one clock so experiments are deterministic and can compress hours of
+simulated execution into milliseconds of wall time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+
+class SimulatedClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ExecutionError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time, which must not be in the past."""
+        if timestamp < self._now:
+            raise ExecutionError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(t={self._now:.3f}s)"

@@ -1,0 +1,230 @@
+"""The composition execution engine.
+
+Interprets a :class:`~repro.composition.task.Task` pattern tree against a
+:class:`~repro.composition.selection.CompositionPlan`:
+
+* **sequence** — children run back to back on the simulated clock;
+* **parallel** — branches run concurrently; the clock advances by the
+  slowest branch while costs accrue across all of them;
+* **conditional** — one branch is drawn according to the declared
+  probabilities (seeded RNG — deterministic experiments);
+* **loop** — the body repeats; the iteration count is drawn uniformly from
+  ``[1, max_iterations]`` unless an expected count pins it.
+
+Each activity invocation goes through the :class:`DynamicBinder`, calls the
+pluggable :data:`Invoker` (the environment simulator provides one that
+returns *observed* QoS), feeds the monitor, and — on failure — retries over
+the remaining ranked services before giving up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import BindingError, ExecutionError
+from repro.qos.properties import QoSProperty
+from repro.qos.values import QoSVector
+from repro.services.description import ServiceDescription
+from repro.composition.selection import CompositionPlan
+from repro.composition.task import (
+    Conditional,
+    Leaf,
+    Loop,
+    Node,
+    Parallel,
+    Sequence,
+    Task,
+)
+from repro.execution.binding import DynamicBinder
+from repro.execution.clock import SimulatedClock
+from repro.adaptation.monitoring import QoSMonitor
+
+#: Invokes a service at a simulated timestamp.  Returns the *observed* QoS
+#: of the invocation, or None when the invocation failed outright.
+Invoker = Callable[[ServiceDescription, float], Optional[QoSVector]]
+
+
+@dataclass
+class InvocationRecord:
+    """One concrete service invocation in an execution trace."""
+
+    activity_name: str
+    service_id: str
+    started_at: float
+    observed_qos: Optional[QoSVector]
+    succeeded: bool
+    attempt: int
+
+
+@dataclass
+class ExecutionReport:
+    """The outcome of executing one composition."""
+
+    task_name: str
+    succeeded: bool
+    started_at: float
+    finished_at: float
+    invocations: List[InvocationRecord] = field(default_factory=list)
+    total_cost: float = 0.0
+    failed_activity: Optional[str] = None
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    def invocations_of(self, activity_name: str) -> List[InvocationRecord]:
+        return [r for r in self.invocations if r.activity_name == activity_name]
+
+
+class ExecutionEngine:
+    """Pattern-tree interpreter with dynamic binding and retry-on-failure."""
+
+    def __init__(
+        self,
+        properties: Mapping[str, QoSProperty],
+        invoker: Invoker,
+        clock: Optional[SimulatedClock] = None,
+        binder: Optional[DynamicBinder] = None,
+        monitor: Optional[QoSMonitor] = None,
+        max_attempts_per_activity: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.properties = dict(properties)
+        self.invoker = invoker
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.binder = binder if binder is not None else DynamicBinder(properties)
+        self.monitor = monitor
+        self.max_attempts = max_attempts_per_activity
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: CompositionPlan) -> ExecutionReport:
+        """Run the composition to completion (or first unrecoverable fail)."""
+        report = ExecutionReport(
+            task_name=plan.task.name,
+            succeeded=True,
+            started_at=self.clock.now(),
+            finished_at=self.clock.now(),
+        )
+        try:
+            self._run(plan.task.root, plan, report)
+        except _ActivityFailed as failure:
+            report.succeeded = False
+            report.failed_activity = failure.activity_name
+        report.finished_at = self.clock.now()
+        return report
+
+    # ------------------------------------------------------------------
+    def _run(self, node: Node, plan: CompositionPlan, report: ExecutionReport) -> None:
+        if isinstance(node, Leaf):
+            self._run_activity(node.activity.name, plan, report)
+            return
+        if isinstance(node, Sequence):
+            for member in node.members:
+                self._run(member, plan, report)
+            return
+        if isinstance(node, Parallel):
+            # Branches run concurrently: execute each against a forked clock
+            # and advance the shared clock by the slowest branch.  The
+            # shared clock must be restored even when a branch fails, or
+            # the engine would keep timing against the fork.
+            start = self.clock.now()
+            branch_ends: List[float] = []
+            shared = self.clock
+            try:
+                for branch in node.branches:
+                    self.clock = SimulatedClock(start)
+                    self._run(branch, plan, report)
+                    branch_ends.append(self.clock.now())
+            finally:
+                self.clock = shared
+            self.clock.advance_to(max(branch_ends) if branch_ends else start)
+            return
+        if isinstance(node, Conditional):
+            probabilities = node.branch_probabilities()
+            pick = self._rng.random()
+            cumulative = 0.0
+            chosen = node.branches[-1]
+            for branch, p in zip(node.branches, probabilities):
+                cumulative += p
+                if pick <= cumulative:
+                    chosen = branch
+                    break
+            self._run(chosen, plan, report)
+            return
+        if isinstance(node, Loop):
+            if node.expected_iterations is not None:
+                iterations = max(1, round(node.expected_iterations))
+            else:
+                iterations = self._rng.randint(1, node.max_iterations)
+            for _ in range(iterations):
+                self._run(node.body, plan, report)
+            return
+        raise ExecutionError(f"unknown pattern node {type(node).__name__}")
+
+    def _run_activity(
+        self, activity_name: str, plan: CompositionPlan, report: ExecutionReport
+    ) -> None:
+        excluded: List[str] = []
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                service = self._bind_excluding(plan, activity_name, excluded)
+            except BindingError:
+                raise _ActivityFailed(activity_name)
+            started = self.clock.now()
+            observed = self.invoker(service, started)
+            if observed is None:
+                report.invocations.append(
+                    InvocationRecord(
+                        activity_name, service.service_id, started, None,
+                        succeeded=False, attempt=attempt,
+                    )
+                )
+                if self.monitor is not None:
+                    self.monitor.report_failure(service.service_id, started)
+                excluded.append(service.service_id)
+                continue
+            # Advance time by the observed response time (if measured).
+            response_ms = observed.get("response_time")
+            if response_ms is not None:
+                self.clock.advance(response_ms / 1000.0)
+            cost = observed.get("cost")
+            if cost is not None:
+                report.total_cost += cost
+            if self.monitor is not None:
+                self.monitor.observe_vector(service.service_id, observed, started)
+            report.invocations.append(
+                InvocationRecord(
+                    activity_name, service.service_id, started, observed,
+                    succeeded=True, attempt=attempt,
+                )
+            )
+            return
+        raise _ActivityFailed(activity_name)
+
+    def _bind_excluding(
+        self, plan: CompositionPlan, activity_name: str, excluded: List[str]
+    ) -> ServiceDescription:
+        base_liveness = self.binder.liveness
+
+        def probe(service: ServiceDescription) -> bool:
+            if service.service_id in excluded:
+                return False
+            return base_liveness(service) if base_liveness is not None else True
+
+        # Temporarily narrow the binder's liveness probe rather than
+        # rebuilding it, so per-policy state (round-robin cursors) persists
+        # across retries.
+        self.binder.liveness = probe
+        try:
+            return self.binder.bind(plan, activity_name)
+        finally:
+            self.binder.liveness = base_liveness
+
+
+class _ActivityFailed(ExecutionError):
+    def __init__(self, activity_name: str) -> None:
+        super().__init__(f"activity {activity_name!r} failed on all attempts")
+        self.activity_name = activity_name

@@ -1,0 +1,28 @@
+"""Experiment harness reproducing the paper's evaluation (S14, Ch. VI §3).
+
+* :mod:`repro.experiments.workloads` — synthetic workloads matching the
+  paper's set-up: ``n``-activity tasks, ``N`` candidate services per
+  activity, ``k`` global constraints at a controlled tightness.
+* :mod:`repro.experiments.harness` — timed sweeps with repetitions and the
+  optimality metric (utility vs the exhaustive optimum).
+* :mod:`repro.experiments.figures` — one entry point per paper figure or
+  table; each returns the same series the paper plots.
+* :mod:`repro.experiments.reporting` — plain-text table rendering for the
+  benchmark output.
+"""
+
+from repro.experiments.harness import ExperimentPoint, Sweep, measure, optimality
+from repro.experiments.reporting import render_series, render_table
+from repro.experiments.workloads import Workload, WorkloadSpec, make_workload
+
+__all__ = [
+    "ExperimentPoint",
+    "Sweep",
+    "Workload",
+    "WorkloadSpec",
+    "make_workload",
+    "measure",
+    "optimality",
+    "render_series",
+    "render_table",
+]

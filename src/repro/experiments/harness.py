@@ -1,0 +1,72 @@
+"""Measurement harness: timed sweeps and the optimality metric (§VI.3.2)."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SelectionError
+from repro.composition.selection import CompositionPlan
+
+
+@dataclass
+class ExperimentPoint:
+    """One sweep point: the x value and the measured series values."""
+
+    x: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Sweep:
+    """A named series over a parameter sweep (one paper sub-figure)."""
+
+    name: str
+    x_label: str
+    points: List[ExperimentPoint] = field(default_factory=list)
+
+    def series(self, key: str) -> List[Tuple[float, float]]:
+        return [(p.x, p.values[key]) for p in self.points if key in p.values]
+
+    def add(self, x: float, **values: float) -> ExperimentPoint:
+        point = ExperimentPoint(x=x, values=dict(values))
+        self.points.append(point)
+        return point
+
+
+def measure(
+    callable_: Callable[[], object], repetitions: int = 3
+) -> Tuple[float, object]:
+    """(median elapsed seconds, last result) over ``repetitions`` runs."""
+    timings: List[float] = []
+    result: object = None
+    for _ in range(max(repetitions, 1)):
+        started = time.perf_counter()
+        result = callable_()
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings), result
+
+
+def optimality(plan: CompositionPlan, optimal: CompositionPlan) -> float:
+    """The paper's optimality metric: utility(heuristic) / utility(optimum).
+
+    Both plans must have been scored against the same global normaliser
+    (which :func:`repro.composition.selection.make_global_normalizer`
+    guarantees for identical candidate sets).  Clamped to [0, 1] — a
+    heuristic can tie the optimum but never beat a *feasible* optimum; tiny
+    float excursions above 1 are measurement noise.
+    """
+    if optimal.utility <= 0:
+        return 1.0 if plan.utility <= 0 else 0.0
+    return min(max(plan.utility / optimal.utility, 0.0), 1.0)
+
+
+def try_select(selector, request, candidates) -> Optional[CompositionPlan]:
+    """Run a selector, returning None instead of raising on infeasibility —
+    sweep loops keep going when a point admits no feasible composition."""
+    try:
+        return selector.select(request, candidates)
+    except SelectionError:
+        return None

@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and diff-able (EXPERIMENTS.md records
+them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import Sweep
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width table with a rule under the header."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(sweep: Sweep, keys: Optional[Sequence[str]] = None) -> str:
+    """Render a sweep as a table: x column + one column per series key."""
+    if keys is None:
+        seen: List[str] = []
+        for point in sweep.points:
+            for key in point.values:
+                if key not in seen:
+                    seen.append(key)
+        keys = seen
+    headers = [sweep.x_label] + list(keys)
+    rows = [
+        [point.x] + [point.values.get(key, "") for key in keys]
+        for point in sweep.points
+    ]
+    return render_table(headers, rows, title=sweep.name)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,17 @@
+"""QASOM — the QoS-aware service-oriented middleware facade (S13, Ch. VI).
+
+:class:`~repro.middleware.qasom.QASOM` assembles the two frameworks of
+Fig. VI.2 — the QoS-aware Service Composition Framework (discovery +
+QASSA + dynamic binding + execution) and the QoS-driven Composition
+Adaptation Framework (monitor + substitution + behavioural adaptation) —
+behind the small API the examples use:
+
+>>> middleware = QASOM.for_environment(env, ontology=onto, repository=repo)
+>>> plan = middleware.compose(request)
+>>> report = middleware.execute(plan)
+"""
+
+from repro.middleware.config import MiddlewareConfig
+from repro.middleware.qasom import QASOM
+
+__all__ = ["MiddlewareConfig", "QASOM"]

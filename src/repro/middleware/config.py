@@ -1,0 +1,34 @@
+"""Middleware-level configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.composition.aggregation import AggregationApproach
+from repro.composition.qassa import QassaConfig
+from repro.adaptation.homeomorphism import HomeomorphismConfig
+from repro.adaptation.monitoring import MonitorConfig
+from repro.semantics.matching import MatchDegree
+
+
+@dataclass(frozen=True)
+class MiddlewareConfig:
+    """One place to tune the whole QASOM stack.
+
+    The defaults mirror the paper's prototype: pessimistic aggregation (the
+    only approach whose results are *guaranteed* bounds), PLUGIN-or-better
+    semantic matching, proactive monitoring on.
+    """
+
+    aggregation: AggregationApproach = AggregationApproach.PESSIMISTIC
+    qassa: QassaConfig = field(default_factory=QassaConfig)
+    homeomorphism: HomeomorphismConfig = field(default_factory=HomeomorphismConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    discovery_minimum_degree: MatchDegree = MatchDegree.PLUGIN
+    #: When on, discovery corrects advertised QoS with cross-layer estimates
+    #: from the live infrastructure state (device load/battery, link
+    #: latency/loss) before selection sees the candidates — the operational
+    #: form of Ch. III's end-to-end dependencies.
+    infrastructure_aware: bool = False
+    max_execution_attempts: int = 3
+    seed: int = 0

@@ -1,0 +1,255 @@
+"""The QASOM middleware platform (Ch. VI, Figs. VI.2-VI.4).
+
+QASOM wires every subsystem of the reproduction into the two frameworks of
+the paper's architecture:
+
+* the **QoS-aware Service Composition Framework** — semantic QoS-aware
+  discovery over the environment's registry, QASSA selection, dynamic
+  binding, and the execution engine;
+* the **QoS-driven Composition Adaptation Framework** — global/proactive
+  monitoring, service substitution, and behavioural adaptation over the
+  task class repository.
+
+The public surface is deliberately small: :meth:`compose` (request → plan),
+:meth:`execute` (plan → report, with monitoring and adaptation in the
+loop), and :meth:`run` (both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import DiscoveryError, NoCandidateError
+from repro.qos.model import QoSModel, build_end_to_end_model
+from repro.qos.properties import QoSProperty
+from repro.semantics.ontology import Ontology
+from repro.services.description import ServiceDescription
+from repro.services.discovery import DiscoveryQuery, QoSAwareDiscovery
+from repro.composition.qassa import QASSA
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets, CompositionPlan
+from repro.composition.task import Task
+from repro.execution.binding import DynamicBinder
+from repro.execution.engine import ExecutionEngine, ExecutionReport
+from repro.adaptation.behavioural import BehaviouralAdaptation
+from repro.adaptation.manager import AdaptationManager, AdaptationOutcome
+from repro.adaptation.monitoring import AdaptationTrigger, QoSMonitor
+from repro.adaptation.substitution import ServiceSubstitution
+from repro.adaptation.task_class import TaskClassRepository
+from repro.middleware.config import MiddlewareConfig
+from repro.qos.sla import ComplianceTracker, derive_slas
+from repro.env.environment import PervasiveEnvironment
+
+
+@dataclass
+class RunResult:
+    """compose + execute in one call: the plan, the trace, the adaptations,
+    and (when SLA tracking is on) the compliance summary."""
+
+    plan: CompositionPlan
+    report: ExecutionReport
+    adaptations: List[AdaptationOutcome] = field(default_factory=list)
+    compliance: Optional["ComplianceTracker"] = None
+
+
+class QASOM:
+    """The assembled middleware."""
+
+    def __init__(
+        self,
+        environment: PervasiveEnvironment,
+        properties: Mapping[str, QoSProperty],
+        task_ontology: Optional[Ontology] = None,
+        repository: Optional[TaskClassRepository] = None,
+        qos_model: Optional[QoSModel] = None,
+        config: MiddlewareConfig = MiddlewareConfig(),
+    ) -> None:
+        self.environment = environment
+        self.properties = dict(properties)
+        self.config = config
+        self.qos_model = qos_model if qos_model is not None else build_end_to_end_model()
+
+        # Composition framework.
+        self.discovery = QoSAwareDiscovery(environment.registry, task_ontology)
+        self.estimator = None
+        if config.infrastructure_aware:
+            from repro.qos.dependencies import CrossLayerEstimator
+
+            self.estimator = CrossLayerEstimator(environment)
+        self.selector = QASSA(self.properties, config.aggregation, config.qassa)
+
+        # Adaptation framework.
+        self.monitor = QoSMonitor(self.properties, config.monitor)
+        self.substitution = ServiceSubstitution(self.properties, self.monitor)
+        self.repository = repository
+        self.behavioural: Optional[BehaviouralAdaptation] = None
+        if repository is not None:
+            self.behavioural = BehaviouralAdaptation(
+                repository,
+                resolver=self.candidates_for,
+                selector=lambda req, cands: self.selector.select(req, cands),
+                ontology=task_ontology,
+                config=config.homeomorphism,
+            )
+
+        self.binder = DynamicBinder(
+            self.properties, self.monitor, liveness=environment.is_alive
+        )
+        self.engine = ExecutionEngine(
+            self.properties,
+            invoker=environment.invoke,
+            clock=environment.clock,
+            binder=self.binder,
+            monitor=self.monitor,
+            max_attempts_per_activity=config.max_execution_attempts,
+            seed=config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_environment(
+        cls,
+        environment: PervasiveEnvironment,
+        properties: Mapping[str, QoSProperty],
+        ontology: Optional[Ontology] = None,
+        repository: Optional[TaskClassRepository] = None,
+        config: MiddlewareConfig = MiddlewareConfig(),
+    ) -> "QASOM":
+        return cls(
+            environment,
+            properties,
+            task_ontology=ontology,
+            repository=repository,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # composition framework
+    # ------------------------------------------------------------------
+    def candidates_for(self, task: Task) -> CandidateSets:
+        """QoS-aware semantic discovery for every activity of a task.
+
+        With ``config.infrastructure_aware`` the returned candidates
+        advertise their *estimated effective* QoS (advertisement corrected
+        by the hosting device and link state) instead of the raw claims.
+        """
+        pools: Dict[str, List[ServiceDescription]] = {}
+        for activity in task.activities:
+            query = DiscoveryQuery(
+                capability=activity.capability,
+                minimum_degree=self.config.discovery_minimum_degree,
+            )
+            services = self.discovery.candidates(query)
+            if self.estimator is not None:
+                services = [
+                    self.estimator.estimated_service(s) for s in services
+                ]
+            if not services:
+                raise NoCandidateError(activity.name)
+            pools[activity.name] = services
+        return CandidateSets(task, pools)
+
+    def compose(
+        self, request: UserRequest, best_effort: bool = False
+    ) -> CompositionPlan:
+        """Discover + select: the request's answer, ready for execution."""
+        candidates = self.candidates_for(request.task)
+        return self.selector.select(request, candidates, best_effort=best_effort)
+
+    def compose_ranked(
+        self, request: UserRequest, k: int = 3
+    ) -> List[CompositionPlan]:
+        """Several distinct feasible compositions, best QoS first (§I.1:
+        the platform proposes ranked alternatives and the user picks)."""
+        candidates = self.candidates_for(request.task)
+        return self.selector.select_ranked(request, candidates, k=k)
+
+    # ------------------------------------------------------------------
+    # adaptation framework
+    # ------------------------------------------------------------------
+    def _fresh_candidates(self, activity) -> Sequence[ServiceDescription]:
+        """A fresh discovery round for one abstract activity (substitution
+        fallback).  Takes the Activity itself so it stays correct when
+        behavioural adaptation swaps the managed plan's task."""
+        query = DiscoveryQuery(
+            capability=activity.capability,
+            minimum_degree=self.config.discovery_minimum_degree,
+        )
+        return [
+            s for s in self.discovery.candidates(query)
+            if self.environment.is_alive(s)
+        ]
+
+    def adaptation_manager(
+        self, plan: CompositionPlan, allow_behavioural: bool = True
+    ) -> AdaptationManager:
+        """Deploy a plan under a fresh adaptation manager.
+
+        ``allow_behavioural=False`` restricts the manager to substitution —
+        useful when the caller must keep executing the *same* task shape
+        (and for the substitution-only arms of experiments)."""
+        manager = AdaptationManager(
+            self.properties,
+            self.monitor,
+            self.substitution,
+            behavioural=self.behavioural if allow_behavioural else None,
+            fresh_candidates=self._fresh_candidates,
+        )
+        manager.deploy(plan)
+        return manager
+
+    # ------------------------------------------------------------------
+    # end-to-end
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: CompositionPlan,
+        adapt: bool = True,
+        track_sla: bool = False,
+    ) -> RunResult:
+        """Execute a composition with monitoring (and adaptation) active.
+
+        With ``track_sla`` the user's global constraints are decomposed into
+        per-service SLAs before execution and every observed invocation is
+        checked against them; the tracker lands in ``RunResult.compliance``.
+        """
+        manager = self.adaptation_manager(plan) if adapt else None
+        tracker = (
+            ComplianceTracker(derive_slas(plan, self.properties))
+            if track_sla
+            else None
+        )
+        pending: List[AdaptationTrigger] = []
+        unsubscribe = None
+        if manager is not None:
+            unsubscribe = self.monitor.subscribe(pending.append)
+
+        try:
+            report = self.engine.execute(plan)
+        finally:
+            if unsubscribe is not None:
+                unsubscribe()
+
+        if tracker is not None:
+            for record in report.invocations:
+                if record.observed_qos is not None:
+                    tracker.record_vector(record.service_id,
+                                          record.observed_qos)
+
+        adaptations: List[AdaptationOutcome] = []
+        if manager is not None:
+            handled = set()
+            for trigger in pending:
+                key = (trigger.service_id, trigger.kind)
+                if key in handled:
+                    continue
+                handled.add(key)
+                adaptations.append(manager.handle(trigger))
+        return RunResult(plan=plan, report=report, adaptations=adaptations,
+                         compliance=tracker)
+
+    def run(self, request: UserRequest, adapt: bool = True) -> RunResult:
+        """compose + execute in one step."""
+        plan = self.compose(request)
+        return self.execute(plan, adapt=adapt)

@@ -1,0 +1,68 @@
+"""Semantic end-to-end QoS model for pervasive environments (S2, Chapter III).
+
+The paper's first contribution is a semantic QoS model structured as four
+ontologies:
+
+* **QoS Core ontology** (:mod:`repro.qos.core_ontology`) — domain-independent
+  QoS concepts: properties, metrics, units, value types, monotonicity.
+* **Infrastructure QoS ontology** (:mod:`repro.qos.infrastructure`) — quality
+  factors of the network and devices underlying services (bandwidth, latency,
+  battery, CPU, memory...).
+* **Service QoS ontology** (:mod:`repro.qos.service_qos`) — quality of
+  application services (response time, availability, reliability, cost,
+  throughput, security, reputation...).
+* **User QoS ontology** (:mod:`repro.qos.user_qos`) — the user-perceived
+  vocabulary (speed, price, dependability...) mapped onto service/infra
+  concepts through equivalences, enabling heterogeneous actors to interoperate.
+
+On top of the ontologies, this package provides the concrete value machinery
+used everywhere else: :class:`~repro.qos.properties.QoSProperty` definitions
+with units and monotonicity, :class:`~repro.qos.values.QoSVector` bundles, and
+the :class:`~repro.qos.model.QoSModel` facade that maps required (user) QoS
+terms onto offered (provider) terms via subsumption reasoning.
+"""
+
+from repro.qos.core_ontology import build_core_ontology
+from repro.qos.infrastructure import build_infrastructure_ontology
+from repro.qos.model import QoSModel, build_end_to_end_model
+from repro.qos.properties import (
+    Direction,
+    QoSProperty,
+    AVAILABILITY,
+    COST,
+    ENERGY,
+    RELIABILITY,
+    REPUTATION,
+    RESPONSE_TIME,
+    SECURITY_LEVEL,
+    THROUGHPUT,
+    STANDARD_PROPERTIES,
+)
+from repro.qos.service_qos import build_service_ontology
+from repro.qos.units import Unit, convert
+from repro.qos.user_qos import build_user_ontology
+from repro.qos.values import QoSValue, QoSVector
+
+__all__ = [
+    "AVAILABILITY",
+    "COST",
+    "Direction",
+    "ENERGY",
+    "QoSModel",
+    "QoSProperty",
+    "QoSValue",
+    "QoSVector",
+    "RELIABILITY",
+    "REPUTATION",
+    "RESPONSE_TIME",
+    "SECURITY_LEVEL",
+    "STANDARD_PROPERTIES",
+    "THROUGHPUT",
+    "Unit",
+    "build_core_ontology",
+    "build_end_to_end_model",
+    "build_infrastructure_ontology",
+    "build_service_ontology",
+    "build_user_ontology",
+    "convert",
+]

@@ -1,0 +1,103 @@
+"""The QoS Core ontology (Chapter III §2.1).
+
+The Core ontology captures domain-independent QoS concepts — what a QoS
+property *is*, how it is measured, and how values behave — independently of
+whether the property concerns the network, a device or an application
+service.  The three domain ontologies (infrastructure, service, user) all
+specialise concepts declared here.
+
+Concept map (prefix ``qos:``)::
+
+    QoSConcept
+    ├── QoSProperty
+    │   ├── PerformanceProperty
+    │   ├── DependabilityProperty
+    │   ├── CostProperty
+    │   ├── SecurityProperty
+    │   └── TrustProperty
+    ├── QoSMetric
+    │   ├── DeterministicMetric
+    │   └── StatisticalMetric   (mean / percentile / variance)
+    ├── QoSUnit
+    ├── QoSValueType            (numeric / ordinal / boolean)
+    ├── Monotonicity            (increasing / decreasing)
+    └── AggregationMode         (additive / multiplicative / min / max / average)
+"""
+
+from __future__ import annotations
+
+from repro.semantics.ontology import Ontology
+
+PREFIX = "qos:"
+
+
+def build_core_ontology() -> Ontology:
+    """Construct the QoS Core ontology from scratch."""
+    onto = Ontology("qos-core")
+
+    root = onto.declare_class(
+        f"{PREFIX}QoSConcept", label="QoS concept",
+        comment="Top concept of the QoS Core ontology.",
+    )
+
+    prop = onto.declare_class(
+        f"{PREFIX}QoSProperty", [root], label="QoS property",
+        comment="A measurable non-functional characteristic.",
+    )
+    onto.declare_class(f"{PREFIX}PerformanceProperty", [prop], label="Performance")
+    onto.declare_class(f"{PREFIX}DependabilityProperty", [prop], label="Dependability")
+    onto.declare_class(f"{PREFIX}CostProperty", [prop], label="Cost")
+    onto.declare_class(f"{PREFIX}SecurityProperty", [prop], label="Security")
+    onto.declare_class(f"{PREFIX}TrustProperty", [prop], label="Trust")
+
+    metric = onto.declare_class(
+        f"{PREFIX}QoSMetric", [root], label="QoS metric",
+        comment="How a property is quantified.",
+    )
+    onto.declare_class(f"{PREFIX}DeterministicMetric", [metric])
+    stat = onto.declare_class(f"{PREFIX}StatisticalMetric", [metric])
+    onto.declare_class(f"{PREFIX}MeanMetric", [stat])
+    onto.declare_class(f"{PREFIX}PercentileMetric", [stat])
+    onto.declare_class(f"{PREFIX}VarianceMetric", [stat])
+
+    onto.declare_class(f"{PREFIX}QoSUnit", [root], label="Measurement unit")
+
+    value_type = onto.declare_class(f"{PREFIX}QoSValueType", [root])
+    onto.declare_class(f"{PREFIX}NumericValue", [value_type])
+    onto.declare_class(f"{PREFIX}OrdinalValue", [value_type])
+    onto.declare_class(f"{PREFIX}BooleanValue", [value_type])
+
+    mono = onto.declare_class(
+        f"{PREFIX}Monotonicity", [root],
+        comment="Whether user satisfaction grows or shrinks with the value.",
+    )
+    onto.declare_class(f"{PREFIX}Increasing", [mono], label="higher is better")
+    onto.declare_class(f"{PREFIX}Decreasing", [mono], label="lower is better")
+
+    agg = onto.declare_class(
+        f"{PREFIX}AggregationMode", [root],
+        comment="How values compose along a service composition (Table IV.1).",
+    )
+    for mode in ("Additive", "Multiplicative", "MinAggregated", "MaxAggregated",
+                 "Averaged"):
+        onto.declare_class(f"{PREFIX}{mode}", [agg])
+
+    # Relations tying the concepts together.
+    onto.declare_property(
+        f"{PREFIX}hasMetric", domain=prop, range_=metric, label="has metric"
+    )
+    onto.declare_property(
+        f"{PREFIX}hasUnit", domain=metric, range_=f"{PREFIX}QoSUnit"
+    )
+    onto.declare_property(
+        f"{PREFIX}hasValueType", domain=prop, range_=value_type
+    )
+    onto.declare_property(f"{PREFIX}hasMonotonicity", domain=prop, range_=mono)
+    onto.declare_property(f"{PREFIX}hasAggregationMode", domain=prop, range_=agg)
+    onto.declare_property(
+        f"{PREFIX}dependsOn", domain=prop, range_=prop,
+        label="depends on",
+    )
+
+    onto.validate()
+    return onto

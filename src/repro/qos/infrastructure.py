@@ -1,0 +1,117 @@
+"""The Infrastructure QoS ontology (Chapter III §2.2).
+
+End-to-end QoS requires modelling the quality of what lies *underneath*
+application services: the wireless network and the (resource-constrained)
+devices hosting them.  This ontology specialises the Core ontology's
+property categories with network- and device-level concepts, and declares
+the cross-layer ``qos:dependsOn`` facts the paper uses to explain how
+infrastructure fluctuations surface as service-level QoS fluctuations
+(e.g. service response time depends on network latency and bandwidth).
+
+Concept map (prefix ``iqos:``)::
+
+    qos:PerformanceProperty
+    ├── NetworkProperty: Bandwidth, NetworkLatency, Jitter, PacketLoss,
+    │                    SignalStrength
+    └── DeviceProperty:  CpuLoad, MemoryUsage, BatteryLevel,
+                         EnergyConsumption, StorageCapacity
+    qos:DependabilityProperty
+    └── NodeAvailability, LinkReliability
+"""
+
+from __future__ import annotations
+
+from repro.semantics.ontology import Ontology
+from repro.qos.core_ontology import PREFIX as CORE, build_core_ontology
+
+PREFIX = "iqos:"
+
+#: Infrastructure concepts grouped by their Core-ontology parent category.
+NETWORK_PROPERTIES = (
+    "Bandwidth",
+    "NetworkLatency",
+    "Jitter",
+    "PacketLoss",
+    "SignalStrength",
+)
+DEVICE_PROPERTIES = (
+    "CpuLoad",
+    "MemoryUsage",
+    "BatteryLevel",
+    "EnergyConsumption",
+    "StorageCapacity",
+)
+DEPENDABILITY_PROPERTIES = (
+    "NodeAvailability",
+    "LinkReliability",
+)
+
+
+def build_infrastructure_ontology(core: Ontology = None) -> Ontology:
+    """Construct the Infrastructure QoS ontology on top of the Core one.
+
+    When ``core`` is omitted a fresh Core ontology is built and merged in,
+    so the returned ontology is self-contained.
+    """
+    onto = Ontology("qos-infrastructure")
+    onto.merge(core if core is not None else build_core_ontology())
+
+    network = onto.declare_class(
+        f"{PREFIX}NetworkProperty",
+        [f"{CORE}PerformanceProperty"],
+        label="Network-level property",
+    )
+    device = onto.declare_class(
+        f"{PREFIX}DeviceProperty",
+        [f"{CORE}PerformanceProperty"],
+        label="Device-level property",
+    )
+
+    for name in NETWORK_PROPERTIES:
+        onto.declare_class(f"{PREFIX}{name}", [network])
+    for name in DEVICE_PROPERTIES:
+        onto.declare_class(f"{PREFIX}{name}", [device])
+    for name in DEPENDABILITY_PROPERTIES:
+        onto.declare_class(f"{PREFIX}{name}", [f"{CORE}DependabilityProperty"])
+
+    # Monotonicity annotations (facts on the class level, as in the paper's
+    # ontology where properties carry a monotonicity individual).
+    decreasing = (
+        "NetworkLatency", "Jitter", "PacketLoss", "CpuLoad", "MemoryUsage",
+        "EnergyConsumption",
+    )
+    increasing = (
+        "Bandwidth", "SignalStrength", "BatteryLevel", "StorageCapacity",
+        "NodeAvailability", "LinkReliability",
+    )
+    for name in decreasing:
+        onto.assert_fact(f"{PREFIX}{name}", f"{CORE}hasMonotonicity",
+                         f"{CORE}Decreasing")
+    for name in increasing:
+        onto.assert_fact(f"{PREFIX}{name}", f"{CORE}hasMonotonicity",
+                         f"{CORE}Increasing")
+
+    onto.validate()
+    return onto
+
+
+def declare_cross_layer_dependencies(onto: Ontology) -> None:
+    """Record which service-level properties depend on which infrastructure
+    properties (the formal relationships Ch. III motivates, à la QoPS).
+
+    Expects an ontology containing both the infrastructure and the service
+    QoS concepts (see :func:`repro.qos.model.build_end_to_end_model`).
+    """
+    depends = f"{CORE}dependsOn"
+    facts = (
+        ("sqos:ResponseTime", f"{PREFIX}NetworkLatency"),
+        ("sqos:ResponseTime", f"{PREFIX}Bandwidth"),
+        ("sqos:ResponseTime", f"{PREFIX}CpuLoad"),
+        ("sqos:Availability", f"{PREFIX}NodeAvailability"),
+        ("sqos:Availability", f"{PREFIX}BatteryLevel"),
+        ("sqos:Reliability", f"{PREFIX}LinkReliability"),
+        ("sqos:Reliability", f"{PREFIX}PacketLoss"),
+        ("sqos:Throughput", f"{PREFIX}Bandwidth"),
+    )
+    for service_prop, infra_prop in facts:
+        onto.assert_fact(service_prop, depends, infra_prop)

@@ -1,0 +1,139 @@
+"""The end-to-end QoS model facade (Chapter III).
+
+:class:`QoSModel` assembles the four ontologies into one knowledge base and
+offers the operations the rest of the middleware needs:
+
+* registering :class:`~repro.qos.properties.QoSProperty` definitions and
+  anchoring them to ontology concepts,
+* **term mapping**: resolving a (possibly user-vocabulary) concept URI to the
+  registered properties that can satisfy it, with a semantic match degree —
+  this is the "common QoS understanding" mechanism of the paper,
+* building :class:`~repro.qos.values.QoSVector` instances in canonical units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import QoSModelError
+from repro.qos.core_ontology import build_core_ontology
+from repro.qos.infrastructure import (
+    build_infrastructure_ontology,
+    declare_cross_layer_dependencies,
+)
+from repro.qos.properties import QoSProperty, STANDARD_PROPERTIES
+from repro.qos.service_qos import build_service_ontology
+from repro.qos.user_qos import build_user_ontology
+from repro.qos.values import QoSVector
+from repro.semantics.matching import MatchDegree, match_concepts
+from repro.semantics.ontology import Ontology
+
+
+class QoSModel:
+    """A registry of QoS properties backed by a merged QoS ontology."""
+
+    def __init__(self, ontology: Optional[Ontology] = None) -> None:
+        self.ontology = ontology if ontology is not None else Ontology("qos-empty")
+        self._properties: Dict[str, QoSProperty] = {}
+        self._by_uri: Dict[str, QoSProperty] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, prop: QoSProperty) -> QoSProperty:
+        """Register a property definition; its URI must be a declared concept."""
+        if prop.name in self._properties:
+            existing = self._properties[prop.name]
+            if existing != prop:
+                raise QoSModelError(
+                    f"property {prop.name!r} already registered with a "
+                    f"different definition"
+                )
+            return existing
+        if not self.ontology.is_class(prop.uri):
+            raise QoSModelError(
+                f"property {prop.name!r} refers to undeclared concept {prop.uri!r}"
+            )
+        self._properties[prop.name] = prop
+        self._by_uri[prop.uri] = prop
+        return prop
+
+    def property(self, name: str) -> QoSProperty:
+        try:
+            return self._properties[name]
+        except KeyError:
+            raise QoSModelError(f"unknown QoS property: {name!r}") from None
+
+    def property_by_uri(self, uri: str) -> QoSProperty:
+        try:
+            return self._by_uri[uri]
+        except KeyError:
+            raise QoSModelError(f"no property registered for concept {uri!r}") from None
+
+    def properties(self) -> Dict[str, QoSProperty]:
+        return dict(self._properties)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._properties
+
+    # ------------------------------------------------------------------
+    def resolve_term(
+        self,
+        concept_uri: str,
+        minimum: MatchDegree = MatchDegree.PLUGIN,
+    ) -> List[Tuple[QoSProperty, MatchDegree]]:
+        """Map a required QoS concept onto registered properties.
+
+        This implements the user↔provider vocabulary bridging of §III.2.4:
+        a user asking for ``uqos:Speed`` resolves to the ``response_time``
+        property with an EXACT match (through the declared equivalence), and
+        ``uqos:Dependability`` resolves to ``availability`` and
+        ``reliability`` with PLUGIN matches.
+
+        Results are sorted best-match-first.  ``minimum`` filters out weaker
+        degrees (pass ``MatchDegree.SIBLING`` to see everything related).
+        """
+        if not self.ontology.is_class(concept_uri):
+            raise QoSModelError(f"unknown QoS concept: {concept_uri!r}")
+        matches: List[Tuple[QoSProperty, MatchDegree]] = []
+        for uri, prop in self._by_uri.items():
+            degree = match_concepts(
+                self.ontology, concept_uri, uri, root="qos:QoSProperty"
+            )
+            if degree >= minimum:
+                matches.append((prop, degree))
+        matches.sort(key=lambda pair: (-pair[1], pair[0].name))
+        return matches
+
+    def vector(self, values: Mapping[str, float]) -> QoSVector:
+        """Build a QoS vector over registered properties (canonical units)."""
+        props = {}
+        for name in values:
+            props[name] = self.property(name)
+        return QoSVector(dict(values), props)
+
+    def shared_properties(self, vectors: Iterable[QoSVector]) -> List[str]:
+        """Property names present in every vector of the iterable."""
+        names: Optional[set] = None
+        for v in vectors:
+            names = set(v) if names is None else names & set(v)
+        return sorted(names or ())
+
+
+def build_end_to_end_model() -> QoSModel:
+    """Assemble the full end-to-end QoS model of the paper.
+
+    Core + Infrastructure + Service + User ontologies are merged into one
+    knowledge base, cross-layer dependencies are declared, and the standard
+    property set is registered.
+    """
+    core = build_core_ontology()
+    merged = Ontology("qos-end-to-end")
+    merged.merge(build_infrastructure_ontology(core))
+    merged.merge(build_service_ontology(core))
+    build_user_ontology(merged)
+    declare_cross_layer_dependencies(merged)
+    merged.validate()
+
+    model = QoSModel(merged)
+    for prop in STANDARD_PROPERTIES.values():
+        model.register(prop)
+    return model

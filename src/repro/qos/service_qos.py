@@ -1,0 +1,93 @@
+"""The Service QoS ontology (Chapter III §2.3).
+
+Quality factors of application services themselves, organised under the
+Core categories the WSQM-style taxonomy uses: performance, dependability,
+cost, security and trust.  These are the concepts service providers use to
+advertise QoS in pervasive environments.
+
+Concept map (prefix ``sqos:``)::
+
+    qos:PerformanceProperty   → ResponseTime (ExecutionTime, TransmissionTime),
+                                Throughput, Capacity
+    qos:DependabilityProperty → Availability, Reliability, Accuracy, Robustness
+    qos:CostProperty          → Cost (FixedCost, PerUseCost)
+    qos:SecurityProperty      → SecurityLevel, Confidentiality, Integrity,
+                                Authentication
+    qos:TrustProperty         → Reputation
+"""
+
+from __future__ import annotations
+
+from repro.semantics.ontology import Ontology
+from repro.qos.core_ontology import PREFIX as CORE, build_core_ontology
+
+PREFIX = "sqos:"
+
+
+def build_service_ontology(core: Ontology = None) -> Ontology:
+    """Construct the Service QoS ontology on top of the Core one."""
+    onto = Ontology("qos-service")
+    onto.merge(core if core is not None else build_core_ontology())
+
+    perf = f"{CORE}PerformanceProperty"
+    dep = f"{CORE}DependabilityProperty"
+    cost = f"{CORE}CostProperty"
+    sec = f"{CORE}SecurityProperty"
+    trust = f"{CORE}TrustProperty"
+
+    response_time = onto.declare_class(
+        f"{PREFIX}ResponseTime", [perf], label="Response time",
+        comment="Invocation-to-response delay perceived by the consumer.",
+    )
+    onto.declare_class(f"{PREFIX}ExecutionTime", [response_time])
+    onto.declare_class(f"{PREFIX}TransmissionTime", [response_time])
+    onto.declare_class(f"{PREFIX}Throughput", [perf], label="Throughput")
+    onto.declare_class(f"{PREFIX}Capacity", [perf], label="Capacity")
+
+    onto.declare_class(f"{PREFIX}Availability", [dep], label="Availability")
+    onto.declare_class(f"{PREFIX}Reliability", [dep], label="Reliability")
+    onto.declare_class(f"{PREFIX}Accuracy", [dep], label="Accuracy")
+    onto.declare_class(f"{PREFIX}Robustness", [dep], label="Robustness")
+
+    cost_cls = onto.declare_class(f"{PREFIX}Cost", [cost], label="Cost")
+    onto.declare_class(f"{PREFIX}FixedCost", [cost_cls])
+    onto.declare_class(f"{PREFIX}PerUseCost", [cost_cls])
+
+    onto.declare_class(f"{PREFIX}SecurityLevel", [sec], label="Security level")
+    onto.declare_class(f"{PREFIX}Confidentiality", [sec])
+    onto.declare_class(f"{PREFIX}Integrity", [sec])
+    onto.declare_class(f"{PREFIX}Authentication", [sec])
+
+    onto.declare_class(f"{PREFIX}Reputation", [trust], label="Reputation")
+
+    # Monotonicity facts.
+    decreasing = ("ResponseTime", "ExecutionTime", "TransmissionTime", "Cost",
+                  "FixedCost", "PerUseCost")
+    increasing = ("Throughput", "Capacity", "Availability", "Reliability",
+                  "Accuracy", "Robustness", "SecurityLevel", "Confidentiality",
+                  "Integrity", "Authentication", "Reputation")
+    for name in decreasing:
+        onto.assert_fact(f"{PREFIX}{name}", f"{CORE}hasMonotonicity",
+                         f"{CORE}Decreasing")
+    for name in increasing:
+        onto.assert_fact(f"{PREFIX}{name}", f"{CORE}hasMonotonicity",
+                         f"{CORE}Increasing")
+
+    # Aggregation-mode facts (Table IV.1 anchors).
+    additive = ("ResponseTime", "ExecutionTime", "TransmissionTime", "Cost",
+                "FixedCost", "PerUseCost")
+    multiplicative = ("Availability", "Reliability")
+    min_agg = ("Throughput", "Capacity", "SecurityLevel")
+    averaged = ("Reputation", "Accuracy")
+    for names, mode in (
+        (additive, "Additive"),
+        (multiplicative, "Multiplicative"),
+        (min_agg, "MinAggregated"),
+        (averaged, "Averaged"),
+    ):
+        for name in names:
+            onto.assert_fact(f"{PREFIX}{name}", f"{CORE}hasAggregationMode",
+                             f"{CORE}{mode}")
+
+    onto.validate()
+    return onto

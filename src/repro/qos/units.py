@@ -1,0 +1,104 @@
+"""Measurement units for QoS metrics, with conversion.
+
+The QoS Core ontology attaches a *metric* to every QoS property; a metric has
+a unit.  Providers and users may advertise the same property in different
+units (milliseconds vs seconds, € vs cents), so the shared-understanding goal
+of Chapter III requires automatic conversion between commensurable units.
+
+Units are grouped into *dimensions*; within a dimension every unit is defined
+by a scale factor to the dimension's canonical unit.  Conversion across
+dimensions raises :class:`repro.errors.UnitError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A measurement unit: a symbol, its dimension and the multiplicative
+    factor converting a value in this unit to the dimension's canonical unit."""
+
+    symbol: str
+    dimension: str
+    to_canonical: float = 1.0
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+# --- time -----------------------------------------------------------------
+MILLISECONDS = Unit("ms", "time", 1e-3)
+SECONDS = Unit("s", "time", 1.0)
+MINUTES = Unit("min", "time", 60.0)
+HOURS = Unit("h", "time", 3600.0)
+
+# --- data rate ------------------------------------------------------------
+BITS_PER_SECOND = Unit("bit/s", "datarate", 1.0)
+KILOBITS_PER_SECOND = Unit("kbit/s", "datarate", 1e3)
+MEGABITS_PER_SECOND = Unit("Mbit/s", "datarate", 1e6)
+REQUESTS_PER_SECOND = Unit("req/s", "rate", 1.0)
+
+# --- data size ------------------------------------------------------------
+BYTES = Unit("B", "datasize", 1.0)
+KILOBYTES = Unit("kB", "datasize", 1e3)
+MEGABYTES = Unit("MB", "datasize", 1e6)
+
+# --- dimensionless ratios and scores ---------------------------------------
+RATIO = Unit("ratio", "ratio", 1.0)          # probabilities in [0, 1]
+PERCENT = Unit("%", "ratio", 1e-2)           # probabilities in [0, 100]
+SCORE = Unit("score", "score", 1.0)          # ordinal scores (security level...)
+
+# --- money ------------------------------------------------------------------
+EURO = Unit("EUR", "money", 1.0)
+CENT = Unit("cent", "money", 1e-2)
+
+# --- energy -----------------------------------------------------------------
+JOULE = Unit("J", "energy", 1.0)
+MILLIWATT_HOUR = Unit("mWh", "energy", 3.6)
+
+_REGISTRY: Dict[str, Unit] = {
+    u.symbol: u
+    for u in (
+        MILLISECONDS, SECONDS, MINUTES, HOURS,
+        BITS_PER_SECOND, KILOBITS_PER_SECOND, MEGABITS_PER_SECOND,
+        REQUESTS_PER_SECOND,
+        BYTES, KILOBYTES, MEGABYTES,
+        RATIO, PERCENT, SCORE,
+        EURO, CENT,
+        JOULE, MILLIWATT_HOUR,
+    )
+}
+
+
+def get_unit(symbol: str) -> Unit:
+    """Look a unit up by symbol; raises :class:`UnitError` when unknown."""
+    try:
+        return _REGISTRY[symbol]
+    except KeyError:
+        raise UnitError(f"unknown unit symbol: {symbol!r}") from None
+
+
+def register_unit(unit: Unit) -> Unit:
+    """Add a custom unit to the registry (idempotent for identical entries)."""
+    existing = _REGISTRY.get(unit.symbol)
+    if existing is not None and existing != unit:
+        raise UnitError(f"unit symbol {unit.symbol!r} already registered differently")
+    _REGISTRY[unit.symbol] = unit
+    return unit
+
+
+def convert(value: float, from_unit: Unit, to_unit: Unit) -> float:
+    """Convert ``value`` between two units of the same dimension."""
+    if from_unit == to_unit:
+        return value
+    if from_unit.dimension != to_unit.dimension:
+        raise UnitError(
+            f"cannot convert {from_unit.symbol!r} ({from_unit.dimension}) "
+            f"to {to_unit.symbol!r} ({to_unit.dimension})"
+        )
+    return value * from_unit.to_canonical / to_unit.to_canonical

@@ -1,0 +1,90 @@
+"""The User QoS ontology (Chapter III §2.4).
+
+Users do not speak in provider vocabulary: they ask for *fast*, *cheap*,
+*dependable* services.  The User QoS ontology declares the user-perceived
+concepts and — crucially for shared understanding — maps them onto the
+Service/Infrastructure concepts through ``owl:equivalentClass`` statements
+and subsumption, so the middleware can translate a user requirement like
+``uqos:Speed ≤ 500 ms`` into constraints over ``sqos:ResponseTime``.
+
+Concept map (prefix ``uqos:``)::
+
+    UserPerceivedProperty
+    ├── Speed          ≡ sqos:ResponseTime
+    ├── Price          ≡ sqos:Cost
+    ├── Dependability  ⊒ sqos:Availability, sqos:Reliability
+    ├── RenderingQuality (MediaQuality for streaming scenarios)
+    ├── BatteryFriendliness ≡ iqos:EnergyConsumption
+    └── Trustworthiness ≡ sqos:Reputation
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.semantics.ontology import Ontology
+from repro.qos.core_ontology import PREFIX as CORE
+
+PREFIX = "uqos:"
+
+#: Direct term translation table (user concept -> service/infra concept).
+#: Derived from the equivalences declared below; exported for quick lookups
+#: that do not need full reasoning.
+USER_TERM_MAP: Dict[str, str] = {
+    f"{PREFIX}Speed": "sqos:ResponseTime",
+    f"{PREFIX}Price": "sqos:Cost",
+    f"{PREFIX}BatteryFriendliness": "iqos:EnergyConsumption",
+    f"{PREFIX}Trustworthiness": "sqos:Reputation",
+}
+
+
+def build_user_ontology(base: Ontology) -> Ontology:
+    """Extend an ontology that already contains the Core + Service (+ Infra)
+    concepts with the user-perceived vocabulary and its mappings.
+
+    Unlike the other builders this one *requires* a base ontology, because
+    every user concept is defined by reference to provider concepts.
+    """
+    onto = base
+
+    user_root = onto.declare_class(
+        f"{PREFIX}UserPerceivedProperty",
+        [f"{CORE}QoSProperty"],
+        label="User-perceived property",
+        comment="QoS vocabulary as end users express it.",
+    )
+
+    speed = onto.declare_class(f"{PREFIX}Speed", [user_root], label="Speed")
+    onto.declare_equivalence(speed, "sqos:ResponseTime")
+
+    price = onto.declare_class(f"{PREFIX}Price", [user_root], label="Price")
+    onto.declare_equivalence(price, "sqos:Cost")
+
+    dependability = onto.declare_class(
+        f"{PREFIX}Dependability", [user_root], label="Dependability",
+        comment="Umbrella user term covering availability and reliability.",
+    )
+    # The user term is *more general* than the provider terms: providers
+    # advertising Availability or Reliability satisfy a Dependability ask
+    # with a PLUGIN match.
+    onto.declare_subclass("sqos:Availability", dependability)
+    onto.declare_subclass("sqos:Reliability", dependability)
+
+    onto.declare_class(
+        f"{PREFIX}RenderingQuality", [user_root], label="Rendering quality",
+        comment="Perceived media quality (audio/video streaming scenarios).",
+    )
+
+    battery = onto.declare_class(
+        f"{PREFIX}BatteryFriendliness", [user_root], label="Battery friendliness",
+    )
+    if onto.is_class("iqos:EnergyConsumption"):
+        onto.declare_equivalence(battery, "iqos:EnergyConsumption")
+
+    trust = onto.declare_class(
+        f"{PREFIX}Trustworthiness", [user_root], label="Trustworthiness",
+    )
+    onto.declare_equivalence(trust, "sqos:Reputation")
+
+    onto.validate()
+    return onto

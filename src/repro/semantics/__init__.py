@@ -1,0 +1,30 @@
+"""Lightweight semantic-web substrate (S1).
+
+The paper's QoS model and behavioural adaptation both rely on OWL ontologies
+and subsumption reasoning (semantic vertex matching, required/offered QoS
+mapping).  Since no RDF library is available offline, this package implements
+the needed subset from scratch:
+
+* :mod:`repro.semantics.triples` — an indexed in-memory triple store with
+  SPO/POS/OSP lookups.
+* :mod:`repro.semantics.ontology` — concept/property declarations and an
+  RDFS/OWL-lite reasoner (``subClassOf`` / ``equivalentClass`` transitive
+  closure, domain/range typing).
+* :mod:`repro.semantics.matching` — concept match degrees (EXACT, PLUGIN,
+  SUBSUME, SIBLING, FAIL) used by QoS-aware discovery and behavioural
+  adaptation.
+"""
+
+from repro.semantics.matching import MatchDegree, match_concepts
+from repro.semantics.ontology import Ontology, RDF_TYPE, RDFS_SUBCLASS
+from repro.semantics.triples import Triple, TripleStore
+
+__all__ = [
+    "MatchDegree",
+    "Ontology",
+    "RDF_TYPE",
+    "RDFS_SUBCLASS",
+    "Triple",
+    "TripleStore",
+    "match_concepts",
+]

@@ -1,0 +1,98 @@
+"""Semantic concept matching with graded match degrees.
+
+QoS-aware service discovery (Chapter II §3) and the semantic vertex matching
+of behavioural adaptation (Chapter V §6.2.1) both compare a *required*
+concept against an *offered* one.  Following the classic OWLS-MX /
+Paolucci-style scheme that the ARLES middleware line (Amigo, PERSE) uses, a
+comparison yields one of five degrees:
+
+=========  ====================================================
+EXACT      same concept or declared equivalent
+PLUGIN     the offer is more specific than the request — the
+           offered instances all satisfy the request
+SUBSUME    the offer is more general than the request — it may
+           satisfy it, with weaker guarantees
+SIBLING    distinct concepts sharing a non-trivial ancestor
+FAIL       semantically unrelated
+=========  ====================================================
+
+Degrees are totally ordered (EXACT > PLUGIN > SUBSUME > SIBLING > FAIL) so
+match results can be ranked and thresholded.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.semantics.ontology import Ontology
+
+
+class MatchDegree(enum.IntEnum):
+    """Ordered semantic match quality between two concepts."""
+
+    FAIL = 0
+    SIBLING = 1
+    SUBSUME = 2
+    PLUGIN = 3
+    EXACT = 4
+
+    @property
+    def satisfies(self) -> bool:
+        """Whether the match is strong enough for functional substitution.
+
+        EXACT and PLUGIN guarantee the offer fulfils the request; SUBSUME and
+        below do not (the offer might be too general).
+        """
+        return self >= MatchDegree.PLUGIN
+
+
+def match_concepts(
+    ontology: Ontology,
+    required: str,
+    offered: str,
+    root: Optional[str] = None,
+) -> MatchDegree:
+    """Grade how well ``offered`` satisfies ``required`` under ``ontology``.
+
+    ``root`` optionally names a top concept that should *not* count as a
+    meaningful common ancestor for the SIBLING degree (e.g. ``qos:QoSProperty``
+    is an ancestor of everything in the QoS ontology, so sharing it proves
+    nothing).
+    """
+    if required == offered or offered in ontology.equivalents(required):
+        return MatchDegree.EXACT
+    required_subsumes = ontology.subsumes(required, offered)
+    offered_subsumes = ontology.subsumes(offered, required)
+    if required_subsumes and offered_subsumes:
+        # Mutual subsumption (e.g. through mixed subclass/equivalence
+        # paths) is semantic equivalence even without a declared
+        # owl:equivalentClass statement.
+        return MatchDegree.EXACT
+    if required_subsumes:
+        return MatchDegree.PLUGIN
+    if offered_subsumes:
+        return MatchDegree.SUBSUME
+    common = ontology.common_ancestors(required, offered)
+    meaningful = {c for c in common if c != root}
+    # Remove each concept's own equivalence class (reflexive ancestors).
+    meaningful -= ontology.equivalents(required) | ontology.equivalents(offered)
+    if meaningful:
+        return MatchDegree.SIBLING
+    return MatchDegree.FAIL
+
+
+def similarity(ontology: Ontology, required: str, offered: str) -> float:
+    """A [0, 1] similarity score derived from the match degree.
+
+    Used where a numeric weight is needed (e.g. ranking discovery results):
+    EXACT → 1.0, PLUGIN → 0.8, SUBSUME → 0.5, SIBLING → 0.2, FAIL → 0.0.
+    """
+    degree = match_concepts(ontology, required, offered)
+    return {
+        MatchDegree.EXACT: 1.0,
+        MatchDegree.PLUGIN: 0.8,
+        MatchDegree.SUBSUME: 0.5,
+        MatchDegree.SIBLING: 0.2,
+        MatchDegree.FAIL: 0.0,
+    }[degree]

@@ -1,0 +1,291 @@
+"""Concept ontologies with RDFS/OWL-lite subsumption reasoning.
+
+The paper's semantic QoS model (Chapter III) and the semantic vertex matching
+of behavioural adaptation (Chapter V) only require a small, well-defined
+fragment of OWL semantics:
+
+* ``rdfs:subClassOf`` transitive closure,
+* ``owl:equivalentClass`` symmetric-transitive closure, folded into
+  subsumption (equivalent classes subsume each other),
+* class declarations with labels and comments,
+* object/data property declarations with domain and range.
+
+:class:`Ontology` implements exactly this fragment on top of
+:class:`repro.semantics.triples.TripleStore`, with memoised ancestor sets so
+repeated subsumption checks during selection are O(1) amortised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set
+
+from repro.errors import OntologyError, UnknownConceptError
+from repro.semantics.triples import TripleStore
+
+RDF_TYPE = "rdf:type"
+RDFS_SUBCLASS = "rdfs:subClassOf"
+RDFS_LABEL = "rdfs:label"
+RDFS_COMMENT = "rdfs:comment"
+RDFS_DOMAIN = "rdfs:domain"
+RDFS_RANGE = "rdfs:range"
+OWL_CLASS = "owl:Class"
+OWL_EQUIVALENT = "owl:equivalentClass"
+OWL_OBJECT_PROPERTY = "owl:ObjectProperty"
+OWL_DATA_PROPERTY = "owl:DatatypeProperty"
+
+
+class Ontology:
+    """A set of concepts, properties and individuals with reasoning support.
+
+    Concepts are identified by URI-like strings, conventionally namespaced
+    with a short prefix (``qos:Latency``, ``task:Payment``).  The class
+    hierarchy is a DAG; cycles through ``subClassOf`` are rejected unless they
+    are explicit equivalences.
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self.name = name
+        self.store = TripleStore()
+        self._ancestor_cache: Dict[str, FrozenSet[str]] = {}
+        self._descendant_cache: Dict[str, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------------
+    # declaration API
+    # ------------------------------------------------------------------
+    def declare_class(
+        self,
+        uri: str,
+        parents: Iterable[str] = (),
+        label: Optional[str] = None,
+        comment: Optional[str] = None,
+    ) -> str:
+        """Declare a concept, optionally under one or more parent concepts.
+
+        Parents must already be declared; this enforces bottom-up ontology
+        construction and catches typos in concept URIs early.
+        """
+        self.store.add(uri, RDF_TYPE, OWL_CLASS)
+        for parent in parents:
+            if not self.is_class(parent):
+                raise UnknownConceptError(parent)
+            self.store.add(uri, RDFS_SUBCLASS, parent)
+        if label:
+            self.store.add(uri, RDFS_LABEL, label)
+        if comment:
+            self.store.add(uri, RDFS_COMMENT, comment)
+        self._invalidate()
+        return uri
+
+    def declare_subclass(self, child: str, parent: str) -> None:
+        """Add a ``subClassOf`` edge between two already-declared concepts."""
+        for uri in (child, parent):
+            if not self.is_class(uri):
+                raise UnknownConceptError(uri)
+        self.store.add(child, RDFS_SUBCLASS, parent)
+        self._invalidate()
+
+    def declare_equivalence(self, uri_a: str, uri_b: str) -> None:
+        """State that two concepts denote the same notion (owl:equivalentClass)."""
+        for uri in (uri_a, uri_b):
+            if not self.is_class(uri):
+                raise UnknownConceptError(uri)
+        self.store.add(uri_a, OWL_EQUIVALENT, uri_b)
+        self.store.add(uri_b, OWL_EQUIVALENT, uri_a)
+        self._invalidate()
+
+    def declare_property(
+        self,
+        uri: str,
+        domain: Optional[str] = None,
+        range_: Optional[str] = None,
+        data_property: bool = False,
+        label: Optional[str] = None,
+    ) -> str:
+        """Declare an object or datatype property with optional domain/range."""
+        kind = OWL_DATA_PROPERTY if data_property else OWL_OBJECT_PROPERTY
+        self.store.add(uri, RDF_TYPE, kind)
+        if domain is not None:
+            self.store.add(uri, RDFS_DOMAIN, domain)
+        if range_ is not None:
+            self.store.add(uri, RDFS_RANGE, range_)
+        if label:
+            self.store.add(uri, RDFS_LABEL, label)
+        return uri
+
+    def declare_individual(self, uri: str, class_uri: str) -> str:
+        """Assert that an individual is an instance of a declared class."""
+        if not self.is_class(class_uri):
+            raise UnknownConceptError(class_uri)
+        self.store.add(uri, RDF_TYPE, class_uri)
+        return uri
+
+    def assert_fact(self, subject: str, predicate: str, object_: str) -> None:
+        """Add an arbitrary statement (used for metric/unit annotations)."""
+        self.store.add(subject, predicate, object_)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def is_class(self, uri: str) -> bool:
+        return (uri, RDF_TYPE, OWL_CLASS) in self.store
+
+    def classes(self) -> Iterator[str]:
+        return iter(self.store.subjects(RDF_TYPE, OWL_CLASS))
+
+    def label(self, uri: str) -> Optional[str]:
+        return self.store.one_object(uri, RDFS_LABEL)
+
+    def comment(self, uri: str) -> Optional[str]:
+        return self.store.one_object(uri, RDFS_COMMENT)
+
+    def parents(self, uri: str) -> Set[str]:
+        """Direct superclasses (declared, not inferred)."""
+        return self.store.objects(uri, RDFS_SUBCLASS)
+
+    def children(self, uri: str) -> Set[str]:
+        """Direct subclasses (declared, not inferred)."""
+        return self.store.subjects(RDFS_SUBCLASS, uri)
+
+    def equivalents(self, uri: str) -> Set[str]:
+        """Transitive equivalence class of a concept, including itself."""
+        seen = {uri}
+        frontier = [uri]
+        while frontier:
+            current = frontier.pop()
+            for eq in self.store.objects(current, OWL_EQUIVALENT):
+                if eq not in seen:
+                    seen.add(eq)
+                    frontier.append(eq)
+        return seen
+
+    def types_of(self, individual: str) -> Set[str]:
+        """All classes the individual belongs to, including inferred ones."""
+        direct = {
+            t for t in self.store.objects(individual, RDF_TYPE) if self.is_class(t)
+        }
+        inferred: Set[str] = set()
+        for t in direct:
+            inferred |= self.ancestors(t)
+        return direct | inferred
+
+    def individuals_of(self, class_uri: str, transitive: bool = True) -> Set[str]:
+        """All individuals typed by the class (or any subclass when transitive)."""
+        classes = {class_uri}
+        if transitive:
+            classes |= self.descendants(class_uri)
+        result: Set[str] = set()
+        for c in classes:
+            result |= {
+                s for s in self.store.subjects(RDF_TYPE, c) if not self.is_class(s)
+            }
+        return result
+
+    # ------------------------------------------------------------------
+    # reasoning
+    # ------------------------------------------------------------------
+    def ancestors(self, uri: str) -> FrozenSet[str]:
+        """Inferred superclass set of a concept (reflexive-transitive,
+        through equivalences)."""
+        cached = self._ancestor_cache.get(uri)
+        if cached is not None:
+            return cached
+        if not self.is_class(uri):
+            raise UnknownConceptError(uri)
+        result: Set[str] = set()
+        frontier = list(self.equivalents(uri))
+        visiting: Set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            if current in visiting:
+                continue
+            visiting.add(current)
+            for parent in self.parents(current):
+                frontier.extend(self.equivalents(parent))
+        frozen = frozenset(result)
+        self._ancestor_cache[uri] = frozen
+        return frozen
+
+    def descendants(self, uri: str) -> FrozenSet[str]:
+        """Inferred subclass set of a concept (reflexive-transitive,
+        through equivalences)."""
+        cached = self._descendant_cache.get(uri)
+        if cached is not None:
+            return cached
+        if not self.is_class(uri):
+            raise UnknownConceptError(uri)
+        result: Set[str] = set()
+        frontier = list(self.equivalents(uri))
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            for child in self.children(current):
+                frontier.extend(self.equivalents(child))
+        frozen = frozenset(result)
+        self._descendant_cache[uri] = frozen
+        return frozen
+
+    def subsumes(self, general: str, specific: str) -> bool:
+        """True when ``general`` is a (possibly inferred) superclass of
+        ``specific`` — i.e. every instance of ``specific`` is an instance of
+        ``general``."""
+        return general in self.ancestors(specific)
+
+    def common_ancestors(self, uri_a: str, uri_b: str) -> FrozenSet[str]:
+        return self.ancestors(uri_a) & self.ancestors(uri_b)
+
+    def depth(self, uri: str) -> int:
+        """Longest declared subclass chain from the concept to a root."""
+        best = 0
+        for parent in self.parents(uri):
+            if parent == uri:
+                continue
+            best = max(best, 1 + self.depth(parent))
+        return best
+
+    def merge(self, other: "Ontology") -> None:
+        """Union another ontology's statements into this one.
+
+        Used to assemble the end-to-end QoS model out of the Core,
+        Infrastructure, Service and User QoS ontologies.
+        """
+        for triple in other.store.triples():
+            self.store.add_triple(triple)
+        self._invalidate()
+
+    def validate(self) -> None:
+        """Check structural sanity: the declared ``subClassOf`` graph is a DAG.
+
+        Raises :class:`OntologyError` when a concept reaches itself through a
+        chain of declared ``subClassOf`` edges.  (Mutual subsumption must be
+        stated with :meth:`declare_equivalence`, not a subclass cycle.)
+        """
+        for uri in self.classes():
+            stack = list(self.parents(uri))
+            seen: Set[str] = set()
+            while stack:
+                node = stack.pop()
+                if node == uri:
+                    raise OntologyError(
+                        f"subClassOf cycle through {uri!r} in ontology {self.name!r}"
+                    )
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(self.parents(node))
+
+    def invalidate_caches(self) -> None:
+        """Drop memoised inference results.
+
+        Required after mutating :attr:`store` directly (bulk loaders do);
+        the declaration API calls it automatically.
+        """
+        self._ancestor_cache.clear()
+        self._descendant_cache.clear()
+
+    # Internal alias kept for the declaration methods.
+    _invalidate = invalidate_caches

@@ -1,0 +1,124 @@
+"""An indexed, in-memory RDF-style triple store.
+
+This is the storage substrate underneath :class:`repro.semantics.Ontology`.
+Triples are ``(subject, predicate, object)`` tuples of strings (URIs or
+literals).  Three hash indexes (SPO, POS, OSP) give O(1) lookups for every
+single-variable query pattern, which keeps subsumption closure and semantic
+matching fast even for the full QoS ontology suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A single ``(subject, predicate, object)`` statement."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def __iter__(self) -> Iterator[str]:
+        return iter((self.subject, self.predicate, self.object))
+
+
+class TripleStore:
+    """A set of triples with SPO/POS/OSP indexes.
+
+    The public query entry point is :meth:`triples`, which accepts ``None``
+    as a wildcard for any position, mirroring ``rdflib.Graph.triples``.
+    """
+
+    def __init__(self) -> None:
+        self._spo: Dict[str, Dict[str, Set[str]]] = {}
+        self._pos: Dict[str, Dict[str, Set[str]]] = {}
+        self._osp: Dict[str, Dict[str, Set[str]]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Tuple[str, str, str]) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def add(self, subject: str, predicate: str, object_: str) -> bool:
+        """Insert a triple.  Returns ``True`` if it was not already present."""
+        if (subject, predicate, object_) in self:
+            return False
+        self._spo.setdefault(subject, {}).setdefault(predicate, set()).add(object_)
+        self._pos.setdefault(predicate, {}).setdefault(object_, set()).add(subject)
+        self._osp.setdefault(object_, {}).setdefault(subject, set()).add(predicate)
+        self._size += 1
+        return True
+
+    def add_triple(self, triple: Triple) -> bool:
+        return self.add(triple.subject, triple.predicate, triple.object)
+
+    def remove(self, subject: str, predicate: str, object_: str) -> bool:
+        """Remove a triple.  Returns ``True`` if it was present."""
+        if (subject, predicate, object_) not in self:
+            return False
+        self._spo[subject][predicate].discard(object_)
+        self._pos[predicate][object_].discard(subject)
+        self._osp[object_][subject].discard(predicate)
+        self._size -= 1
+        return True
+
+    def triples(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        object_: Optional[str] = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching a pattern; ``None`` is a wildcard."""
+        if subject is not None:
+            by_pred = self._spo.get(subject, {})
+            preds = [predicate] if predicate is not None else list(by_pred)
+            for p in preds:
+                objs = by_pred.get(p, ())
+                if object_ is not None:
+                    if object_ in objs:
+                        yield Triple(subject, p, object_)
+                else:
+                    for o in objs:
+                        yield Triple(subject, p, o)
+        elif predicate is not None:
+            by_obj = self._pos.get(predicate, {})
+            objs = [object_] if object_ is not None else list(by_obj)
+            for o in objs:
+                for s in by_obj.get(o, ()):
+                    yield Triple(s, predicate, o)
+        elif object_ is not None:
+            by_subj = self._osp.get(object_, {})
+            for s, preds in by_subj.items():
+                for p in preds:
+                    yield Triple(s, p, object_)
+        else:
+            for s, by_pred in self._spo.items():
+                for p, objs in by_pred.items():
+                    for o in objs:
+                        yield Triple(s, p, o)
+
+    def objects(self, subject: str, predicate: str) -> Set[str]:
+        """All objects ``o`` such that ``(subject, predicate, o)`` holds."""
+        return set(self._spo.get(subject, {}).get(predicate, ()))
+
+    def subjects(self, predicate: str, object_: str) -> Set[str]:
+        """All subjects ``s`` such that ``(s, predicate, object_)`` holds."""
+        return set(self._pos.get(predicate, {}).get(object_, ()))
+
+    def one_object(self, subject: str, predicate: str) -> Optional[str]:
+        """A single object for ``(subject, predicate, ·)``, or ``None``."""
+        for o in self._spo.get(subject, {}).get(predicate, ()):
+            return o
+        return None
+
+    def copy(self) -> "TripleStore":
+        clone = TripleStore()
+        for t in self.triples():
+            clone.add_triple(t)
+        return clone

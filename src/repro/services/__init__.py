@@ -1,0 +1,36 @@
+"""Service descriptions, registry and QoS-aware discovery (S3).
+
+Pervasive environments are populated by networked services advertised by
+heterogeneous providers.  This package provides:
+
+* :mod:`repro.services.description` — quality-based service descriptions
+  (QSD): functional capability concepts, IOPE signatures, optional
+  conversations (white-box QSD) and advertised QoS vectors;
+* :mod:`repro.services.registry` — the service directory of the environment
+  (the "shopping platform directory" of the scenarios);
+* :mod:`repro.services.discovery` — QoS-aware semantic discovery, matching a
+  required activity (capability + QoS constraints) against the registry;
+* :mod:`repro.services.generator` — synthetic service populations with QoS
+  drawn from uniform or normal distributions, as used by the paper's
+  evaluation (Fig. VI.9).
+"""
+
+from repro.services.description import (
+    Conversation,
+    Operation,
+    ServiceDescription,
+)
+from repro.services.discovery import DiscoveryQuery, QoSAwareDiscovery
+from repro.services.generator import ServiceGenerator, QoSDistribution
+from repro.services.registry import ServiceRegistry
+
+__all__ = [
+    "Conversation",
+    "DiscoveryQuery",
+    "Operation",
+    "QoSAwareDiscovery",
+    "QoSDistribution",
+    "ServiceDescription",
+    "ServiceGenerator",
+    "ServiceRegistry",
+]

@@ -1,0 +1,161 @@
+"""QoS-aware semantic service discovery (Chapter II §3).
+
+Discovery matches a *required activity* against the registry along two axes:
+
+1. **Functional matching** — the required capability concept vs the offered
+   one, graded with :class:`repro.semantics.MatchDegree`.  Semantic matching
+   (through a task ontology) widens the candidate spectrum compared with
+   syntactic lookup: a request for ``task:Payment`` is satisfied by a
+   ``task:CardPayment`` service (PLUGIN).  IOPE compatibility is checked when
+   the query specifies inputs/outputs.
+2. **QoS filtering** — *local* QoS constraints attached to the query prune
+   candidates whose advertised QoS already violates them (global constraints
+   are the selection algorithm's job, not discovery's).
+
+Results are ranked by (match degree, QoS utility-free score) so callers can
+truncate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import DiscoveryError
+from repro.semantics.matching import MatchDegree, match_concepts
+from repro.semantics.ontology import Ontology
+from repro.services.description import ServiceDescription
+from repro.services.registry import ServiceRegistry
+
+
+@dataclass(frozen=True)
+class QoSConstraint:
+    """A bound on one QoS property: ``response_time <= 500`` etc.
+
+    ``operator`` is ``"<="`` or ``">="``; values are in the property's
+    canonical unit.  See :mod:`repro.composition.request` for the
+    user-request-level (global) constraints, which reuse this class.
+    """
+
+    property_name: str
+    operator: str
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.operator not in ("<=", ">="):
+            raise DiscoveryError(
+                f"unsupported constraint operator {self.operator!r}"
+            )
+
+    def satisfied_by(self, value: float) -> bool:
+        if self.operator == "<=":
+            return value <= self.bound
+        return value >= self.bound
+
+    def slack(self, value: float) -> float:
+        """Signed margin to the bound; positive means satisfied with room."""
+        if self.operator == "<=":
+            return self.bound - value
+        return value - self.bound
+
+    def __str__(self) -> str:
+        return f"{self.property_name} {self.operator} {self.bound:g}"
+
+
+@dataclass(frozen=True)
+class DiscoveryQuery:
+    """One abstract activity to resolve against the environment."""
+
+    capability: str
+    inputs: FrozenSet[str] = frozenset()
+    outputs: FrozenSet[str] = frozenset()
+    local_constraints: Tuple[QoSConstraint, ...] = ()
+    minimum_degree: MatchDegree = MatchDegree.PLUGIN
+
+
+@dataclass(frozen=True)
+class DiscoveryMatch:
+    """One discovery result: the service plus how well it matched."""
+
+    service: ServiceDescription
+    degree: MatchDegree
+
+
+class QoSAwareDiscovery:
+    """Semantic, QoS-filtered discovery over a :class:`ServiceRegistry`.
+
+    ``task_ontology`` holds the capability/IOPE concepts.  When it is
+    ``None``, matching degrades gracefully to syntactic equality (degree
+    EXACT or FAIL), which is what a legacy UDDI-style directory would do.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        task_ontology: Optional[Ontology] = None,
+    ) -> None:
+        self.registry = registry
+        self.ontology = task_ontology
+
+    # ------------------------------------------------------------------
+    def discover(self, query: DiscoveryQuery) -> List[DiscoveryMatch]:
+        """All registry services satisfying the query, best matches first."""
+        matches: List[DiscoveryMatch] = []
+        for service in self.registry:
+            degree = self._functional_degree(query.capability, service.capability)
+            if degree < query.minimum_degree:
+                continue
+            if not self._iope_compatible(query, service):
+                continue
+            if not self._qos_admissible(query, service):
+                continue
+            matches.append(DiscoveryMatch(service, degree))
+        matches.sort(key=lambda m: (-m.degree, m.service.name, m.service.service_id))
+        return matches
+
+    def candidates(self, query: DiscoveryQuery) -> List[ServiceDescription]:
+        """Just the services, best matches first (selection entry point)."""
+        return [m.service for m in self.discover(query)]
+
+    # ------------------------------------------------------------------
+    def _functional_degree(self, required: str, offered: str) -> MatchDegree:
+        if self.ontology is None or not (
+            self.ontology.is_class(required) and self.ontology.is_class(offered)
+        ):
+            return MatchDegree.EXACT if required == offered else MatchDegree.FAIL
+        return match_concepts(self.ontology, required, offered)
+
+    def _iope_compatible(
+        self, query: DiscoveryQuery, service: ServiceDescription
+    ) -> bool:
+        """The service must accept the query's inputs and produce its outputs.
+
+        Each required output must be matched (semantically, PLUGIN or better)
+        by some service output; each service *required* input must be
+        coverable by the query's provided inputs.  Empty sets impose nothing.
+        """
+        for required_output in query.outputs:
+            if not any(
+                self._functional_degree(required_output, offered).satisfies
+                for offered in service.outputs
+            ):
+                return False
+        for needed_input in service.inputs:
+            if query.inputs and not any(
+                self._functional_degree(needed_input, provided).satisfies
+                for provided in query.inputs
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _qos_admissible(query: DiscoveryQuery, service: ServiceDescription) -> bool:
+        for constraint in query.local_constraints:
+            value = service.advertised_qos.get(constraint.property_name)
+            if value is None:
+                # Advertising nothing for a constrained property is a miss:
+                # the middleware cannot assume compliance.
+                return False
+            if not constraint.satisfied_by(value):
+                return False
+        return True

@@ -1,0 +1,123 @@
+"""The service directory of a pervasive environment.
+
+Providers publish :class:`~repro.services.description.ServiceDescription`
+entries; the registry indexes them by capability concept and by identifier,
+and exposes a small pub/sub hook so the middleware's monitoring and
+adaptation frameworks learn about churn (services joining/leaving) — the
+paper's environments are dynamic and selection results can be invalidated by
+departures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import ServiceDescriptionError
+from repro.services.description import ServiceDescription
+
+RegistryListener = Callable[[str, ServiceDescription], None]
+#: Events delivered to listeners.
+EVENT_PUBLISHED = "published"
+EVENT_WITHDRAWN = "withdrawn"
+EVENT_UPDATED = "updated"
+
+
+class ServiceRegistry:
+    """An in-memory, capability-indexed service directory."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, ServiceDescription] = {}
+        self._by_capability: Dict[str, Set[str]] = {}
+        self._listeners: List[RegistryListener] = []
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, service_id: str) -> bool:
+        return service_id in self._by_id
+
+    def __iter__(self) -> Iterator[ServiceDescription]:
+        return iter(list(self._by_id.values()))
+
+    # ------------------------------------------------------------------
+    def publish(self, service: ServiceDescription) -> ServiceDescription:
+        """Add a service to the directory.
+
+        Re-publishing the same ``service_id`` replaces the previous entry and
+        fires an ``updated`` event (providers refresh their advertised QoS
+        this way).
+        """
+        previous = self._by_id.get(service.service_id)
+        if previous is not None:
+            self._unindex(previous)
+        self._by_id[service.service_id] = service
+        self._by_capability.setdefault(service.capability, set()).add(
+            service.service_id
+        )
+        self._notify(EVENT_UPDATED if previous else EVENT_PUBLISHED, service)
+        return service
+
+    def publish_all(self, services: Iterable[ServiceDescription]) -> None:
+        for service in services:
+            self.publish(service)
+
+    def withdraw(self, service_id: str) -> ServiceDescription:
+        """Remove a service (provider left the environment)."""
+        try:
+            service = self._by_id.pop(service_id)
+        except KeyError:
+            raise ServiceDescriptionError(
+                f"cannot withdraw unknown service {service_id!r}"
+            ) from None
+        self._unindex(service, drop_id=False)
+        self._notify(EVENT_WITHDRAWN, service)
+        return service
+
+    def get(self, service_id: str) -> Optional[ServiceDescription]:
+        return self._by_id.get(service_id)
+
+    def require(self, service_id: str) -> ServiceDescription:
+        service = self._by_id.get(service_id)
+        if service is None:
+            raise ServiceDescriptionError(f"unknown service {service_id!r}")
+        return service
+
+    def by_capability(self, capability: str) -> List[ServiceDescription]:
+        """All services advertising exactly this capability concept.
+
+        Semantic (subsumption-aware) lookup lives in
+        :class:`repro.services.discovery.QoSAwareDiscovery`; the registry
+        itself is purely syntactic, as a real directory would be.
+        """
+        ids = self._by_capability.get(capability, set())
+        return [self._by_id[i] for i in ids if i in self._by_id]
+
+    def capabilities(self) -> Set[str]:
+        return {c for c, ids in self._by_capability.items() if ids}
+
+    def services(self) -> List[ServiceDescription]:
+        return list(self._by_id.values())
+
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: RegistryListener) -> Callable[[], None]:
+        """Register a churn listener; returns an unsubscribe callable."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def _notify(self, event: str, service: ServiceDescription) -> None:
+        for listener in list(self._listeners):
+            listener(event, service)
+
+    def _unindex(self, service: ServiceDescription, drop_id: bool = True) -> None:
+        ids = self._by_capability.get(service.capability)
+        if ids is not None:
+            ids.discard(service.service_id)
+            if not ids:
+                del self._by_capability[service.capability]
+        if drop_id:
+            self._by_id.pop(service.service_id, None)

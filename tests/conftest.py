@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, parallel, sequence
+
+
+@pytest.fixture
+def props4():
+    """The four-property set most selection tests use."""
+    return {
+        name: STANDARD_PROPERTIES[name]
+        for name in ("response_time", "cost", "availability", "reliability")
+    }
+
+
+@pytest.fixture
+def generator(props4):
+    return ServiceGenerator(props4, seed=123)
+
+
+@pytest.fixture
+def small_task():
+    """Three sequential activities — the minimal interesting task."""
+    return Task("small", sequence(leaf("A"), leaf("B"), leaf("C")))
+
+
+@pytest.fixture
+def mixed_task():
+    """Sequence with a parallel pattern, for aggregation-sensitive tests."""
+    return Task(
+        "mixed", sequence(leaf("A"), parallel(leaf("B"), leaf("C")), leaf("D"))
+    )
+
+
+@pytest.fixture
+def small_candidates(small_task, generator):
+    pools = {
+        activity.name: generator.candidates(activity.capability, 10)
+        for activity in small_task.activities
+    }
+    return CandidateSets(small_task, pools)
+
+
+@pytest.fixture
+def loose_request(small_task):
+    """A request whose constraints any assignment satisfies."""
+    return UserRequest(
+        task=small_task,
+        constraints=(
+            GlobalConstraint.at_most("response_time", 1e9),
+            GlobalConstraint.at_least("availability", 0.0),
+        ),
+        weights={"response_time": 0.5, "availability": 0.3, "cost": 0.2},
+    )

@@ -1,0 +1,182 @@
+"""Tests for behavioural graphs and the task → graph transformation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BehaviouralAdaptationError
+from repro.adaptation.behaviour_graph import (
+    BehaviouralGraph,
+    Vertex,
+    task_to_graph,
+)
+from repro.composition.task import (
+    Task,
+    conditional,
+    leaf,
+    loop,
+    parallel,
+    sequence,
+)
+
+
+def by_activity(graph):
+    return {v.activity_name: v for v in graph.vertices()}
+
+
+class TestGraphBasics:
+    def test_add_vertex_and_edge(self):
+        g = BehaviouralGraph("g")
+        g.add_vertex(Vertex("v1", "task:A"))
+        g.add_vertex(Vertex("v2", "task:B"))
+        g.add_edge("v1", "v2")
+        assert g.vertex_count() == 2
+        assert g.edge_count() == 1
+        assert g.successors("v1") == {"v2"}
+        assert g.predecessors("v2") == {"v1"}
+        assert g.has_edge("v1", "v2")
+
+    def test_duplicate_vertex_rejected(self):
+        g = BehaviouralGraph()
+        g.add_vertex(Vertex("v1", "task:A"))
+        with pytest.raises(BehaviouralAdaptationError):
+            g.add_vertex(Vertex("v1", "task:B"))
+
+    def test_edge_to_unknown_vertex_rejected(self):
+        g = BehaviouralGraph()
+        g.add_vertex(Vertex("v1", "task:A"))
+        with pytest.raises(BehaviouralAdaptationError):
+            g.add_edge("v1", "ghost")
+
+    def test_sources_and_sinks(self):
+        g = BehaviouralGraph()
+        for vid in ("a", "b", "c"):
+            g.add_vertex(Vertex(vid, f"task:{vid}"))
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["c"]
+
+    def test_topological_order(self):
+        g = BehaviouralGraph()
+        for vid in ("a", "b", "c", "d"):
+            g.add_vertex(Vertex(vid, f"task:{vid}"))
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        g = BehaviouralGraph()
+        g.add_vertex(Vertex("a", "task:A"))
+        g.add_vertex(Vertex("b", "task:B"))
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(BehaviouralAdaptationError):
+            g.topological_order()
+
+    def test_find_path_avoids_forbidden(self):
+        g = BehaviouralGraph()
+        for vid in ("a", "b", "c", "d"):
+            g.add_vertex(Vertex(vid, f"task:{vid}"))
+        g.add_edge("a", "b")
+        g.add_edge("b", "d")
+        g.add_edge("a", "c")
+        g.add_edge("c", "d")
+        path = g.find_path("a", "d", forbidden={"b"})
+        assert path == ["a", "c", "d"]
+        assert g.find_path("a", "d", forbidden={"b", "c"}) is None
+
+    def test_find_path_trivial(self):
+        g = BehaviouralGraph()
+        g.add_vertex(Vertex("a", "task:A"))
+        assert g.find_path("a", "a", set()) == ["a"]
+
+
+class TestTransformation:
+    def test_sequence_becomes_chain(self):
+        task = Task("t", sequence(leaf("A"), leaf("B"), leaf("C")))
+        graph = task_to_graph(task)
+        assert graph.vertex_count() == 3
+        assert graph.edge_count() == 2
+        vertices = by_activity(graph)
+        assert graph.has_edge(vertices["A"].vertex_id, vertices["B"].vertex_id)
+        assert graph.has_edge(vertices["B"].vertex_id, vertices["C"].vertex_id)
+
+    def test_parallel_becomes_branches(self):
+        task = Task(
+            "t", sequence(leaf("A"), parallel(leaf("B"), leaf("C")), leaf("D"))
+        )
+        graph = task_to_graph(task)
+        vertices = by_activity(graph)
+        # A fans out to both branches, both branches join into D.
+        assert graph.successors(vertices["A"].vertex_id) == {
+            vertices["B"].vertex_id, vertices["C"].vertex_id,
+        }
+        assert graph.predecessors(vertices["D"].vertex_id) == {
+            vertices["B"].vertex_id, vertices["C"].vertex_id,
+        }
+
+    def test_conditional_edges_marked_xor(self):
+        task = Task(
+            "t", sequence(leaf("A"), conditional(leaf("B"), leaf("C"))),
+        )
+        graph = task_to_graph(task)
+        vertices = by_activity(graph)
+        xor_targets = {
+            e.target for e in graph.edges() if e.xor
+        }
+        assert xor_targets == {vertices["B"].vertex_id, vertices["C"].vertex_id}
+
+    def test_loop_simplified_to_single_occurrence(self):
+        task = Task("t", sequence(leaf("A"), loop(leaf("B"), 5)))
+        graph = task_to_graph(task)
+        assert graph.vertex_count() == 2  # loop body appears once
+        vertices = by_activity(graph)
+        assert vertices["B"].in_loop
+        assert not vertices["A"].in_loop
+        graph.topological_order()  # acyclic after simplification
+
+    def test_vertex_carries_label_and_data(self):
+        task = Task(
+            "t",
+            sequence(
+                leaf("A", "task:Browse",
+                     inputs=frozenset({"data:Q"}),
+                     outputs=frozenset({"data:R"})),
+                leaf("B"),
+            ),
+        )
+        graph = task_to_graph(task)
+        vertex = by_activity(graph)["A"]
+        assert vertex.label == "task:Browse"
+        assert vertex.inputs == frozenset({"data:Q"})
+        assert vertex.outputs == frozenset({"data:R"})
+
+    def test_nested_patterns(self):
+        task = Task(
+            "t",
+            sequence(
+                leaf("A"),
+                parallel(sequence(leaf("B"), leaf("C")), leaf("D")),
+                leaf("E"),
+            ),
+        )
+        graph = task_to_graph(task)
+        vertices = by_activity(graph)
+        assert graph.has_edge(vertices["B"].vertex_id, vertices["C"].vertex_id)
+        assert graph.has_edge(vertices["C"].vertex_id, vertices["E"].vertex_id)
+        assert graph.has_edge(vertices["D"].vertex_id, vertices["E"].vertex_id)
+        assert graph.vertex_count() == 5
+        assert set(graph.labels()) == {f"task:{n}" for n in "ABCDE"}
+
+    def test_transformation_is_linear_in_activities(self):
+        from repro.experiments.workloads import make_task
+
+        small = task_to_graph(make_task(20, mixed_patterns=True))
+        large = task_to_graph(make_task(100, mixed_patterns=True))
+        assert small.vertex_count() == 20
+        assert large.vertex_count() == 100

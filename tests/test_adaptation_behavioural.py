@@ -1,0 +1,134 @@
+"""Tests for the behavioural adaptation strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BehaviouralAdaptationError, NoCandidateError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.adaptation.behavioural import BehaviouralAdaptation
+from repro.adaptation.task_class import TaskClassRepository
+from repro.composition.qassa import QASSA
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+from repro.semantics.ontology import Ontology
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology("tasks")
+    onto.declare_class("task:Activity")
+    for name in ("A", "B", "C", "Extra"):
+        onto.declare_class(f"task:{name}", ["task:Activity"])
+    return onto
+
+
+@pytest.fixture
+def setup(ontology):
+    primary = Task(
+        "primary",
+        sequence(leaf("A", "task:A"), leaf("B", "task:B"), leaf("C", "task:C")),
+    )
+    alternative = Task(
+        "alternative",
+        sequence(leaf("A2", "task:A"), leaf("X", "task:Extra"),
+                 leaf("B2", "task:B"), leaf("C2", "task:C")),
+    )
+    repo = TaskClassRepository(ontology)
+    task_class = repo.new_class("tc")
+    task_class.add(primary)
+    task_class.add(alternative)
+
+    generator = ServiceGenerator(PROPS, seed=17)
+    pools = {
+        capability: generator.candidates(capability, 10)
+        for capability in ("task:A", "task:B", "task:C", "task:Extra")
+    }
+
+    def resolver(task):
+        return CandidateSets(
+            task, {a.name: pools[a.capability] for a in task.activities}
+        )
+
+    selector = QASSA(PROPS)
+    strategy = BehaviouralAdaptation(
+        repo,
+        resolver=resolver,
+        selector=lambda req, cands: selector.select(req, cands),
+        ontology=ontology,
+    )
+    request = UserRequest(
+        primary,
+        constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+        weights={n: 1.0 for n in PROPS},
+    )
+    return strategy, request, primary, alternative, pools, repo
+
+
+class TestCandidateBehaviours:
+    def test_finds_alternative(self, setup):
+        strategy, request, primary, alternative, *_ = setup
+        hits = strategy.candidate_behaviours(primary)
+        assert [b.name for _, b, _ in hits] == ["alternative"]
+
+    def test_excludes_failing_behaviour_itself(self, setup):
+        strategy, request, primary, *_ = setup
+        names = [b.name for _, b, _ in strategy.candidate_behaviours(primary)]
+        assert "primary" not in names
+
+    def test_scoped_to_named_class(self, setup, ontology):
+        strategy, request, primary, *_ = setup
+        with pytest.raises(BehaviouralAdaptationError):
+            strategy.repository.require("ghost")
+        hits = strategy.candidate_behaviours(primary, task_class_name="tc")
+        assert len(hits) == 1
+
+
+class TestAdapt:
+    def test_adapt_produces_feasible_plan_on_alternative(self, setup):
+        strategy, request, primary, alternative, *_ = setup
+        result = strategy.adapt(request)
+        assert result.behaviour.name == "alternative"
+        assert result.plan.feasible
+        assert result.plan.task is alternative
+        assert result.alternatives_tried == 1
+        # Constraints carried over from the original request.
+        assert result.plan.request.constraints == request.constraints
+
+    def test_adapt_without_alternatives_raises(self, setup, ontology):
+        strategy, request, primary, *_ = setup
+        empty_repo = TaskClassRepository(ontology)
+        empty_repo.new_class("tc").add(primary)
+        strategy.repository = empty_repo
+        with pytest.raises(BehaviouralAdaptationError):
+            strategy.adapt(request)
+
+    def test_adapt_skips_alternatives_without_services(self, setup, ontology):
+        strategy, request, primary, alternative, pools, repo = setup
+
+        def broken_resolver(task):
+            raise NoCandidateError(task.activities[0].name)
+
+        strategy.resolver = broken_resolver
+        with pytest.raises(BehaviouralAdaptationError):
+            strategy.adapt(request)
+
+    def test_alternatives_ordered_by_size(self, setup, ontology):
+        strategy, request, primary, alternative, pools, repo = setup
+        bigger = Task(
+            "bigger",
+            sequence(leaf("A3", "task:A"), leaf("X1", "task:Extra"),
+                     leaf("X2", "task:B"), leaf("B3", "task:B"),
+                     leaf("C3", "task:C")),
+        )
+        repo.require("tc").add(bigger)
+        hits = strategy.candidate_behaviours(primary)
+        sizes = [b.graph.vertex_count() for _, b, _ in hits]
+        assert sizes == sorted(sizes)

@@ -1,0 +1,224 @@
+"""Soundness properties: every embedding the matcher returns verifies.
+
+:func:`verify_embedding` re-checks a claimed embedding independently of the
+search.  Running it over matcher outputs for randomly generated
+pattern/host pairs guards the whole homeomorphism machinery against
+regressions that return plausible-but-wrong mappings.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptation.behaviour_graph import task_to_graph
+from repro.adaptation.homeomorphism import (
+    HomeomorphismConfig,
+    HomeomorphismResult,
+    find_homeomorphism,
+    verify_embedding,
+)
+from repro.composition.task import (
+    Task,
+    conditional,
+    leaf,
+    parallel,
+    sequence,
+)
+from repro.semantics.matching import MatchDegree
+from repro.semantics.ontology import Ontology
+
+
+def build_ontology(n_labels=8):
+    onto = Ontology("verify-tasks")
+    root = onto.declare_class("task:Activity")
+    for i in range(n_labels):
+        onto.declare_class(f"task:L{i}", [root])
+        onto.declare_class(f"task:L{i}Sub", [f"task:L{i}"])
+    onto.declare_class("task:Filler", [root])
+    return onto
+
+
+class TestVerifierCatchesBrokenEmbeddings:
+    def setup_method(self):
+        self.ontology = build_ontology()
+        self.pattern = task_to_graph(
+            Task("p", sequence(leaf("A", "task:L0"), leaf("B", "task:L1")))
+        )
+        self.host = task_to_graph(
+            Task("h", sequence(leaf("HA", "task:L0"), leaf("HX", "task:Filler"),
+                               leaf("HB", "task:L1")))
+        )
+        self.good = find_homeomorphism(self.pattern, self.host, self.ontology)
+        assert self.good.found
+
+    def test_good_embedding_verifies(self):
+        assert verify_embedding(
+            self.pattern, self.host, self.good, self.ontology
+        ) == []
+
+    def test_not_found_result_rejected(self):
+        empty = HomeomorphismResult(found=False)
+        problems = verify_embedding(self.pattern, self.host, empty,
+                                    self.ontology)
+        assert problems == ["result reports no embedding"]
+
+    def test_missing_vertex_detected(self):
+        broken = HomeomorphismResult(
+            found=True,
+            vertex_mapping={
+                k: v for k, v in self.good.vertex_mapping.items()
+                if k != list(self.good.vertex_mapping)[0]
+            },
+            edge_paths=dict(self.good.edge_paths),
+        )
+        problems = verify_embedding(self.pattern, self.host, broken,
+                                    self.ontology)
+        assert any("unmapped" in p for p in problems)
+
+    def test_wrong_label_detected(self):
+        # Map B's pattern vertex onto the Filler host vertex.
+        b_pattern = next(
+            v.vertex_id for v in self.pattern.vertices()
+            if v.activity_name == "B"
+        )
+        filler_host = next(
+            v.vertex_id for v in self.host.vertices()
+            if v.label == "task:Filler"
+        )
+        mapping = dict(self.good.vertex_mapping)
+        mapping[b_pattern] = (filler_host,)
+        broken = HomeomorphismResult(
+            found=True, vertex_mapping=mapping,
+            edge_paths=dict(self.good.edge_paths),
+        )
+        problems = verify_embedding(self.pattern, self.host, broken,
+                                    self.ontology)
+        assert any("does not satisfy" in p for p in problems)
+
+    def test_missing_edge_path_detected(self):
+        broken = HomeomorphismResult(
+            found=True,
+            vertex_mapping=dict(self.good.vertex_mapping),
+            edge_paths={},
+        )
+        problems = verify_embedding(self.pattern, self.host, broken,
+                                    self.ontology)
+        assert any("no host path" in p for p in problems)
+
+    def test_disconnected_path_detected(self):
+        key = next(iter(self.good.edge_paths))
+        paths = dict(self.good.edge_paths)
+        good_path = paths[key]
+        # Insert a bogus self-hop so a consecutive pair stops being an edge.
+        paths[key] = [good_path[0], good_path[0]] + good_path[1:]
+        broken = HomeomorphismResult(
+            found=True,
+            vertex_mapping=dict(self.good.vertex_mapping),
+            edge_paths=paths,
+        )
+        problems = verify_embedding(self.pattern, self.host, broken,
+                                    self.ontology)
+        assert any("breaks at" in p for p in problems)
+
+    def test_non_exclusive_sharing_detected(self):
+        # Force both pattern vertices onto the same host vertex.
+        host_id = next(iter(self.good.vertex_mapping.values()))[0]
+        mapping = {k: (host_id,) for k in self.good.vertex_mapping}
+        broken = HomeomorphismResult(
+            found=True, vertex_mapping=mapping,
+            edge_paths={
+                key: [host_id, host_id] for key in self.good.edge_paths
+            },
+        )
+        problems = verify_embedding(self.pattern, self.host, broken,
+                                    self.ontology)
+        assert any("non-exclusive" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# Property: whatever the matcher returns on random instances verifies.
+# ---------------------------------------------------------------------------
+@st.composite
+def _pattern_and_host(draw):
+    """A random pattern task and a host derived from it by label
+    specialisation, filler insertion and optional branch merging bait."""
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    n = draw(st.integers(2, 5))
+    labels = [f"task:L{i}" for i in range(n)]
+
+    # Pattern: sequence with an optional conditional or parallel block.
+    kind = draw(st.sampled_from(["seq", "cond", "par"]))
+    pattern_leaves = [leaf(f"P{i}", labels[i]) for i in range(n)]
+    if kind == "seq" or n < 3:
+        pattern_root = sequence(*pattern_leaves)
+    elif kind == "cond":
+        pattern_root = sequence(
+            pattern_leaves[0],
+            conditional(pattern_leaves[1], pattern_leaves[2]),
+            *pattern_leaves[3:],
+        )
+    else:
+        pattern_root = sequence(
+            pattern_leaves[0],
+            parallel(pattern_leaves[1], pattern_leaves[2]),
+            *pattern_leaves[3:],
+        )
+    pattern_task = Task("p", pattern_root)
+
+    # Host: same skeleton with specialised labels and fillers interleaved.
+    host_members = []
+    for i in range(n):
+        label = labels[i] + ("Sub" if rng.random() < 0.5 else "")
+        host_members.append(leaf(f"H{i}", label))
+        if rng.random() < 0.5:
+            host_members.append(leaf(f"F{i}", "task:Filler"))
+    if kind == "cond" and n >= 3:
+        host_root = sequence(
+            host_members[0],
+            conditional(*[m for m in host_members[1:3]]),
+            *host_members[3:],
+        )
+    elif kind == "par" and n >= 3:
+        host_root = sequence(
+            host_members[0],
+            parallel(*[m for m in host_members[1:3]]),
+            *host_members[3:],
+        )
+    else:
+        host_root = sequence(*host_members)
+    host_task = Task("h", host_root)
+    return pattern_task, host_task
+
+
+@settings(max_examples=60, deadline=None)
+@given(_pattern_and_host())
+def test_matcher_outputs_always_verify(pair):
+    pattern_task, host_task = pair
+    ontology = build_ontology()
+    pattern = task_to_graph(pattern_task)
+    host = task_to_graph(host_task)
+    result = find_homeomorphism(pattern, host, ontology)
+    if result.found:
+        problems = verify_embedding(pattern, host, result, ontology)
+        assert problems == [], problems
+
+
+@settings(max_examples=30, deadline=None)
+@given(_pattern_and_host(), st.booleans())
+def test_matcher_respects_degree_threshold(pair, strict):
+    """With an EXACT-only threshold, any found embedding uses only exact
+    labels — verified through the verifier run at the same threshold."""
+    pattern_task, host_task = pair
+    ontology = build_ontology()
+    pattern = task_to_graph(pattern_task)
+    host = task_to_graph(host_task)
+    config = HomeomorphismConfig(
+        minimum_degree=MatchDegree.EXACT if strict else MatchDegree.PLUGIN
+    )
+    result = find_homeomorphism(pattern, host, ontology, config)
+    if result.found:
+        assert verify_embedding(pattern, host, result, ontology, config) == []

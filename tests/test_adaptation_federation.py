@@ -1,0 +1,147 @@
+"""Tests for the federated task class repository."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BehaviouralAdaptationError
+from repro.adaptation.federation import FederatedTaskClassRepository
+from repro.adaptation.task_class import TaskClassRepository
+from repro.composition.task import Task, leaf, sequence
+from repro.semantics.ontology import Ontology
+
+
+def seq_task(name, *specs):
+    return Task(name, sequence(*[leaf(n, c) for n, c in specs]))
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology("tasks")
+    onto.declare_class("task:Activity")
+    for name in ("A", "B", "Extra"):
+        onto.declare_class(f"task:{name}", ["task:Activity"])
+    return onto
+
+
+@pytest.fixture
+def shards(ontology):
+    alice = TaskClassRepository(ontology)
+    alice.new_class("shopping", "from alice").add(
+        seq_task("alice-way", ("A1", "task:A"), ("B1", "task:B"))
+    )
+    bob = TaskClassRepository(ontology)
+    bob.new_class("shopping", "from bob").add(
+        seq_task("bob-way", ("A2", "task:A"), ("X", "task:Extra"),
+                 ("B2", "task:B"))
+    )
+    bob.new_class("banking").add(
+        seq_task("transfer", ("T", "task:A"))
+    )
+    return alice, bob
+
+
+class TestFederation:
+    def test_union_merges_classes_by_name(self, ontology, shards):
+        alice, bob = shards
+        federation = FederatedTaskClassRepository(ontology)
+        federation.attach("dev-alice", alice)
+        federation.attach("dev-bob", bob)
+        assert len(federation) == 2
+        shopping = federation.require("shopping")
+        assert {b.name for b in shopping} == {"alice-way", "bob-way"}
+
+    def test_dead_devices_drop_their_behaviours(self, ontology, shards):
+        alice, bob = shards
+        alive = {"dev-alice"}
+        federation = FederatedTaskClassRepository(
+            ontology, liveness=lambda d: d in alive
+        )
+        federation.attach("dev-alice", alice)
+        federation.attach("dev-bob", bob)
+        shopping = federation.require("shopping")
+        assert {b.name for b in shopping} == {"alice-way"}
+        assert federation.get("banking") is None
+        # Bob comes back online.
+        alive.add("dev-bob")
+        assert federation.get("banking") is not None
+
+    def test_require_unknown_raises(self, ontology):
+        federation = FederatedTaskClassRepository(ontology)
+        with pytest.raises(BehaviouralAdaptationError):
+            federation.require("ghost")
+
+    def test_detach(self, ontology, shards):
+        alice, bob = shards
+        federation = FederatedTaskClassRepository(ontology)
+        federation.attach("dev-bob", bob)
+        federation.detach("dev-bob")
+        assert len(federation) == 0
+
+    def test_classes_for_searches_live_union(self, ontology, shards):
+        alice, bob = shards
+        federation = FederatedTaskClassRepository(ontology)
+        federation.attach("dev-bob", bob)
+        user_task = seq_task("mine", ("MA", "task:A"), ("MB", "task:B"))
+        hits = federation.classes_for(user_task)
+        assert hits
+        assert hits[0][1].name == "bob-way"
+
+    def test_duplicate_behaviour_names_merge_first_shard_wins(self, ontology):
+        first = TaskClassRepository(ontology)
+        first.new_class("tc").add(seq_task("same-name", ("A1", "task:A")))
+        second = TaskClassRepository(ontology)
+        second.new_class("tc").add(
+            seq_task("same-name", ("B1", "task:B"))
+        )
+        federation = FederatedTaskClassRepository(ontology)
+        federation.attach("a-dev", first)
+        federation.attach("b-dev", second)
+        merged = federation.require("tc")
+        assert len(merged) == 1
+        # 'a-dev' sorts first: its behaviour wins.
+        assert merged.behaviour("same-name").task.activity_names == ["A1"]
+
+
+class TestBehaviouralAdaptationOverFederation:
+    def test_federation_drops_into_the_strategy(self, ontology, shards):
+        """BehaviouralAdaptation consumes the federation unchanged."""
+        from repro.adaptation.behavioural import BehaviouralAdaptation
+        from repro.composition.qassa import QASSA
+        from repro.composition.request import UserRequest
+        from repro.composition.selection import CandidateSets
+        from repro.qos.properties import STANDARD_PROPERTIES
+        from repro.services.generator import ServiceGenerator
+
+        alice, bob = shards
+        federation = FederatedTaskClassRepository(ontology)
+        federation.attach("dev-alice", alice)
+        federation.attach("dev-bob", bob)
+
+        props = {
+            n: STANDARD_PROPERTIES[n]
+            for n in ("response_time", "cost", "availability")
+        }
+        generator = ServiceGenerator(props, seed=31)
+        pools = {
+            cap: generator.candidates(cap, 6)
+            for cap in ("task:A", "task:B", "task:Extra")
+        }
+
+        def resolver(task):
+            return CandidateSets(
+                task, {a.name: pools[a.capability] for a in task.activities}
+            )
+
+        selector = QASSA(props)
+        strategy = BehaviouralAdaptation(
+            federation,
+            resolver=resolver,
+            selector=lambda req, cands: selector.select(req, cands),
+            ontology=ontology,
+        )
+        failing = seq_task("mine", ("MA", "task:A"), ("MB", "task:B"))
+        request = UserRequest(failing, weights={n: 1.0 for n in props})
+        result = strategy.adapt(request)
+        assert result.plan.feasible
+        assert result.behaviour.name in {"alice-way", "bob-way"}

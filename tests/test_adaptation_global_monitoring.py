@@ -1,0 +1,134 @@
+"""Tests for composition-scope (global) run-time monitoring (§V.1.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdaptationError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.adaptation.manager import AdaptationAction, AdaptationManager
+from repro.adaptation.monitoring import QoSMonitor, QoSObservation
+from repro.adaptation.substitution import ServiceSubstitution
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def deployed():
+    task = Task("t", sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+    generator = ServiceGenerator(PROPS, seed=91)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 12)
+         for a in task.activities},
+    )
+    request = UserRequest(
+        task,
+        constraints=(GlobalConstraint.at_most("response_time", 3500.0),),
+        weights={n: 1.0 for n in PROPS},
+    )
+    plan = QASSA(PROPS, config=QassaConfig(alternates_kept=3)).select(
+        request, candidates
+    )
+    monitor = QoSMonitor(PROPS)
+    manager = AdaptationManager(PROPS, monitor,
+                                ServiceSubstitution(PROPS, monitor))
+    manager.deploy(plan)
+    return manager, monitor, plan
+
+
+class TestCompositionRuntimeQoS:
+    def test_without_observations_equals_plan_aggregate(self, deployed):
+        manager, monitor, plan = deployed
+        runtime = manager.composition_runtime_qos()
+        for name in PROPS:
+            assert runtime[name] == pytest.approx(plan.aggregated_qos[name])
+
+    def test_observations_shift_the_aggregate(self, deployed):
+        manager, monitor, plan = deployed
+        service = plan.selections["A"].primary
+        monitor.observe(
+            QoSObservation(service.service_id, "response_time",
+                           service.qos("response_time") + 1000.0, 0.0)
+        )
+        runtime = manager.composition_runtime_qos()
+        assert runtime["response_time"] == pytest.approx(
+            plan.aggregated_qos["response_time"] + 1000.0
+        )
+
+    def test_undeployed_raises(self):
+        monitor = QoSMonitor(PROPS)
+        manager = AdaptationManager(PROPS, monitor,
+                                    ServiceSubstitution(PROPS, monitor))
+        with pytest.raises(AdaptationError):
+            manager.composition_runtime_qos()
+
+
+class TestCheckGlobal:
+    def test_healthy_composition_has_no_violations(self, deployed):
+        manager, monitor, plan = deployed
+        assert manager.check_global() == {}
+
+    def test_slack_absorbs_local_overshoot(self, deployed):
+        """A per-service share can be blown while the composition still
+        holds — the exact global check must stay quiet."""
+        manager, monitor, plan = deployed
+        a = plan.selections["A"].primary
+        watches = monitor._watches[a.service_id]
+        share = next(
+            c.bound for c in watches if c.property_name == "response_time"
+        )
+        # Overshoot A's share slightly; total stays under the global bound
+        # because B is (presumably) under its share.
+        slack = 3500.0 - plan.aggregated_qos["response_time"]
+        if slack <= 10:
+            pytest.skip("no slack in this instance")
+        monitor.observe(
+            QoSObservation(a.service_id, "response_time",
+                           a.qos("response_time") + slack / 2, 0.0)
+        )
+        assert manager.check_global() == {}
+
+    def test_global_violation_detected(self, deployed):
+        manager, monitor, plan = deployed
+        a = plan.selections["A"].primary
+        monitor.observe(
+            QoSObservation(a.service_id, "response_time", 1e6, 0.0)
+        )
+        violations = manager.check_global()
+        assert "response_time <= 3500" in violations
+
+
+class TestHandleGlobalViolations:
+    def test_no_violation_no_action(self, deployed):
+        manager, monitor, plan = deployed
+        assert manager.handle_global_violations() == []
+
+    def test_worst_offender_substituted(self, deployed):
+        manager, monitor, plan = deployed
+        offender = plan.selections["B"].primary
+        healthy = plan.selections["A"].primary
+        monitor.observe(
+            QoSObservation(offender.service_id, "response_time", 1e6, 0.0)
+        )
+        monitor.observe(
+            QoSObservation(healthy.service_id, "response_time",
+                           healthy.qos("response_time"), 0.0)
+        )
+        outcomes = manager.handle_global_violations()
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.trigger.service_id == offender.service_id
+        assert outcome.action in (
+            AdaptationAction.SUBSTITUTION, AdaptationAction.FAILED,
+        )
+        if outcome.action is AdaptationAction.SUBSTITUTION:
+            assert plan.selections["B"].primary != offender

@@ -1,0 +1,251 @@
+"""Tests for extended vertex-disjoint subgraph homeomorphism determination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.behaviour_graph import BehaviouralGraph, Vertex, task_to_graph
+from repro.adaptation.homeomorphism import (
+    HomeomorphismConfig,
+    find_homeomorphism,
+)
+from repro.composition.task import Task, leaf, parallel, sequence
+from repro.semantics.matching import MatchDegree
+from repro.semantics.ontology import Ontology
+
+
+def chain_graph(labels, name="g", prefix="v"):
+    g = BehaviouralGraph(name)
+    previous = None
+    for i, label in enumerate(labels):
+        vid = f"{prefix}{i}"
+        g.add_vertex(Vertex(vid, label))
+        if previous is not None:
+            g.add_edge(previous, vid)
+        previous = vid
+    return g
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology("tasks")
+    onto.declare_class("task:Activity")
+    for name in ("A", "B", "C", "D", "Extra"):
+        onto.declare_class(f"task:{name}", ["task:Activity"])
+    onto.declare_class("task:B1", ["task:B"])
+    onto.declare_class("task:B2", ["task:B"])
+    return onto
+
+
+class TestExactStructuralMatch:
+    def test_identical_chains_match(self):
+        pattern = chain_graph(["task:A", "task:B"], prefix="p")
+        host = chain_graph(["task:A", "task:B"], prefix="h")
+        result = find_homeomorphism(pattern, host)
+        assert result.found
+        assert result.vertex_mapping == {"p0": ("h0",), "p1": ("h1",)}
+
+    def test_edge_maps_to_path(self):
+        pattern = chain_graph(["task:A", "task:B"], prefix="p")
+        host = chain_graph(["task:A", "task:X", "task:B"], prefix="h")
+        result = find_homeomorphism(pattern, host)
+        assert result.found
+        assert result.edge_paths[("p0", "p1")] == ["h0", "h1", "h2"]
+
+    def test_reversed_order_fails(self):
+        pattern = chain_graph(["task:A", "task:B"], prefix="p")
+        host = chain_graph(["task:B", "task:A"], prefix="h")
+        assert not find_homeomorphism(pattern, host).found
+
+    def test_missing_label_fails_fast(self):
+        pattern = chain_graph(["task:A", "task:Z"], prefix="p")
+        host = chain_graph(["task:A", "task:B"], prefix="h")
+        result = find_homeomorphism(pattern, host)
+        assert not result.found
+        assert not result.preliminary.all_vertices_have_candidates
+        assert result.backtrack_steps == 0  # pre-check rejected it
+
+    def test_pattern_larger_than_host_fails(self):
+        pattern = chain_graph(["task:A"] * 10, prefix="p")
+        host = chain_graph(["task:A", "task:A"], prefix="h")
+        result = find_homeomorphism(
+            pattern, host, config=HomeomorphismConfig(allow_splits=False,
+                                                      max_split_length=1)
+        )
+        assert not result.found
+        assert not result.preliminary.vertex_count_ok
+
+
+class TestVertexDisjointness:
+    def test_two_pattern_edges_need_disjoint_paths(self):
+        # Pattern: A -> B, A -> C (fan-out).
+        pattern = BehaviouralGraph("p")
+        for vid, label in (("pa", "task:A"), ("pb", "task:B"), ("pc", "task:C")):
+            pattern.add_vertex(Vertex(vid, label))
+        pattern.add_edge("pa", "pb")
+        pattern.add_edge("pa", "pc")
+
+        # Host where both paths must squeeze through one shared middle
+        # vertex: A -> M -> B, A -> M -> C — not vertex-disjoint.
+        host = BehaviouralGraph("h")
+        for vid, label in (
+            ("ha", "task:A"), ("hm", "task:X"),
+            ("hb", "task:B"), ("hc", "task:C"),
+        ):
+            host.add_vertex(Vertex(vid, label))
+        host.add_edge("ha", "hm")
+        host.add_edge("hm", "hb")
+        host.add_edge("hm", "hc")
+        assert not find_homeomorphism(pattern, host).found
+
+        # Adding a direct edge A -> B frees the shared vertex for the other
+        # path, so the embedding exists.
+        host.add_edge("ha", "hb")
+        assert find_homeomorphism(pattern, host).found
+
+
+class TestSemanticMatching:
+    def test_plugin_label_match(self, ontology):
+        pattern = chain_graph(["task:A", "task:B"], prefix="p")
+        host = chain_graph(["task:A", "task:B1"], prefix="h")  # B1 ⊑ B
+        assert find_homeomorphism(pattern, host, ontology).found
+
+    def test_subsume_rejected_at_default_degree(self, ontology):
+        pattern = chain_graph(["task:A", "task:B1"], prefix="p")
+        host = chain_graph(["task:A", "task:B"], prefix="h")  # too general
+        assert not find_homeomorphism(pattern, host, ontology).found
+
+    def test_subsume_accepted_when_threshold_lowered(self, ontology):
+        pattern = chain_graph(["task:A", "task:B1"], prefix="p")
+        host = chain_graph(["task:A", "task:B"], prefix="h")
+        config = HomeomorphismConfig(minimum_degree=MatchDegree.SUBSUME)
+        assert find_homeomorphism(pattern, host, ontology, config).found
+
+    def test_without_ontology_matching_is_syntactic(self):
+        pattern = chain_graph(["task:B"], prefix="p")
+        host = chain_graph(["task:B1"], prefix="h")
+        assert not find_homeomorphism(pattern, host).found
+
+
+class TestDataConstraints:
+    def _vertex(self, vid, label, inputs=(), outputs=()):
+        return Vertex(vid, label, inputs=frozenset(inputs),
+                      outputs=frozenset(outputs))
+
+    def test_pattern_outputs_must_be_produced(self, ontology):
+        pattern = BehaviouralGraph("p")
+        pattern.add_vertex(
+            self._vertex("p0", "task:A", outputs=["task:D"])
+        )
+        host_good = BehaviouralGraph("h1")
+        host_good.add_vertex(self._vertex("h0", "task:A", outputs=["task:D"]))
+        host_bad = BehaviouralGraph("h2")
+        host_bad.add_vertex(self._vertex("h0", "task:A"))
+        assert find_homeomorphism(pattern, host_good, ontology).found
+        assert not find_homeomorphism(pattern, host_bad, ontology).found
+
+    def test_host_inputs_must_be_providable(self, ontology):
+        pattern = BehaviouralGraph("p")
+        pattern.add_vertex(self._vertex("p0", "task:A", inputs=["task:B"]))
+        host = BehaviouralGraph("h")
+        host.add_vertex(self._vertex("h0", "task:A", inputs=["task:D"]))
+        assert not find_homeomorphism(pattern, host, ontology).found
+
+    def test_empty_pattern_inputs_unconstrained(self, ontology):
+        pattern = BehaviouralGraph("p")
+        pattern.add_vertex(self._vertex("p0", "task:A"))
+        host = BehaviouralGraph("h")
+        host.add_vertex(self._vertex("h0", "task:A", inputs=["task:D"]))
+        assert find_homeomorphism(pattern, host, ontology).found
+
+    def test_data_check_can_be_disabled(self, ontology):
+        pattern = BehaviouralGraph("p")
+        pattern.add_vertex(self._vertex("p0", "task:A", outputs=["task:D"]))
+        host = BehaviouralGraph("h")
+        host.add_vertex(self._vertex("h0", "task:A"))
+        config = HomeomorphismConfig(check_data=False)
+        assert find_homeomorphism(pattern, host, ontology, config).found
+
+
+class TestSplitMappings:
+    def test_coarse_vertex_maps_to_chain(self, ontology):
+        # The pattern's single B activity splits into B1 -> B2 in the host.
+        pattern = chain_graph(["task:A", "task:B", "task:C"], prefix="p")
+        host = chain_graph(
+            ["task:A", "task:B1", "task:B2", "task:C"], prefix="h"
+        )
+        result = find_homeomorphism(pattern, host, ontology)
+        assert result.found
+        assert result.vertex_mapping["p1"] in {("h1", "h2"), ("h1",), ("h2",)}
+
+    def test_split_disabled(self, ontology):
+        pattern = chain_graph(["task:B"], prefix="p")
+        # Host offers only a chain of two sub-activities, each individually
+        # a PLUGIN match; with splits disabled a single image suffices anyway,
+        # so build a case where data requires the chain.
+        host = BehaviouralGraph("h")
+        host.add_vertex(Vertex("h0", "task:B1",
+                               outputs=frozenset({"task:C"})))
+        host.add_vertex(Vertex("h1", "task:B2",
+                               outputs=frozenset({"task:D"})))
+        host.add_edge("h0", "h1")
+        pattern2 = BehaviouralGraph("p2")
+        pattern2.add_vertex(
+            Vertex("p0", "task:B",
+                   outputs=frozenset({"task:C", "task:D"}))
+        )
+        with_splits = find_homeomorphism(pattern2, host, ontology)
+        without = find_homeomorphism(
+            pattern2, host, ontology, HomeomorphismConfig(allow_splits=False)
+        )
+        assert with_splits.found           # union of chain outputs suffices
+        assert not without.found           # no single vertex produces both
+
+
+class TestTaskLevel:
+    def test_parallel_task_embeds_in_sequential_host(self, ontology):
+        """A sequential behaviour linearises a parallel pattern; the pattern
+        edges A->B, A->C and B->D, C->D must map to disjoint host paths —
+        impossible in a pure chain (C's path to D would reuse vertices), so
+        this must NOT match.  This guards against over-eager matching."""
+        pattern_task = Task(
+            "p", sequence(leaf("A"), parallel(leaf("B"), leaf("C")), leaf("D"))
+        )
+        host_task = Task(
+            "h",
+            sequence(leaf("HA", "task:A"), leaf("HB", "task:B"),
+                     leaf("HC", "task:C"), leaf("HD", "task:D")),
+        )
+        result = find_homeomorphism(
+            task_to_graph(pattern_task), task_to_graph(host_task), ontology
+        )
+        assert not result.found
+
+    def test_sequential_task_embeds_in_parallel_host(self, ontology):
+        """The reverse direction also fails (a chain A->B->C->D needs a
+        B->C path the parallel host does not have)."""
+        pattern_task = Task(
+            "p", sequence(leaf("A"), leaf("B"), leaf("C"), leaf("D"))
+        )
+        host_task = Task(
+            "h",
+            sequence(leaf("HA", "task:A"),
+                     parallel(leaf("HB", "task:B"), leaf("HC", "task:C")),
+                     leaf("HD", "task:D")),
+        )
+        result = find_homeomorphism(
+            task_to_graph(pattern_task), task_to_graph(host_task), ontology
+        )
+        assert not result.found
+
+    def test_same_structure_different_granularity(self, ontology):
+        pattern_task = Task("p", sequence(leaf("A"), leaf("B"), leaf("D")))
+        host_task = Task(
+            "h",
+            sequence(leaf("HA", "task:A"), leaf("HB1", "task:B1"),
+                     leaf("HExtra", "task:Extra"), leaf("HD", "task:D")),
+        )
+        result = find_homeomorphism(
+            task_to_graph(pattern_task), task_to_graph(host_task), ontology
+        )
+        assert result.found

@@ -1,0 +1,165 @@
+"""Tests for the adaptation manager (escalating strategies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdaptationError
+from repro.qos.properties import AggregationKind, STANDARD_PROPERTIES
+from repro.services.discovery import QoSConstraint
+from repro.services.generator import ServiceGenerator
+from repro.adaptation.manager import (
+    AdaptationAction,
+    AdaptationManager,
+)
+from repro.adaptation.monitoring import (
+    AdaptationTrigger,
+    QoSMonitor,
+    QoSObservation,
+    TriggerKind,
+)
+from repro.adaptation.substitution import ServiceSubstitution
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+def build_plan(seed=21):
+    task = Task("t", sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+    generator = ServiceGenerator(PROPS, seed=seed)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 15)
+         for a in task.activities},
+    )
+    request = UserRequest(
+        task,
+        constraints=(
+            GlobalConstraint.at_most("response_time", 1e9),
+            GlobalConstraint.at_least("availability", 0.0),
+        ),
+        weights={n: 1.0 for n in PROPS},
+    )
+    return QASSA(PROPS, config=QassaConfig(alternates_kept=3)).select(
+        request, candidates
+    )
+
+
+def make_manager(plan):
+    monitor = QoSMonitor(PROPS)
+    manager = AdaptationManager(
+        PROPS, monitor, ServiceSubstitution(PROPS, monitor)
+    )
+    manager.deploy(plan)
+    return manager, monitor
+
+
+def failure_trigger(service_id):
+    return AdaptationTrigger(
+        kind=TriggerKind.FAILURE,
+        service_id=service_id,
+        property_name="availability",
+        observed=0.0,
+        projected=None,
+        bound=None,
+        timestamp=1.0,
+    )
+
+
+class TestDeploy:
+    def test_deploy_watches_all_primaries(self):
+        plan = build_plan()
+        manager, monitor = make_manager(plan)
+        for selection in plan.selections.values():
+            bounds = monitor._watches.get(selection.primary.service_id)
+            assert bounds  # per-service bounds installed
+
+    def test_additive_budget_split_evenly(self):
+        plan = build_plan()
+        manager, _ = make_manager(plan)
+        constraint = QoSConstraint("response_time", "<=", 1000.0)
+        bound = manager._per_service_bound(constraint, PROPS["response_time"], 4)
+        assert bound.bound == pytest.approx(250.0)
+
+    def test_multiplicative_bound_takes_root(self):
+        plan = build_plan()
+        manager, _ = make_manager(plan)
+        constraint = QoSConstraint("availability", ">=", 0.81)
+        bound = manager._per_service_bound(constraint, PROPS["availability"], 2)
+        assert bound.bound == pytest.approx(0.9)
+
+    def test_handle_before_deploy_raises(self):
+        monitor = QoSMonitor(PROPS)
+        manager = AdaptationManager(
+            PROPS, monitor, ServiceSubstitution(PROPS, monitor)
+        )
+        with pytest.raises(AdaptationError):
+            manager.handle(failure_trigger("svc-x"))
+
+
+class TestHandling:
+    def test_substitution_on_failure_trigger(self):
+        plan = build_plan()
+        manager, monitor = make_manager(plan)
+        failing = plan.selections["A"].primary
+        outcome = manager.handle(failure_trigger(failing.service_id))
+        assert outcome.action is AdaptationAction.SUBSTITUTION
+        assert outcome.substitution is not None
+        assert plan.selections["A"].primary != failing
+        # Monitoring moved to the replacement.
+        replacement_id = outcome.substitution.replacement.service_id
+        assert replacement_id in monitor._watches
+        assert failing.service_id not in monitor._watches
+
+    def test_stale_trigger_ignored(self):
+        plan = build_plan()
+        manager, _ = make_manager(plan)
+        outcome = manager.handle(failure_trigger("svc-long-gone"))
+        assert outcome.action is AdaptationAction.NONE
+
+    def test_failed_when_no_strategy_works(self):
+        plan = build_plan()
+        # Remove all alternates so substitution has nothing, and no
+        # behavioural strategy configured.
+        for selection in plan.selections.values():
+            selection.services = [selection.primary]
+        manager, _ = make_manager(plan)
+        failing = plan.selections["A"].primary
+        outcome = manager.handle(failure_trigger(failing.service_id))
+        assert outcome.action is AdaptationAction.FAILED
+        assert outcome.error
+
+    def test_log_and_summary(self):
+        plan = build_plan()
+        manager, _ = make_manager(plan)
+        failing = plan.selections["A"].primary
+        manager.handle(failure_trigger(failing.service_id))
+        manager.handle(failure_trigger("svc-ghost"))
+        assert len(manager.log) == 2
+        summary = manager.summary()
+        assert summary.get("substitution") == 1
+        assert summary.get("none") == 1
+
+    def test_monitor_trigger_flows_into_substitution(self):
+        """End-to-end inside the adaptation framework: a violating
+        observation leads to a substitution."""
+        plan = build_plan()
+        monitor = QoSMonitor(PROPS)
+        manager = AdaptationManager(
+            PROPS, monitor, ServiceSubstitution(PROPS, monitor)
+        )
+        manager.deploy(plan)
+        outcomes = []
+        monitor.subscribe(lambda t: outcomes.append(manager.handle(t)))
+        failing = plan.selections["A"].primary
+        monitor.observe(
+            QoSObservation(failing.service_id, "response_time", 1e12, 0.0)
+        )
+        assert outcomes
+        assert outcomes[0].action is AdaptationAction.SUBSTITUTION

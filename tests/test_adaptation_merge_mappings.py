@@ -1,0 +1,200 @@
+"""Tests for merge-style particular vertex mappings (§V.6.2.3).
+
+Branches of a conditional are mutually exclusive at run time, so two
+pattern vertices from different branches may map onto the *same* host
+vertex (and their edge paths may overlap) — the merge counterpart of the
+split mappings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.behaviour_graph import task_to_graph
+from repro.adaptation.homeomorphism import (
+    HomeomorphismConfig,
+    find_homeomorphism,
+)
+from repro.composition.task import (
+    Task,
+    conditional,
+    leaf,
+    parallel,
+    sequence,
+)
+from repro.semantics.matching import MatchDegree
+from repro.semantics.ontology import Ontology
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology("tasks")
+    onto.declare_class("task:Activity")
+    for name in ("A", "B", "C", "D"):
+        onto.declare_class(f"task:{name}", ["task:Activity"])
+    onto.declare_class("task:Stream", ["task:Activity"])
+    onto.declare_class("task:AudioStream", ["task:Stream"])
+    onto.declare_class("task:VideoStream", ["task:Stream"])
+    return onto
+
+
+class TestBranchPaths:
+    def test_conditional_vertices_carry_branch_paths(self):
+        task = Task(
+            "t", sequence(leaf("A"), conditional(leaf("B"), leaf("C"))),
+        )
+        graph = task_to_graph(task)
+        by_name = {v.activity_name: v for v in graph.vertices()}
+        assert by_name["A"].branch_path == ()
+        assert by_name["B"].branch_path != by_name["C"].branch_path
+        assert by_name["B"].mutually_exclusive_with(by_name["C"])
+        assert not by_name["A"].mutually_exclusive_with(by_name["B"])
+
+    def test_nested_conditionals(self):
+        task = Task(
+            "t",
+            conditional(
+                conditional(leaf("A"), leaf("B")),
+                leaf("C"),
+            ),
+        )
+        graph = task_to_graph(task)
+        by_name = {v.activity_name: v for v in graph.vertices()}
+        assert by_name["A"].mutually_exclusive_with(by_name["B"])
+        assert by_name["A"].mutually_exclusive_with(by_name["C"])
+        assert by_name["B"].mutually_exclusive_with(by_name["C"])
+
+    def test_parallel_branches_not_exclusive(self):
+        task = Task("t", parallel(leaf("A"), leaf("B")))
+        graph = task_to_graph(task)
+        by_name = {v.activity_name: v for v in graph.vertices()}
+        assert not by_name["A"].mutually_exclusive_with(by_name["B"])
+
+    def test_same_branch_not_exclusive(self):
+        task = Task(
+            "t",
+            conditional(sequence(leaf("A"), leaf("B")), leaf("C")),
+        )
+        graph = task_to_graph(task)
+        by_name = {v.activity_name: v for v in graph.vertices()}
+        assert not by_name["A"].mutually_exclusive_with(by_name["B"])
+
+
+class TestMergeMapping:
+    def test_xor_branches_merge_onto_generic_vertex(self, ontology):
+        """Audio/video conditional branches both map onto one generic
+        Stream activity (SUBSUME threshold needed: the host label is more
+        general)."""
+        pattern = task_to_graph(
+            Task(
+                "p",
+                sequence(
+                    leaf("Top", "task:A"),
+                    conditional(
+                        leaf("Audio", "task:AudioStream"),
+                        leaf("Video", "task:VideoStream"),
+                    ),
+                ),
+            )
+        )
+        host = task_to_graph(
+            Task(
+                "h",
+                sequence(leaf("TopH", "task:A"),
+                         leaf("StreamH", "task:Stream")),
+            )
+        )
+        config = HomeomorphismConfig(minimum_degree=MatchDegree.SUBSUME)
+        result = find_homeomorphism(pattern, host, ontology, config)
+        assert result.found
+        images = {
+            v.activity_name: result.vertex_mapping[v.vertex_id]
+            for v in pattern.vertices()
+        }
+        assert images["Audio"] == images["Video"]  # merged
+
+    def test_parallel_branches_may_not_merge(self, ontology):
+        """AND branches both execute, so they must keep distinct images —
+        the same shape that merges for XOR fails for AND."""
+        pattern = task_to_graph(
+            Task(
+                "p",
+                sequence(
+                    leaf("Top", "task:A"),
+                    parallel(
+                        leaf("Audio", "task:AudioStream"),
+                        leaf("Video", "task:VideoStream"),
+                    ),
+                ),
+            )
+        )
+        host = task_to_graph(
+            Task(
+                "h",
+                sequence(leaf("TopH", "task:A"),
+                         leaf("StreamH", "task:Stream")),
+            )
+        )
+        config = HomeomorphismConfig(minimum_degree=MatchDegree.SUBSUME)
+        assert not find_homeomorphism(pattern, host, ontology, config).found
+
+    def test_exclusive_paths_may_share_interiors(self, ontology):
+        """Two XOR branches continuing to a join may route their edge paths
+        through the same host intermediary."""
+        pattern = task_to_graph(
+            Task(
+                "p",
+                sequence(
+                    leaf("S", "task:A"),
+                    conditional(leaf("B1", "task:B"), leaf("C1", "task:C")),
+                    leaf("E", "task:D"),
+                ),
+            )
+        )
+        # Host: S -> B -> X -> E and S -> C -> X -> E share intermediary X.
+        from repro.adaptation.behaviour_graph import BehaviouralGraph, Vertex
+
+        host = BehaviouralGraph("h")
+        for vid, label in (
+            ("hs", "task:A"), ("hb", "task:B"), ("hc", "task:C"),
+            ("hx", "task:Stream"), ("he", "task:D"),
+        ):
+            host.add_vertex(Vertex(vid, label))
+        host.add_edge("hs", "hb")
+        host.add_edge("hs", "hc")
+        host.add_edge("hb", "hx")
+        host.add_edge("hc", "hx")
+        host.add_edge("hx", "he")
+        result = find_homeomorphism(pattern, host, ontology)
+        assert result.found
+        # Both join paths traverse hx.
+        interiors = [
+            set(path[1:-1]) for path in result.edge_paths.values() if path
+        ]
+        shared = [s for s in interiors if "hx" in s]
+        assert len(shared) == 2
+
+    def test_non_exclusive_vertices_still_disjoint(self, ontology):
+        """Regression: ordinary sequential vertices may never share images
+        even with the merge machinery active."""
+        pattern = task_to_graph(
+            Task("p", sequence(leaf("A1", "task:B"), leaf("A2", "task:B")))
+        )
+        host = task_to_graph(Task("h", sequence(leaf("H1", "task:B"))))
+        assert not find_homeomorphism(pattern, host, ontology).found
+
+
+class TestScenarioMergeIntegration:
+    def test_camp_task_embeds_into_generic_alternative(self):
+        from repro.env.scenarios import build_holiday_camp_scenario
+
+        scenario = build_holiday_camp_scenario()
+        alternative = scenario.repository.require("entertainment").behaviour(
+            "entertainment-any-stream"
+        )
+        pattern = task_to_graph(scenario.task)
+        config = HomeomorphismConfig(minimum_degree=MatchDegree.SUBSUME)
+        result = find_homeomorphism(
+            pattern, alternative.graph, scenario.ontology, config
+        )
+        assert result.found

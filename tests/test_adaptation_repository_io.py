@@ -1,0 +1,114 @@
+"""Tests for task-class repository serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BpelParseError
+from repro.adaptation.repository_io import (
+    dump_repository,
+    load_repository,
+    read_repository,
+    save_repository,
+)
+from repro.adaptation.task_class import TaskClassRepository
+from repro.composition.task import Task, conditional, leaf, loop, parallel, sequence
+from repro.env.scenarios import build_shopping_scenario
+
+
+@pytest.fixture
+def repository():
+    repo = TaskClassRepository()
+    shopping = repo.new_class("shopping", "Buy things")
+    shopping.add(Task("primary", sequence(leaf("A"), leaf("B"))))
+    shopping.add(
+        Task(
+            "fancy",
+            sequence(
+                leaf("A2", "task:A"),
+                parallel(leaf("B2", "task:B"), leaf("C2", "task:C")),
+                loop(leaf("D2", "task:D"), 3, 2.0),
+                conditional(leaf("E2", "task:E"), leaf("F2", "task:F"),
+                            probabilities=(0.6, 0.4)),
+            ),
+        )
+    )
+    repo.new_class("empty-class", "No behaviours yet")
+    return repo
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, repository):
+        bundle = dump_repository(repository)
+        recovered = load_repository(bundle)
+        assert len(recovered) == 2
+        shopping = recovered.require("shopping")
+        assert shopping.description == "Buy things"
+        assert {b.name for b in shopping} == {"primary", "fancy"}
+        fancy = shopping.behaviour("fancy")
+        assert fancy.task.pattern_census() == (
+            repository.require("shopping").behaviour("fancy")
+            .task.pattern_census()
+        )
+
+    def test_graphs_rebuilt(self, repository):
+        recovered = load_repository(dump_repository(repository))
+        behaviour = recovered.require("shopping").behaviour("fancy")
+        assert behaviour.graph.vertex_count() == 6
+
+    def test_empty_class_preserved(self, repository):
+        recovered = load_repository(dump_repository(repository))
+        assert len(recovered.require("empty-class")) == 0
+
+    def test_double_round_trip_stable(self, repository):
+        once = dump_repository(repository)
+        twice = dump_repository(load_repository(once))
+        assert once == twice
+
+    def test_file_round_trip(self, repository, tmp_path):
+        path = save_repository(repository, tmp_path / "repo.xml")
+        assert path.exists()
+        recovered = read_repository(path)
+        assert {tc.name for tc in recovered} == {"shopping", "empty-class"}
+
+    def test_ontology_threaded_through(self, repository):
+        from repro.semantics.ontology import Ontology
+
+        onto = Ontology("x")
+        recovered = load_repository(dump_repository(repository), onto)
+        assert recovered.ontology is onto
+
+
+class TestScenarioRepositories:
+    def test_shopping_scenario_repository_round_trips(self):
+        scenario = build_shopping_scenario()
+        recovered = load_repository(
+            dump_repository(scenario.repository), scenario.ontology
+        )
+        original_class = scenario.repository.require("shopping")
+        recovered_class = recovered.require("shopping")
+        assert {b.name for b in recovered_class} == {
+            b.name for b in original_class
+        }
+        # Homeomorphic relations survive (graphs rebuilt identically).
+        primary = recovered_class.behaviour("shopping")
+        assert primary.graph.vertex_count() == scenario.task.size()
+
+
+class TestMalformedBundles:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "garbage <",
+            "<wrongRoot/>",
+            "<taskClassRepository><other/></taskClassRepository>",
+            '<taskClassRepository><taskClass/></taskClassRepository>',
+            '<taskClassRepository><taskClass name="x">'
+            "<behaviour/></taskClass></taskClassRepository>",
+            '<taskClassRepository><taskClass name="x">'
+            "<oops/></taskClass></taskClassRepository>",
+        ],
+    )
+    def test_rejected(self, document):
+        with pytest.raises(BpelParseError):
+            load_repository(document)

@@ -1,0 +1,146 @@
+"""Tests for evidence-based provider reputation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.description import ServiceDescription
+from repro.services.registry import ServiceRegistry
+from repro.adaptation.reputation import REPUTATION_SCALE, ReputationManager
+from repro.execution.engine import ExecutionReport, InvocationRecord
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "reputation")
+}
+
+
+def svc(name, provider, reputation=2.5, service_id=""):
+    return ServiceDescription(
+        name=name, capability="task:X", provider=provider,
+        advertised_qos=QoSVector(
+            {"response_time": 100.0, "reputation": reputation}, PROPS
+        ),
+        service_id=service_id,
+    )
+
+
+@pytest.fixture
+def registry():
+    return ServiceRegistry()
+
+
+@pytest.fixture
+def manager(registry):
+    return ReputationManager(registry)
+
+
+class TestScoring:
+    def test_unknown_provider_scores_prior(self, manager):
+        # 3/4 prior -> 3.75 on the 0-5 scale.
+        assert manager.score("nobody") == pytest.approx(3.75)
+
+    def test_successes_raise_score(self, manager):
+        base = manager.score("p")
+        for _ in range(20):
+            manager.record_success("p")
+        assert manager.score("p") > base
+
+    def test_failures_lower_score(self, manager):
+        base = manager.score("p")
+        for _ in range(20):
+            manager.record_failure("p")
+        assert manager.score("p") < base
+
+    def test_sla_violations_count_as_fractional_failures(self, registry):
+        lenient = ReputationManager(registry, violation_weight=0.5)
+        harsh = ReputationManager(registry, violation_weight=2.0)
+        for m in (lenient, harsh):
+            m.record_success("p", 10)
+            m.record_sla_violation("p", 4)
+        assert harsh.score("p") < lenient.score("p")
+
+    def test_score_bounded_to_scale(self, manager):
+        manager.record_success("angel", 10_000)
+        manager.record_failure("demon", 10_000)
+        assert 0.0 <= manager.score("demon") <= manager.score("angel")
+        assert manager.score("angel") <= REPUTATION_SCALE
+
+    def test_prior_dampens_single_observation(self, manager):
+        manager.record_failure("newbie")
+        # One failure against a 3/4 prior: score stays well above zero.
+        assert manager.score("newbie") > 0.5 * REPUTATION_SCALE * 0.5
+
+    def test_invalid_prior_rejected(self, registry):
+        with pytest.raises(ValueError):
+            ReputationManager(registry, prior_successes=5.0, prior_total=4.0)
+
+
+class TestIngestReport:
+    def test_execution_trace_feeds_records(self, registry, manager):
+        good = registry.publish(svc("good", "alice", service_id="svc-good"))
+        bad = registry.publish(svc("bad", "bob", service_id="svc-bad"))
+        report = ExecutionReport("t", True, 0.0, 1.0)
+        report.invocations = [
+            InvocationRecord("A", "svc-good", 0.0, good.advertised_qos,
+                             True, 1),
+            InvocationRecord("B", "svc-bad", 0.5, None, False, 1),
+            InvocationRecord("B", "svc-bad", 0.6, None, False, 2),
+            InvocationRecord("C", "svc-ghost", 0.7, None, False, 1),
+        ]
+        manager.ingest_report(report)
+        assert manager.record_of("alice").successes == 1
+        assert manager.record_of("bob").failures == 2
+        assert manager.record_of("ghost-provider") is None
+        assert manager.score("alice") > manager.score("bob")
+
+
+class TestRegistryRefresh:
+    def test_refresh_updates_advertised_reputation(self, registry, manager):
+        service = registry.publish(svc("s", "alice", reputation=2.5,
+                                       service_id="svc-r"))
+        manager.record_success("alice", 30)
+        count = manager.refresh_registry()
+        assert count == 1
+        refreshed = registry.require("svc-r")
+        assert refreshed.advertised_qos["reputation"] > 2.5
+        assert refreshed.advertised_qos["reputation"] == pytest.approx(
+            manager.score("alice")
+        )
+
+    def test_unknown_providers_untouched(self, registry, manager):
+        registry.publish(svc("s", "stranger"))
+        assert manager.refresh_registry() == 0
+
+    def test_refresh_is_idempotent(self, registry, manager):
+        registry.publish(svc("s", "alice", service_id="svc-i"))
+        manager.record_success("alice", 5)
+        assert manager.refresh_registry() == 1
+        assert manager.refresh_registry() == 0  # already up to date
+
+    def test_selection_prefers_reputable_provider_after_refresh(
+        self, registry, manager
+    ):
+        """The loop closes: evidence -> reputation -> next selection."""
+        from repro.composition.qassa import QASSA
+        from repro.composition.request import UserRequest
+        from repro.composition.selection import CandidateSets
+        from repro.composition.task import Task, leaf, sequence
+
+        registry.publish(svc("reliable", "alice", reputation=2.5,
+                             service_id="svc-a"))
+        registry.publish(svc("flaky", "bob", reputation=2.5,
+                             service_id="svc-b"))
+        manager.record_success("alice", 30)
+        manager.record_failure("bob", 30)
+        manager.refresh_registry()
+
+        task = Task("t", sequence(leaf("A", "task:X")))
+        candidates = CandidateSets(
+            task, {"A": registry.by_capability("task:X")}
+        )
+        request = UserRequest(task, weights={"reputation": 1.0})
+        plan = QASSA(PROPS).select(request, candidates)
+        assert plan.selections["A"].primary.provider == "alice"

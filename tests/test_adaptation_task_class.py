@@ -1,0 +1,110 @@
+"""Tests for task classes and the repository."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BehaviouralAdaptationError
+from repro.adaptation.task_class import Behaviour, TaskClass, TaskClassRepository
+from repro.composition.task import Task, leaf, sequence
+from repro.semantics.ontology import Ontology
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology("tasks")
+    onto.declare_class("task:Activity")
+    for name in ("A", "B", "C", "Extra"):
+        onto.declare_class(f"task:{name}", ["task:Activity"])
+    return onto
+
+
+def seq_task(name, *specs):
+    return Task(name, sequence(*[leaf(n, c) for n, c in specs]))
+
+
+@pytest.fixture
+def primary():
+    return seq_task("primary", ("A", "task:A"), ("B", "task:B"), ("C", "task:C"))
+
+
+@pytest.fixture
+def alternative():
+    return seq_task(
+        "alternative",
+        ("A2", "task:A"), ("B2", "task:B"), ("X", "task:Extra"), ("C2", "task:C"),
+    )
+
+
+class TestTaskClass:
+    def test_add_task_wraps_into_behaviour(self, primary):
+        task_class = TaskClass("tc")
+        behaviour = task_class.add(primary)
+        assert isinstance(behaviour, Behaviour)
+        assert behaviour.graph.vertex_count() == 3
+        assert len(task_class) == 1
+
+    def test_duplicate_behaviour_name_rejected(self, primary):
+        task_class = TaskClass("tc")
+        task_class.add(primary)
+        with pytest.raises(BehaviouralAdaptationError):
+            task_class.add(primary)
+
+    def test_lookup_and_alternatives(self, primary, alternative):
+        task_class = TaskClass("tc")
+        task_class.add(primary)
+        task_class.add(alternative)
+        assert task_class.behaviour("primary").task is primary
+        others = task_class.alternatives_to("primary")
+        assert [b.name for b in others] == ["alternative"]
+
+    def test_unknown_behaviour_raises(self):
+        with pytest.raises(BehaviouralAdaptationError):
+            TaskClass("tc").behaviour("ghost")
+
+    def test_verify_equivalence(self, ontology, primary, alternative):
+        task_class = TaskClass("tc")
+        task_class.add(primary)
+        task_class.add(alternative)
+        results = task_class.verify_equivalence(ontology)
+        # primary embeds into alternative (extra activity interleaved)...
+        assert results[("primary", "alternative")] is True
+        # ...but not the reverse (alternative has a label primary lacks).
+        assert results[("alternative", "primary")] is False
+
+
+class TestRepository:
+    def test_add_and_require(self, primary):
+        repo = TaskClassRepository()
+        task_class = repo.new_class("shopping", "buy things")
+        task_class.add(primary)
+        assert repo.require("shopping") is task_class
+        assert repo.get("ghost") is None
+        assert len(repo) == 1
+
+    def test_duplicate_class_rejected(self):
+        repo = TaskClassRepository()
+        repo.new_class("tc")
+        with pytest.raises(BehaviouralAdaptationError):
+            repo.new_class("tc")
+
+    def test_require_unknown_raises(self):
+        with pytest.raises(BehaviouralAdaptationError):
+            TaskClassRepository().require("ghost")
+
+    def test_classes_for_finds_embedding(self, ontology, primary, alternative):
+        repo = TaskClassRepository(ontology)
+        task_class = repo.new_class("tc")
+        task_class.add(alternative)
+        hits = repo.classes_for(primary)
+        assert len(hits) == 1
+        found_class, behaviour, outcome = hits[0]
+        assert found_class.name == "tc"
+        assert behaviour.name == "alternative"
+        assert outcome.found
+
+    def test_classes_for_no_match(self, ontology, primary):
+        repo = TaskClassRepository(ontology)
+        unrelated = seq_task("other", ("X", "task:Extra"))
+        repo.new_class("tc").add(unrelated)
+        assert repo.classes_for(primary) == []

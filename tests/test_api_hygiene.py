@@ -1,0 +1,104 @@
+"""Meta-tests: public-API hygiene of the whole package.
+
+Documentation on every public item is deliverable (e); these tests make the
+guarantee executable: every module, public class and public function under
+``repro`` carries a docstring, ``__all__`` exports resolve, and the
+exception hierarchy is rooted at ReproError.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for module_info in pkgutil.walk_packages(repro.__path__,
+                                             prefix="repro."):
+        yield importlib.import_module(module_info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_module_has_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module.__name__} lacks a module docstring"
+        )
+
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_public_classes_and_functions_documented(self, module):
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-exports documented at their home
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+        assert undocumented == [], (
+            f"{module.__name__} has undocumented public items: "
+            f"{undocumented}"
+        )
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "module",
+        [m for m in ALL_MODULES if hasattr(m, "__all__")],
+        ids=lambda m: m.__name__,
+    )
+    def test_all_exports_resolve(self, module):
+        for name in module.__all__:
+            assert hasattr(module, name), (
+                f"{module.__name__}.__all__ names missing attribute {name!r}"
+            )
+
+    def test_top_level_api_imports(self):
+        from repro import (
+            QASOM, QASSA, GlobalConstraint, Task, UserRequest,
+            build_end_to_end_model, build_shopping_scenario,
+        )
+
+        assert QASOM and QASSA and GlobalConstraint and Task
+        assert UserRequest and build_end_to_end_model
+        assert build_shopping_scenario
+
+
+class TestExceptionHierarchy:
+    def test_every_repro_exception_roots_at_reproerror(self):
+        from repro import errors
+
+        for name, obj in vars(errors).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                if obj is errors.ReproError:
+                    continue
+                assert issubclass(obj, errors.ReproError), (
+                    f"{name} does not derive from ReproError"
+                )
+
+    def test_catching_reproerror_covers_middleware_failures(self):
+        from repro.errors import (
+            BindingError, NoCandidateError, ReproError, SelectionError,
+        )
+
+        for exc in (BindingError("x"), NoCandidateError("a"),
+                    SelectionError("y")):
+            try:
+                raise exc
+            except ReproError:
+                pass

@@ -1,0 +1,162 @@
+"""Tests for the baseline selection algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.composition.baselines import (
+    ExhaustiveSelection,
+    GeneticSelection,
+    GreedySelection,
+    RandomSelection,
+)
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+def build_problem(activities=3, services=6, seed=0, rt_bound=None):
+    task = Task(
+        "p", sequence(*[leaf(f"A{i}", f"task:C{i}") for i in range(activities)])
+    )
+    generator = ServiceGenerator(PROPS, seed=seed)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, services)
+         for a in task.activities},
+    )
+    constraints = ()
+    if rt_bound is not None:
+        constraints = (GlobalConstraint.at_most("response_time", rt_bound),)
+    request = UserRequest(
+        task, constraints=constraints, weights={n: 1.0 for n in PROPS}
+    )
+    return request, candidates
+
+
+class TestExhaustive:
+    def test_explores_full_space(self):
+        request, candidates = build_problem(activities=2, services=4)
+        plan = ExhaustiveSelection(PROPS).select(request, candidates)
+        assert plan.statistics.combinations_explored == 16
+        assert plan.feasible
+
+    def test_returns_true_optimum(self):
+        request, candidates = build_problem(activities=2, services=5)
+        optimal = ExhaustiveSelection(PROPS).select(request, candidates)
+        # No other algorithm can find a feasible plan with higher utility.
+        for selector in (
+            GreedySelection(PROPS),
+            RandomSelection(PROPS, attempts=50),
+            GeneticSelection(PROPS, generations=20),
+        ):
+            plan = selector.select(request, candidates, best_effort=True)
+            assert plan.utility <= optimal.utility + 1e-9
+
+    def test_limit_guard(self):
+        request, candidates = build_problem(activities=3, services=6)
+        with pytest.raises(SelectionError):
+            ExhaustiveSelection(PROPS, limit=10).select(request, candidates)
+
+    def test_proves_infeasibility(self):
+        request, candidates = build_problem(rt_bound=0.001)
+        with pytest.raises(SelectionError):
+            ExhaustiveSelection(PROPS).select(request, candidates)
+
+    def test_best_effort_on_infeasible(self):
+        request, candidates = build_problem(rt_bound=0.001)
+        plan = ExhaustiveSelection(PROPS).select(
+            request, candidates, best_effort=True
+        )
+        assert not plan.feasible
+
+
+class TestGreedy:
+    def test_picks_local_best_utilities(self):
+        request, candidates = build_problem()
+        plan = GreedySelection(PROPS).select(request, candidates)
+        assert len(plan.selections) == 3
+        assert plan.statistics.combinations_explored == 1
+
+    def test_greedy_equals_optimal_without_constraints(self):
+        """With no global constraints and additive utility over per-activity
+        local normalisation... greedy is near-optimal but not provably equal;
+        we assert it is feasible and well-formed instead."""
+        request, candidates = build_problem()
+        plan = GreedySelection(PROPS).select(request, candidates)
+        assert plan.feasible
+
+    def test_greedy_may_violate_constraints(self):
+        request, candidates = build_problem(rt_bound=0.001)
+        plan = GreedySelection(PROPS).select(request, candidates)
+        assert not plan.feasible  # best_effort default is True
+
+    def test_greedy_strict_mode_raises(self):
+        request, candidates = build_problem(rt_bound=0.001)
+        with pytest.raises(SelectionError):
+            GreedySelection(PROPS).select(request, candidates, best_effort=False)
+
+
+class TestRandom:
+    def test_finds_feasible_when_unconstrained(self):
+        request, candidates = build_problem()
+        plan = RandomSelection(PROPS, attempts=10, seed=1).select(
+            request, candidates
+        )
+        assert plan.feasible
+
+    def test_gives_up_after_attempts(self):
+        request, candidates = build_problem(rt_bound=0.001)
+        with pytest.raises(SelectionError):
+            RandomSelection(PROPS, attempts=5).select(request, candidates)
+
+    def test_deterministic_under_seed(self):
+        request, candidates = build_problem()
+        a = RandomSelection(PROPS, seed=3).select(request, candidates)
+        b = RandomSelection(PROPS, seed=3).select(request, candidates)
+        assert a.service_ids() == b.service_ids()
+
+
+class TestGenetic:
+    def test_finds_feasible_composition(self):
+        request, candidates = build_problem(services=8, rt_bound=4000.0)
+        plan = GeneticSelection(PROPS, generations=30, seed=2).select(
+            request, candidates
+        )
+        assert plan.feasible
+        assert request.satisfied_by(plan.aggregated_qos)
+
+    def test_beats_random_on_average(self):
+        request, candidates = build_problem(services=10)
+        genetic = GeneticSelection(PROPS, generations=40, seed=5).select(
+            request, candidates
+        )
+        random_plan = RandomSelection(PROPS, attempts=1, seed=5).select(
+            request, candidates, best_effort=True
+        )
+        assert genetic.utility >= random_plan.utility
+
+    def test_deterministic_under_seed(self):
+        request, candidates = build_problem()
+        a = GeneticSelection(PROPS, seed=7).select(request, candidates)
+        b = GeneticSelection(PROPS, seed=7).select(request, candidates)
+        assert a.service_ids() == b.service_ids()
+
+    def test_single_activity_task(self):
+        request, candidates = build_problem(activities=1, services=5)
+        plan = GeneticSelection(PROPS, generations=10).select(request, candidates)
+        assert plan.feasible
+        assert len(plan.selections) == 1
+
+    def test_infeasible_raises_without_best_effort(self):
+        request, candidates = build_problem(rt_bound=0.001)
+        with pytest.raises(SelectionError):
+            GeneticSelection(PROPS, generations=5).select(request, candidates)

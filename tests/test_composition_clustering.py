@@ -1,0 +1,154 @@
+"""Tests for k-means clustering and QoS levels/classes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SelectionError
+from repro.composition.clustering import (
+    QoSLevel,
+    build_qos_levels,
+    kmeans,
+    quantise_classes,
+)
+
+DIMS = ["x", "y"]
+
+
+def pt(x, y):
+    return {"x": x, "y": y}
+
+
+class TestKMeans:
+    def test_empty_input_raises(self):
+        with pytest.raises(SelectionError):
+            kmeans([], 3, DIMS)
+
+    def test_k_clamped_to_population(self):
+        result = kmeans([pt(0, 0), pt(1, 1)], k=5, dims=DIMS)
+        assert result.k <= 2
+        total = sum(len(c) for c in result.clusters)
+        assert total == 2
+
+    def test_separated_blobs_found(self):
+        points = [pt(0, 0), pt(0.1, 0), pt(0, 0.1),
+                  pt(10, 10), pt(10.1, 10), pt(10, 10.1)]
+        result = kmeans(points, k=2, dims=DIMS, seed=1)
+        assert result.k == 2
+        memberships = sorted(sorted(c.members) for c in result.clusters)
+        assert memberships == [[0, 1, 2], [3, 4, 5]]
+
+    def test_every_point_assigned_exactly_once(self):
+        points = [pt(i % 5, i // 5) for i in range(25)]
+        result = kmeans(points, k=4, dims=DIMS, seed=2)
+        assigned = sorted(i for c in result.clusters for i in c.members)
+        assert assigned == list(range(25))
+
+    def test_identical_points_single_effective_cluster(self):
+        points = [pt(1, 1)] * 6
+        result = kmeans(points, k=3, dims=DIMS, seed=3)
+        assert sum(len(c) for c in result.clusters) == 6
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_deterministic_under_seed(self):
+        points = [pt(i * 0.37 % 1, i * 0.73 % 1) for i in range(30)]
+        a = kmeans(points, 4, DIMS, seed=5)
+        b = kmeans(points, 4, DIMS, seed=5)
+        assert [c.members for c in a.clusters] == [c.members for c in b.clusters]
+
+    def test_centroid_is_member_mean(self):
+        points = [pt(0, 0), pt(2, 2)]
+        result = kmeans(points, k=1, dims=DIMS, seed=0)
+        assert result.clusters[0].centroid == {"x": 1.0, "y": 1.0}
+
+
+class TestQoSLevels:
+    WEIGHTS = {"x": 0.5, "y": 0.5}
+
+    def _levels(self, points, utilities, k=2, seed=0):
+        levels, _ = build_qos_levels(points, utilities, self.WEIGHTS, k, seed)
+        return levels
+
+    def test_levels_ranked_by_centroid_utility(self):
+        good = [pt(0.9, 0.9), pt(0.95, 0.85)]
+        bad = [pt(0.1, 0.1), pt(0.05, 0.15)]
+        points = good + bad
+        utilities = [0.9, 0.9, 0.1, 0.1]
+        levels = self._levels(points, utilities)
+        assert levels[0].rank == 0
+        assert levels[0].centroid_utility > levels[1].centroid_utility
+        assert sorted(levels[0].member_indexes) == [0, 1]
+
+    def test_representative_is_best_member(self):
+        points = [pt(0.9, 0.9), pt(0.95, 0.85), pt(0.5, 0.5)]
+        utilities = [0.90, 0.92, 0.5]
+        levels = self._levels(points, utilities, k=1)
+        assert levels[0].representative == 1
+
+    def test_members_sorted_by_utility_desc(self):
+        points = [pt(0.2, 0.2), pt(0.8, 0.8), pt(0.5, 0.5)]
+        utilities = [0.2, 0.8, 0.5]
+        levels = self._levels(points, utilities, k=1)
+        assert levels[0].member_indexes == [1, 2, 0]
+
+    def test_single_candidate_single_level(self):
+        levels = self._levels([pt(0.5, 0.5)], [0.5], k=4)
+        assert len(levels) == 1
+        assert len(levels[0]) == 1
+
+
+class TestQoSClasses:
+    def test_quantised_grouping(self):
+        points = [pt(0.501, 0.5), pt(0.502, 0.5), pt(0.9, 0.9)]
+        level = QoSLevel(
+            rank=0, member_indexes=[0, 1, 2], centroid=pt(0.6, 0.6),
+            centroid_utility=0.6, representative=2,
+        )
+        classes = quantise_classes(level, points, decimals=2)
+        sizes = sorted(len(v) for v in classes.values())
+        assert sizes == [1, 2]
+
+    def test_finer_quantisation_splits(self):
+        points = [pt(0.501, 0.5), pt(0.502, 0.5)]
+        level = QoSLevel(
+            rank=0, member_indexes=[0, 1], centroid=pt(0.5, 0.5),
+            centroid_utility=0.5, representative=0,
+        )
+        assert len(quantise_classes(level, points, decimals=2)) == 1
+        assert len(quantise_classes(level, points, decimals=4)) == 2
+
+
+_points = st.lists(
+    st.fixed_dictionaries(
+        {"x": st.floats(0, 1, allow_nan=False), "y": st.floats(0, 1, allow_nan=False)}
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_points, st.integers(1, 6), st.integers(0, 3))
+def test_kmeans_partitions_input(points, k, seed):
+    result = kmeans(points, k, DIMS, seed=seed)
+    assigned = sorted(i for c in result.clusters for i in c.members)
+    assert assigned == list(range(len(points)))
+    assert 1 <= result.k <= min(k, len(points))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_points, st.integers(1, 4))
+def test_levels_cover_all_candidates(points, k):
+    utilities = [(p["x"] + p["y"]) / 2 for p in points]
+    levels, _ = build_qos_levels(points, utilities, {"x": 0.5, "y": 0.5}, k)
+    covered = sorted(i for level in levels for i in level.member_indexes)
+    assert covered == list(range(len(points)))
+    ranks = [level.rank for level in levels]
+    assert ranks == sorted(ranks)
+    # Centroid utilities are non-increasing with rank.
+    utilities_by_rank = [level.centroid_utility for level in levels]
+    assert all(
+        a >= b - 1e-9 for a, b in zip(utilities_by_rank, utilities_by_rank[1:])
+    )

@@ -1,0 +1,126 @@
+"""Tests for user requests: constraints, weights, satisfaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QoSModelError
+from repro.qos.properties import AVAILABILITY, COST, RESPONSE_TIME
+from repro.qos.values import QoSVector
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.task import Task, leaf, sequence
+
+PROPS = {
+    "response_time": RESPONSE_TIME,
+    "cost": COST,
+    "availability": AVAILABILITY,
+}
+
+
+@pytest.fixture
+def task():
+    return Task("t", sequence(leaf("A"), leaf("B")))
+
+
+class TestGlobalConstraint:
+    def test_at_most_at_least(self):
+        assert GlobalConstraint.at_most("cost", 10.0).operator == "<="
+        assert GlobalConstraint.at_least("availability", 0.9).operator == ">="
+
+    def test_natural_direction(self):
+        assert GlobalConstraint.natural(RESPONSE_TIME, 100.0).operator == "<="
+        assert GlobalConstraint.natural(AVAILABILITY, 0.9).operator == ">="
+
+
+class TestWeights:
+    def test_negative_weight_rejected(self, task):
+        with pytest.raises(QoSModelError):
+            UserRequest(task, weights={"cost": -1.0})
+
+    def test_normalised_weights_sum_to_one(self, task):
+        request = UserRequest(task, weights={"cost": 2.0, "availability": 1.0})
+        weights = request.normalised_weights(["cost", "availability"])
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["cost"] == pytest.approx(2 / 3)
+
+    def test_unweighted_property_gets_mean_declared_weight(self, task):
+        request = UserRequest(task, weights={"cost": 2.0, "availability": 4.0})
+        weights = request.normalised_weights(
+            ["cost", "availability", "response_time"]
+        )
+        # response_time defaults to mean(2, 4) = 3 before normalisation.
+        assert weights["response_time"] == pytest.approx(3 / 9)
+
+    def test_no_declared_weights_gives_uniform(self, task):
+        request = UserRequest(task)
+        weights = request.normalised_weights(["cost", "availability"])
+        assert weights == {"cost": 0.5, "availability": 0.5}
+
+    def test_empty_property_list_raises(self, task):
+        with pytest.raises(QoSModelError):
+            UserRequest(task).normalised_weights([])
+
+    def test_all_zero_weights_fall_back_to_uniform(self, task):
+        request = UserRequest(task, weights={"cost": 0.0, "availability": 0.0})
+        weights = request.normalised_weights(["cost", "availability"])
+        assert weights == {"cost": 0.5, "availability": 0.5}
+
+
+class TestRelevantProperties:
+    def test_constrained_properties_in_order(self, task):
+        request = UserRequest(
+            task,
+            constraints=(
+                GlobalConstraint.at_most("cost", 1.0),
+                GlobalConstraint.at_most("response_time", 2.0),
+                GlobalConstraint.at_least("cost", 0.1),  # duplicate property
+            ),
+        )
+        assert request.constrained_properties == ("cost", "response_time")
+
+    def test_relevant_unions_weights(self, task):
+        request = UserRequest(
+            task,
+            constraints=(GlobalConstraint.at_most("cost", 1.0),),
+            weights={"availability": 1.0, "cost": 1.0},
+        )
+        assert set(request.relevant_properties) == {"cost", "availability"}
+
+
+class TestSatisfaction:
+    def test_satisfied_by(self, task):
+        request = UserRequest(
+            task,
+            constraints=(
+                GlobalConstraint.at_most("response_time", 100.0),
+                GlobalConstraint.at_least("availability", 0.9),
+            ),
+        )
+        good = QoSVector({"response_time": 80.0, "availability": 0.95}, PROPS)
+        bad = QoSVector({"response_time": 120.0, "availability": 0.95}, PROPS)
+        assert request.satisfied_by(good)
+        assert not request.satisfied_by(bad)
+
+    def test_missing_property_fails(self, task):
+        request = UserRequest(
+            task, constraints=(GlobalConstraint.at_most("cost", 1.0),)
+        )
+        vector = QoSVector({"response_time": 1.0}, PROPS)
+        assert not request.satisfied_by(vector)
+
+    def test_violations_report_negative_slack(self, task):
+        request = UserRequest(
+            task,
+            constraints=(
+                GlobalConstraint.at_most("response_time", 100.0),
+                GlobalConstraint.at_least("availability", 0.9),
+            ),
+        )
+        vector = QoSVector({"response_time": 150.0, "availability": 0.95}, PROPS)
+        violations = request.violations(vector)
+        assert list(violations) == ["response_time <= 100"]
+        assert violations["response_time <= 100"] == pytest.approx(-50.0)
+
+    def test_no_constraints_always_satisfied(self, task):
+        request = UserRequest(task)
+        assert request.satisfied_by(QoSVector({}, PROPS))

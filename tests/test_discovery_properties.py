@@ -1,0 +1,131 @@
+"""Property-based guarantees of QoS-aware discovery over random registries."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.semantics.matching import MatchDegree
+from repro.semantics.ontology import Ontology
+from repro.services.description import ServiceDescription
+from repro.services.discovery import (
+    DiscoveryQuery,
+    QoSAwareDiscovery,
+    QoSConstraint,
+)
+from repro.services.registry import ServiceRegistry
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost")
+}
+
+
+@st.composite
+def _registries(draw):
+    """A random capability tree + a registry of services over its leaves."""
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    ontology = Ontology("disc")
+    root = ontology.declare_class("cap:Root")
+    depth_one = [f"cap:D{i}" for i in range(draw(st.integers(1, 3)))]
+    for name in depth_one:
+        ontology.declare_class(name, [root])
+    leaves = []
+    for parent in depth_one:
+        for j in range(rng.randint(0, 2)):
+            leaf = f"{parent}L{j}"
+            ontology.declare_class(leaf, [parent])
+            leaves.append(leaf)
+    capabilities = depth_one + leaves
+
+    registry = ServiceRegistry()
+    n_services = draw(st.integers(1, 12))
+    for i in range(n_services):
+        registry.publish(
+            ServiceDescription(
+                name=f"s{i}",
+                capability=rng.choice(capabilities),
+                advertised_qos=QoSVector(
+                    {"response_time": rng.uniform(10, 1000),
+                     "cost": rng.uniform(0, 50)},
+                    PROPS,
+                ),
+            )
+        )
+    query_capability = rng.choice(capabilities)
+    return ontology, registry, query_capability, rng
+
+
+@settings(max_examples=50, deadline=None)
+@given(_registries())
+def test_semantic_pool_contains_syntactic_pool(data):
+    ontology, registry, capability, _ = data
+    semantic = QoSAwareDiscovery(registry, ontology)
+    syntactic = QoSAwareDiscovery(registry, None)
+    query = DiscoveryQuery(capability)
+    semantic_ids = {s.service_id for s in semantic.candidates(query)}
+    syntactic_ids = {s.service_id for s in syntactic.candidates(query)}
+    assert syntactic_ids <= semantic_ids
+
+
+@settings(max_examples=50, deadline=None)
+@given(_registries())
+def test_lower_degree_threshold_is_monotone(data):
+    ontology, registry, capability, _ = data
+    discovery = QoSAwareDiscovery(registry, ontology)
+    pools = {}
+    for degree in (MatchDegree.EXACT, MatchDegree.PLUGIN,
+                   MatchDegree.SUBSUME, MatchDegree.SIBLING):
+        pools[degree] = {
+            s.service_id
+            for s in discovery.candidates(
+                DiscoveryQuery(capability, minimum_degree=degree)
+            )
+        }
+    assert pools[MatchDegree.EXACT] <= pools[MatchDegree.PLUGIN]
+    assert pools[MatchDegree.PLUGIN] <= pools[MatchDegree.SUBSUME]
+    assert pools[MatchDegree.SUBSUME] <= pools[MatchDegree.SIBLING]
+
+
+@settings(max_examples=50, deadline=None)
+@given(_registries(), st.floats(10, 1000))
+def test_qos_constraints_only_ever_prune(data, bound):
+    ontology, registry, capability, _ = data
+    discovery = QoSAwareDiscovery(registry, ontology)
+    unconstrained = {
+        s.service_id for s in discovery.candidates(DiscoveryQuery(capability))
+    }
+    constrained = {
+        s.service_id
+        for s in discovery.candidates(
+            DiscoveryQuery(
+                capability,
+                local_constraints=(
+                    QoSConstraint("response_time", "<=", bound),
+                ),
+            )
+        )
+    }
+    assert constrained <= unconstrained
+    # And every survivor honours the bound.
+    for service_id in constrained:
+        service = registry.require(service_id)
+        assert service.advertised_qos["response_time"] <= bound
+
+
+@settings(max_examples=50, deadline=None)
+@given(_registries())
+def test_every_returned_candidate_satisfies_the_degree(data):
+    from repro.semantics.matching import match_concepts
+
+    ontology, registry, capability, _ = data
+    discovery = QoSAwareDiscovery(registry, ontology)
+    for match in discovery.discover(DiscoveryQuery(capability)):
+        degree = match_concepts(ontology, capability,
+                                match.service.capability)
+        assert degree >= MatchDegree.PLUGIN
+        assert match.degree == degree

@@ -1,0 +1,82 @@
+"""Tests for partitioning distributed QASSA over a real environment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.composition.distributed import (
+    DistributedQASSA,
+    nodes_from_environment,
+)
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+from repro.env.device import DeviceClass
+from repro.env.environment import PervasiveEnvironment
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def setting():
+    """Two provider devices, each hosting one capability's candidates."""
+    environment = PervasiveEnvironment(seed=9)
+    generator = ServiceGenerator(PROPS, seed=9)
+    environment.add_device("vendor-1", DeviceClass.SMARTPHONE)
+    environment.add_device("vendor-2", DeviceClass.SMARTPHONE)
+    for service in generator.candidates("task:A", 6):
+        environment.host(service, "vendor-1")
+    for service in generator.candidates("task:B", 6):
+        environment.host(service, "vendor-2")
+
+    task = Task("t", sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+    candidates = CandidateSets(
+        task,
+        {
+            "A": environment.registry.by_capability("task:A"),
+            "B": environment.registry.by_capability("task:B"),
+        },
+    )
+    request = UserRequest(task, weights={n: 1.0 for n in PROPS})
+    return environment, task, candidates, request
+
+
+class TestNodesFromEnvironment:
+    def test_activities_follow_their_hosts(self, setting):
+        environment, task, candidates, request = setting
+        nodes = nodes_from_environment(candidates, environment)
+        by_node = {n.node_id: n.activity_names for n in nodes}
+        assert by_node == {"vendor-1": ["A"], "vendor-2": ["B"]}
+
+    def test_plurality_wins_for_mixed_hosting(self, setting):
+        environment, task, candidates, request = setting
+        # Move one A-candidate to vendor-2: vendor-1 still holds 5/6.
+        stray = candidates["A"][0]
+        stray.host_device = "vendor-2"
+        nodes = nodes_from_environment(candidates, environment)
+        by_node = {n.node_id: n.activity_names for n in nodes}
+        assert "A" in by_node["vendor-1"]
+
+    def test_unhosted_candidates_fall_to_coordinator(self):
+        environment = PervasiveEnvironment(seed=10)
+        generator = ServiceGenerator(PROPS, seed=10)
+        task = Task("t", sequence(leaf("A", "task:A")))
+        candidates = CandidateSets(
+            task, {"A": generator.candidates("task:A", 3)}
+        )
+        nodes = nodes_from_environment(candidates, environment)
+        assert [n.node_id for n in nodes] == ["coordinator"]
+
+    def test_distributed_run_over_environment_partition(self, setting):
+        environment, task, candidates, request = setting
+        nodes = nodes_from_environment(candidates, environment)
+        plan, timing = DistributedQASSA(PROPS).select(
+            request, candidates, nodes
+        )
+        assert plan.feasible
+        assert set(timing.per_node_seconds) == {"vendor-1", "vendor-2"}

@@ -1,0 +1,78 @@
+"""Tests for simulated devices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EnvironmentError_
+from repro.env.device import Device, DeviceClass
+
+
+class TestProfiles:
+    def test_server_has_infinite_battery(self):
+        server = Device("srv", DeviceClass.SERVER)
+        assert server.battery_level == 1.0
+        server.drain(1e9, active_fraction=1.0)
+        assert server.alive
+
+    def test_smartphone_profile(self):
+        phone = Device("ph", DeviceClass.SMARTPHONE)
+        assert phone.cpu_factor == 1.0
+        assert phone.battery_level == 1.0
+        assert phone.alive
+
+    def test_sensor_is_most_constrained(self):
+        sensor = Device("sn", DeviceClass.SENSOR)
+        laptop = Device("lp", DeviceClass.LAPTOP)
+        assert sensor.cpu_factor < laptop.cpu_factor
+        assert sensor.battery_wh < laptop.battery_wh
+
+
+class TestBattery:
+    def test_drain_reduces_level(self):
+        phone = Device("ph", DeviceClass.SMARTPHONE)
+        phone.drain(3600.0, active_fraction=1.0)  # one active hour
+        assert phone.battery_level < 1.0
+
+    def test_full_drain_kills_device(self):
+        sensor = Device("sn", DeviceClass.SENSOR)
+        sensor.drain(3600.0 * 1000, active_fraction=1.0)
+        assert sensor.battery_level == 0.0
+        assert not sensor.alive
+        assert not sensor.online
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            Device("ph").drain(-1.0)
+
+    def test_recharge_restores(self):
+        phone = Device("ph", DeviceClass.SMARTPHONE)
+        phone.drain(3600.0 * 100, active_fraction=1.0)
+        assert not phone.alive
+        phone.recharge()
+        assert phone.alive
+        assert phone.battery_level == 1.0
+
+    def test_idle_drains_slower_than_active(self):
+        idle = Device("a", DeviceClass.SMARTPHONE)
+        active = Device("b", DeviceClass.SMARTPHONE)
+        idle.drain(3600.0, active_fraction=0.0)
+        active.drain(3600.0, active_fraction=1.0)
+        assert idle.battery_level > active.battery_level
+
+
+class TestSlowdown:
+    def test_unloaded_fast_device(self):
+        server = Device("srv", DeviceClass.SERVER)
+        assert server.slowdown() == pytest.approx(1.0 / 4.0)
+
+    def test_load_increases_slowdown(self):
+        phone = Device("ph", DeviceClass.SMARTPHONE)
+        base = phone.slowdown()
+        phone.cpu_load = 1.0
+        assert phone.slowdown() == pytest.approx(3.0 * base)
+
+    def test_offline_device_not_alive(self):
+        phone = Device("ph")
+        phone.online = False
+        assert not phone.alive

@@ -1,0 +1,152 @@
+"""Tests for the pervasive environment simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EnvironmentError_
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.env.device import DeviceClass
+from repro.env.environment import EnvironmentConfig, PervasiveEnvironment
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def environment():
+    return PervasiveEnvironment(seed=3)
+
+
+@pytest.fixture
+def generator():
+    return ServiceGenerator(PROPS, seed=3)
+
+
+class TestTopology:
+    def test_add_device(self, environment):
+        device = environment.add_device("d1", DeviceClass.LAPTOP)
+        assert environment.device("d1") is device
+        assert environment.network.has_link("d1")
+
+    def test_duplicate_device_rejected(self, environment):
+        environment.add_device("d1")
+        with pytest.raises(EnvironmentError_):
+            environment.add_device("d1")
+
+    def test_unknown_device_raises(self, environment):
+        with pytest.raises(EnvironmentError_):
+            environment.device("ghost")
+
+    def test_host_service(self, environment, generator):
+        environment.add_device("d1")
+        service = generator.service("task:X")
+        environment.host(service, "d1")
+        assert service.service_id in environment.registry
+        assert service.host_device == "d1"
+        assert environment.hosting_device(service.service_id).device_id == "d1"
+
+    def test_host_on_new_device(self, environment, generator):
+        service = environment.host_on_new_device(generator.service("task:X"))
+        assert environment.hosting_device(service.service_id) is not None
+
+
+class TestLivenessAndInvocation:
+    def test_alive_when_hosted_and_device_up(self, environment, generator):
+        service = environment.host_on_new_device(generator.service("task:X"))
+        assert environment.is_alive(service)
+
+    def test_dead_when_withdrawn(self, environment, generator):
+        service = environment.host_on_new_device(generator.service("task:X"))
+        environment.registry.withdraw(service.service_id)
+        assert not environment.is_alive(service)
+
+    def test_dead_when_device_down(self, environment, generator):
+        service = environment.host_on_new_device(generator.service("task:X"))
+        environment.hosting_device(service.service_id).online = False
+        assert not environment.is_alive(service)
+        assert environment.invoke(service, 0.0) is None
+
+    def test_kill_service(self, environment, generator):
+        service = environment.host_on_new_device(generator.service("task:X"))
+        environment.kill_service(service.service_id)
+        assert not environment.is_alive(service)
+
+    def test_invoke_returns_distorted_qos(self, generator):
+        environment = PervasiveEnvironment(
+            EnvironmentConfig(qos_noise=0.0), seed=4
+        )
+        service = environment.host_on_new_device(
+            generator.service("task:X"), DeviceClass.SERVER
+        )
+        # Force a fully-available service so the lottery never fails.
+        from repro.qos.values import QoSVector
+
+        service = service.with_qos(
+            QoSVector({"response_time": 100.0, "cost": 1.0,
+                       "availability": 1.0}, PROPS)
+        )
+        environment.registry.publish(service)
+        observed = environment.invoke(service, 0.0)
+        assert observed is not None
+        # Link latency adds to response time; cost is noise-free here.
+        assert observed["response_time"] > 100.0 * 0.2  # slowdown can shrink
+        assert observed["cost"] == pytest.approx(1.0)
+
+    def test_unavailable_service_sometimes_fails(self, generator):
+        environment = PervasiveEnvironment(seed=5)
+        service = environment.host_on_new_device(generator.service("task:X"))
+        from repro.qos.values import QoSVector
+
+        service = service.with_qos(
+            QoSVector({"response_time": 10.0, "cost": 1.0,
+                       "availability": 0.3}, PROPS)
+        )
+        environment.registry.publish(service)
+        outcomes = [environment.invoke(service, float(i)) for i in range(50)]
+        failures = sum(1 for o in outcomes if o is None)
+        assert failures > 5  # ~70% expected
+
+    def test_invocation_drains_battery(self, generator):
+        environment = PervasiveEnvironment(
+            EnvironmentConfig(qos_noise=0.0), seed=6
+        )
+        service = environment.host_on_new_device(
+            generator.service("task:X"), DeviceClass.SENSOR
+        )
+        device = environment.hosting_device(service.service_id)
+        before = device.battery_remaining_wh
+        for i in range(20):
+            environment.invoke(service, float(i))
+        assert device.battery_remaining_wh < before
+
+
+class TestDynamics:
+    def test_step_advances_clock(self, environment):
+        environment.step(5)
+        assert environment.clock.now() == pytest.approx(5.0)
+
+    def test_churn_withdraws_and_rejoins(self, generator):
+        environment = PervasiveEnvironment(
+            EnvironmentConfig(churn_leave_rate=1.0, churn_join_rate=0.0),
+            seed=7,
+        )
+        environment.host_on_new_device(generator.service("task:X"))
+        environment.step()
+        assert len(environment.registry) == 0
+        # Now force rejoin.
+        environment.config = EnvironmentConfig(
+            churn_leave_rate=0.0, churn_join_rate=1.0
+        )
+        environment.step()
+        assert len(environment.registry) == 1
+
+    def test_degrade_link(self, environment, generator):
+        service = environment.host_on_new_device(generator.service("task:X"))
+        device_id = service.host_device
+        before = environment.network.link(device_id).latency.value
+        environment.degrade_link(device_id, fraction=0.8)
+        assert environment.network.link(device_id).latency.value > before

@@ -1,0 +1,103 @@
+"""Tests for the wireless network model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import EnvironmentError_
+from repro.env.network import FluctuationProcess, WirelessLink, WirelessNetwork
+
+
+class TestFluctuationProcess:
+    def test_starts_at_nominal(self):
+        process = FluctuationProcess(nominal=10.0, minimum=0.0, maximum=20.0)
+        assert process.value == 10.0
+
+    def test_nominal_outside_bounds_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            FluctuationProcess(nominal=30.0, minimum=0.0, maximum=20.0)
+
+    def test_values_stay_bounded(self):
+        process = FluctuationProcess(
+            nominal=10.0, minimum=0.0, maximum=20.0, volatility=0.5
+        )
+        rng = random.Random(1)
+        for _ in range(500):
+            value = process.step(rng)
+            assert 0.0 <= value <= 20.0
+
+    def test_mean_reversion_pulls_back(self):
+        process = FluctuationProcess(
+            nominal=10.0, minimum=0.0, maximum=20.0,
+            volatility=0.0, reversion=0.5,
+        )
+        process.value = 0.0
+        rng = random.Random(0)
+        process.step(rng)
+        assert process.value == pytest.approx(5.0)
+
+    def test_degrade_pushes_towards_minimum(self):
+        process = FluctuationProcess(nominal=10.0, minimum=0.0, maximum=20.0)
+        process.degrade(0.25)
+        assert process.value == pytest.approx(5.0)
+
+
+class TestWirelessLink:
+    def test_transfer_time(self):
+        link = WirelessLink("dev")
+        link.latency.value = 0.01
+        link.bandwidth.value = 1000.0
+        assert link.transfer_seconds(100) == pytest.approx(0.11)
+
+    def test_degrade_worsens_all_dimensions(self):
+        link = WirelessLink("dev")
+        latency_before = link.latency.value
+        bandwidth_before = link.bandwidth.value
+        loss_before = link.loss_rate.value
+        link.degrade(0.5)
+        assert link.latency.value > latency_before
+        assert link.bandwidth.value < bandwidth_before
+        assert link.loss_rate.value > loss_before
+
+
+class TestWirelessNetwork:
+    def test_attach_and_lookup(self):
+        network = WirelessNetwork()
+        link = network.attach("dev-1")
+        assert network.link("dev-1") is link
+        assert network.has_link("dev-1")
+
+    def test_double_attach_rejected(self):
+        network = WirelessNetwork()
+        network.attach("dev-1")
+        with pytest.raises(EnvironmentError_):
+            network.attach("dev-1")
+
+    def test_attach_foreign_link_rejected(self):
+        network = WirelessNetwork()
+        with pytest.raises(EnvironmentError_):
+            network.attach("dev-1", WirelessLink("dev-2"))
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(EnvironmentError_):
+            WirelessNetwork().link("ghost")
+
+    def test_detach(self):
+        network = WirelessNetwork()
+        network.attach("dev-1")
+        network.detach("dev-1")
+        assert not network.has_link("dev-1")
+
+    def test_step_moves_links(self):
+        network = WirelessNetwork(seed=2)
+        network.attach("dev-1")
+        before = network.link("dev-1").latency.value
+        moved = False
+        for _ in range(20):
+            network.step()
+            if network.link("dev-1").latency.value != before:
+                moved = True
+                break
+        assert moved

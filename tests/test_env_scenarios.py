@@ -1,0 +1,89 @@
+"""Tests for the prebuilt paper scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.composition.task import Conditional, Loop, Parallel
+from repro.env.scenarios import (
+    build_hospital_scenario,
+    build_holiday_camp_scenario,
+    build_shopping_scenario,
+    build_task_ontology,
+)
+
+
+class TestTaskOntology:
+    def setup_method(self):
+        self.onto = build_task_ontology()
+
+    def test_payment_specialisations(self):
+        assert self.onto.subsumes("task:Payment", "task:CardPayment")
+        assert self.onto.subsumes("task:Payment", "task:MobilePayment")
+
+    def test_streaming_specialisations(self):
+        assert self.onto.subsumes("task:Streaming", "task:AudioStreaming")
+        assert self.onto.subsumes("task:UserActivity", "task:VideoStreaming")
+
+    def test_data_concepts(self):
+        assert self.onto.subsumes("data:Data", "data:Receipt")
+        assert not self.onto.subsumes("task:UserActivity", "data:Receipt")
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [build_shopping_scenario, build_hospital_scenario,
+     build_holiday_camp_scenario],
+)
+class TestScenarioShape:
+    def test_scenario_is_complete(self, builder):
+        scenario = builder()
+        assert scenario.task.size() >= 2
+        assert len(scenario.environment.registry) > 0
+        assert scenario.request.constraints
+        assert scenario.repository.get(None) is None or True
+        assert len(list(scenario.repository)) >= 1
+        # Every task class holds the primary plus at least one alternative.
+        for task_class in scenario.repository:
+            assert len(task_class) >= 2
+
+    def test_all_activities_have_semantic_candidates(self, builder):
+        from repro.services.discovery import DiscoveryQuery, QoSAwareDiscovery
+
+        scenario = builder()
+        discovery = QoSAwareDiscovery(
+            scenario.environment.registry, scenario.ontology
+        )
+        for activity in scenario.task.activities:
+            candidates = discovery.candidates(
+                DiscoveryQuery(activity.capability)
+            )
+            assert candidates, f"no candidates for {activity.name}"
+
+
+class TestScenarioSpecifics:
+    def test_shopping_has_parallel_payment(self):
+        scenario = build_shopping_scenario()
+        assert scenario.task.has_pattern(Parallel)
+
+    def test_hospital_has_diagnosis_loop(self):
+        scenario = build_hospital_scenario()
+        assert scenario.task.has_pattern(Loop)
+
+    def test_camp_has_streaming_choice(self):
+        scenario = build_holiday_camp_scenario()
+        assert scenario.task.has_pattern(Conditional)
+
+    def test_camp_environment_is_churny(self):
+        scenario = build_holiday_camp_scenario()
+        assert scenario.environment.config.churn_leave_rate > 0
+
+    def test_scenarios_deterministic_under_seed(self):
+        a = build_shopping_scenario(seed=42)
+        b = build_shopping_scenario(seed=42)
+        ids_a = sorted(s.service_id for s in a.environment.registry)
+        ids_b = sorted(s.service_id for s in b.environment.registry)
+        # Service ids differ (global counter) but QoS populations match.
+        qos_a = sorted(repr(s.advertised_qos) for s in a.environment.registry)
+        qos_b = sorted(repr(s.advertised_qos) for s in b.environment.registry)
+        assert qos_a == qos_b

@@ -1,0 +1,72 @@
+"""Smoke tests: every example application runs end to end.
+
+Examples are the repo's contract with new users; a broken example is a
+broken release.  Each test imports the script as a module and runs its
+``main()`` with output captured.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "selected composition" in out
+        assert "execution succeeded" in out
+
+    def test_pervasive_shopping(self, capsys):
+        out = run_example("pervasive_shopping", capsys)
+        assert "ranked by QoS" in out
+        assert "adaptation action" in out
+        assert "execution succeeded" in out
+
+    def test_pervasive_hospital(self, capsys):
+        out = run_example("pervasive_hospital", capsys)
+        assert "aggregated QoS per approach" in out
+        assert "pessimistic" in out and "optimistic" in out
+
+    def test_holiday_camp_streaming(self, capsys):
+        out = run_example("holiday_camp_streaming", capsys)
+        assert "proactive trigger: forecast" in out
+        assert "behavioural adaptation adopted" in out
+
+    def test_reputation_market(self, capsys):
+        out = run_example("reputation_market", capsys)
+        assert "market converges" in out
+        assert "final mean reputation" in out
+        # The converged market must rate the honest cohort above the flaky
+        # one.
+        line = next(l for l in out.splitlines()
+                    if "final mean reputation" in l)
+        honest = float(line.split("honest ")[1].split(" ")[0])
+        flaky = float(line.split("flaky ")[1])
+        assert honest > flaky
+
+    def test_every_example_has_a_test(self):
+        scripts = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        tested = {"quickstart", "pervasive_shopping", "pervasive_hospital",
+                  "holiday_camp_streaming", "reputation_market"}
+        assert scripts == tested, (
+            "examples and their smoke tests drifted apart"
+        )

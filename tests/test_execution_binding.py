@@ -1,0 +1,82 @@
+"""Tests for dynamic binding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.adaptation.monitoring import QoSMonitor, QoSObservation
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+from repro.execution.binding import DynamicBinder
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def plan():
+    task = Task("t", sequence(leaf("A", "task:A")))
+    generator = ServiceGenerator(PROPS, seed=31)
+    candidates = CandidateSets(task, {"A": generator.candidates("task:A", 10)})
+    request = UserRequest(
+        task,
+        constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+        weights={"response_time": 0.8, "cost": 0.1, "availability": 0.1},
+    )
+    return QASSA(PROPS, config=QassaConfig(alternates_kept=3)).select(
+        request, candidates
+    )
+
+
+class TestBinding:
+    def test_binds_primary_without_monitor(self, plan):
+        binder = DynamicBinder(PROPS)
+        assert binder.bind(plan, "A") == plan.selections["A"].primary
+
+    def test_unknown_activity_raises(self, plan):
+        with pytest.raises(BindingError):
+            DynamicBinder(PROPS).bind(plan, "Z")
+
+    def test_dead_primary_falls_to_alternate(self, plan):
+        primary = plan.selections["A"].primary
+        binder = DynamicBinder(PROPS, liveness=lambda s: s != primary)
+        bound = binder.bind(plan, "A")
+        assert bound != primary
+        assert bound in plan.selections["A"].alternates
+
+    def test_all_dead_raises(self, plan):
+        binder = DynamicBinder(PROPS, liveness=lambda s: False)
+        with pytest.raises(BindingError):
+            binder.bind(plan, "A")
+
+    def test_runtime_estimates_override_advertised_ranking(self, plan):
+        """When the primary's measured response time collapses, the binder
+        switches to an alternate whose run-time estimate is better."""
+        primary = plan.selections["A"].primary
+        alternates = plan.selections["A"].alternates
+        assert alternates, "plan must keep alternates for this test"
+        monitor = QoSMonitor(PROPS)
+        # Observed: primary is terrible; first alternate is excellent.
+        monitor.observe(
+            QoSObservation(primary.service_id, "response_time", 1e6, 0.0)
+        )
+        monitor.observe(
+            QoSObservation(alternates[0].service_id, "response_time", 1.0, 0.0)
+        )
+        binder = DynamicBinder(PROPS, monitor=monitor)
+        assert binder.bind(plan, "A") == alternates[0]
+
+    def test_single_live_service_shortcut(self, plan):
+        primary = plan.selections["A"].primary
+        monitor = QoSMonitor(PROPS)
+        binder = DynamicBinder(
+            PROPS, monitor=monitor, liveness=lambda s: s == primary
+        )
+        assert binder.bind(plan, "A") == primary

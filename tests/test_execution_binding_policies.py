@@ -1,0 +1,122 @@
+"""Tests for the dynamic-binding policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.adaptation.monitoring import QoSMonitor, QoSObservation
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+from repro.execution.binding import BindingPolicy, DynamicBinder
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def plan():
+    task = Task("t", sequence(leaf("A", "task:A")))
+    generator = ServiceGenerator(PROPS, seed=71)
+    candidates = CandidateSets(task, {"A": generator.candidates("task:A", 12)})
+    request = UserRequest(task, weights={"response_time": 1.0})
+    return QASSA(PROPS, config=QassaConfig(alternates_kept=3)).select(
+        request, candidates
+    )
+
+
+class TestFailoverPolicy:
+    def test_always_primary_when_alive(self, plan):
+        binder = DynamicBinder(PROPS, policy=BindingPolicy.FAILOVER)
+        for _ in range(3):
+            assert binder.bind(plan, "A") == plan.selections["A"].primary
+
+    def test_falls_to_next_ranked(self, plan):
+        primary = plan.selections["A"].primary
+        binder = DynamicBinder(
+            PROPS, policy=BindingPolicy.FAILOVER,
+            liveness=lambda s: s != primary,
+        )
+        assert binder.bind(plan, "A") == plan.selections["A"].services[1]
+
+    def test_ignores_runtime_estimates(self, plan):
+        primary = plan.selections["A"].primary
+        alternates = plan.selections["A"].alternates
+        monitor = QoSMonitor(PROPS)
+        monitor.observe(
+            QoSObservation(primary.service_id, "response_time", 1e9, 0.0)
+        )
+        monitor.observe(
+            QoSObservation(alternates[0].service_id, "response_time", 1.0, 0.0)
+        )
+        binder = DynamicBinder(PROPS, monitor=monitor,
+                               policy=BindingPolicy.FAILOVER)
+        assert binder.bind(plan, "A") == primary
+
+
+class TestRoundRobinPolicy:
+    def test_rotates_over_ranked_services(self, plan):
+        binder = DynamicBinder(PROPS, policy=BindingPolicy.ROUND_ROBIN)
+        services = plan.selections["A"].services
+        picks = [binder.bind(plan, "A") for _ in range(len(services) * 2)]
+        assert picks[: len(services)] == services
+        assert picks[len(services):] == services  # wraps around
+
+    def test_per_activity_cursors_independent(self):
+        task = Task("t", sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+        generator = ServiceGenerator(PROPS, seed=72)
+        candidates = CandidateSets(
+            task,
+            {a.name: generator.candidates(a.capability, 6)
+             for a in task.activities},
+        )
+        request = UserRequest(task, weights={"response_time": 1.0})
+        plan = QASSA(PROPS, config=QassaConfig(alternates_kept=2)).select(
+            request, candidates
+        )
+        binder = DynamicBinder(PROPS, policy=BindingPolicy.ROUND_ROBIN)
+        first_a = binder.bind(plan, "A")
+        first_b = binder.bind(plan, "B")
+        second_a = binder.bind(plan, "A")
+        assert first_a == plan.selections["A"].services[0]
+        assert first_b == plan.selections["B"].services[0]
+        assert second_a == plan.selections["A"].services[1]
+
+    def test_skips_dead_services(self, plan):
+        services = plan.selections["A"].services
+        dead = services[1]
+        binder = DynamicBinder(
+            PROPS, policy=BindingPolicy.ROUND_ROBIN,
+            liveness=lambda s: s != dead,
+        )
+        picks = {binder.bind(plan, "A") for _ in range(6)}
+        assert dead not in picks
+
+
+class TestUtilityPolicyRemainsDefault:
+    def test_default_policy(self):
+        assert DynamicBinder(PROPS).policy is BindingPolicy.UTILITY
+
+    def test_round_robin_state_survives_engine_retries(self, plan):
+        """The engine narrows liveness in place, so the binder keeps its
+        per-activity cursor across retry attempts."""
+        from repro.execution.engine import ExecutionEngine
+
+        binder = DynamicBinder(PROPS, policy=BindingPolicy.ROUND_ROBIN)
+        calls = []
+
+        def invoker(service, timestamp):
+            calls.append(service.service_id)
+            return service.advertised_qos
+
+        engine = ExecutionEngine(PROPS, invoker, binder=binder)
+        engine.execute(plan)
+        engine.execute(plan)
+        services = plan.selections["A"].services
+        assert calls[0] == services[0].service_id
+        assert calls[1] == services[1 % len(services)].service_id

@@ -1,0 +1,46 @@
+"""Tests for the simulated clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution.clock import SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(100.0).now() == 100.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_advance_zero_is_fine(self):
+        clock = SimulatedClock(5.0)
+        clock.advance(0.0)
+        assert clock.now() == 5.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ExecutionError):
+            SimulatedClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimulatedClock(10.0)
+        clock.advance_to(25.0)
+        assert clock.now() == 25.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimulatedClock(10.0)
+        with pytest.raises(ExecutionError):
+            clock.advance_to(5.0)
+
+    def test_advance_to_same_instant_is_fine(self):
+        clock = SimulatedClock(10.0)
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0

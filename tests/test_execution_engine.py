@@ -1,0 +1,259 @@
+"""Tests for the composition execution engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.generator import ServiceGenerator
+from repro.adaptation.monitoring import QoSMonitor
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import (
+    Task,
+    conditional,
+    leaf,
+    loop,
+    parallel,
+    sequence,
+)
+from repro.execution.clock import SimulatedClock
+from repro.execution.engine import ExecutionEngine
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+def build_plan(tree, seed=41, alternates=3):
+    task = Task("t", tree)
+    generator = ServiceGenerator(PROPS, seed=seed)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 8)
+         for a in task.activities},
+    )
+    request = UserRequest(
+        task,
+        constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+        weights={n: 1.0 for n in PROPS},
+    )
+    return QASSA(PROPS, config=QassaConfig(alternates_kept=alternates)).select(
+        request, candidates
+    )
+
+
+def echo_invoker(service, timestamp):
+    """Returns exactly the advertised QoS (a perfectly honest provider)."""
+    return service.advertised_qos
+
+
+class TestSequentialExecution:
+    def test_all_activities_invoked_in_order(self):
+        plan = build_plan(sequence(leaf("A", "task:A"), leaf("B", "task:B"),
+                                   leaf("C", "task:C")))
+        engine = ExecutionEngine(PROPS, echo_invoker)
+        report = engine.execute(plan)
+        assert report.succeeded
+        assert [r.activity_name for r in report.invocations] == ["A", "B", "C"]
+
+    def test_clock_advances_by_response_times(self):
+        plan = build_plan(sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+        clock = SimulatedClock()
+        engine = ExecutionEngine(PROPS, echo_invoker, clock=clock)
+        report = engine.execute(plan)
+        binding = plan.binding()
+        expected_ms = sum(s.qos("response_time") for s in binding.values())
+        assert report.elapsed == pytest.approx(expected_ms / 1000.0)
+
+    def test_cost_accumulated(self):
+        plan = build_plan(sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+        engine = ExecutionEngine(PROPS, echo_invoker)
+        report = engine.execute(plan)
+        expected = sum(s.qos("cost") for s in plan.binding().values())
+        assert report.total_cost == pytest.approx(expected)
+
+
+class TestParallelExecution:
+    def test_parallel_elapsed_is_slowest_branch(self):
+        plan = build_plan(parallel(leaf("B", "task:B"), leaf("C", "task:C")))
+        engine = ExecutionEngine(PROPS, echo_invoker)
+        report = engine.execute(plan)
+        binding = plan.binding()
+        slowest_ms = max(
+            binding["B"].qos("response_time"), binding["C"].qos("response_time")
+        )
+        assert report.elapsed == pytest.approx(slowest_ms / 1000.0)
+        assert len(report.invocations) == 2
+
+
+class TestConditionalExecution:
+    def test_exactly_one_branch_runs(self):
+        plan = build_plan(
+            sequence(
+                leaf("A", "task:A"),
+                conditional(leaf("B", "task:B"), leaf("C", "task:C")),
+            )
+        )
+        engine = ExecutionEngine(PROPS, echo_invoker, seed=3)
+        report = engine.execute(plan)
+        names = {r.activity_name for r in report.invocations}
+        assert "A" in names
+        assert len(names & {"B", "C"}) == 1
+
+    def test_branch_frequency_follows_probabilities(self):
+        plan = build_plan(
+            conditional(leaf("B", "task:B"), leaf("C", "task:C"))
+        )
+        # Force probabilities by rebuilding the task with skewed odds.
+        task = Task(
+            "t",
+            conditional(leaf("B", "task:B"), leaf("C", "task:C"),
+                        probabilities=(0.9, 0.1)),
+        )
+        plan.task = task
+        picks = {"B": 0, "C": 0}
+        for seed in range(60):
+            engine = ExecutionEngine(PROPS, echo_invoker, seed=seed)
+            report = engine.execute(plan)
+            picks[report.invocations[0].activity_name] += 1
+        assert picks["B"] > picks["C"]
+
+
+class TestLoopExecution:
+    def test_expected_iterations_pins_count(self):
+        plan = build_plan(loop(leaf("A", "task:A"), max_iterations=5,
+                               expected_iterations=3.0))
+        engine = ExecutionEngine(PROPS, echo_invoker)
+        report = engine.execute(plan)
+        assert len(report.invocations_of("A")) == 3
+
+    def test_random_iterations_within_bounds(self):
+        plan = build_plan(loop(leaf("A", "task:A"), max_iterations=4))
+        for seed in range(10):
+            engine = ExecutionEngine(PROPS, echo_invoker, seed=seed)
+            report = engine.execute(plan)
+            assert 1 <= len(report.invocations_of("A")) <= 4
+
+
+class TestFailureHandling:
+    def test_retry_over_alternates_on_failure(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+        primary = plan.selections["A"].primary
+
+        def flaky(service, timestamp):
+            if service == primary:
+                return None  # primary always fails
+            return service.advertised_qos
+
+        engine = ExecutionEngine(PROPS, flaky, max_attempts_per_activity=3)
+        report = engine.execute(plan)
+        assert report.succeeded
+        records = report.invocations_of("A")
+        assert records[0].succeeded is False
+        assert records[-1].succeeded is True
+        assert records[-1].service_id != primary.service_id
+
+    def test_all_attempts_fail_marks_activity(self):
+        plan = build_plan(sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+
+        def dead(service, timestamp):
+            return None
+
+        engine = ExecutionEngine(PROPS, dead, max_attempts_per_activity=2)
+        report = engine.execute(plan)
+        assert not report.succeeded
+        assert report.failed_activity == "A"
+        # B was never attempted: the sequence stops at the failure.
+        assert report.invocations_of("B") == []
+
+    def test_failures_reported_to_monitor(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+        primary = plan.selections["A"].primary
+        monitor = QoSMonitor(PROPS)
+        failures = []
+        monitor.subscribe(lambda t: failures.append(t.service_id))
+
+        def flaky(service, timestamp):
+            return None if service == primary else service.advertised_qos
+
+        engine = ExecutionEngine(PROPS, flaky, monitor=monitor)
+        engine.execute(plan)
+        assert primary.service_id in failures
+
+    def test_observed_qos_fed_to_monitor(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+        monitor = QoSMonitor(PROPS)
+        engine = ExecutionEngine(PROPS, echo_invoker, monitor=monitor)
+        engine.execute(plan)
+        primary = plan.selections["A"].primary
+        assert monitor.estimate(primary.service_id, "response_time") == (
+            pytest.approx(primary.qos("response_time"))
+        )
+
+
+class TestEngineEdgeCases:
+    def test_parallel_branch_failure_fails_composition(self):
+        plan = build_plan(parallel(leaf("B", "task:B"), leaf("C", "task:C")))
+        doomed = plan.selections["C"]
+
+        def invoker(service, timestamp):
+            if service in doomed.services:
+                return None
+            return service.advertised_qos
+
+        engine = ExecutionEngine(PROPS, invoker, max_attempts_per_activity=2)
+        report = engine.execute(plan)
+        assert not report.succeeded
+        assert report.failed_activity == "C"
+        # The healthy branch ran before the failure surfaced.
+        assert report.invocations_of("B")
+
+    def test_loop_expected_iterations_rounds(self):
+        plan = build_plan(loop(leaf("A", "task:A"), max_iterations=5,
+                               expected_iterations=2.6))
+        engine = ExecutionEngine(PROPS, echo_invoker)
+        report = engine.execute(plan)
+        assert len(report.invocations_of("A")) == 3  # round(2.6)
+
+    def test_invocation_without_response_time_advances_nothing(self):
+        from repro.qos.values import QoSVector
+
+        plan = build_plan(sequence(leaf("A", "task:A")))
+
+        def costless_invoker(service, timestamp):
+            return QoSVector({"cost": 1.0}, PROPS)
+
+        engine = ExecutionEngine(PROPS, costless_invoker)
+        report = engine.execute(plan)
+        assert report.succeeded
+        assert report.elapsed == 0.0
+        assert report.total_cost == 1.0
+
+    def test_report_invocation_accessors(self):
+        plan = build_plan(sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+        engine = ExecutionEngine(PROPS, echo_invoker)
+        report = engine.execute(plan)
+        assert len(report.invocations_of("A")) == 1
+        assert report.invocations_of("nope") == []
+        assert report.elapsed >= 0
+
+    def test_clock_restored_after_parallel_branch_failure(self):
+        plan = build_plan(parallel(leaf("B", "task:B"), leaf("C", "task:C")))
+        doomed = plan.selections["C"]
+
+        def invoker(service, timestamp):
+            if service in doomed.services:
+                return None
+            return service.advertised_qos
+
+        clock = SimulatedClock(100.0)
+        engine = ExecutionEngine(PROPS, invoker, clock=clock,
+                                 max_attempts_per_activity=1)
+        engine.execute(plan)
+        # The engine must hold the shared clock again, not a branch fork.
+        assert engine.clock is clock
+        assert clock.now() >= 100.0

@@ -1,0 +1,94 @@
+"""Tests for executable-composition serialisation (§VI.2.4)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import BpelParseError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, parallel, sequence
+from repro.execution.bpel import parse_bpel, to_executable_bpel
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def plan():
+    task = Task(
+        "exec-demo",
+        sequence(leaf("A", "task:A"),
+                 parallel(leaf("B", "task:B"), leaf("C", "task:C"))),
+    )
+    generator = ServiceGenerator(PROPS, seed=81)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 8)
+         for a in task.activities},
+    )
+    request = UserRequest(
+        task,
+        constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+        weights={n: 1.0 for n in PROPS},
+    )
+    return QASSA(PROPS, config=QassaConfig(alternates_kept=2)).select(
+        request, candidates
+    )
+
+
+class TestExecutableBpel:
+    def test_every_invoke_carries_a_binding(self, plan):
+        document = to_executable_bpel(plan)
+        root = ET.fromstring(document)
+        invokes = list(root.iter("invoke"))
+        assert len(invokes) == 3
+        for invoke in invokes:
+            activity = invoke.get("name")
+            assert invoke.get("partnerService") == (
+                plan.selections[activity].primary.service_id
+            )
+            assert invoke.get("partnerName")
+
+    def test_alternates_listed(self, plan):
+        document = to_executable_bpel(plan)
+        root = ET.fromstring(document)
+        for invoke in root.iter("invoke"):
+            activity = invoke.get("name")
+            alternates = plan.selections[activity].alternates
+            if alternates:
+                listed = invoke.get("alternates").split()
+                assert listed == [s.service_id for s in alternates]
+
+    def test_qos_annotation_carries_aggregate(self, plan):
+        document = to_executable_bpel(plan)
+        root = ET.fromstring(document)
+        qos = root.find("qos")
+        assert qos is not None
+        by_property = {
+            e.get("property"): float(e.get("value")) for e in qos
+        }
+        for name in PROPS:
+            assert by_property[name] == pytest.approx(
+                plan.aggregated_qos[name], rel=1e-4
+            )
+        assert all(
+            e.get("approach") == plan.approach.value for e in qos
+        )
+
+    def test_executable_document_parses_back_as_abstract_task(self, plan):
+        document = to_executable_bpel(plan)
+        recovered = parse_bpel(document)
+        assert recovered.activity_names == plan.task.activity_names
+        assert recovered.pattern_census() == plan.task.pattern_census()
+
+    def test_rejects_non_plan(self):
+        with pytest.raises(BpelParseError):
+            to_executable_bpel("not a plan")

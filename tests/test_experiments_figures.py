@@ -1,0 +1,101 @@
+"""Smoke tests for every figure/table entry point (tiny parameters).
+
+Full-size runs live in ``benchmarks/``; here we assert each experiment runs
+and produces the series shape the paper plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+
+
+class TestTableIV1:
+    def test_rows_cover_all_kinds(self):
+        rows = figures.table_iv1()
+        kinds = [row[0] for row in rows]
+        assert "multiplicative" in kinds
+        assert len(rows) == 6
+        assert all(len(row) == 5 for row in rows)
+
+
+class TestTimeFigures:
+    def test_fig_vi5a(self):
+        sweep = figures.fig_vi5a(service_counts=(5, 10), activities=3,
+                                 repetitions=1)
+        assert len(sweep.points) == 2
+        assert all("qassa_ms" in p.values for p in sweep.points)
+        assert all(p.values["qassa_ms"] > 0 for p in sweep.points)
+
+    def test_fig_vi5b(self):
+        sweep = figures.fig_vi5b(constraint_counts=(1, 3), activities=3,
+                                 services=10, repetitions=1)
+        assert [p.x for p in sweep.points] == [1, 3]
+
+    def test_fig_vi7_all_approaches(self):
+        sweeps = figures.fig_vi7(service_counts=(5,), activities=5,
+                                 repetitions=1)
+        assert set(sweeps) == {"pessimistic", "optimistic", "mean"}
+
+    def test_fig_vi10_both_offsets(self):
+        sweeps = figures.fig_vi10(service_counts=(5,), activities=3,
+                                  repetitions=1)
+        assert set(sweeps) == {"m", "m+sigma"}
+
+
+class TestOptimalityFigures:
+    def test_fig_vi6a_optimality_bounded(self):
+        sweep = figures.fig_vi6a(service_counts=(5, 8), activities=2)
+        for point in sweep.points:
+            if "qassa" in point.values:
+                assert 0.0 <= point.values["qassa"] <= 1.0
+
+    def test_fig_vi6b(self):
+        sweep = figures.fig_vi6b(constraint_counts=(1, 2), activities=2,
+                                 services=6)
+        assert sweep.points
+
+    def test_fig_vi8(self):
+        sweeps = figures.fig_vi8(service_counts=(5,), activities=2,
+                                 constraints=2)
+        assert len(sweeps) == 3
+
+    def test_fig_vi11(self):
+        sweeps = figures.fig_vi11(service_counts=(6,), activities=2,
+                                  constraints=2)
+        assert set(sweeps) == {"m", "m+sigma"}
+
+
+class TestDistributionFigure:
+    def test_fig_vi9_histogram(self):
+        sweep = figures.fig_vi9(samples=500, bins=10)
+        counts = [p.values["count"] for p in sweep.points]
+        assert sum(counts) == 500
+        assert len(counts) == 10
+        # Normal law: the middle bins dominate the extremes.
+        middle = max(counts[3:7])
+        assert middle >= max(counts[0], counts[-1])
+
+
+class TestStructuralFigures:
+    def test_fig_vi12_phases(self):
+        sweep = figures.fig_vi12(node_counts=(2, 3), activities=4, services=8)
+        for point in sweep.points:
+            assert point.values["total_ms"] >= point.values["global_ms"]
+
+    def test_fig_vi13_linear_growth(self):
+        sweep = figures.fig_vi13(activity_counts=(10, 40), repetitions=1)
+        assert sweep.points[0].values["vertices"] == 10
+        assert sweep.points[1].values["vertices"] == 40
+
+    def test_exp_ch5_homeomorphism(self):
+        sweep = figures.exp_ch5_homeomorphism(sizes=(3, 5), repetitions=1)
+        assert all(p.values["found"] == 1.0 for p in sweep.points)
+
+    def test_exp_ch4_summary(self):
+        rows = figures.exp_ch4_summary(activities=3, services=6)
+        names = [row[0] for row in rows]
+        assert names == ["exhaustive", "qassa", "greedy", "genetic"]
+        exhaustive = rows[0]
+        assert exhaustive[2] == 1.0

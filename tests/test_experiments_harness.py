@@ -1,0 +1,102 @@
+"""Tests for the measurement harness and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentPoint,
+    Sweep,
+    measure,
+    optimality,
+    try_select,
+)
+from repro.experiments.reporting import render_series, render_table
+
+
+class TestSweep:
+    def test_add_and_series(self):
+        sweep = Sweep("s", "x")
+        sweep.add(1.0, a=10.0, b=20.0)
+        sweep.add(2.0, a=30.0)
+        assert sweep.series("a") == [(1.0, 10.0), (2.0, 30.0)]
+        assert sweep.series("b") == [(1.0, 20.0)]
+        assert sweep.series("missing") == []
+
+
+class TestMeasure:
+    def test_returns_median_and_result(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            return "result"
+
+        elapsed, result = measure(work, repetitions=5)
+        assert result == "result"
+        assert len(calls) == 5
+        assert elapsed >= 0.0
+
+    def test_minimum_one_repetition(self):
+        elapsed, result = measure(lambda: 42, repetitions=0)
+        assert result == 42
+
+
+class TestOptimality:
+    class _Plan:
+        def __init__(self, utility):
+            self.utility = utility
+
+    def test_ratio(self):
+        assert optimality(self._Plan(0.8), self._Plan(1.0)) == 0.8
+
+    def test_clamped_to_one(self):
+        assert optimality(self._Plan(1.2), self._Plan(1.0)) == 1.0
+
+    def test_zero_optimum(self):
+        assert optimality(self._Plan(0.0), self._Plan(0.0)) == 1.0
+        assert optimality(self._Plan(0.5), self._Plan(0.0)) == 0.0
+
+
+class TestTrySelect:
+    def test_none_on_selection_error(self):
+        from repro.errors import SelectionError
+
+        class Failing:
+            def select(self, request, candidates):
+                raise SelectionError("nope")
+
+        assert try_select(Failing(), None, None) is None
+
+    def test_passthrough_on_success(self):
+        class Working:
+            def select(self, request, candidates):
+                return "plan"
+
+        assert try_select(Working(), None, None) == "plan"
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 123456.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_render_series_infers_columns(self):
+        sweep = Sweep("s", "x")
+        sweep.add(1, a=2.0)
+        sweep.add(2, b=3.0)
+        text = render_series(sweep)
+        assert "a" in text and "b" in text and "x" in text
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.00001], [12345678.0], [0.5], [True]])
+        assert "1.000e-05" in text
+        assert "1.235e+07" in text
+        assert "0.5" in text
+        assert "yes" in text

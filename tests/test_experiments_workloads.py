@@ -1,0 +1,136 @@
+"""Tests for experiment workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.composition.aggregation import AggregationApproach
+from repro.composition.baselines import ExhaustiveSelection
+from repro.composition.task import Conditional, Loop, Parallel
+from repro.errors import SelectionError
+from repro.services.generator import QoSDistribution
+from repro.experiments.workloads import (
+    CONSTRAINT_ORDER,
+    EXPERIMENT_PROPERTIES,
+    WorkloadSpec,
+    constraints_at_tightness,
+    make_task,
+    make_workload,
+)
+
+
+class TestMakeTask:
+    def test_sequential_task_size(self):
+        task = make_task(7)
+        assert task.size() == 7
+        assert not task.has_pattern(Parallel)
+
+    def test_mixed_task_has_all_patterns(self):
+        task = make_task(10, mixed_patterns=True)
+        assert task.size() == 10
+        assert task.has_pattern(Parallel)
+        assert task.has_pattern(Conditional)
+        assert task.has_pattern(Loop)
+
+    def test_small_task_stays_sequential(self):
+        task = make_task(3, mixed_patterns=True)
+        assert task.size() == 3
+        assert not task.has_pattern(Parallel)
+
+
+class TestMakeWorkload:
+    def test_default_workload_shape(self):
+        workload = make_workload(WorkloadSpec(activities=4,
+                                              services_per_activity=10,
+                                              constraints=3))
+        assert workload.task.size() == 4
+        assert all(n == 10 for n in workload.candidates.sizes().values())
+        assert len(workload.request.constraints) == 3
+        names = [c.property_name for c in workload.request.constraints]
+        assert names == list(CONSTRAINT_ORDER[:3])
+
+    def test_workload_is_deterministic(self):
+        a = make_workload(WorkloadSpec(seed=5))
+        b = make_workload(WorkloadSpec(seed=5))
+        assert [c.bound for c in a.request.constraints] == (
+            [c.bound for c in b.request.constraints]
+        )
+
+    def test_tightness_one_is_always_feasible(self):
+        workload = make_workload(
+            WorkloadSpec(activities=3, services_per_activity=5,
+                         constraints=4, tightness=1.0)
+        )
+        plan = ExhaustiveSelection(workload.properties).select(
+            workload.request, workload.candidates
+        )
+        assert plan.feasible
+
+    def test_tightness_zero_is_barely_feasible(self):
+        """At tightness 0 the bound equals the best achievable aggregate; at
+        most the single best assignment survives."""
+        workload = make_workload(
+            WorkloadSpec(activities=2, services_per_activity=4,
+                         constraints=1, tightness=0.0)
+        )
+        try:
+            plan = ExhaustiveSelection(workload.properties).select(
+                workload.request, workload.candidates
+            )
+        except SelectionError:
+            return  # acceptable: float rounding made it infeasible
+        # Feasible: bound must be met with (near-)zero slack.
+        constraint = workload.request.constraints[0]
+        value = plan.aggregated_qos[constraint.property_name]
+        assert constraint.slack(value) <= 1e-6 + abs(constraint.bound) * 1e-9
+
+    def test_normal_offset_constraints(self):
+        workload = make_workload(
+            WorkloadSpec(activities=3, services_per_activity=5,
+                         constraints=2,
+                         distribution=QoSDistribution.NORMAL),
+            sigma_offset=1.0,
+        )
+        rt = next(
+            c for c in workload.request.constraints
+            if c.property_name == "response_time"
+        )
+        law = workload.generator.law("response_time")
+        assert rt.bound == pytest.approx(3 * (law.mean + law.stddev))
+
+    def test_mixed_patterns_flag(self):
+        workload = make_workload(
+            WorkloadSpec(activities=8, mixed_patterns=True,
+                         services_per_activity=4)
+        )
+        assert workload.task.has_pattern(Loop)
+
+
+class TestConstraintsAtTightness:
+    def test_bounds_interpolate(self):
+        workload = make_workload(
+            WorkloadSpec(activities=3, services_per_activity=6, constraints=0)
+        )
+        loose = constraints_at_tightness(
+            workload.task, workload.candidates, workload.properties,
+            ["response_time"], 1.0,
+        )[0]
+        tight = constraints_at_tightness(
+            workload.task, workload.candidates, workload.properties,
+            ["response_time"], 0.0,
+        )[0]
+        mid = constraints_at_tightness(
+            workload.task, workload.candidates, workload.properties,
+            ["response_time"], 0.5,
+        )[0]
+        assert tight.bound < mid.bound < loose.bound
+
+    def test_positive_property_direction(self):
+        workload = make_workload(
+            WorkloadSpec(activities=2, services_per_activity=5, constraints=0)
+        )
+        constraint = constraints_at_tightness(
+            workload.task, workload.candidates, workload.properties,
+            ["availability"], 0.5,
+        )[0]
+        assert constraint.operator == ">="

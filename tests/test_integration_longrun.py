@@ -1,0 +1,93 @@
+"""Long-run simulation: the middleware survives a hostile environment.
+
+A single middleware instance serves a stream of requests while the
+environment churns, links fluctuate, batteries drain and providers get
+killed.  This is the closest the suite gets to the paper's deployment
+story; the assertions are about *liveness* (requests keep being answered
+or honestly refused) and *consistency* (every answer satisfies its own
+constraints at plan time), not about any particular success count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.middleware.qasom import QASOM
+from repro.env.scenarios import build_holiday_camp_scenario, build_shopping_scenario
+
+
+class TestLongRunningSession:
+    def test_fifty_requests_through_a_churning_environment(self):
+        scenario = build_shopping_scenario(services_per_activity=10, seed=400)
+        middleware = QASOM.for_environment(
+            scenario.environment,
+            scenario.properties,
+            ontology=scenario.ontology,
+            repository=scenario.repository,
+        )
+        answered = 0
+        refused = 0
+        executed_ok = 0
+        for round_ in range(50):
+            scenario.environment.step(2)
+            try:
+                plan = middleware.compose(scenario.request)
+            except ReproError:
+                refused += 1
+                continue
+            answered += 1
+            assert plan.feasible
+            assert scenario.request.satisfied_by(plan.aggregated_qos)
+            result = middleware.execute(plan)
+            if result.report.succeeded:
+                executed_ok += 1
+        # Liveness: the middleware answered most rounds and some executions
+        # completed; no crash escaped as a non-ReproError.
+        assert answered + refused == 50
+        assert answered >= 25
+        assert executed_ok >= answered // 2
+
+    def test_adversarial_kills_between_all_phases(self):
+        """Kill services at every seam: after discovery, after selection,
+        mid-trace ingestion — the middleware must degrade, not crash."""
+        scenario = build_holiday_camp_scenario(services_per_activity=6,
+                                               seed=401)
+        middleware = QASOM.for_environment(
+            scenario.environment,
+            scenario.properties,
+            ontology=scenario.ontology,
+            repository=scenario.repository,
+        )
+        rng_victims = sorted(
+            scenario.environment.registry.services(),
+            key=lambda s: s.service_id,
+        )
+        for i in range(8):
+            if rng_victims:
+                scenario.environment.kill_service(
+                    rng_victims.pop().service_id
+                )
+            try:
+                result = middleware.run(scenario.request)
+            except ReproError:
+                continue
+            assert result.report.succeeded or result.report.failed_activity
+
+    def test_battery_exhaustion_takes_providers_down_gracefully(self):
+        scenario = build_holiday_camp_scenario(services_per_activity=6,
+                                               seed=402)
+        middleware = QASOM.for_environment(
+            scenario.environment,
+            scenario.properties,
+            ontology=scenario.ontology,
+            repository=scenario.repository,
+        )
+        plan = middleware.compose(scenario.request)
+        # Drain every hosting phone flat.
+        for device in scenario.environment.devices():
+            device.battery_remaining_wh = 0.0
+            device.online = False
+        result = middleware.execute(plan)
+        assert not result.report.succeeded
+        assert result.report.failed_activity is not None

@@ -1,0 +1,116 @@
+"""Tests for the middleware's ranked composition and SLA tracking surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.middleware.qasom import QASOM
+from repro.env.scenarios import build_shopping_scenario
+
+
+@pytest.fixture
+def scenario():
+    return build_shopping_scenario(seed=123)
+
+
+@pytest.fixture
+def middleware(scenario):
+    return QASOM.for_environment(
+        scenario.environment,
+        scenario.properties,
+        ontology=scenario.ontology,
+        repository=scenario.repository,
+    )
+
+
+class TestComposeRanked:
+    def test_ranked_alternatives_for_user_choice(self, middleware, scenario):
+        plans = middleware.compose_ranked(scenario.request, k=3)
+        assert 1 <= len(plans) <= 3
+        utilities = [p.utility for p in plans]
+        assert utilities == sorted(utilities, reverse=True)
+        for plan in plans:
+            assert plan.feasible
+
+    def test_any_ranked_plan_executes(self, middleware, scenario):
+        plans = middleware.compose_ranked(scenario.request, k=2)
+        # The user may pick any proposed composition, not just the best.
+        chosen = plans[-1]
+        result = middleware.execute(chosen)
+        assert result.report.invocations
+
+
+class TestSlaTracking:
+    def test_disabled_by_default(self, middleware, scenario):
+        result = middleware.run(scenario.request)
+        assert result.compliance is None
+
+    def test_tracker_populated_when_enabled(self, middleware, scenario):
+        plan = middleware.compose(scenario.request)
+        # Snapshot before execution: adaptation may rewrite the ranked
+        # lists afterwards, but the SLAs were derived from this state.
+        expected = float(sum(
+            len(selection.services)
+            for selection in plan.selections.values()
+        ))
+        result = middleware.execute(plan, track_sla=True)
+        tracker = result.compliance
+        assert tracker is not None
+        summary = tracker.summary()
+        assert summary["agreements"] == expected
+        assert summary["observations"] > 0
+
+    def test_breaches_surface_in_tracker(self, middleware, scenario):
+        """Degrading every link hard makes observed response times blow the
+        per-service shares — the tracker must report the breaches."""
+        plan = middleware.compose(scenario.request)
+        for device in scenario.environment.devices():
+            scenario.environment.degrade_link(device.device_id, fraction=1.0)
+        result = middleware.execute(plan, adapt=False, track_sla=True)
+        tracker = result.compliance
+        if result.report.invocations and any(
+            r.observed_qos for r in result.report.invocations
+        ):
+            assert tracker.summary()["violations"] >= 1
+
+
+class TestInfrastructureAwareComposition:
+    def test_degraded_host_avoided_when_aware(self, scenario):
+        """Two otherwise-equal Browse providers; one's link is crippled.
+        The infrastructure-aware middleware selects around it."""
+        from repro.middleware.config import MiddlewareConfig
+
+        aware = QASOM.for_environment(
+            scenario.environment, scenario.properties,
+            ontology=scenario.ontology,
+            config=MiddlewareConfig(infrastructure_aware=True),
+        )
+        plan_before = aware.compose(scenario.request)
+        victim = plan_before.selections["Browse"].primary
+        scenario.environment.degrade_link(victim.host_device, fraction=1.0)
+        plan_after = aware.compose(scenario.request)
+        # Either the middleware moved off the degraded host, or it kept it
+        # but accounted for the degradation in the aggregate (estimate >
+        # raw advertisement).
+        if plan_after.selections["Browse"].primary == victim:
+            raw = scenario.environment.registry.require(
+                victim.service_id
+            ).advertised_qos["response_time"]
+            estimated = plan_after.selections["Browse"].primary.advertised_qos[
+                "response_time"
+            ]
+            assert estimated > raw
+        else:
+            assert plan_after.selections["Browse"].primary != victim
+
+    def test_unaware_middleware_keeps_raw_advertisements(self, scenario):
+        middleware = QASOM.for_environment(
+            scenario.environment, scenario.properties,
+            ontology=scenario.ontology,
+        )
+        plan = middleware.compose(scenario.request)
+        for selection in plan.selections.values():
+            raw = scenario.environment.registry.require(
+                selection.primary.service_id
+            ).advertised_qos
+            assert selection.primary.advertised_qos == raw

@@ -1,0 +1,157 @@
+"""Property-based invariants of QASSA over random problem instances.
+
+These are the load-bearing guarantees the rest of the middleware builds on:
+
+* a returned feasible plan actually satisfies every global constraint;
+* the plan's aggregated QoS equals a from-scratch re-aggregation of its
+  binding (no stale caching);
+* the utility is consistent with the global normaliser;
+* alternates never duplicate the primary and respect the configured quota;
+* whenever the exhaustive optimum exists, QASSA either finds a feasible
+  plan too or the repair budget was genuinely exhausted (no silent misses
+  on easy instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SelectionError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.composition.aggregation import aggregate_composition
+from repro.composition.baselines import ExhaustiveSelection
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, parallel, sequence
+from repro.experiments.workloads import constraints_at_tightness
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability", "reliability")
+}
+
+_instances = st.fixed_dictionaries(
+    {
+        "activities": st.integers(1, 4),
+        "services": st.integers(2, 15),
+        "seed": st.integers(0, 500),
+        "tightness": st.floats(0.3, 1.0),
+        "use_parallel": st.booleans(),
+    }
+)
+
+
+def build(params):
+    n = params["activities"]
+    leaves = [leaf(f"A{i}", f"task:C{i}") for i in range(n)]
+    if params["use_parallel"] and n >= 3:
+        root = sequence(leaves[0], parallel(leaves[1], leaves[2]), *leaves[3:])
+    else:
+        root = sequence(*leaves)
+    task = Task("prop", root)
+    generator = ServiceGenerator(PROPS, seed=params["seed"])
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, params["services"])
+         for a in task.activities},
+    )
+    constraints = constraints_at_tightness(
+        task, candidates, PROPS, ["response_time", "availability"],
+        params["tightness"],
+    )
+    request = UserRequest(
+        task, constraints=constraints, weights={n: 1.0 for n in PROPS}
+    )
+    return task, request, candidates
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_instances)
+def test_feasible_plans_satisfy_constraints(params):
+    task, request, candidates = build(params)
+    try:
+        plan = QASSA(PROPS).select(request, candidates)
+    except SelectionError:
+        return
+    assert plan.feasible
+    assert request.satisfied_by(plan.aggregated_qos)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_instances)
+def test_aggregate_matches_binding(params):
+    task, request, candidates = build(params)
+    try:
+        plan = QASSA(PROPS).select(request, candidates)
+    except SelectionError:
+        return
+    recomputed = aggregate_composition(
+        task,
+        {n: s.advertised_qos for n, s in plan.binding().items()},
+        PROPS,
+        plan.approach,
+    )
+    for name in PROPS:
+        assert plan.aggregated_qos[name] == pytest.approx(recomputed[name])
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_instances)
+def test_utility_in_unit_interval(params):
+    task, request, candidates = build(params)
+    try:
+        plan = QASSA(PROPS).select(request, candidates)
+    except SelectionError:
+        return
+    assert -1e-9 <= plan.utility <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_instances, st.integers(0, 4))
+def test_alternate_quota_respected(params, quota):
+    task, request, candidates = build(params)
+    selector = QASSA(PROPS, config=QassaConfig(alternates_kept=quota))
+    try:
+        plan = selector.select(request, candidates)
+    except SelectionError:
+        return
+    for selection in plan.selections.values():
+        assert 1 <= len(selection.services) <= 1 + quota
+        assert selection.primary not in selection.alternates
+        ids = [s.service_id for s in selection.services]
+        assert len(ids) == len(set(ids))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.fixed_dictionaries(
+        {
+            "activities": st.integers(1, 3),
+            "services": st.integers(2, 8),
+            "seed": st.integers(0, 200),
+            "tightness": st.floats(0.5, 1.0),
+            "use_parallel": st.just(False),
+        }
+    )
+)
+def test_qassa_finds_feasible_when_optimum_exists_easy(params):
+    """On small, moderately constrained instances, QASSA's completeness in
+    practice: whenever exhaustive proves feasibility, QASSA succeeds too
+    and reaches >= 70 % of the optimum."""
+    task, request, candidates = build(params)
+    try:
+        optimum = ExhaustiveSelection(PROPS).select(request, candidates)
+    except SelectionError:
+        return
+    plan = QASSA(PROPS).select(request, candidates)
+    assert plan.feasible
+    assert plan.utility >= 0.7 * optimum.utility - 1e-9

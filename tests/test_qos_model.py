@@ -1,0 +1,93 @@
+"""Tests for the end-to-end QoS model facade and term mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QoSModelError
+from repro.qos.model import QoSModel, build_end_to_end_model
+from repro.qos.properties import RESPONSE_TIME, STANDARD_PROPERTIES
+from repro.semantics.matching import MatchDegree
+from repro.semantics.ontology import Ontology
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_end_to_end_model()
+
+
+class TestRegistration:
+    def test_standard_properties_registered(self, model):
+        assert "response_time" in model
+        assert "energy" in model
+        assert len(model.properties()) == len(STANDARD_PROPERTIES)
+
+    def test_property_lookup(self, model):
+        assert model.property("response_time") is RESPONSE_TIME
+        assert model.property_by_uri("sqos:ResponseTime") is RESPONSE_TIME
+
+    def test_unknown_property_raises(self, model):
+        with pytest.raises(QoSModelError):
+            model.property("karma")
+        with pytest.raises(QoSModelError):
+            model.property_by_uri("x:Nothing")
+
+    def test_register_requires_declared_concept(self):
+        from repro.qos.properties import QoSProperty, Direction, AggregationKind
+        from repro.qos import units as u
+
+        bare = QoSModel(Ontology("empty"))
+        orphan = QoSProperty(
+            "orphan", "x:Orphan", Direction.NEGATIVE,
+            AggregationKind.ADDITIVE, u.SECONDS, (0, 1),
+        )
+        with pytest.raises(QoSModelError):
+            bare.register(orphan)
+
+    def test_re_register_identical_is_idempotent(self, model):
+        assert model.register(RESPONSE_TIME) is RESPONSE_TIME
+
+
+class TestTermMapping:
+    def test_user_speed_resolves_exactly(self, model):
+        matches = model.resolve_term("uqos:Speed")
+        assert matches[0][0].name == "response_time"
+        assert matches[0][1] is MatchDegree.EXACT
+
+    def test_user_price_resolves_to_cost(self, model):
+        matches = model.resolve_term("uqos:Price")
+        assert matches[0][0].name == "cost"
+
+    def test_dependability_resolves_to_both(self, model):
+        names = {p.name for p, _ in model.resolve_term("uqos:Dependability")}
+        assert names == {"availability", "reliability"}
+
+    def test_provider_term_resolves_to_itself(self, model):
+        matches = model.resolve_term("sqos:Availability")
+        assert matches[0][0].name == "availability"
+        assert matches[0][1] is MatchDegree.EXACT
+
+    def test_minimum_degree_filters(self, model):
+        strict = model.resolve_term("uqos:Dependability",
+                                    minimum=MatchDegree.EXACT)
+        assert strict == []
+
+    def test_unknown_concept_raises(self, model):
+        with pytest.raises(QoSModelError):
+            model.resolve_term("uqos:Vibes")
+
+
+class TestVectors:
+    def test_vector_construction(self, model):
+        v = model.vector({"response_time": 120.0, "availability": 0.98})
+        assert v["response_time"] == 120.0
+        assert v.property("availability").name == "availability"
+
+    def test_vector_unknown_property_raises(self, model):
+        with pytest.raises(QoSModelError):
+            model.vector({"karma": 1.0})
+
+    def test_shared_properties(self, model):
+        a = model.vector({"cost": 1.0, "availability": 0.9})
+        b = model.vector({"cost": 2.0, "response_time": 10.0})
+        assert model.shared_properties([a, b]) == ["cost"]

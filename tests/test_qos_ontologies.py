@@ -1,0 +1,135 @@
+"""Tests for the four QoS ontologies (Core, Infrastructure, Service, User)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.core_ontology import build_core_ontology
+from repro.qos.infrastructure import (
+    build_infrastructure_ontology,
+    declare_cross_layer_dependencies,
+)
+from repro.qos.service_qos import build_service_ontology
+from repro.qos.user_qos import build_user_ontology
+from repro.semantics.ontology import Ontology
+
+
+class TestCoreOntology:
+    def setup_method(self):
+        self.onto = build_core_ontology()
+
+    def test_property_categories_under_root(self):
+        for category in (
+            "qos:PerformanceProperty",
+            "qos:DependabilityProperty",
+            "qos:CostProperty",
+            "qos:SecurityProperty",
+            "qos:TrustProperty",
+        ):
+            assert self.onto.subsumes("qos:QoSProperty", category)
+            assert self.onto.subsumes("qos:QoSConcept", category)
+
+    def test_metric_taxonomy(self):
+        assert self.onto.subsumes("qos:QoSMetric", "qos:MeanMetric")
+        assert self.onto.subsumes("qos:StatisticalMetric", "qos:PercentileMetric")
+        assert not self.onto.subsumes("qos:DeterministicMetric", "qos:MeanMetric")
+
+    def test_monotonicity_concepts(self):
+        assert self.onto.subsumes("qos:Monotonicity", "qos:Increasing")
+        assert self.onto.subsumes("qos:Monotonicity", "qos:Decreasing")
+
+    def test_validates(self):
+        self.onto.validate()
+
+
+class TestInfrastructureOntology:
+    def setup_method(self):
+        self.onto = build_infrastructure_ontology()
+
+    def test_network_properties_are_performance(self):
+        assert self.onto.subsumes("qos:PerformanceProperty", "iqos:Bandwidth")
+        assert self.onto.subsumes("iqos:NetworkProperty", "iqos:NetworkLatency")
+
+    def test_device_properties(self):
+        assert self.onto.subsumes("iqos:DeviceProperty", "iqos:BatteryLevel")
+        assert self.onto.subsumes("qos:QoSProperty", "iqos:CpuLoad")
+
+    def test_dependability_properties(self):
+        assert self.onto.subsumes(
+            "qos:DependabilityProperty", "iqos:NodeAvailability"
+        )
+
+    def test_monotonicity_facts(self):
+        assert (
+            "iqos:NetworkLatency", "qos:hasMonotonicity", "qos:Decreasing"
+        ) in self.onto.store
+        assert (
+            "iqos:Bandwidth", "qos:hasMonotonicity", "qos:Increasing"
+        ) in self.onto.store
+
+    def test_self_contained_includes_core(self):
+        assert self.onto.is_class("qos:QoSConcept")
+
+
+class TestServiceOntology:
+    def setup_method(self):
+        self.onto = build_service_ontology()
+
+    def test_response_time_breakdown(self):
+        assert self.onto.subsumes("sqos:ResponseTime", "sqos:ExecutionTime")
+        assert self.onto.subsumes("sqos:ResponseTime", "sqos:TransmissionTime")
+        assert self.onto.subsumes("qos:PerformanceProperty", "sqos:ResponseTime")
+
+    def test_cost_breakdown(self):
+        assert self.onto.subsumes("sqos:Cost", "sqos:PerUseCost")
+        assert self.onto.subsumes("qos:CostProperty", "sqos:FixedCost")
+
+    def test_aggregation_mode_facts(self):
+        assert (
+            "sqos:ResponseTime", "qos:hasAggregationMode", "qos:Additive"
+        ) in self.onto.store
+        assert (
+            "sqos:Availability", "qos:hasAggregationMode", "qos:Multiplicative"
+        ) in self.onto.store
+        assert (
+            "sqos:Throughput", "qos:hasAggregationMode", "qos:MinAggregated"
+        ) in self.onto.store
+
+    def test_trust_property(self):
+        assert self.onto.subsumes("qos:TrustProperty", "sqos:Reputation")
+
+
+class TestUserOntology:
+    def setup_method(self):
+        core = build_core_ontology()
+        merged = Ontology("merged")
+        merged.merge(build_infrastructure_ontology(core))
+        merged.merge(build_service_ontology(core))
+        self.onto = build_user_ontology(merged)
+
+    def test_speed_equivalent_to_response_time(self):
+        assert "sqos:ResponseTime" in self.onto.equivalents("uqos:Speed")
+        assert self.onto.subsumes("uqos:Speed", "sqos:ResponseTime")
+        assert self.onto.subsumes("sqos:ResponseTime", "uqos:Speed")
+
+    def test_price_equivalent_to_cost(self):
+        assert self.onto.subsumes("uqos:Price", "sqos:Cost")
+
+    def test_dependability_covers_availability_and_reliability(self):
+        assert self.onto.subsumes("uqos:Dependability", "sqos:Availability")
+        assert self.onto.subsumes("uqos:Dependability", "sqos:Reliability")
+        # But not the other way around.
+        assert not self.onto.subsumes("sqos:Availability", "uqos:Dependability")
+
+    def test_battery_friendliness_maps_to_infrastructure(self):
+        assert self.onto.subsumes("uqos:BatteryFriendliness",
+                                  "iqos:EnergyConsumption")
+
+    def test_cross_layer_dependencies(self):
+        declare_cross_layer_dependencies(self.onto)
+        assert (
+            "sqos:ResponseTime", "qos:dependsOn", "iqos:NetworkLatency"
+        ) in self.onto.store
+        assert (
+            "sqos:Availability", "qos:dependsOn", "iqos:BatteryLevel"
+        ) in self.onto.store

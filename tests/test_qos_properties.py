@@ -1,0 +1,91 @@
+"""Tests for QoS property definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QoSModelError
+from repro.qos.properties import (
+    AggregationKind,
+    Direction,
+    QoSProperty,
+    AVAILABILITY,
+    COST,
+    RESPONSE_TIME,
+    STANDARD_PROPERTIES,
+    THROUGHPUT,
+    property_by_name,
+)
+from repro.qos import units as u
+
+
+class TestDirection:
+    def test_negative_better(self):
+        assert Direction.NEGATIVE.better(10, 20)
+        assert not Direction.NEGATIVE.better(20, 10)
+
+    def test_positive_better(self):
+        assert Direction.POSITIVE.better(0.99, 0.9)
+
+    def test_equal_is_not_better(self):
+        assert not Direction.NEGATIVE.better(5, 5)
+        assert not Direction.POSITIVE.better(5, 5)
+
+    def test_best_worst(self):
+        values = [3.0, 1.0, 2.0]
+        assert Direction.NEGATIVE.best(values) == 1.0
+        assert Direction.NEGATIVE.worst(values) == 3.0
+        assert Direction.POSITIVE.best(values) == 3.0
+        assert Direction.POSITIVE.worst(values) == 1.0
+
+
+class TestStandardProperties:
+    def test_response_time_is_negative_additive(self):
+        assert RESPONSE_TIME.direction is Direction.NEGATIVE
+        assert RESPONSE_TIME.aggregation is AggregationKind.ADDITIVE
+        assert RESPONSE_TIME.unit is u.MILLISECONDS
+
+    def test_availability_is_positive_multiplicative(self):
+        assert AVAILABILITY.direction is Direction.POSITIVE
+        assert AVAILABILITY.aggregation is AggregationKind.MULTIPLICATIVE
+
+    def test_throughput_is_bottleneck(self):
+        assert THROUGHPUT.aggregation is AggregationKind.MIN
+
+    def test_standard_set_has_eight_properties(self):
+        assert len(STANDARD_PROPERTIES) == 8
+
+    def test_property_by_name(self):
+        assert property_by_name("cost") is COST
+
+    def test_property_by_unknown_name_raises(self):
+        with pytest.raises(QoSModelError):
+            property_by_name("karma")
+
+    def test_better_delegates_to_direction(self):
+        assert RESPONSE_TIME.better(10, 100)
+        assert AVAILABILITY.better(0.99, 0.5)
+
+
+class TestValidation:
+    def test_empty_value_range_rejected(self):
+        with pytest.raises(QoSModelError):
+            QoSProperty(
+                name="bad",
+                uri="x:Bad",
+                direction=Direction.NEGATIVE,
+                aggregation=AggregationKind.ADDITIVE,
+                unit=u.SECONDS,
+                value_range=(5.0, 5.0),
+            )
+
+    def test_inverted_value_range_rejected(self):
+        with pytest.raises(QoSModelError):
+            QoSProperty(
+                name="bad",
+                uri="x:Bad",
+                direction=Direction.NEGATIVE,
+                aggregation=AggregationKind.ADDITIVE,
+                unit=u.SECONDS,
+                value_range=(10.0, 1.0),
+            )

@@ -1,0 +1,179 @@
+"""Tests for SLA derivation and compliance tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.sla import (
+    ComplianceTracker,
+    ServiceLevelAgreement,
+    ServiceLevelObjective,
+    derive_slas,
+)
+from repro.qos.values import QoSVector
+from repro.services.discovery import QoSConstraint
+from repro.services.generator import ServiceGenerator
+from repro.composition.qassa import QASSA
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def plan():
+    task = Task("t", sequence(leaf("A", "task:A"), leaf("B", "task:B")))
+    generator = ServiceGenerator(PROPS, seed=61)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 10)
+         for a in task.activities},
+    )
+    request = UserRequest(
+        task,
+        constraints=(
+            GlobalConstraint.at_most("response_time", 3000.0),
+            GlobalConstraint.at_least("availability", 0.36),
+        ),
+        weights={n: 1.0 for n in PROPS},
+    )
+    return QASSA(PROPS).select(request, candidates)
+
+
+class TestDerivation:
+    def test_primaries_only_when_alternates_excluded(self, plan):
+        slas = derive_slas(plan, PROPS, include_alternates=False)
+        bound_ids = {s.primary.service_id for s in plan.selections.values()}
+        assert set(slas) == bound_ids
+
+    def test_default_covers_every_ranked_service(self, plan):
+        slas = derive_slas(plan, PROPS)
+        ranked_ids = {
+            service.service_id
+            for selection in plan.selections.values()
+            for service in selection.services
+        }
+        assert set(slas) == ranked_ids
+
+    def test_additive_budget_split(self, plan):
+        slas = derive_slas(plan, PROPS)
+        sla = next(iter(slas.values()))
+        rt = sla.objective_for("response_time")
+        assert rt is not None
+        assert rt.constraint.bound == pytest.approx(1500.0)  # 3000 / 2
+
+    def test_multiplicative_floor_takes_root(self, plan):
+        slas = derive_slas(plan, PROPS)
+        sla = next(iter(slas.values()))
+        avail = sla.objective_for("availability")
+        assert avail is not None
+        assert avail.constraint.bound == pytest.approx(0.6)  # 0.36 ** 0.5
+
+    def test_penalty_threaded_through(self, plan):
+        slas = derive_slas(plan, PROPS, penalty_per_violation=2.5)
+        objective = next(iter(slas.values())).objectives[0]
+        assert objective.penalty_per_violation == 2.5
+
+    def test_unadvertised_property_excluded(self, plan):
+        request = plan.request
+        # Add a constraint on a property no candidate advertises objectives
+        # for by restricting the property map passed to derive_slas.
+        slas = derive_slas(plan, {"cost": PROPS["cost"]})
+        for sla in slas.values():
+            assert all(
+                o.property_name == "cost" for o in sla.objectives
+            ) or sla.objectives == ()
+
+
+class TestComplianceTracking:
+    def make_tracker(self, bound=100.0, penalty=1.0):
+        sla = ServiceLevelAgreement(
+            service_id="svc-1",
+            provider="p",
+            objectives=(
+                ServiceLevelObjective(
+                    QoSConstraint("response_time", "<=", bound), penalty
+                ),
+            ),
+        )
+        return ComplianceTracker({"svc-1": sla})
+
+    def test_compliant_observations(self):
+        tracker = self.make_tracker()
+        assert tracker.record("svc-1", "response_time", 50.0) is False
+        assert tracker.record("svc-1", "response_time", 99.0) is False
+        report = tracker.report("svc-1")[0]
+        assert report.observations == 2
+        assert report.compliant
+        assert report.compliance_ratio == 1.0
+        assert tracker.total_penalty() == 0.0
+
+    def test_violation_accrues_penalty(self):
+        tracker = self.make_tracker(penalty=2.0)
+        assert tracker.record("svc-1", "response_time", 150.0) is True
+        tracker.record("svc-1", "response_time", 50.0)
+        report = tracker.report("svc-1")[0]
+        assert report.violations == 1
+        assert report.compliance_ratio == pytest.approx(0.5)
+        assert tracker.total_penalty() == 2.0
+        assert tracker.breached_agreements() == ["svc-1"]
+
+    def test_worst_value_tracked(self):
+        tracker = self.make_tracker()
+        for value in (50.0, 170.0, 120.0):
+            tracker.record("svc-1", "response_time", value)
+        assert tracker.report("svc-1")[0].worst_value == 170.0
+
+    def test_uncontracted_observations_ignored(self):
+        tracker = self.make_tracker()
+        assert tracker.record("svc-other", "response_time", 1e9) is False
+        assert tracker.record("svc-1", "cost", 1e9) is False
+        assert tracker.summary()["observations"] == 0.0
+
+    def test_record_vector(self):
+        tracker = self.make_tracker()
+        vector = QoSVector(
+            {"response_time": 500.0, "cost": 1.0}, PROPS
+        )
+        assert tracker.record_vector("svc-1", vector) == 1
+
+    def test_no_observations_is_compliant(self):
+        tracker = self.make_tracker()
+        report = tracker.report("svc-1")[0]
+        assert report.compliance_ratio == 1.0
+        assert report.compliant
+
+
+class TestEndToEndCompliance:
+    def test_execution_trace_feeds_tracker(self, plan):
+        """Executing the plan and replaying observed QoS into the tracker
+        yields a coherent compliance summary."""
+        from repro.execution.engine import ExecutionEngine
+
+        slas = derive_slas(plan, PROPS, penalty_per_violation=1.0)
+        tracker = ComplianceTracker(slas)
+
+        def invoker(service, timestamp):
+            return service.advertised_qos
+
+        engine = ExecutionEngine(PROPS, invoker)
+        report = engine.execute(plan)
+        for record in report.invocations:
+            if record.observed_qos is not None:
+                tracker.record_vector(record.service_id, record.observed_qos)
+        summary = tracker.summary()
+        # Two activities, each contributing its full ranked list.
+        expected_agreements = float(sum(
+            len(selection.services) for selection in plan.selections.values()
+        ))
+        assert summary["agreements"] == expected_agreements
+        assert summary["observations"] > 0
+        # The plan is feasible and providers are honest here, so additive
+        # shares may still be individually exceeded (equal-share is
+        # conservative per service); the tracker must simply stay coherent.
+        assert 0 <= summary["violations"] <= summary["observations"]

@@ -1,0 +1,148 @@
+"""Tests for user-vocabulary requirement translation (§III.2.4 in action)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QoSModelError
+from repro.qos import units as u
+from repro.qos.model import build_end_to_end_model
+from repro.qos.translation import (
+    UserRequirement,
+    build_request,
+    translate_requirements,
+    translate_weights,
+)
+from repro.composition.task import Task, leaf, sequence
+from repro.semantics.matching import MatchDegree
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_end_to_end_model()
+
+
+@pytest.fixture
+def task():
+    return Task("t", sequence(leaf("A"), leaf("B")))
+
+
+class TestTranslateRequirements:
+    def test_speed_maps_to_response_time_upper_bound(self, model):
+        constraints, reports = translate_requirements(
+            model, [UserRequirement("uqos:Speed", 2000.0)]
+        )
+        assert len(constraints) == 1
+        constraint = constraints[0]
+        assert constraint.property_name == "response_time"
+        assert constraint.operator == "<="          # natural for negative
+        assert constraint.bound == 2000.0
+        assert reports[0].degrees == (MatchDegree.EXACT,)
+
+    def test_unit_conversion_applied(self, model):
+        constraints, _ = translate_requirements(
+            model, [UserRequirement("uqos:Speed", 2.0, unit=u.SECONDS)]
+        )
+        assert constraints[0].bound == pytest.approx(2000.0)  # ms canonical
+
+    def test_dependability_fans_out(self, model):
+        constraints, reports = translate_requirements(
+            model, [UserRequirement("uqos:Dependability", 0.9)]
+        )
+        names = sorted(c.property_name for c in constraints)
+        assert names == ["availability", "reliability"]
+        assert all(c.operator == ">=" for c in constraints)
+        assert all(d is MatchDegree.PLUGIN for d in reports[0].degrees)
+
+    def test_price_with_explicit_operator(self, model):
+        constraints, _ = translate_requirements(
+            model, [UserRequirement("uqos:Price", 10.0, operator="<=")]
+        )
+        assert constraints[0].property_name == "cost"
+        assert constraints[0].operator == "<="
+
+    def test_provider_terms_also_accepted(self, model):
+        constraints, _ = translate_requirements(
+            model, [UserRequirement("sqos:Availability", 0.95)]
+        )
+        assert constraints[0].property_name == "availability"
+        assert constraints[0].operator == ">="
+
+    def test_unresolvable_concept_raises(self, model):
+        with pytest.raises(QoSModelError):
+            translate_requirements(
+                model, [UserRequirement("uqos:RenderingQuality", 5.0)]
+            )
+
+    def test_unknown_concept_raises(self, model):
+        with pytest.raises(QoSModelError):
+            translate_requirements(
+                model, [UserRequirement("uqos:Vibes", 1.0)]
+            )
+
+
+class TestTranslateWeights:
+    def test_simple_mapping(self, model):
+        weights = translate_weights(model, {"uqos:Speed": 0.6,
+                                            "uqos:Price": 0.4})
+        assert weights == {"response_time": 0.6, "cost": 0.4}
+
+    def test_umbrella_weight_splits(self, model):
+        weights = translate_weights(model, {"uqos:Dependability": 0.8})
+        assert weights["availability"] == pytest.approx(0.4)
+        assert weights["reliability"] == pytest.approx(0.4)
+
+    def test_weights_accumulate_on_same_property(self, model):
+        weights = translate_weights(
+            model, {"uqos:Speed": 0.3, "sqos:ResponseTime": 0.2}
+        )
+        assert weights == {"response_time": pytest.approx(0.5)}
+
+    def test_negative_weight_rejected(self, model):
+        with pytest.raises(QoSModelError):
+            translate_weights(model, {"uqos:Speed": -1.0})
+
+
+class TestBuildRequest:
+    def test_full_request_round_trip(self, model, task):
+        request, reports = build_request(
+            model,
+            task,
+            requirements=[
+                UserRequirement("uqos:Speed", 3.0, unit=u.SECONDS),
+                UserRequirement("uqos:Dependability", 0.25),
+            ],
+            user_weights={"uqos:Speed": 0.5, "uqos:Price": 0.2,
+                          "uqos:Dependability": 0.3},
+        )
+        assert len(request.constraints) == 3  # speed + avail + reliability
+        assert set(request.weights) == {
+            "response_time", "cost", "availability", "reliability",
+        }
+        assert len(reports) == 2
+
+    def test_translated_request_drives_selection(self, model, task):
+        """End to end: user vocabulary in, feasible composition out."""
+        from repro.qos.properties import STANDARD_PROPERTIES
+        from repro.services.generator import ServiceGenerator
+        from repro.composition.qassa import QASSA
+        from repro.composition.selection import CandidateSets
+
+        props = {
+            n: STANDARD_PROPERTIES[n]
+            for n in ("response_time", "cost", "availability", "reliability")
+        }
+        request, _ = build_request(
+            model, task,
+            requirements=[UserRequirement("uqos:Speed", 10.0, unit=u.SECONDS)],
+            user_weights={"uqos:Speed": 1.0, "uqos:Price": 1.0},
+        )
+        generator = ServiceGenerator(props, seed=17)
+        candidates = CandidateSets(
+            task,
+            {a.name: generator.candidates(a.capability, 8)
+             for a in task.activities},
+        )
+        plan = QASSA(props).select(request, candidates)
+        assert plan.feasible
+        assert plan.aggregated_qos["response_time"] <= 10_000.0

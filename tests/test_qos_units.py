@@ -1,0 +1,68 @@
+"""Tests for QoS units and conversion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnitError
+from repro.qos import units as u
+from repro.qos.units import Unit, convert, get_unit, register_unit
+
+
+class TestConversion:
+    def test_identity(self):
+        assert convert(42.0, u.SECONDS, u.SECONDS) == 42.0
+
+    def test_ms_to_seconds(self):
+        assert convert(1500.0, u.MILLISECONDS, u.SECONDS) == pytest.approx(1.5)
+
+    def test_seconds_to_ms(self):
+        assert convert(2.0, u.SECONDS, u.MILLISECONDS) == pytest.approx(2000.0)
+
+    def test_hours_to_minutes(self):
+        assert convert(1.5, u.HOURS, u.MINUTES) == pytest.approx(90.0)
+
+    def test_percent_to_ratio(self):
+        assert convert(99.5, u.PERCENT, u.RATIO) == pytest.approx(0.995)
+
+    def test_cents_to_euro(self):
+        assert convert(250.0, u.CENT, u.EURO) == pytest.approx(2.5)
+
+    def test_mbit_to_kbit(self):
+        assert convert(2.0, u.MEGABITS_PER_SECOND, u.KILOBITS_PER_SECOND) == (
+            pytest.approx(2000.0)
+        )
+
+    def test_cross_dimension_raises(self):
+        with pytest.raises(UnitError):
+            convert(1.0, u.SECONDS, u.EURO)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_round_trip_is_identity(self, value):
+        there = convert(value, u.MILLISECONDS, u.HOURS)
+        back = convert(there, u.HOURS, u.MILLISECONDS)
+        assert back == pytest.approx(value, abs=1e-6)
+
+
+class TestRegistry:
+    def test_get_unit(self):
+        assert get_unit("ms") is u.MILLISECONDS
+
+    def test_get_unknown_unit_raises(self):
+        with pytest.raises(UnitError):
+            get_unit("parsec")
+
+    def test_register_custom_unit(self):
+        fortnight = Unit("fortnight-test", "time", 14 * 24 * 3600.0)
+        register_unit(fortnight)
+        assert get_unit("fortnight-test") is fortnight
+        assert convert(1.0, fortnight, u.HOURS) == pytest.approx(336.0)
+
+    def test_register_conflicting_unit_raises(self):
+        with pytest.raises(UnitError):
+            register_unit(Unit("ms", "time", 999.0))
+
+    def test_register_identical_is_idempotent(self):
+        register_unit(Unit("ms", "time", 1e-3))  # same definition, no error

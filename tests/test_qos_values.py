@@ -1,0 +1,179 @@
+"""Tests for QoS values, vectors, dominance and distance."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QoSModelError
+from repro.qos import units as u
+from repro.qos.properties import (
+    AVAILABILITY,
+    COST,
+    RESPONSE_TIME,
+    STANDARD_PROPERTIES,
+)
+from repro.qos.values import QoSValue, QoSVector
+
+PROPS = {
+    "response_time": RESPONSE_TIME,
+    "cost": COST,
+    "availability": AVAILABILITY,
+}
+
+
+def vec(**values):
+    return QoSVector(values, PROPS)
+
+
+class TestQoSValue:
+    def test_default_unit_is_property_unit(self):
+        value = QoSValue(RESPONSE_TIME, 120.0)
+        assert value.unit is u.MILLISECONDS
+        assert value.in_canonical_unit() == 120.0
+
+    def test_unit_conversion(self):
+        value = QoSValue(RESPONSE_TIME, 1.5, unit=u.SECONDS)
+        assert value.in_canonical_unit() == pytest.approx(1500.0)
+
+    def test_better_than_direction_aware(self):
+        fast = QoSValue(RESPONSE_TIME, 100.0)
+        slow = QoSValue(RESPONSE_TIME, 0.5, unit=u.SECONDS)  # 500 ms
+        assert fast.better_than(slow)
+        assert not slow.better_than(fast)
+
+    def test_cross_property_comparison_raises(self):
+        with pytest.raises(QoSModelError):
+            QoSValue(RESPONSE_TIME, 1.0).better_than(QoSValue(COST, 1.0))
+
+
+class TestQoSVector:
+    def test_mapping_protocol(self):
+        v = vec(response_time=100.0, cost=2.0)
+        assert v["response_time"] == 100.0
+        assert v.get("availability") is None
+        assert "cost" in v
+        assert len(v) == 2
+        assert set(v) == {"response_time", "cost"}
+
+    def test_rejects_undeclared_property(self):
+        with pytest.raises(QoSModelError):
+            QoSVector({"karma": 1.0}, PROPS)
+
+    def test_from_values_converts_units(self):
+        v = QoSVector.from_values(
+            [
+                QoSValue(RESPONSE_TIME, 2.0, unit=u.SECONDS),
+                QoSValue(AVAILABILITY, 99.0, unit=u.PERCENT),
+            ]
+        )
+        assert v["response_time"] == pytest.approx(2000.0)
+        assert v["availability"] == pytest.approx(0.99)
+
+    def test_from_values_rejects_duplicates(self):
+        with pytest.raises(QoSModelError):
+            QoSVector.from_values(
+                [QoSValue(COST, 1.0), QoSValue(COST, 2.0)]
+            )
+
+    def test_equality_and_hash(self):
+        a = vec(cost=1.0, availability=0.9)
+        b = vec(availability=0.9, cost=1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_restrict(self):
+        v = vec(response_time=10.0, cost=1.0, availability=0.9)
+        r = v.restrict(["cost", "availability", "missing"])
+        assert set(r) == {"cost", "availability"}
+
+    def test_replace(self):
+        v = vec(cost=1.0)
+        w = v.replace("cost", 5.0)
+        assert w["cost"] == 5.0
+        assert v["cost"] == 1.0  # original untouched
+
+    def test_replace_missing_raises(self):
+        with pytest.raises(QoSModelError):
+            vec(cost=1.0).replace("availability", 0.5)
+
+
+class TestDominance:
+    def test_dominates_strictly_better_everywhere(self):
+        better = vec(response_time=50.0, cost=1.0, availability=0.99)
+        worse = vec(response_time=100.0, cost=2.0, availability=0.90)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_vectors_do_not_dominate(self):
+        a = vec(cost=1.0, availability=0.9)
+        assert not a.dominates(vec(cost=1.0, availability=0.9))
+
+    def test_tradeoff_is_incomparable(self):
+        cheap_slow = vec(response_time=500.0, cost=0.5)
+        fast_dear = vec(response_time=50.0, cost=5.0)
+        assert not cheap_slow.dominates(fast_dear)
+        assert not fast_dear.dominates(cheap_slow)
+
+    def test_dominance_over_shared_subset_only(self):
+        a = vec(response_time=50.0, cost=1.0)
+        b = vec(response_time=100.0, availability=0.9)
+        # Shared subset is only response_time, where a is strictly better.
+        assert a.dominates(b)
+
+    def test_no_shared_properties_no_dominance(self):
+        a = vec(cost=1.0)
+        b = vec(availability=0.9)
+        assert not a.dominates(b)
+
+
+class TestDistance:
+    def test_distance_to_self_is_zero(self):
+        a = vec(response_time=100.0, cost=2.0)
+        assert a.distance(a, {"response_time": 100.0, "cost": 10.0}) == 0.0
+
+    def test_distance_is_scaled_euclidean(self):
+        a = vec(response_time=0.0, cost=0.0)
+        b = vec(response_time=100.0, cost=10.0)
+        d = a.distance(b, {"response_time": 100.0, "cost": 10.0})
+        assert d == pytest.approx(math.sqrt(2.0))
+
+    def test_distance_symmetry(self):
+        a = vec(response_time=20.0, cost=3.0)
+        b = vec(response_time=70.0, cost=1.0)
+        scales = {"response_time": 100.0, "cost": 10.0}
+        assert a.distance(b, scales) == pytest.approx(b.distance(a, scales))
+
+    def test_zero_scale_falls_back_to_one(self):
+        a = vec(cost=1.0)
+        b = vec(cost=3.0)
+        assert a.distance(b, {"cost": 0.0}) == pytest.approx(2.0)
+
+
+_values = st.fixed_dictionaries(
+    {
+        "response_time": st.floats(1, 1000, allow_nan=False),
+        "cost": st.floats(0, 100, allow_nan=False),
+        "availability": st.floats(0.1, 1.0, allow_nan=False),
+    }
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_values, _values)
+def test_dominance_is_antisymmetric(raw_a, raw_b):
+    a, b = QoSVector(raw_a, PROPS), QoSVector(raw_b, PROPS)
+    assert not (a.dominates(b) and b.dominates(a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_values, _values, _values)
+def test_distance_triangle_inequality(raw_a, raw_b, raw_c):
+    scales = {"response_time": 999.0, "cost": 100.0, "availability": 0.9}
+    a, b, c = (QoSVector(r, PROPS) for r in (raw_a, raw_b, raw_c))
+    assert a.distance(c, scales) <= a.distance(b, scales) + b.distance(
+        c, scales
+    ) + 1e-9

@@ -1,0 +1,85 @@
+"""Scale tests: the middleware stays responsive on large environments.
+
+Not micro-benchmarks (those live under ``benchmarks/``) — these are
+correctness-at-scale guards with generous wall-clock ceilings, so a
+complexity regression (accidental O(n²) in discovery, unbounded lattice
+exploration) fails the ordinary test run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.semantics.ontology import Ontology
+from repro.services.discovery import DiscoveryQuery, QoSAwareDiscovery
+from repro.services.generator import ServiceGenerator
+from repro.services.registry import ServiceRegistry
+from repro.composition.qassa import QASSA
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability", "reliability")
+}
+
+
+class TestLargeRegistry:
+    def test_thousand_service_discovery(self):
+        registry = ServiceRegistry()
+        ontology = Ontology("scale")
+        root = ontology.declare_class("task:Activity")
+        for i in range(20):
+            ontology.declare_class(f"task:Cap{i}", [root])
+        generator = ServiceGenerator(PROPS, seed=51)
+        for i in range(20):
+            registry.publish_all(generator.candidates(f"task:Cap{i}", 50))
+        assert len(registry) == 1000
+
+        discovery = QoSAwareDiscovery(registry, ontology)
+        started = time.perf_counter()
+        for i in range(20):
+            candidates = discovery.candidates(DiscoveryQuery(f"task:Cap{i}"))
+            assert len(candidates) == 50
+        elapsed = time.perf_counter() - started
+        assert elapsed < 10.0, f"20 discoveries over 1000 services: {elapsed:.1f}s"
+
+    def test_ten_activity_hundred_candidate_selection(self):
+        task = Task(
+            "big",
+            sequence(*[leaf(f"A{i}", f"task:C{i}") for i in range(10)]),
+        )
+        generator = ServiceGenerator(PROPS, seed=52)
+        candidates = CandidateSets(
+            task,
+            {a.name: generator.candidates(a.capability, 100)
+             for a in task.activities},
+        )
+        request = UserRequest(task, weights={n: 1.0 for n in PROPS})
+        assert candidates.search_space() == 100 ** 10
+
+        started = time.perf_counter()
+        plan = QASSA(PROPS).select(request, candidates)
+        elapsed = time.perf_counter() - started
+        assert plan.feasible
+        assert elapsed < 10.0, f"10x100 selection took {elapsed:.1f}s"
+
+    def test_churn_on_large_registry_stays_consistent(self):
+        registry = ServiceRegistry()
+        generator = ServiceGenerator(PROPS, seed=53)
+        services = generator.candidates("task:X", 500)
+        registry.publish_all(services)
+        # Withdraw every other service, republish a quarter.
+        for service in services[::2]:
+            registry.withdraw(service.service_id)
+        for service in services[::4]:
+            registry.publish(service)
+        expected = {s.service_id for s in services[1::2]} | {
+            s.service_id for s in services[::4]
+        }
+        assert {s.service_id for s in registry} == expected
+        assert len(registry.by_capability("task:X")) == len(expected)

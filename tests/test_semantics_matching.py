@@ -1,0 +1,90 @@
+"""Tests for graded semantic concept matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantics.matching import MatchDegree, match_concepts, similarity
+from repro.semantics.ontology import Ontology
+
+
+@pytest.fixture
+def tasks():
+    onto = Ontology("tasks")
+    onto.declare_class("Activity")
+    onto.declare_class("Payment", ["Activity"])
+    onto.declare_class("CardPayment", ["Payment"])
+    onto.declare_class("MobilePayment", ["Payment"])
+    onto.declare_class("Notification", ["Activity"])
+    onto.declare_class("Billing", ["Activity"])
+    onto.declare_equivalence("Billing", "Payment")
+    return onto
+
+
+class TestDegrees:
+    def test_exact_same_concept(self, tasks):
+        assert match_concepts(tasks, "Payment", "Payment") is MatchDegree.EXACT
+
+    def test_exact_through_equivalence(self, tasks):
+        assert match_concepts(tasks, "Payment", "Billing") is MatchDegree.EXACT
+
+    def test_plugin_offer_more_specific(self, tasks):
+        assert match_concepts(tasks, "Payment", "CardPayment") is MatchDegree.PLUGIN
+
+    def test_subsume_offer_more_general(self, tasks):
+        assert match_concepts(tasks, "CardPayment", "Payment") is MatchDegree.SUBSUME
+
+    def test_sibling_shares_meaningful_ancestor(self, tasks):
+        degree = match_concepts(tasks, "CardPayment", "MobilePayment")
+        assert degree is MatchDegree.SIBLING
+
+    def test_sibling_suppressed_by_root(self, tasks):
+        # Payment and Notification only share Activity; naming it as the
+        # root degrades the match to FAIL.
+        assert (
+            match_concepts(tasks, "Payment", "Notification", root="Activity")
+            is MatchDegree.FAIL
+        )
+        assert (
+            match_concepts(tasks, "Payment", "Notification")
+            is MatchDegree.SIBLING
+        )
+
+    def test_fail_unrelated(self, tasks):
+        tasks.declare_class("Orphan")
+        assert match_concepts(tasks, "Payment", "Orphan") is MatchDegree.FAIL
+
+
+class TestOrderingAndSatisfies:
+    def test_total_order(self):
+        assert (
+            MatchDegree.EXACT
+            > MatchDegree.PLUGIN
+            > MatchDegree.SUBSUME
+            > MatchDegree.SIBLING
+            > MatchDegree.FAIL
+        )
+
+    def test_satisfies_threshold(self):
+        assert MatchDegree.EXACT.satisfies
+        assert MatchDegree.PLUGIN.satisfies
+        assert not MatchDegree.SUBSUME.satisfies
+        assert not MatchDegree.SIBLING.satisfies
+        assert not MatchDegree.FAIL.satisfies
+
+
+class TestSimilarity:
+    def test_similarity_values(self, tasks):
+        assert similarity(tasks, "Payment", "Payment") == 1.0
+        assert similarity(tasks, "Payment", "CardPayment") == 0.8
+        assert similarity(tasks, "CardPayment", "Payment") == 0.5
+        assert similarity(tasks, "CardPayment", "MobilePayment") == 0.2
+
+    def test_similarity_monotone_in_degree(self, tasks):
+        chain = [
+            similarity(tasks, "Payment", "Payment"),
+            similarity(tasks, "Payment", "CardPayment"),
+            similarity(tasks, "CardPayment", "Payment"),
+            similarity(tasks, "CardPayment", "MobilePayment"),
+        ]
+        assert chain == sorted(chain, reverse=True)

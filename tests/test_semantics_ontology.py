@@ -1,0 +1,155 @@
+"""Tests for ontology declaration and subsumption reasoning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OntologyError, UnknownConceptError
+from repro.semantics.ontology import Ontology
+
+
+@pytest.fixture
+def animals():
+    onto = Ontology("animals")
+    onto.declare_class("Animal")
+    onto.declare_class("Mammal", ["Animal"])
+    onto.declare_class("Bird", ["Animal"])
+    onto.declare_class("Dog", ["Mammal"])
+    onto.declare_class("Cat", ["Mammal"])
+    onto.declare_class("Penguin", ["Bird"])
+    return onto
+
+
+class TestDeclaration:
+    def test_declare_class(self, animals):
+        assert animals.is_class("Dog")
+        assert not animals.is_class("Unicorn")
+
+    def test_unknown_parent_raises(self):
+        onto = Ontology()
+        with pytest.raises(UnknownConceptError):
+            onto.declare_class("Dog", ["Mammal"])
+
+    def test_labels_and_comments(self):
+        onto = Ontology()
+        onto.declare_class("X", label="The X", comment="A test concept")
+        assert onto.label("X") == "The X"
+        assert onto.comment("X") == "A test concept"
+
+    def test_multiple_parents(self, animals):
+        animals.declare_class("Pet", ["Animal"])
+        animals.declare_class("PetDog", ["Dog", "Pet"])
+        assert animals.subsumes("Pet", "PetDog")
+        assert animals.subsumes("Mammal", "PetDog")
+
+    def test_declare_subclass_post_hoc(self, animals):
+        animals.declare_class("Carnivore", ["Animal"])
+        animals.declare_subclass("Cat", "Carnivore")
+        assert animals.subsumes("Carnivore", "Cat")
+
+    def test_declare_subclass_unknown_raises(self, animals):
+        with pytest.raises(UnknownConceptError):
+            animals.declare_subclass("Cat", "Unknown")
+
+    def test_declare_property_and_individual(self, animals):
+        animals.declare_property("hasOwner", domain="Dog", range_="Animal")
+        animals.declare_individual("rex", "Dog")
+        assert "Dog" in animals.types_of("rex")
+        assert "Mammal" in animals.types_of("rex")
+        assert "Animal" in animals.types_of("rex")
+
+    def test_individual_of_unknown_class_raises(self, animals):
+        with pytest.raises(UnknownConceptError):
+            animals.declare_individual("x", "Unicorn")
+
+
+class TestReasoning:
+    def test_ancestors_are_reflexive_transitive(self, animals):
+        assert animals.ancestors("Dog") == frozenset({"Dog", "Mammal", "Animal"})
+
+    def test_descendants(self, animals):
+        assert animals.descendants("Mammal") == frozenset({"Mammal", "Dog", "Cat"})
+
+    def test_subsumes(self, animals):
+        assert animals.subsumes("Animal", "Penguin")
+        assert animals.subsumes("Dog", "Dog")
+        assert not animals.subsumes("Mammal", "Penguin")
+        assert not animals.subsumes("Dog", "Animal")
+
+    def test_ancestors_unknown_concept_raises(self, animals):
+        with pytest.raises(UnknownConceptError):
+            animals.ancestors("Unicorn")
+
+    def test_common_ancestors(self, animals):
+        common = animals.common_ancestors("Dog", "Cat")
+        assert "Mammal" in common and "Animal" in common
+        assert "Dog" not in common
+
+    def test_depth(self, animals):
+        assert animals.depth("Animal") == 0
+        assert animals.depth("Mammal") == 1
+        assert animals.depth("Dog") == 2
+
+    def test_individuals_of_transitive(self, animals):
+        animals.declare_individual("rex", "Dog")
+        animals.declare_individual("tweety", "Penguin")
+        assert animals.individuals_of("Animal") == {"rex", "tweety"}
+        assert animals.individuals_of("Mammal") == {"rex"}
+        assert animals.individuals_of("Animal", transitive=False) == set()
+
+
+class TestEquivalence:
+    def test_equivalents_are_symmetric_transitive(self, animals):
+        animals.declare_class("Canine", ["Mammal"])
+        animals.declare_class("Hound", ["Mammal"])
+        animals.declare_equivalence("Dog", "Canine")
+        animals.declare_equivalence("Canine", "Hound")
+        assert animals.equivalents("Dog") == {"Dog", "Canine", "Hound"}
+        assert animals.equivalents("Hound") == {"Dog", "Canine", "Hound"}
+
+    def test_equivalence_folds_into_subsumption(self, animals):
+        animals.declare_class("Canine", ["Animal"])
+        animals.declare_equivalence("Dog", "Canine")
+        # Dog inherits Canine's parents and vice versa.
+        assert animals.subsumes("Canine", "Dog")
+        assert animals.subsumes("Dog", "Canine")
+        assert animals.subsumes("Mammal", "Canine")
+
+    def test_equivalence_unknown_raises(self, animals):
+        with pytest.raises(UnknownConceptError):
+            animals.declare_equivalence("Dog", "Unicorn")
+
+    def test_subsumption_through_equivalent_parent(self, animals):
+        animals.declare_class("DomesticAnimal", ["Animal"])
+        animals.declare_class("Pet", ["Animal"])
+        animals.declare_equivalence("DomesticAnimal", "Pet")
+        animals.declare_class("GoldFish", ["Pet"])
+        assert animals.subsumes("DomesticAnimal", "GoldFish")
+
+
+class TestValidationAndMerge:
+    def test_validate_accepts_dag(self, animals):
+        animals.validate()
+
+    def test_validate_rejects_cycle(self):
+        onto = Ontology()
+        onto.declare_class("A")
+        onto.declare_class("B", ["A"])
+        onto.declare_subclass("A", "B")
+        with pytest.raises(OntologyError):
+            onto.validate()
+
+    def test_merge_unions_statements(self, animals):
+        other = Ontology("plants")
+        other.declare_class("Plant")
+        other.declare_class("Tree", ["Plant"])
+        animals.merge(other)
+        assert animals.is_class("Tree")
+        assert animals.subsumes("Plant", "Tree")
+        assert animals.subsumes("Animal", "Dog")
+
+    def test_cache_invalidation_on_new_edges(self, animals):
+        assert not animals.subsumes("Bird", "Dog")
+        animals.declare_class("FlyingDog", ["Dog"])
+        animals.declare_subclass("FlyingDog", "Bird")
+        assert animals.subsumes("Bird", "FlyingDog")

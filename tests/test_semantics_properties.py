@@ -1,0 +1,104 @@
+"""Property-based tests of the ontology reasoner over random ontologies.
+
+The reasoner underpins discovery, QoS-term mapping and behavioural
+adaptation; these hypothesis tests pin its algebraic laws on randomly
+generated class forests with random equivalences.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.matching import MatchDegree, match_concepts
+from repro.semantics.ontology import Ontology
+
+
+@st.composite
+def _ontologies(draw):
+    """A random DAG ontology: each class attaches to earlier classes, plus
+    a few random equivalences."""
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    n = draw(st.integers(2, 14))
+    onto = Ontology("random")
+    names = [f"C{i}" for i in range(n)]
+    onto.declare_class(names[0])
+    for i in range(1, n):
+        parent_count = rng.randint(0, min(2, i))
+        parents = rng.sample(names[:i], parent_count)
+        onto.declare_class(names[i], parents)
+    for _ in range(draw(st.integers(0, 3))):
+        a, b = rng.sample(names, 2)
+        onto.declare_equivalence(a, b)
+    return onto, names, rng
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ontologies())
+def test_subsumption_is_reflexive(data):
+    onto, names, _ = data
+    for name in names:
+        assert onto.subsumes(name, name)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ontologies())
+def test_subsumption_is_transitive(data):
+    onto, names, rng = data
+    for _ in range(10):
+        a, b, c = (rng.choice(names) for _ in range(3))
+        if onto.subsumes(a, b) and onto.subsumes(b, c):
+            assert onto.subsumes(a, c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ontologies())
+def test_ancestors_descendants_are_dual(data):
+    onto, names, rng = data
+    for _ in range(10):
+        a, b = rng.choice(names), rng.choice(names)
+        assert (a in onto.ancestors(b)) == (b in onto.descendants(a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ontologies())
+def test_equivalents_form_equivalence_classes(data):
+    onto, names, rng = data
+    for name in names:
+        group = onto.equivalents(name)
+        assert name in group                       # reflexive
+        for other in group:
+            assert onto.equivalents(other) == group  # well-defined classes
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ontologies())
+def test_match_degree_duality(data):
+    """EXACT is symmetric; PLUGIN in one direction is SUBSUME in the other."""
+    onto, names, rng = data
+    for _ in range(10):
+        a, b = rng.choice(names), rng.choice(names)
+        forward = match_concepts(onto, a, b)
+        backward = match_concepts(onto, b, a)
+        if forward is MatchDegree.EXACT:
+            assert backward is MatchDegree.EXACT
+        if forward is MatchDegree.PLUGIN:
+            assert backward is MatchDegree.SUBSUME
+        if forward is MatchDegree.SIBLING:
+            assert backward is MatchDegree.SIBLING
+        if forward is MatchDegree.FAIL:
+            assert backward is MatchDegree.FAIL
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ontologies())
+def test_serialization_preserves_reasoning(data):
+    from repro.semantics.serialization import dump_ontology, load_ontology
+
+    onto, names, rng = data
+    recovered = load_ontology(dump_ontology(onto))
+    for _ in range(10):
+        a, b = rng.choice(names), rng.choice(names)
+        assert onto.subsumes(a, b) == recovered.subsumes(a, b)

@@ -1,0 +1,105 @@
+"""Tests for ontology text serialisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OntologyError
+from repro.semantics.ontology import Ontology
+from repro.semantics.serialization import (
+    dump_ontology,
+    load_ontology,
+    read_ontology,
+    save_ontology,
+)
+from repro.qos.model import build_end_to_end_model
+
+
+@pytest.fixture
+def small():
+    onto = Ontology("small")
+    onto.declare_class("a:Root", label="The root concept")
+    onto.declare_class("a:Child", ["a:Root"], comment='Has "quotes" inside')
+    onto.declare_property("a:rel", domain="a:Child", range_="a:Root")
+    onto.declare_individual("a:bob", "a:Child")
+    return onto
+
+
+class TestRoundTrip:
+    def test_triples_preserved(self, small):
+        recovered = load_ontology(dump_ontology(small))
+        assert len(recovered.store) == len(small.store)
+        for triple in small.store.triples():
+            assert tuple(triple) in recovered.store
+
+    def test_name_preserved(self, small):
+        recovered = load_ontology(dump_ontology(small))
+        assert recovered.name == "small"
+
+    def test_reasoning_survives(self, small):
+        recovered = load_ontology(dump_ontology(small))
+        assert recovered.subsumes("a:Root", "a:Child")
+        assert "a:Child" in recovered.types_of("a:bob")
+
+    def test_literals_with_quotes_round_trip(self, small):
+        recovered = load_ontology(dump_ontology(small))
+        assert recovered.comment("a:Child") == 'Has "quotes" inside'
+
+    def test_dump_is_stable(self, small):
+        assert dump_ontology(small) == dump_ontology(
+            load_ontology(dump_ontology(small))
+        )
+
+    def test_file_round_trip(self, small, tmp_path):
+        path = save_ontology(small, tmp_path / "onto.triples")
+        recovered = read_ontology(path)
+        assert recovered.subsumes("a:Root", "a:Child")
+
+    def test_full_qos_model_round_trips(self):
+        model = build_end_to_end_model()
+        recovered = load_ontology(dump_ontology(model.ontology))
+        assert len(recovered.store) == len(model.ontology.store)
+        # Spot-check deep inference through equivalences.
+        assert recovered.subsumes("uqos:Speed", "sqos:ExecutionTime")
+        assert recovered.subsumes("qos:QoSProperty", "iqos:Bandwidth")
+
+
+class TestMalformedDocuments:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "a:X a:p a:Y",                 # missing terminal dot
+            "a:X a:p .",                   # two terms
+            "a:X a:p a:Y a:Z .",           # four terms
+            'a:X a:p "unterminated .',     # broken literal
+        ],
+    )
+    def test_rejected(self, document):
+        with pytest.raises(OntologyError):
+            load_ontology(document)
+
+    def test_comments_and_blank_lines_ignored(self):
+        document = "\n# hello\n\na:X rdf:type owl:Class .\n"
+        recovered = load_ontology(document)
+        assert recovered.is_class("a:X")
+
+
+_terms = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: not s.startswith("#"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(_terms, _terms, _terms), max_size=15))
+def test_arbitrary_triples_round_trip(triples):
+    onto = Ontology("fuzz")
+    for s, p, o in triples:
+        onto.store.add(s, p, o)
+    recovered = load_ontology(dump_ontology(onto))
+    assert {tuple(t) for t in recovered.store.triples()} == {
+        tuple(t) for t in onto.store.triples()
+    }

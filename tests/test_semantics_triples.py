@@ -1,0 +1,138 @@
+"""Unit and property tests for the triple store."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.triples import Triple, TripleStore
+
+
+def make_store(*triples):
+    store = TripleStore()
+    for t in triples:
+        store.add(*t)
+    return store
+
+
+class TestBasics:
+    def test_empty_store(self):
+        store = TripleStore()
+        assert len(store) == 0
+        assert list(store.triples()) == []
+
+    def test_add_and_contains(self):
+        store = make_store(("a", "p", "b"))
+        assert ("a", "p", "b") in store
+        assert ("a", "p", "c") not in store
+        assert len(store) == 1
+
+    def test_add_is_idempotent(self):
+        store = TripleStore()
+        assert store.add("a", "p", "b") is True
+        assert store.add("a", "p", "b") is False
+        assert len(store) == 1
+
+    def test_remove(self):
+        store = make_store(("a", "p", "b"))
+        assert store.remove("a", "p", "b") is True
+        assert ("a", "p", "b") not in store
+        assert len(store) == 0
+
+    def test_remove_missing_returns_false(self):
+        store = TripleStore()
+        assert store.remove("a", "p", "b") is False
+
+    def test_triple_is_iterable(self):
+        s, p, o = Triple("a", "p", "b")
+        assert (s, p, o) == ("a", "p", "b")
+
+
+class TestPatternQueries:
+    def setup_method(self):
+        self.store = make_store(
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("a", "q", "b"),
+            ("x", "p", "b"),
+        )
+
+    def test_fully_bound(self):
+        assert len(list(self.store.triples("a", "p", "b"))) == 1
+
+    def test_subject_only(self):
+        assert len(list(self.store.triples(subject="a"))) == 3
+
+    def test_subject_predicate(self):
+        results = {t.object for t in self.store.triples("a", "p")}
+        assert results == {"b", "c"}
+
+    def test_predicate_only(self):
+        assert len(list(self.store.triples(predicate="p"))) == 3
+
+    def test_predicate_object(self):
+        results = {t.subject for t in self.store.triples(None, "p", "b")}
+        assert results == {"a", "x"}
+
+    def test_object_only(self):
+        results = {
+            (t.subject, t.predicate) for t in self.store.triples(object_="b")
+        }
+        assert results == {("a", "p"), ("a", "q"), ("x", "p")}
+
+    def test_wildcard_all(self):
+        assert len(list(self.store.triples())) == 4
+
+    def test_objects_helper(self):
+        assert self.store.objects("a", "p") == {"b", "c"}
+
+    def test_subjects_helper(self):
+        assert self.store.subjects("p", "b") == {"a", "x"}
+
+    def test_one_object(self):
+        assert self.store.one_object("a", "q") == "b"
+        assert self.store.one_object("a", "zzz") is None
+
+    def test_no_match_patterns_are_empty(self):
+        assert list(self.store.triples("zzz")) == []
+        assert list(self.store.triples(predicate="zzz")) == []
+        assert list(self.store.triples(object_="zzz")) == []
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        store = make_store(("a", "p", "b"))
+        clone = store.copy()
+        clone.add("c", "p", "d")
+        assert len(store) == 1
+        assert len(clone) == 2
+
+
+_uris = st.text(alphabet="abcxyz:", min_size=1, max_size=6)
+_triples = st.tuples(_uris, _uris, _uris)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(_triples, max_size=30))
+def test_size_matches_distinct_triples(triples):
+    store = TripleStore()
+    for t in triples:
+        store.add(*t)
+    assert len(store) == len(set(triples))
+    assert {tuple(t) for t in store.triples()} == set(triples)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(_triples, min_size=1, max_size=20), st.data())
+def test_indexes_stay_consistent_after_removal(triples, data):
+    store = TripleStore()
+    for t in triples:
+        store.add(*t)
+    victim = data.draw(st.sampled_from(triples))
+    store.remove(*victim)
+    remaining = set(triples) - {victim}
+    assert {tuple(t) for t in store.triples()} == remaining
+    # Every index answers consistently with the ground truth.
+    for s, p, o in remaining:
+        assert o in store.objects(s, p)
+        assert s in store.subjects(p, o)

@@ -1,0 +1,178 @@
+"""Tests for white-box conversation QoS folding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceDescriptionError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.conversation_qos import (
+    aggregate_conversation,
+    effective_qos,
+    with_effective_qos,
+)
+from repro.services.description import Conversation, Operation, ServiceDescription
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability", "throughput",
+                 "reputation")
+}
+
+
+def op(name, rt, cost=1.0, avail=0.9, throughput=100.0, reputation=4.0):
+    return Operation(
+        name=name,
+        capability=f"task:{name}",
+        qos=QoSVector(
+            {"response_time": rt, "cost": cost, "availability": avail,
+             "throughput": throughput, "reputation": reputation},
+            PROPS,
+        ),
+    )
+
+
+class TestCriticalPath:
+    def test_chain_sums_response_time(self):
+        conv = Conversation(
+            operations=(op("a", 100.0), op("b", 200.0), op("c", 50.0)),
+            flow=(("a", "b"), ("b", "c")),
+        )
+        folded = aggregate_conversation(conv, PROPS)
+        assert folded["response_time"] == 350.0
+
+    def test_diamond_takes_longest_branch(self):
+        conv = Conversation(
+            operations=(op("a", 10.0), op("fast", 20.0), op("slow", 200.0),
+                        op("z", 10.0)),
+            flow=(("a", "fast"), ("a", "slow"), ("fast", "z"), ("slow", "z")),
+        )
+        folded = aggregate_conversation(conv, PROPS)
+        assert folded["response_time"] == 220.0
+
+    def test_unordered_operations_run_concurrently(self):
+        conv = Conversation(operations=(op("a", 100.0), op("b", 300.0)))
+        folded = aggregate_conversation(conv, PROPS)
+        assert folded["response_time"] == 300.0
+
+    def test_cyclic_flow_rejected(self):
+        conv = Conversation(
+            operations=(op("a", 1.0), op("b", 1.0)),
+            flow=(("a", "b"), ("b", "a")),
+        )
+        with pytest.raises(ServiceDescriptionError):
+            aggregate_conversation(conv, PROPS)
+
+
+class TestOtherKinds:
+    def setup_method(self):
+        self.conv = Conversation(
+            operations=(
+                op("a", 10.0, cost=1.0, avail=0.9, throughput=50.0,
+                   reputation=3.0),
+                op("b", 20.0, cost=2.0, avail=0.8, throughput=200.0,
+                   reputation=5.0),
+            ),
+            flow=(("a", "b"),),
+        )
+        self.folded = aggregate_conversation(self.conv, PROPS)
+
+    def test_cost_sums_over_all_operations(self):
+        assert self.folded["cost"] == 3.0
+
+    def test_availability_multiplies(self):
+        assert self.folded["availability"] == pytest.approx(0.72)
+
+    def test_throughput_is_bottleneck(self):
+        assert self.folded["throughput"] == 50.0
+
+    def test_reputation_averages(self):
+        assert self.folded["reputation"] == 4.0
+
+
+class TestPartialDeclarations:
+    def test_property_missing_on_one_operation_not_folded(self):
+        partial = Operation(
+            "p", "task:P",
+            qos=QoSVector({"response_time": 5.0}, PROPS),
+        )
+        conv = Conversation(operations=(op("a", 10.0), partial),
+                            flow=(("a", "p"),))
+        folded = aggregate_conversation(conv, PROPS)
+        assert "response_time" in folded
+        assert "cost" not in folded
+
+    def test_operation_without_qos_blocks_folding(self):
+        bare = Operation("bare", "task:B")
+        conv = Conversation(operations=(op("a", 10.0), bare))
+        folded = aggregate_conversation(conv, PROPS)
+        assert len(folded) == 0
+
+
+class TestEffectiveQoS:
+    def make_white_box(self, advertised):
+        conv = Conversation(
+            operations=(op("a", 100.0), op("b", 200.0)),
+            flow=(("a", "b"),),
+        )
+        return ServiceDescription(
+            name="wb", capability="task:X",
+            advertised_qos=QoSVector(advertised, PROPS),
+            conversation=conv,
+        )
+
+    def test_black_box_unchanged(self):
+        service = ServiceDescription(
+            name="bb", capability="task:X",
+            advertised_qos=QoSVector({"cost": 5.0}, PROPS),
+        )
+        assert effective_qos(service, PROPS) == service.advertised_qos
+
+    def test_folded_values_fill_gaps(self):
+        service = self.make_white_box({"reputation": 4.5})
+        merged = effective_qos(service, PROPS)
+        assert merged["response_time"] == 300.0  # folded from operations
+        assert merged["reputation"] == 4.5        # explicit claim kept
+
+    def test_explicit_advertisement_wins(self):
+        service = self.make_white_box({"response_time": 250.0})
+        merged = effective_qos(service, PROPS)
+        assert merged["response_time"] == 250.0
+
+    def test_with_effective_qos_preserves_identity(self):
+        service = self.make_white_box({})
+        enriched = with_effective_qos(service, PROPS)
+        assert enriched == service
+        assert "response_time" in enriched.advertised_qos
+
+
+class TestSelectionIntegration:
+    def test_white_box_services_selectable(self):
+        """A registry of white-box services flows through QASSA after
+        effective-QoS enrichment."""
+        from repro.composition.qassa import QASSA
+        from repro.composition.request import UserRequest
+        from repro.composition.selection import CandidateSets
+        from repro.composition.task import Task, leaf, sequence
+
+        def white_box(i):
+            conv = Conversation(
+                operations=(op("x", 50.0 + i * 10), op("y", 30.0 + i * 5)),
+                flow=(("x", "y"),),
+            )
+            return ServiceDescription(
+                name=f"wb-{i}", capability="task:W",
+                advertised_qos=QoSVector({}, PROPS),
+                conversation=conv,
+            )
+
+        services = [
+            with_effective_qos(white_box(i), PROPS) for i in range(6)
+        ]
+        task = Task("t", sequence(leaf("A", "task:W")))
+        candidates = CandidateSets(task, {"A": services})
+        request = UserRequest(task, weights={"response_time": 1.0})
+        plan = QASSA(PROPS).select(request, candidates)
+        # Lowest folded response time wins: wb-0 (critical path 80 ms).
+        assert plan.selections["A"].primary.name == "wb-0"

@@ -1,0 +1,105 @@
+"""Tests for service descriptions and conversations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceDescriptionError
+from repro.qos.properties import AVAILABILITY, COST, RESPONSE_TIME
+from repro.qos.values import QoSVector
+from repro.services.description import Conversation, Operation, ServiceDescription
+
+PROPS = {
+    "response_time": RESPONSE_TIME,
+    "cost": COST,
+    "availability": AVAILABILITY,
+}
+
+
+def make_service(**overrides):
+    defaults = dict(
+        name="pay-1",
+        capability="task:Payment",
+        advertised_qos=QoSVector(
+            {"response_time": 100.0, "cost": 1.5, "availability": 0.95}, PROPS
+        ),
+    )
+    defaults.update(overrides)
+    return ServiceDescription(**defaults)
+
+
+class TestServiceDescription:
+    def test_auto_generated_unique_ids(self):
+        a, b = make_service(), make_service()
+        assert a.service_id != b.service_id
+        assert a.service_id.startswith("svc-")
+
+    def test_explicit_id_preserved(self):
+        s = make_service(service_id="svc-custom")
+        assert s.service_id == "svc-custom"
+
+    def test_identity_is_by_id(self):
+        s = make_service(service_id="svc-x")
+        t = make_service(service_id="svc-x", name="other-name")
+        assert s == t
+        assert hash(s) == hash(t)
+        assert s != make_service()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ServiceDescriptionError):
+            make_service(name="")
+
+    def test_empty_capability_rejected(self):
+        with pytest.raises(ServiceDescriptionError):
+            make_service(capability="")
+
+    def test_qos_accessor(self):
+        assert make_service().qos("cost") == 1.5
+
+    def test_with_qos_keeps_identity(self):
+        s = make_service()
+        updated = s.with_qos(
+            QoSVector({"response_time": 50.0, "cost": 1.0,
+                       "availability": 0.9}, PROPS)
+        )
+        assert updated == s  # same id
+        assert updated.qos("response_time") == 50.0
+        assert s.qos("response_time") == 100.0
+
+    def test_black_box_by_default(self):
+        assert not make_service().is_white_box
+
+
+class TestConversation:
+    def test_white_box_service(self):
+        conv = Conversation(
+            operations=(
+                Operation("browse", "task:Browse"),
+                Operation("order", "task:Order"),
+            ),
+            flow=(("browse", "order"),),
+        )
+        service = make_service(conversation=conv)
+        assert service.is_white_box
+        assert service.conversation.operation("order").capability == "task:Order"
+
+    def test_duplicate_operation_names_rejected(self):
+        with pytest.raises(ServiceDescriptionError):
+            Conversation(
+                operations=(
+                    Operation("op", "task:A"),
+                    Operation("op", "task:B"),
+                )
+            )
+
+    def test_flow_referencing_unknown_operation_rejected(self):
+        with pytest.raises(ServiceDescriptionError):
+            Conversation(
+                operations=(Operation("a", "task:A"),),
+                flow=(("a", "ghost"),),
+            )
+
+    def test_unknown_operation_lookup_raises(self):
+        conv = Conversation(operations=(Operation("a", "task:A"),))
+        with pytest.raises(ServiceDescriptionError):
+            conv.operation("b")

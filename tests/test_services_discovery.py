@@ -1,0 +1,198 @@
+"""Tests for QoS-aware semantic service discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DiscoveryError
+from repro.qos.properties import AVAILABILITY, COST, RESPONSE_TIME
+from repro.qos.values import QoSVector
+from repro.semantics.matching import MatchDegree
+from repro.semantics.ontology import Ontology
+from repro.services.description import ServiceDescription
+from repro.services.discovery import (
+    DiscoveryQuery,
+    QoSAwareDiscovery,
+    QoSConstraint,
+)
+from repro.services.registry import ServiceRegistry
+
+PROPS = {
+    "response_time": RESPONSE_TIME,
+    "cost": COST,
+    "availability": AVAILABILITY,
+}
+
+
+def svc(name, capability, rt=100.0, cost=1.0, avail=0.95, **kw):
+    return ServiceDescription(
+        name=name,
+        capability=capability,
+        advertised_qos=QoSVector(
+            {"response_time": rt, "cost": cost, "availability": avail}, PROPS
+        ),
+        **kw,
+    )
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology("tasks")
+    onto.declare_class("task:Activity")
+    onto.declare_class("task:Payment", ["task:Activity"])
+    onto.declare_class("task:CardPayment", ["task:Payment"])
+    onto.declare_class("task:Browse", ["task:Activity"])
+    onto.declare_class("data:Data")
+    onto.declare_class("data:Receipt", ["data:Data"])
+    onto.declare_class("data:DetailedReceipt", ["data:Receipt"])
+    onto.declare_class("data:Order", ["data:Data"])
+    return onto
+
+
+@pytest.fixture
+def registry():
+    return ServiceRegistry()
+
+
+class TestQoSConstraint:
+    def test_le_constraint(self):
+        c = QoSConstraint("response_time", "<=", 100.0)
+        assert c.satisfied_by(100.0)
+        assert c.satisfied_by(50.0)
+        assert not c.satisfied_by(101.0)
+
+    def test_ge_constraint(self):
+        c = QoSConstraint("availability", ">=", 0.9)
+        assert c.satisfied_by(0.95)
+        assert not c.satisfied_by(0.85)
+
+    def test_slack(self):
+        assert QoSConstraint("cost", "<=", 10.0).slack(7.0) == pytest.approx(3.0)
+        assert QoSConstraint("availability", ">=", 0.9).slack(0.8) == (
+            pytest.approx(-0.1)
+        )
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(DiscoveryError):
+            QoSConstraint("cost", "==", 1.0)
+
+
+class TestFunctionalMatching:
+    def test_syntactic_fallback_without_ontology(self, registry):
+        registry.publish(svc("p1", "task:Payment"))
+        registry.publish(svc("c1", "task:CardPayment"))
+        discovery = QoSAwareDiscovery(registry, task_ontology=None)
+        results = discovery.discover(DiscoveryQuery("task:Payment"))
+        assert [m.service.name for m in results] == ["p1"]
+
+    def test_semantic_plugin_match(self, registry, ontology):
+        registry.publish(svc("card", "task:CardPayment"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        results = discovery.discover(DiscoveryQuery("task:Payment"))
+        assert len(results) == 1
+        assert results[0].degree is MatchDegree.PLUGIN
+
+    def test_subsume_excluded_by_default(self, registry, ontology):
+        registry.publish(svc("generic", "task:Payment"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        results = discovery.discover(DiscoveryQuery("task:CardPayment"))
+        assert results == []
+
+    def test_subsume_included_when_requested(self, registry, ontology):
+        registry.publish(svc("generic", "task:Payment"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        results = discovery.discover(
+            DiscoveryQuery("task:CardPayment",
+                           minimum_degree=MatchDegree.SUBSUME)
+        )
+        assert len(results) == 1
+
+    def test_results_sorted_best_degree_first(self, registry, ontology):
+        registry.publish(svc("exact", "task:Payment"))
+        registry.publish(svc("specific", "task:CardPayment"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        results = discovery.discover(DiscoveryQuery("task:Payment"))
+        assert [m.service.name for m in results] == ["exact", "specific"]
+
+    def test_unrelated_capability_rejected(self, registry, ontology):
+        registry.publish(svc("b", "task:Browse"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        assert discovery.discover(DiscoveryQuery("task:Payment")) == []
+
+
+class TestIOPEMatching:
+    def test_required_output_must_be_produced(self, registry, ontology):
+        registry.publish(
+            svc("with-receipt", "task:Payment",
+                outputs=frozenset({"data:Receipt"}))
+        )
+        registry.publish(svc("no-receipt", "task:Payment"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        results = discovery.discover(
+            DiscoveryQuery("task:Payment", outputs=frozenset({"data:Receipt"}))
+        )
+        assert [m.service.name for m in results] == ["with-receipt"]
+
+    def test_output_matches_semantically(self, registry, ontology):
+        registry.publish(
+            svc("detailed", "task:Payment",
+                outputs=frozenset({"data:DetailedReceipt"}))
+        )
+        discovery = QoSAwareDiscovery(registry, ontology)
+        results = discovery.discover(
+            DiscoveryQuery("task:Payment", outputs=frozenset({"data:Receipt"}))
+        )
+        assert len(results) == 1
+
+    def test_service_inputs_must_be_coverable(self, registry, ontology):
+        registry.publish(
+            svc("needs-order", "task:Payment",
+                inputs=frozenset({"data:Order"}))
+        )
+        discovery = QoSAwareDiscovery(registry, ontology)
+        # Query provides only a receipt: the service's input is uncovered.
+        assert (
+            discovery.discover(
+                DiscoveryQuery("task:Payment",
+                               inputs=frozenset({"data:Receipt"}))
+            )
+            == []
+        )
+        # Query declaring no inputs imposes nothing.
+        assert len(discovery.discover(DiscoveryQuery("task:Payment"))) == 1
+
+
+class TestQoSFiltering:
+    def test_local_constraint_prunes(self, registry, ontology):
+        registry.publish(svc("fast", "task:Payment", rt=50.0))
+        registry.publish(svc("slow", "task:Payment", rt=500.0))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        results = discovery.discover(
+            DiscoveryQuery(
+                "task:Payment",
+                local_constraints=(QoSConstraint("response_time", "<=", 100.0),),
+            )
+        )
+        assert [m.service.name for m in results] == ["fast"]
+
+    def test_missing_advertised_property_is_a_miss(self, registry, ontology):
+        bare = ServiceDescription(
+            name="bare",
+            capability="task:Payment",
+            advertised_qos=QoSVector({"cost": 1.0}, PROPS),
+        )
+        registry.publish(bare)
+        discovery = QoSAwareDiscovery(registry, ontology)
+        results = discovery.discover(
+            DiscoveryQuery(
+                "task:Payment",
+                local_constraints=(QoSConstraint("response_time", "<=", 1e9),),
+            )
+        )
+        assert results == []
+
+    def test_candidates_shortcut(self, registry, ontology):
+        registry.publish(svc("a", "task:Payment"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        services = discovery.candidates(DiscoveryQuery("task:Payment"))
+        assert [s.name for s in services] == ["a"]

@@ -1,0 +1,152 @@
+"""Tests for the synthetic service generator."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import (
+    NormalLaw,
+    QoSDistribution,
+    ServiceGenerator,
+)
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self):
+        a = ServiceGenerator(PROPS, seed=9).candidates("task:X", 5)
+        b = ServiceGenerator(PROPS, seed=9).candidates("task:X", 5)
+        assert [s.advertised_qos for s in a] == [s.advertised_qos for s in b]
+        assert [s.name for s in a] == [s.name for s in b]
+
+    def test_different_seed_different_population(self):
+        a = ServiceGenerator(PROPS, seed=1).candidates("task:X", 5)
+        b = ServiceGenerator(PROPS, seed=2).candidates("task:X", 5)
+        assert [s.advertised_qos for s in a] != [s.advertised_qos for s in b]
+
+
+class TestUniformLaw:
+    def test_values_within_property_range(self):
+        generator = ServiceGenerator(PROPS, seed=3)
+        for _ in range(100):
+            vector = generator.draw_vector()
+            for name, prop in PROPS.items():
+                lo, hi = prop.value_range
+                assert lo <= vector[name] <= hi
+
+    def test_uniform_spread_covers_range(self):
+        generator = ServiceGenerator(PROPS, seed=4)
+        values = generator.sample_values("response_time", 500)
+        lo, hi = PROPS["response_time"].value_range
+        span = hi - lo
+        assert min(values) < lo + 0.15 * span
+        assert max(values) > hi - 0.15 * span
+
+
+class TestNormalLaw:
+    def test_default_law_is_midrange(self):
+        generator = ServiceGenerator(
+            PROPS, distribution=QoSDistribution.NORMAL, seed=5
+        )
+        law = generator.law("cost")
+        lo, hi = PROPS["cost"].value_range
+        assert law.mean == pytest.approx((lo + hi) / 2)
+        assert law.stddev == pytest.approx((hi - lo) / 6)
+
+    def test_sample_moments_match_law(self):
+        generator = ServiceGenerator(
+            PROPS, distribution=QoSDistribution.NORMAL, seed=6
+        )
+        values = generator.sample_values("response_time", 4000)
+        law = generator.law("response_time")
+        assert statistics.mean(values) == pytest.approx(law.mean, rel=0.05)
+        assert statistics.stdev(values) == pytest.approx(law.stddev, rel=0.12)
+
+    def test_values_clipped_to_range(self):
+        laws = {"availability": NormalLaw(mean=0.99, stddev=0.2)}
+        generator = ServiceGenerator(
+            PROPS, distribution=QoSDistribution.NORMAL,
+            normal_laws=laws, seed=7,
+        )
+        values = generator.sample_values("availability", 500)
+        assert all(0.5 <= v <= 1.0 for v in values)
+
+    def test_custom_law_used(self):
+        laws = {"cost": NormalLaw(mean=10.0, stddev=1.0)}
+        generator = ServiceGenerator(
+            PROPS, distribution=QoSDistribution.NORMAL,
+            normal_laws=laws, seed=8,
+        )
+        values = generator.sample_values("cost", 1000)
+        assert statistics.mean(values) == pytest.approx(10.0, abs=0.3)
+
+
+class TestPopulations:
+    def test_candidates_share_capability(self):
+        generator = ServiceGenerator(PROPS, seed=9)
+        services = generator.candidates("task:Pay", 7)
+        assert len(services) == 7
+        assert all(s.capability == "task:Pay" for s in services)
+        assert len({s.service_id for s in services}) == 7
+
+    def test_population_shape(self):
+        generator = ServiceGenerator(PROPS, seed=10)
+        population = generator.population(["task:A", "task:B"], 4)
+        assert set(population) == {"task:A", "task:B"}
+        assert all(len(v) == 4 for v in population.values())
+
+    def test_service_advertises_all_properties(self):
+        generator = ServiceGenerator(PROPS, seed=11)
+        service = generator.service("task:X")
+        assert set(service.advertised_qos) == set(PROPS)
+
+
+class TestTradeoffPopulations:
+    def test_invalid_tradeoff_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceGenerator(PROPS, tradeoff=1.5)
+
+    def test_full_tradeoff_couples_speed_and_cost(self):
+        generator = ServiceGenerator(PROPS, seed=20, tradeoff=1.0)
+        vectors = [generator.draw_vector() for _ in range(200)]
+        # Pearson-ish check: faster services cost more.
+        rts = [v["response_time"] for v in vectors]
+        costs = [v["cost"] for v in vectors]
+        mean_rt = sum(rts) / len(rts)
+        mean_cost = sum(costs) / len(costs)
+        covariance = sum(
+            (rt - mean_rt) * (c - mean_cost) for rt, c in zip(rts, costs)
+        )
+        assert covariance < 0  # low response time <-> high cost
+
+    def test_full_tradeoff_populations_are_pareto_incomparable(self):
+        generator = ServiceGenerator(PROPS, seed=21, tradeoff=1.0)
+        vectors = [generator.draw_vector() for _ in range(30)]
+        dominated = sum(
+            1
+            for i, v in enumerate(vectors)
+            if any(j != i and vectors[j].dominates(v)
+                   for j in range(len(vectors)))
+        )
+        # With a pure quality/price tradeoff nothing should dominate.
+        assert dominated == 0
+
+    def test_zero_tradeoff_matches_plain_draws(self):
+        plain = ServiceGenerator(PROPS, seed=22)
+        coupled = ServiceGenerator(PROPS, seed=22, tradeoff=0.0)
+        assert plain.draw_vector() == coupled.draw_vector()
+
+    def test_partial_tradeoff_values_stay_in_range(self):
+        generator = ServiceGenerator(PROPS, seed=23, tradeoff=0.5)
+        for _ in range(100):
+            vector = generator.draw_vector()
+            for name, prop in PROPS.items():
+                lo, hi = prop.value_range
+                assert lo <= vector[name] <= hi

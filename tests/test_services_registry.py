@@ -1,0 +1,119 @@
+"""Tests for the service registry (publication, withdrawal, churn events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceDescriptionError
+from repro.qos.properties import RESPONSE_TIME
+from repro.qos.values import QoSVector
+from repro.services.description import ServiceDescription
+from repro.services.registry import (
+    EVENT_PUBLISHED,
+    EVENT_UPDATED,
+    EVENT_WITHDRAWN,
+    ServiceRegistry,
+)
+
+PROPS = {"response_time": RESPONSE_TIME}
+
+
+def svc(name, capability="task:X", **kw):
+    return ServiceDescription(
+        name=name,
+        capability=capability,
+        advertised_qos=QoSVector({"response_time": 100.0}, PROPS),
+        **kw,
+    )
+
+
+class TestPublication:
+    def test_publish_and_get(self):
+        registry = ServiceRegistry()
+        service = registry.publish(svc("a"))
+        assert registry.get(service.service_id) is service
+        assert len(registry) == 1
+        assert service.service_id in registry
+
+    def test_publish_all(self):
+        registry = ServiceRegistry()
+        registry.publish_all([svc("a"), svc("b")])
+        assert len(registry) == 2
+
+    def test_republish_replaces(self):
+        registry = ServiceRegistry()
+        original = svc("a", service_id="svc-1")
+        registry.publish(original)
+        refreshed = original.with_qos(
+            QoSVector({"response_time": 50.0}, PROPS)
+        )
+        registry.publish(refreshed)
+        assert len(registry) == 1
+        assert registry.get("svc-1").qos("response_time") == 50.0
+
+    def test_require_unknown_raises(self):
+        with pytest.raises(ServiceDescriptionError):
+            ServiceRegistry().require("svc-nope")
+
+
+class TestWithdrawal:
+    def test_withdraw(self):
+        registry = ServiceRegistry()
+        service = registry.publish(svc("a"))
+        registry.withdraw(service.service_id)
+        assert len(registry) == 0
+        assert registry.get(service.service_id) is None
+
+    def test_withdraw_unknown_raises(self):
+        with pytest.raises(ServiceDescriptionError):
+            ServiceRegistry().withdraw("svc-nope")
+
+    def test_capability_index_cleaned(self):
+        registry = ServiceRegistry()
+        service = registry.publish(svc("a", "task:Pay"))
+        registry.withdraw(service.service_id)
+        assert registry.by_capability("task:Pay") == []
+        assert "task:Pay" not in registry.capabilities()
+
+
+class TestCapabilityIndex:
+    def test_by_capability_exact(self):
+        registry = ServiceRegistry()
+        registry.publish_all([svc("a", "task:Pay"), svc("b", "task:Pay"),
+                              svc("c", "task:Browse")])
+        assert len(registry.by_capability("task:Pay")) == 2
+        assert registry.capabilities() == {"task:Pay", "task:Browse"}
+
+    def test_by_capability_is_syntactic(self):
+        registry = ServiceRegistry()
+        registry.publish(svc("a", "task:CardPayment"))
+        # No semantic widening at the registry level.
+        assert registry.by_capability("task:Payment") == []
+
+
+class TestEvents:
+    def test_event_sequence(self):
+        registry = ServiceRegistry()
+        events = []
+        registry.subscribe(lambda kind, s: events.append((kind, s.name)))
+        service = registry.publish(svc("a", service_id="svc-ev"))
+        registry.publish(service)  # republish -> updated
+        registry.withdraw("svc-ev")
+        assert [e[0] for e in events] == [
+            EVENT_PUBLISHED, EVENT_UPDATED, EVENT_WITHDRAWN
+        ]
+
+    def test_unsubscribe(self):
+        registry = ServiceRegistry()
+        events = []
+        unsubscribe = registry.subscribe(lambda kind, s: events.append(kind))
+        registry.publish(svc("a"))
+        unsubscribe()
+        registry.publish(svc("b"))
+        assert len(events) == 1
+
+    def test_unsubscribe_twice_is_harmless(self):
+        registry = ServiceRegistry()
+        unsubscribe = registry.subscribe(lambda kind, s: None)
+        unsubscribe()
+        unsubscribe()

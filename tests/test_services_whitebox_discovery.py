@@ -1,0 +1,172 @@
+"""Tests for white-box (conversation-matching) discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.semantics.ontology import Ontology
+from repro.services.description import Conversation, Operation, ServiceDescription
+from repro.services.discovery import DiscoveryQuery, QoSAwareDiscovery
+from repro.services.registry import ServiceRegistry
+from repro.services.whitebox_discovery import (
+    WhiteBoxDiscovery,
+    WhiteBoxQuery,
+    conversation_to_graph,
+)
+from repro.composition.task import Task, leaf, sequence
+
+PROPS = {"response_time": STANDARD_PROPERTIES["response_time"]}
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology("shop")
+    onto.declare_class("op:Operation")
+    for name in ("Browse", "AddToCart", "Checkout", "Pay", "Ship", "Audit"):
+        onto.declare_class(f"op:{name}", ["op:Operation"])
+    onto.declare_class("op:ExpressCheckout", ["op:Checkout"])
+    onto.declare_class("task:Shop", ["op:Operation"])
+    return onto
+
+
+def conv(*steps, extra_flow=()):
+    operations = tuple(Operation(name, f"op:{name}") for name in steps)
+    flow = tuple(zip(steps, steps[1:])) + tuple(extra_flow)
+    return Conversation(operations=operations, flow=flow)
+
+
+def shop_service(name, conversation=None):
+    return ServiceDescription(
+        name=name, capability="task:Shop",
+        advertised_qos=QoSVector({"response_time": 100.0}, PROPS),
+        conversation=conversation,
+    )
+
+
+@pytest.fixture
+def registry():
+    return ServiceRegistry()
+
+
+def required_behaviour():
+    """The requester needs: Browse, then Checkout, then Pay."""
+    return Task(
+        "usage",
+        sequence(leaf("B", "op:Browse"), leaf("C", "op:Checkout"),
+                 leaf("P", "op:Pay")),
+    )
+
+
+class TestConversationToGraph:
+    def test_operations_become_labelled_vertices(self):
+        graph = conversation_to_graph(conv("Browse", "Pay"))
+        assert graph.vertex_count() == 2
+        assert graph.labels() == {"op:Browse", "op:Pay"}
+        assert graph.has_edge("Browse", "Pay")
+
+    def test_duplicate_flow_edges_collapsed(self):
+        c = Conversation(
+            operations=(Operation("a", "op:Browse"), Operation("b", "op:Pay")),
+            flow=(("a", "b"), ("a", "b")),
+        )
+        graph = conversation_to_graph(c)
+        assert graph.edge_count() == 1
+
+
+class TestWhiteBoxDiscovery:
+    def make(self, registry, ontology):
+        return WhiteBoxDiscovery(QoSAwareDiscovery(registry, ontology))
+
+    def test_matching_conversation_found(self, registry, ontology):
+        registry.publish(
+            shop_service("full", conv("Browse", "AddToCart", "Checkout",
+                                      "Pay", "Ship"))
+        )
+        discovery = self.make(registry, ontology)
+        matches = discovery.discover(
+            WhiteBoxQuery(DiscoveryQuery("task:Shop"), required_behaviour())
+        )
+        assert len(matches) == 1
+        assert matches[0].behaviourally_verified
+        # The extra AddToCart/Ship operations are path/slack, not blockers.
+
+    def test_wrong_order_rejected(self, registry, ontology):
+        registry.publish(
+            shop_service("weird", conv("Pay", "Checkout", "Browse"))
+        )
+        discovery = self.make(registry, ontology)
+        matches = discovery.discover(
+            WhiteBoxQuery(DiscoveryQuery("task:Shop"), required_behaviour())
+        )
+        assert matches == []
+
+    def test_missing_operation_rejected(self, registry, ontology):
+        registry.publish(
+            shop_service("no-pay", conv("Browse", "Checkout", "Ship"))
+        )
+        discovery = self.make(registry, ontology)
+        matches = discovery.discover(
+            WhiteBoxQuery(DiscoveryQuery("task:Shop"), required_behaviour())
+        )
+        assert matches == []
+
+    def test_semantic_operation_match(self, registry, ontology):
+        registry.publish(
+            shop_service("express",
+                         conv("Browse", "ExpressCheckout", "Pay"))
+        )
+        discovery = self.make(registry, ontology)
+        matches = discovery.discover(
+            WhiteBoxQuery(DiscoveryQuery("task:Shop"), required_behaviour())
+        )
+        assert len(matches) == 1  # ExpressCheckout ⊑ Checkout: PLUGIN
+
+    def test_black_box_excluded_by_default(self, registry, ontology):
+        registry.publish(shop_service("opaque"))
+        discovery = self.make(registry, ontology)
+        matches = discovery.discover(
+            WhiteBoxQuery(DiscoveryQuery("task:Shop"), required_behaviour())
+        )
+        assert matches == []
+
+    def test_black_box_accepted_when_lenient(self, registry, ontology):
+        registry.publish(shop_service("opaque"))
+        registry.publish(
+            shop_service("verified", conv("Browse", "Checkout", "Pay"))
+        )
+        discovery = self.make(registry, ontology)
+        matches = discovery.discover(
+            WhiteBoxQuery(DiscoveryQuery("task:Shop"), required_behaviour(),
+                          require_conversation=False)
+        )
+        assert [m.service.name for m in matches] == ["verified", "opaque"]
+        assert matches[0].behaviourally_verified
+        assert not matches[1].behaviourally_verified
+
+    def test_profile_mismatch_short_circuits(self, registry, ontology):
+        registry.publish(
+            ServiceDescription(
+                name="other", capability="op:Audit",
+                advertised_qos=QoSVector({"response_time": 1.0}, PROPS),
+                conversation=conv("Browse", "Checkout", "Pay"),
+            )
+        )
+        discovery = self.make(registry, ontology)
+        matches = discovery.discover(
+            WhiteBoxQuery(DiscoveryQuery("task:Shop"), required_behaviour())
+        )
+        assert matches == []
+
+    def test_raw_conversation_as_requirement(self, registry, ontology):
+        registry.publish(
+            shop_service("full", conv("Browse", "AddToCart", "Checkout",
+                                      "Pay"))
+        )
+        discovery = self.make(registry, ontology)
+        requirement = conv("Browse", "Pay")
+        matches = discovery.discover(
+            WhiteBoxQuery(DiscoveryQuery("task:Shop"), requirement)
+        )
+        assert len(matches) == 1

@@ -1,0 +1,98 @@
+"""Tests for the Chapter II survey taxonomy and comparison tables.
+
+Beyond encoding the tables, the key test checks that QASOM's *actual code*
+occupies the design-space cell the thesis claims for it — the survey module
+must never drift from the implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.survey import (
+    AdaptationSubject,
+    AdaptationTiming,
+    ConstraintScope,
+    ModelReach,
+    ModelSemantics,
+    QASOM_POSITION,
+    QsdStyle,
+    SelectionStrategy,
+    TABLE_II1,
+    TABLE_II2,
+    render_survey_table,
+)
+
+
+class TestTables:
+    def test_table_ii1_is_non_pervasive(self):
+        assert all(not p.pervasive for p in TABLE_II1)
+        assert len(TABLE_II1) >= 6
+
+    def test_table_ii2_is_pervasive(self):
+        assert all(p.pervasive for p in TABLE_II2)
+        assert len(TABLE_II2) >= 6
+
+    def test_render_tables(self):
+        t1 = render_survey_table(pervasive=False)
+        t2 = render_survey_table(pervasive=True)
+        assert "METEOR-S" in t1 and "QASOM" not in t1
+        assert "Amigo" in t2 and "QASOM (this work)" in t2
+
+    def test_platform_names_unique(self):
+        names = [p.name for p in TABLE_II1 + TABLE_II2]
+        assert len(names) == len(set(names))
+
+
+class TestQasomPositionMatchesTheCode:
+    """The survey row for QASOM must describe what the code actually does."""
+
+    def test_semantic_model(self):
+        # The code resolves user terms through ontology subsumption.
+        from repro.qos.model import build_end_to_end_model
+
+        model = build_end_to_end_model()
+        assert model.resolve_term("uqos:Speed")
+        assert QASOM_POSITION.model_semantics is ModelSemantics.SEMANTIC
+
+    def test_end_to_end_reach(self):
+        # The code estimates service QoS from infrastructure state.
+        from repro.qos.dependencies import CrossLayerEstimator
+
+        assert CrossLayerEstimator is not None
+        assert QASOM_POSITION.model_reach is ModelReach.END_TO_END
+
+    def test_white_box_qsd(self):
+        # The code folds per-operation conversation QoS.
+        from repro.services.conversation_qos import aggregate_conversation
+
+        assert aggregate_conversation is not None
+        assert QASOM_POSITION.qsd is QsdStyle.WHITE_BOX
+
+    def test_global_constraints_heuristic_selection(self):
+        # GlobalConstraint bounds the whole composition; QASSA is the
+        # clustering heuristic.
+        from repro.composition.qassa import QASSA
+        from repro.composition.request import GlobalConstraint
+
+        assert GlobalConstraint and QASSA
+        assert QASOM_POSITION.constraint_scope is ConstraintScope.GLOBAL
+        assert QASOM_POSITION.selection is SelectionStrategy.HEURISTIC
+
+    def test_proactive_adaptation(self):
+        # The monitor raises FORECAST triggers before the breach.
+        from repro.adaptation.monitoring import TriggerKind
+
+        assert TriggerKind.FORECAST is not None
+        assert QASOM_POSITION.adaptation_timing is AdaptationTiming.PROACTIVE
+
+    def test_adaptation_subjects(self):
+        # Substitution changes the service; behavioural adaptation changes
+        # the behaviour.
+        from repro.adaptation.behavioural import BehaviouralAdaptation
+        from repro.adaptation.substitution import ServiceSubstitution
+
+        assert ServiceSubstitution and BehaviouralAdaptation
+        assert set(QASOM_POSITION.adaptation_subjects) == {
+            AdaptationSubject.SERVICE, AdaptationSubject.BEHAVIOUR,
+        }
