@@ -18,7 +18,7 @@ def test_adaptation_effectiveness(benchmark, emit):
     sweep = exp_adaptation_effectiveness(
         sessions=6, executions_per_session=12, kill_every=2
     )
-    emit("adaptation_effectiveness", render_series(sweep))
+    emit("adaptation_effectiveness", render_series(sweep), data=sweep)
 
     adapted = [p.values["adapted"] for p in sweep.points]
     static = [p.values["static"] for p in sweep.points]

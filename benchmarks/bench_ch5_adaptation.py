@@ -15,7 +15,7 @@ from repro.middleware.qasom import QASOM
 
 def test_ch5_homeomorphism_timing(benchmark, emit):
     sweep = exp_ch5_homeomorphism(sizes=(4, 6, 8, 10, 12), repetitions=3)
-    emit("ch5_homeomorphism", render_series(sweep))
+    emit("ch5_homeomorphism", render_series(sweep), data=sweep)
 
     # Shape claims: determination always succeeds on the constructed pairs,
     # and stays interactive (< 1 s) at the largest size.

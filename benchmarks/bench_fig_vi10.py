@@ -18,7 +18,7 @@ from repro.services.generator import QoSDistribution
 def test_fig_vi10_constraint_tightness_time(benchmark, emit):
     sweeps = fig_vi10(service_counts=(10, 25, 50, 75), repetitions=3)
     for label, sweep in sweeps.items():
-        emit(f"fig_vi10_{label.replace('+', '_')}", render_series(sweep))
+        emit(f"fig_vi10_{label.replace('+', '_')}", render_series(sweep), data=sweep)
 
     # Shape claim: at the permissive m+sigma setting every point is
     # feasible; total time stays within 100x between settings (no blow-up).

@@ -19,7 +19,7 @@ from repro.services.generator import QoSDistribution
 def test_fig_vi11_constraint_tightness_optimality(benchmark, emit):
     sweeps = fig_vi11(service_counts=(10, 20, 30, 40))
     for label, sweep in sweeps.items():
-        emit(f"fig_vi11_{label.replace('+', '_')}", render_series(sweep))
+        emit(f"fig_vi11_{label.replace('+', '_')}", render_series(sweep), data=sweep)
 
     permissive = [v for _, v in sweeps["m+sigma"].series("qassa")]
     assert permissive, "permissive setting must have feasible points"

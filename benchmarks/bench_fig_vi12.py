@@ -15,7 +15,7 @@ from repro.experiments.workloads import WorkloadSpec, make_workload
 
 def test_fig_vi12_distributed_phases(benchmark, emit):
     sweep = fig_vi12(node_counts=(1, 2, 4, 6, 8), activities=8, services=40)
-    emit("fig_vi12", render_series(sweep))
+    emit("fig_vi12", render_series(sweep), data=sweep)
 
     local = dict(sweep.series("local_ms"))
     global_ = dict(sweep.series("global_ms"))

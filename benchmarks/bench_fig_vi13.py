@@ -18,7 +18,7 @@ from repro.experiments.workloads import make_task
 def test_fig_vi13_bpel_transformation(benchmark, emit):
     sweep = fig_vi13(activity_counts=(10, 25, 50, 100, 150, 200),
                      repetitions=5)
-    emit("fig_vi13", render_series(sweep))
+    emit("fig_vi13", render_series(sweep), data=sweep)
 
     times = dict(sweep.series("transform_ms"))
     # Shape claim: near-linear — 20x the activities costs well under 400x

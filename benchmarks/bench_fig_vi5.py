@@ -16,7 +16,7 @@ from repro.experiments.workloads import WorkloadSpec, make_workload
 
 def test_fig_vi5a_time_vs_services(benchmark, emit):
     sweep = fig_vi5a(service_counts=(10, 25, 50, 75, 100), repetitions=3)
-    emit("fig_vi5a", render_series(sweep))
+    emit("fig_vi5a", render_series(sweep), data=sweep)
 
     qassa_series = sweep.series("qassa_ms")
     genetic_series = dict(sweep.series("genetic_ms"))
@@ -44,7 +44,7 @@ def test_fig_vi5a_time_vs_services(benchmark, emit):
 def test_fig_vi5b_time_vs_constraints(benchmark, emit):
     sweep = fig_vi5b(constraint_counts=(1, 2, 3, 4, 5, 6, 7, 8),
                      repetitions=3)
-    emit("fig_vi5b", render_series(sweep))
+    emit("fig_vi5b", render_series(sweep), data=sweep)
 
     series = sweep.series("qassa_ms")
     # Shape claim: adding constraints grows time gently (the paper's curve

@@ -17,7 +17,7 @@ from repro.experiments.workloads import WorkloadSpec, make_workload
 
 def test_fig_vi6a_optimality_vs_services(benchmark, emit):
     sweep = fig_vi6a(service_counts=(10, 20, 30, 40, 50))
-    emit("fig_vi6a", render_series(sweep))
+    emit("fig_vi6a", render_series(sweep), data=sweep)
 
     qassa = [v for _, v in sweep.series("qassa")]
     assert qassa, "no feasible points measured"
@@ -42,7 +42,7 @@ def test_fig_vi6a_optimality_vs_services(benchmark, emit):
 
 def test_fig_vi6b_optimality_vs_constraints(benchmark, emit):
     sweep = fig_vi6b(constraint_counts=(1, 2, 3, 4, 5, 6))
-    emit("fig_vi6b", render_series(sweep))
+    emit("fig_vi6b", render_series(sweep), data=sweep)
 
     qassa = [v for _, v in sweep.series("qassa")]
     assert qassa

@@ -20,7 +20,7 @@ from repro.experiments.workloads import WorkloadSpec, make_workload
 def test_fig_vi7_time_per_approach(benchmark, emit):
     sweeps = fig_vi7(service_counts=(10, 25, 50, 75), repetitions=3)
     for label, sweep in sweeps.items():
-        emit(f"fig_vi7_{label}", render_series(sweep))
+        emit(f"fig_vi7_{label}", render_series(sweep), data=sweep)
 
     # Shape claim: over the whole sweep the three approaches cost the same
     # order of magnitude (individual points fluctuate with how many lattice

@@ -20,7 +20,7 @@ def test_fig_vi8_optimality_per_approach(benchmark, emit):
     sweeps = fig_vi8()
     means = {}
     for label, sweep in sweeps.items():
-        emit(f"fig_vi8_{label}", render_series(sweep))
+        emit(f"fig_vi8_{label}", render_series(sweep), data=sweep)
         values = [v for _, v in sweep.series("qassa")]
         if values:
             means[label] = statistics.mean(values)

@@ -17,7 +17,7 @@ from repro.services.generator import QoSDistribution, ServiceGenerator
 
 def test_fig_vi9_normal_law(benchmark, emit):
     sweep = fig_vi9(samples=5000, bins=20)
-    emit("fig_vi9", render_series(sweep))
+    emit("fig_vi9", render_series(sweep), data=sweep)
 
     counts = [p.values["count"] for p in sweep.points]
     # Shape claims: unimodal-ish around the centre, light tails.

@@ -34,6 +34,7 @@ from repro.adaptation.behavioural import (
 )
 from repro.adaptation.monitoring import AdaptationTrigger, QoSMonitor, TriggerKind
 from repro.adaptation.substitution import ServiceSubstitution, SubstitutionResult
+from repro.observability import core as observability_core
 
 
 class AdaptationAction(enum.Enum):
@@ -73,12 +74,14 @@ class AdaptationManager:
         substitution: ServiceSubstitution,
         behavioural: Optional[BehaviouralAdaptation] = None,
         fresh_candidates: Optional[FreshCandidates] = None,
+        observability=None,
     ) -> None:
         self.properties = dict(properties)
         self.monitor = monitor
         self.substitution = substitution
         self.behavioural = behavioural
         self.fresh_candidates = fresh_candidates
+        self.obs = observability_core.resolve(observability)
         self.plan: Optional[CompositionPlan] = None
         self.log: List[AdaptationOutcome] = []
         self._deployed = False
@@ -129,41 +132,66 @@ class AdaptationManager:
             return outcome
 
         # Strategy 1: substitution.
-        try:
-            fresh: Sequence[ServiceDescription] = ()
-            if self.fresh_candidates is not None:
-                activity_name = self._activity_of(trigger.service_id)
-                activity = self.plan.task.activity(activity_name)
-                fresh = self.fresh_candidates(activity)
-            result = self.substitution.substitute(
-                self.plan, trigger.service_id, fresh_candidates=fresh
-            )
-        except SubstitutionError as substitution_error:
-            outcome.error = str(substitution_error)
-        else:
-            outcome.action = AdaptationAction.SUBSTITUTION
-            outcome.substitution = result
-            self.monitor.unwatch(result.removed.service_id)
-            self._rewatch(result.replacement)
-            self.log.append(outcome)
-            return outcome
+        with self.obs.span(
+            "adapt.substitute",
+            service_id=trigger.service_id,
+            trigger_kind=trigger.kind.value,
+            property=trigger.property_name,
+        ) as span:
+            try:
+                fresh: Sequence[ServiceDescription] = ()
+                if self.fresh_candidates is not None:
+                    activity_name = self._activity_of(trigger.service_id)
+                    activity = self.plan.task.activity(activity_name)
+                    fresh = self.fresh_candidates(activity)
+                result = self.substitution.substitute(
+                    self.plan, trigger.service_id, fresh_candidates=fresh
+                )
+            except SubstitutionError as substitution_error:
+                outcome.error = str(substitution_error)
+                span.set(succeeded=False)
+            else:
+                outcome.action = AdaptationAction.SUBSTITUTION
+                outcome.substitution = result
+                span.set(
+                    succeeded=True,
+                    replacement=result.replacement.service_id,
+                )
+                self.monitor.unwatch(result.removed.service_id)
+                self._rewatch(result.replacement)
+                self.obs.counter(
+                    "adaptations_total",
+                    action=AdaptationAction.SUBSTITUTION.value,
+                ).inc()
+                self.log.append(outcome)
+                return outcome
 
         # Strategy 2: behavioural adaptation.
         if self.behavioural is not None:
-            try:
-                result_b = self.behavioural.adapt(self.plan.request)
-            except BehaviouralAdaptationError as behavioural_error:
-                outcome.action = AdaptationAction.FAILED
-                outcome.error = (
-                    f"{outcome.error}; behavioural: {behavioural_error}"
-                )
-            else:
-                outcome.action = AdaptationAction.BEHAVIOURAL
-                outcome.behavioural = result_b
-                self.deploy(result_b.plan)
+            with self.obs.span(
+                "adapt.behavioural",
+                service_id=trigger.service_id,
+                trigger_kind=trigger.kind.value,
+            ) as span:
+                try:
+                    result_b = self.behavioural.adapt(self.plan.request)
+                except BehaviouralAdaptationError as behavioural_error:
+                    outcome.action = AdaptationAction.FAILED
+                    outcome.error = (
+                        f"{outcome.error}; behavioural: {behavioural_error}"
+                    )
+                    span.set(succeeded=False)
+                else:
+                    outcome.action = AdaptationAction.BEHAVIOURAL
+                    outcome.behavioural = result_b
+                    span.set(succeeded=True)
+                    self.deploy(result_b.plan)
         else:
             outcome.action = AdaptationAction.FAILED
 
+        self.obs.counter(
+            "adaptations_total", action=outcome.action.value
+        ).inc()
         self.log.append(outcome)
         return outcome
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import AdaptationError
+from repro.observability import core as observability_core
 from repro.qos.properties import Direction, QoSProperty
 from repro.qos.values import QoSVector
 from repro.services.discovery import QoSConstraint
@@ -119,11 +120,13 @@ class QoSMonitor:
         self,
         properties: Mapping[str, QoSProperty],
         config: MonitorConfig = MonitorConfig(),
+        observability=None,
     ) -> None:
         if not 0 < config.alpha <= 1:
             raise AdaptationError("EWMA alpha must be in (0, 1]")
         self.properties = dict(properties)
         self.config = config
+        self.obs = observability_core.resolve(observability)
         self._series: Dict[Tuple[str, str], _Series] = {}
         self._watches: Dict[str, List[QoSConstraint]] = {}
         self._listeners: List[Callable[[AdaptationTrigger], None]] = []
@@ -169,6 +172,12 @@ class QoSMonitor:
         series.push(observation.value, self.config.alpha)
 
         triggers = self._evaluate(observation, series)
+        if self.obs.enabled:
+            self.obs.counter("monitor_observations_total").inc()
+            for trigger in triggers:
+                self.obs.counter(
+                    "monitor_triggers_total", kind=trigger.kind.value
+                ).inc()
         for trigger in triggers:
             self._dispatch(trigger)
         return triggers
@@ -186,6 +195,10 @@ class QoSMonitor:
     def report_failure(self, service_id: str, timestamp: float) -> AdaptationTrigger:
         """The execution engine reports an outright invocation failure."""
         self._failed[service_id] = timestamp
+        if self.obs.enabled:
+            self.obs.counter(
+                "monitor_triggers_total", kind=TriggerKind.FAILURE.value
+            ).inc()
         trigger = AdaptationTrigger(
             kind=TriggerKind.FAILURE,
             service_id=service_id,

@@ -9,6 +9,10 @@ Three subcommands mirror the three ways people use the repository:
 * ``repository`` — dump a scenario's task-class repository as its XML
   bundle (the declarative format behavioural adaptation searches).
 
+``scenario`` and ``experiment`` accept ``--trace`` (print the span tree /
+per-stage breakdown of the run) and ``--metrics-out PATH`` (write the full
+span + metric dump as JSONL) — see ``docs/OBSERVABILITY.md``.
+
 Invoke as ``python -m repro <command> ...``.
 """
 
@@ -18,6 +22,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import observability
 from repro.adaptation.repository_io import dump_repository
 from repro.env.scenarios import (
     Scenario,
@@ -72,11 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="environment seed (scenario default if unset)")
     scenario.add_argument("--services", type=int, default=None,
                           help="candidate services per activity")
+    _add_observability_flags(scenario)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper figure or table"
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    _add_observability_flags(experiment)
 
     repository = subparsers.add_parser(
         "repository", help="dump a scenario's task-class repository"
@@ -84,6 +91,29 @@ def build_parser() -> argparse.ArgumentParser:
     repository.add_argument("scenario", choices=sorted(SCENARIOS))
 
     return parser
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="trace the run and print the span tree "
+             "(per-stage breakdown for experiments)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the span + metric dump as JSONL to PATH",
+    )
+
+
+def _wants_observability(args: argparse.Namespace) -> bool:
+    return bool(args.trace or args.metrics_out)
+
+
+def _export_observability(args: argparse.Namespace, obs, out) -> None:
+    if args.metrics_out:
+        records = observability.write_jsonl(obs, args.metrics_out)
+        print(f"\nobservability: wrote {records} records to "
+              f"{args.metrics_out}", file=out)
 
 
 def _run_scenario(args: argparse.Namespace, out) -> int:
@@ -94,11 +124,15 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
         kwargs["services_per_activity"] = args.services
     scenario = SCENARIOS[args.name](**kwargs)
 
+    obs = None
+    if _wants_observability(args):
+        obs = observability.Observability(clock=scenario.environment.clock)
     middleware = QASOM.for_environment(
         scenario.environment,
         scenario.properties,
         ontology=scenario.ontology,
         repository=scenario.repository,
+        observability=obs,
     )
     print(f"scenario: {scenario.name}", file=out)
     print(f"services published: {len(scenario.environment.registry)}",
@@ -123,6 +157,12 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
     if result.adaptations:
         print(f"adaptations: "
               f"{[a.action.value for a in result.adaptations]}", file=out)
+    if obs is not None:
+        if args.trace:
+            print(f"\ntrace ({len(obs.spans)} root span"
+                  f"{'s' if len(obs.spans) != 1 else ''}):", file=out)
+            print(observability.render_span_tree(obs.spans), file=out)
+        _export_observability(args, obs, out)
     return 0 if result.report.succeeded else 1
 
 
@@ -143,8 +183,21 @@ def _print_experiment_result(result, out) -> None:
 
 
 def _run_experiment(args: argparse.Namespace, out) -> int:
-    result = EXPERIMENTS[args.name]()
+    if not _wants_observability(args):
+        result = EXPERIMENTS[args.name]()
+        _print_experiment_result(result, out)
+        return 0
+
+    # Components built inside the experiment (selectors, engines …) pick
+    # up the ambient observability installed for the duration of the run.
+    with observability.enabled() as obs:
+        result = EXPERIMENTS[args.name]()
     _print_experiment_result(result, out)
+    if args.trace:
+        breakdown = observability.stage_breakdown(obs.spans)
+        print("\nper-stage breakdown:", file=out)
+        print(observability.render_breakdown(breakdown), file=out)
+    _export_observability(args, obs, out)
     return 0
 
 

@@ -60,6 +60,7 @@ from repro.composition.selection import (
     make_global_normalizer,
 )
 from repro.composition.utility import Normalizer, service_utility
+from repro.observability import core as observability_core
 
 
 @dataclass(frozen=True)
@@ -122,10 +123,12 @@ class QASSA:
         properties: Mapping[str, QoSProperty],
         approach: AggregationApproach = AggregationApproach.PESSIMISTIC,
         config: QassaConfig = QassaConfig(),
+        observability=None,
     ) -> None:
         self.properties = dict(properties)
         self.approach = approach
         self.config = config
+        self.obs = observability_core.resolve(observability)
 
     # ------------------------------------------------------------------
     # public entry point
@@ -145,19 +148,37 @@ class QASSA:
         decide whether behavioural adaptation should kick in).
         """
         started = time.perf_counter()
-        stats = SelectionStatistics(search_space=candidates.search_space())
-        relevant = self._relevant_properties(request)
-        weights = request.normalised_weights(relevant)
+        with self.obs.span(
+            "qassa.select", task=request.task.name,
+            activities=len(candidates.activity_names()),
+        ) as span:
+            stats = SelectionStatistics(search_space=candidates.search_space())
+            relevant = self._relevant_properties(request)
+            weights = request.normalised_weights(relevant)
 
-        locals_ = {
-            name: self._local_phase(name, services, relevant, weights, stats)
-            for name, services in candidates.items()
-        }
-        plan = self._global_phase(
-            request, candidates, locals_, relevant, weights, stats, best_effort
-        )
+            locals_ = {
+                name: self._local_phase(name, services, relevant, weights, stats)
+                for name, services in candidates.items()
+            }
+            plan = self._global_phase(
+                request, candidates, locals_, relevant, weights, stats,
+                best_effort
+            )
+            span.set(
+                utility=plan.utility,
+                feasible=plan.feasible,
+                combinations_explored=stats.combinations_explored,
+                utility_evaluations=stats.utility_evaluations,
+            )
         stats.elapsed_seconds = time.perf_counter() - started
         plan.statistics = stats
+        self.obs.counter("qassa_selections_total").inc()
+        self.obs.histogram("qassa_selection_seconds").observe(
+            stats.elapsed_seconds
+        )
+        self.obs.counter("qassa_combinations_explored_total").inc(
+            stats.combinations_explored
+        )
         return plan
 
     def select_ranked(
@@ -218,6 +239,26 @@ class QASSA:
         Returns ``(feasible plans, best infeasible plan)`` — the latter for
         best-effort callers when nothing feasible exists in budget.
         """
+        with self.obs.span("qassa.global", k=k) as span:
+            plans, best_infeasible = self._lattice_walk(
+                request, candidates, locals_, relevant, weights, stats, k
+            )
+            span.set(
+                combinations_explored=stats.combinations_explored,
+                feasible_found=len(plans),
+            )
+        return plans, best_infeasible
+
+    def _lattice_walk(
+        self,
+        request: UserRequest,
+        candidates: CandidateSets,
+        locals_: Mapping[str, LocalSelection],
+        relevant: Mapping[str, QoSProperty],
+        weights: Mapping[str, float],
+        stats: SelectionStatistics,
+        k: int,
+    ) -> Tuple[List[CompositionPlan], Optional[CompositionPlan]]:
         task = request.task
         names = candidates.activity_names()
         global_norm = make_global_normalizer(task, candidates, relevant, self.approach)
@@ -319,6 +360,29 @@ class QASSA:
         return {n: self.properties[n] for n in names}
 
     def _local_phase(
+        self,
+        activity_name: str,
+        services: Sequence[ServiceDescription],
+        relevant: Mapping[str, QoSProperty],
+        weights: Mapping[str, float],
+        stats: SelectionStatistics,
+    ) -> LocalSelection:
+        with self.obs.span(
+            "qassa.cluster", activity=activity_name,
+            candidates=len(services),
+        ) as span:
+            selection = self._local_phase_inner(
+                activity_name, services, relevant, weights, stats
+            )
+            span.set(
+                levels=len(selection.levels),
+                kept=len(selection.services),
+                pruned=len(selection.reserve),
+                clustering_iterations=selection.clustering_iterations,
+            )
+        return selection
+
+    def _local_phase_inner(
         self,
         activity_name: str,
         services: Sequence[ServiceDescription],

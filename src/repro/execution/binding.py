@@ -27,6 +27,7 @@ from repro.services.description import ServiceDescription
 from repro.composition.selection import CompositionPlan
 from repro.composition.utility import Normalizer, service_utility
 from repro.adaptation.monitoring import QoSMonitor
+from repro.observability import core as observability_core
 
 #: Tells the binder whether a service is currently reachable.
 LivenessProbe = Callable[[ServiceDescription], bool]
@@ -49,11 +50,13 @@ class DynamicBinder:
         monitor: Optional[QoSMonitor] = None,
         liveness: Optional[LivenessProbe] = None,
         policy: BindingPolicy = BindingPolicy.UTILITY,
+        observability=None,
     ) -> None:
         self.properties = dict(properties)
         self.monitor = monitor
         self.liveness = liveness
         self.policy = policy
+        self.obs = observability_core.resolve(observability)
         self._round_robin_state: Dict[str, int] = {}
 
     def bind(self, plan: CompositionPlan, activity_name: str) -> ServiceDescription:
@@ -61,27 +64,43 @@ class DynamicBinder:
 
         Raises :class:`BindingError` when every ranked service is dead.
         """
+        with self.obs.span(
+            "bind", activity=activity_name, policy=self.policy.value
+        ) as span:
+            service = self._bind(plan, activity_name, span)
+        return service
+
+    def _bind(
+        self, plan: CompositionPlan, activity_name: str, span
+    ) -> ServiceDescription:
         selection = plan.selections.get(activity_name)
         if selection is None:
+            self.obs.counter("bind_failures_total").inc()
             raise BindingError(f"plan has no activity {activity_name!r}")
 
         alive = [
             s for s in selection.services
             if self.liveness is None or self.liveness(s)
         ]
+        span.set(ranked=len(selection.services), alive=len(alive))
         if not alive:
+            self.obs.counter("bind_failures_total").inc()
             raise BindingError(
                 f"no live service for activity {activity_name!r} "
                 f"(all {len(selection.services)} ranked services are down)"
             )
 
         if self.policy is BindingPolicy.FAILOVER or len(alive) == 1:
-            return alive[0]
-        if self.policy is BindingPolicy.ROUND_ROBIN:
+            service = alive[0]
+        elif self.policy is BindingPolicy.ROUND_ROBIN:
             index = self._round_robin_state.get(activity_name, 0)
             self._round_robin_state[activity_name] = index + 1
-            return alive[index % len(alive)]
-        return self._best_by_runtime_utility(plan, alive)
+            service = alive[index % len(alive)]
+        else:
+            service = self._best_by_runtime_utility(plan, alive)
+        span.set(service_id=service.service_id)
+        self.obs.counter("bind_total").inc()
+        return service
 
     def _best_by_runtime_utility(
         self, plan: CompositionPlan, alive

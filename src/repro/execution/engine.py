@@ -40,6 +40,7 @@ from repro.composition.task import (
 from repro.execution.binding import DynamicBinder
 from repro.execution.clock import SimulatedClock
 from repro.adaptation.monitoring import QoSMonitor
+from repro.observability import core as observability_core
 
 #: Invokes a service at a simulated timestamp.  Returns the *observed* QoS
 #: of the invocation, or None when the invocation failed outright.
@@ -90,6 +91,7 @@ class ExecutionEngine:
         monitor: Optional[QoSMonitor] = None,
         max_attempts_per_activity: int = 3,
         seed: int = 0,
+        observability=None,
     ) -> None:
         self.properties = dict(properties)
         self.invoker = invoker
@@ -97,6 +99,7 @@ class ExecutionEngine:
         self.binder = binder if binder is not None else DynamicBinder(properties)
         self.monitor = monitor
         self.max_attempts = max_attempts_per_activity
+        self.obs = observability_core.resolve(observability)
         self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------
@@ -168,40 +171,60 @@ class ExecutionEngine:
         self, activity_name: str, plan: CompositionPlan, report: ExecutionReport
     ) -> None:
         excluded: List[str] = []
+        obs = self.obs
         for attempt in range(1, self.max_attempts + 1):
-            try:
-                service = self._bind_excluding(plan, activity_name, excluded)
-            except BindingError:
-                raise _ActivityFailed(activity_name)
-            started = self.clock.now()
-            observed = self.invoker(service, started)
-            if observed is None:
+            with obs.span(
+                "invoke", activity=activity_name, attempt=attempt
+            ) as span:
+                try:
+                    service = self._bind_excluding(plan, activity_name, excluded)
+                except BindingError:
+                    obs.counter("invocations_total", status="unbindable").inc()
+                    raise _ActivityFailed(activity_name)
+                started = self.clock.now()
+                observed = self.invoker(service, started)
+                span.set(
+                    service_id=service.service_id,
+                    succeeded=observed is not None,
+                )
+                if observed is None:
+                    report.invocations.append(
+                        InvocationRecord(
+                            activity_name, service.service_id, started, None,
+                            succeeded=False, attempt=attempt,
+                        )
+                    )
+                    obs.counter("invocations_total", status="failed").inc()
+                    if self.monitor is not None:
+                        self.monitor.report_failure(service.service_id, started)
+                    excluded.append(service.service_id)
+                    continue
+                # Advance time by the observed response time (if measured).
+                # Advance the (possibly forked, under parallel branches)
+                # engine clock; the span keeps the observed response time
+                # as an attribute since the tracer watches the shared clock.
+                response_ms = observed.get("response_time")
+                if response_ms is not None:
+                    self.clock.advance(response_ms / 1000.0)
+                    if obs.enabled:
+                        span.set(response_ms=response_ms)
+                        obs.histogram("invoke_sim_seconds").observe(
+                            response_ms / 1000.0
+                        )
+                cost = observed.get("cost")
+                if cost is not None:
+                    report.total_cost += cost
+                if self.monitor is not None:
+                    self.monitor.observe_vector(service.service_id, observed, started)
                 report.invocations.append(
                     InvocationRecord(
-                        activity_name, service.service_id, started, None,
-                        succeeded=False, attempt=attempt,
+                        activity_name, service.service_id, started, observed,
+                        succeeded=True, attempt=attempt,
                     )
                 )
-                if self.monitor is not None:
-                    self.monitor.report_failure(service.service_id, started)
-                excluded.append(service.service_id)
-                continue
-            # Advance time by the observed response time (if measured).
-            response_ms = observed.get("response_time")
-            if response_ms is not None:
-                self.clock.advance(response_ms / 1000.0)
-            cost = observed.get("cost")
-            if cost is not None:
-                report.total_cost += cost
-            if self.monitor is not None:
-                self.monitor.observe_vector(service.service_id, observed, started)
-            report.invocations.append(
-                InvocationRecord(
-                    activity_name, service.service_id, started, observed,
-                    succeeded=True, attempt=attempt,
-                )
-            )
-            return
+                obs.counter("invocations_total", status="ok").inc()
+                return
+        obs.counter("activities_exhausted_total").inc()
         raise _ActivityFailed(activity_name)
 
     def _bind_excluding(

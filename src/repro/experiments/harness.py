@@ -36,17 +36,110 @@ class Sweep:
         return point
 
 
+class Timing(float):
+    """The median elapsed seconds — still a plain ``float`` to callers —
+    carrying the full run-to-run spread as attributes.
+
+    Benchmarks historically kept only the median; the spread (min, mean,
+    stdev) is what distinguishes a noisy point from a stable one, so
+    :func:`measure` now returns it without breaking ``elapsed * 1000``
+    call sites: scaling a Timing scales every sample with it.
+    """
+
+    samples: Tuple[float, ...]
+
+    def __new__(cls, samples: Sequence[float]) -> "Timing":
+        if not samples:
+            raise ValueError("Timing needs at least one sample")
+        self = super().__new__(cls, statistics.median(samples))
+        self.samples = tuple(float(s) for s in samples)
+        return self
+
+    @property
+    def median(self) -> float:
+        return float(self)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0.0 with fewer than two samples)."""
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-ready spread record (what benchmark JSON persists)."""
+        return {
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "repetitions": float(len(self.samples)),
+        }
+
+    def __mul__(self, other: object) -> object:
+        if isinstance(other, (int, float)) and not isinstance(other, Timing):
+            return Timing([s * other for s in self.samples])
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        return (
+            f"Timing(median={self.median:.6f}, min={self.minimum:.6f}, "
+            f"mean={self.mean:.6f}, stdev={self.stdev:.6f}, "
+            f"n={len(self.samples)})"
+        )
+
+
 def measure(
     callable_: Callable[[], object], repetitions: int = 3
-) -> Tuple[float, object]:
-    """(median elapsed seconds, last result) over ``repetitions`` runs."""
+) -> Tuple[Timing, object]:
+    """(elapsed :class:`Timing`, last result) over ``repetitions`` runs.
+
+    The Timing compares/formats as the median in seconds (backwards
+    compatible) and additionally exposes min/max/mean/stdev and the raw
+    samples.
+    """
     timings: List[float] = []
     result: object = None
     for _ in range(max(repetitions, 1)):
         started = time.perf_counter()
         result = callable_()
         timings.append(time.perf_counter() - started)
-    return statistics.median(timings), result
+    return Timing(timings), result
+
+
+def measure_traced(
+    callable_: Callable[[], object], repetitions: int = 3
+) -> Tuple[Timing, object, Dict[str, Dict[str, float]]]:
+    """Like :func:`measure`, but with a per-stage breakdown attached.
+
+    Runs the callable under a fresh ambient
+    :class:`~repro.observability.Observability` (picked up by any selector,
+    binder or engine constructed inside) and aggregates the resulting
+    spans by stage name — the "where did the time go" answer that a
+    single opaque median can't give.  Returns
+    ``(timing, last result, breakdown)``.
+    """
+    from repro.observability import enabled, stage_breakdown
+
+    with enabled() as obs:
+        timing, result = measure(callable_, repetitions)
+        breakdown = stage_breakdown(obs.spans)
+    return timing, result, breakdown
 
 
 def optimality(plan: CompositionPlan, optimal: CompositionPlan) -> float:

@@ -7,9 +7,10 @@ them verbatim).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.harness import Sweep
+from repro.experiments.harness import Sweep, Timing
 
 
 def render_table(
@@ -48,6 +49,38 @@ def render_series(sweep: Sweep, keys: Optional[Sequence[str]] = None) -> str:
         for point in sweep.points
     ]
     return render_table(headers, rows, title=sweep.name)
+
+
+def sweep_to_dict(sweep: Sweep) -> Dict[str, Any]:
+    """A JSON-serialisable form of a sweep.
+
+    Plain values serialise as numbers; :class:`Timing` values expand into
+    their full run-to-run spread (median/min/max/mean/stdev/repetitions),
+    so benchmark JSON captures measurement noise, not just the median.
+    """
+    return {
+        "name": sweep.name,
+        "x_label": sweep.x_label,
+        "points": [
+            {
+                "x": point.x,
+                "values": {
+                    key: (
+                        value.summary()
+                        if isinstance(value, Timing)
+                        else value
+                    )
+                    for key, value in point.values.items()
+                },
+            }
+            for point in sweep.points
+        ],
+    }
+
+
+def render_json(sweep: Sweep) -> str:
+    """The sweep as pretty-printed JSON (what benchmarks persist)."""
+    return json.dumps(sweep_to_dict(sweep), indent=2, sort_keys=True)
 
 
 def _fmt(value: object) -> str:

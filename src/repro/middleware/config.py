@@ -8,6 +8,7 @@ from repro.composition.aggregation import AggregationApproach
 from repro.composition.qassa import QassaConfig
 from repro.adaptation.homeomorphism import HomeomorphismConfig
 from repro.adaptation.monitoring import MonitorConfig
+from repro.observability import ObservabilityConfig
 from repro.semantics.matching import MatchDegree
 
 
@@ -32,3 +33,9 @@ class MiddlewareConfig:
     infrastructure_aware: bool = False
     max_execution_attempts: int = 3
     seed: int = 0
+    #: Tracing + metrics for every component the middleware constructs
+    #: (off by default — the disabled path is near-zero cost).  See
+    #: ``docs/OBSERVABILITY.md``.
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )

@@ -38,6 +38,8 @@ from repro.adaptation.monitoring import AdaptationTrigger, QoSMonitor
 from repro.adaptation.substitution import ServiceSubstitution
 from repro.adaptation.task_class import TaskClassRepository
 from repro.middleware.config import MiddlewareConfig
+from repro.observability import Observability, Span
+from repro.observability import core as observability_core
 from repro.qos.sla import ComplianceTracker, derive_slas
 from repro.env.environment import PervasiveEnvironment
 
@@ -51,6 +53,8 @@ class RunResult:
     report: ExecutionReport
     adaptations: List[AdaptationOutcome] = field(default_factory=list)
     compliance: Optional["ComplianceTracker"] = None
+    #: Root span of the run when observability is enabled (None otherwise).
+    trace: Optional[Span] = None
 
 
 class QASOM:
@@ -63,24 +67,49 @@ class QASOM:
         task_ontology: Optional[Ontology] = None,
         repository: Optional[TaskClassRepository] = None,
         qos_model: Optional[QoSModel] = None,
-        config: MiddlewareConfig = MiddlewareConfig(),
+        config: Optional[MiddlewareConfig] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
+        # A fresh config per instance: a dataclass default would be one
+        # module-level object silently shared by every QASOM ever built.
+        config = config if config is not None else MiddlewareConfig()
         self.environment = environment
         self.properties = dict(properties)
         self.config = config
         self.qos_model = qos_model if qos_model is not None else build_end_to_end_model()
 
+        # Observability: an explicit instance wins; otherwise the config
+        # knob; otherwise the ambient default (NULL unless installed).
+        if observability is None:
+            observability = Observability.from_config(
+                config.observability, clock=environment.clock
+            )
+            if not observability.enabled:
+                observability = observability_core.get_default()
+        if observability.enabled and getattr(
+            observability.tracer, "clock", None
+        ) is None:
+            observability.attach_clock(environment.clock)
+        self.observability = observability
+
         # Composition framework.
-        self.discovery = QoSAwareDiscovery(environment.registry, task_ontology)
+        self.discovery = QoSAwareDiscovery(
+            environment.registry, task_ontology, observability=observability
+        )
         self.estimator = None
         if config.infrastructure_aware:
             from repro.qos.dependencies import CrossLayerEstimator
 
             self.estimator = CrossLayerEstimator(environment)
-        self.selector = QASSA(self.properties, config.aggregation, config.qassa)
+        self.selector = QASSA(
+            self.properties, config.aggregation, config.qassa,
+            observability=observability,
+        )
 
         # Adaptation framework.
-        self.monitor = QoSMonitor(self.properties, config.monitor)
+        self.monitor = QoSMonitor(
+            self.properties, config.monitor, observability=observability
+        )
         self.substitution = ServiceSubstitution(self.properties, self.monitor)
         self.repository = repository
         self.behavioural: Optional[BehaviouralAdaptation] = None
@@ -94,7 +123,8 @@ class QASOM:
             )
 
         self.binder = DynamicBinder(
-            self.properties, self.monitor, liveness=environment.is_alive
+            self.properties, self.monitor, liveness=environment.is_alive,
+            observability=observability,
         )
         self.engine = ExecutionEngine(
             self.properties,
@@ -104,6 +134,7 @@ class QASOM:
             monitor=self.monitor,
             max_attempts_per_activity=config.max_execution_attempts,
             seed=config.seed,
+            observability=observability,
         )
 
     # ------------------------------------------------------------------
@@ -114,7 +145,8 @@ class QASOM:
         properties: Mapping[str, QoSProperty],
         ontology: Optional[Ontology] = None,
         repository: Optional[TaskClassRepository] = None,
-        config: MiddlewareConfig = MiddlewareConfig(),
+        config: Optional[MiddlewareConfig] = None,
+        observability: Optional[Observability] = None,
     ) -> "QASOM":
         return cls(
             environment,
@@ -122,6 +154,7 @@ class QASOM:
             task_ontology=ontology,
             repository=repository,
             config=config,
+            observability=observability,
         )
 
     # ------------------------------------------------------------------
@@ -140,11 +173,16 @@ class QASOM:
                 capability=activity.capability,
                 minimum_degree=self.config.discovery_minimum_degree,
             )
-            services = self.discovery.candidates(query)
-            if self.estimator is not None:
-                services = [
-                    self.estimator.estimated_service(s) for s in services
-                ]
+            with self.observability.span(
+                "discovery", activity=activity.name,
+                capability=activity.capability,
+            ) as span:
+                services = self.discovery.candidates(query)
+                if self.estimator is not None:
+                    services = [
+                        self.estimator.estimated_service(s) for s in services
+                    ]
+                span.set(pool_size=len(services))
             if not services:
                 raise NoCandidateError(activity.name)
             pools[activity.name] = services
@@ -154,8 +192,16 @@ class QASOM:
         self, request: UserRequest, best_effort: bool = False
     ) -> CompositionPlan:
         """Discover + select: the request's answer, ready for execution."""
-        candidates = self.candidates_for(request.task)
-        return self.selector.select(request, candidates, best_effort=best_effort)
+        with self.observability.span(
+            "compose", task=request.task.name,
+            activities=request.task.size(),
+        ) as span:
+            candidates = self.candidates_for(request.task)
+            plan = self.selector.select(
+                request, candidates, best_effort=best_effort
+            )
+            span.set(utility=plan.utility, feasible=plan.feasible)
+        return plan
 
     def compose_ranked(
         self, request: UserRequest, k: int = 3
@@ -195,6 +241,7 @@ class QASOM:
             self.substitution,
             behavioural=self.behavioural if allow_behavioural else None,
             fresh_candidates=self._fresh_candidates,
+            observability=self.observability,
         )
         manager.deploy(plan)
         return manager
@@ -214,42 +261,57 @@ class QASOM:
         per-service SLAs before execution and every observed invocation is
         checked against them; the tracker lands in ``RunResult.compliance``.
         """
-        manager = self.adaptation_manager(plan) if adapt else None
-        tracker = (
-            ComplianceTracker(derive_slas(plan, self.properties))
-            if track_sla
-            else None
-        )
-        pending: List[AdaptationTrigger] = []
-        unsubscribe = None
-        if manager is not None:
-            unsubscribe = self.monitor.subscribe(pending.append)
+        with self.observability.span(
+            "execute", task=plan.task.name, adapt=adapt,
+        ) as execute_span:
+            manager = self.adaptation_manager(plan) if adapt else None
+            tracker = (
+                ComplianceTracker(derive_slas(plan, self.properties))
+                if track_sla
+                else None
+            )
+            pending: List[AdaptationTrigger] = []
+            unsubscribe = None
+            if manager is not None:
+                unsubscribe = self.monitor.subscribe(pending.append)
 
-        try:
-            report = self.engine.execute(plan)
-        finally:
-            if unsubscribe is not None:
-                unsubscribe()
+            try:
+                report = self.engine.execute(plan)
+            finally:
+                if unsubscribe is not None:
+                    unsubscribe()
 
-        if tracker is not None:
-            for record in report.invocations:
-                if record.observed_qos is not None:
-                    tracker.record_vector(record.service_id,
-                                          record.observed_qos)
+            if tracker is not None:
+                for record in report.invocations:
+                    if record.observed_qos is not None:
+                        tracker.record_vector(record.service_id,
+                                              record.observed_qos)
 
-        adaptations: List[AdaptationOutcome] = []
-        if manager is not None:
-            handled = set()
-            for trigger in pending:
-                key = (trigger.service_id, trigger.kind)
-                if key in handled:
-                    continue
-                handled.add(key)
-                adaptations.append(manager.handle(trigger))
+            adaptations: List[AdaptationOutcome] = []
+            if manager is not None:
+                handled = set()
+                for trigger in pending:
+                    key = (trigger.service_id, trigger.kind)
+                    if key in handled:
+                        continue
+                    handled.add(key)
+                    adaptations.append(manager.handle(trigger))
+            execute_span.set(
+                succeeded=report.succeeded,
+                invocations=len(report.invocations),
+                adaptations=len(adaptations),
+            )
+        trace = execute_span if self.observability.enabled else None
         return RunResult(plan=plan, report=report, adaptations=adaptations,
-                         compliance=tracker)
+                         compliance=tracker, trace=trace)
 
     def run(self, request: UserRequest, adapt: bool = True) -> RunResult:
         """compose + execute in one step."""
-        plan = self.compose(request)
-        return self.execute(plan, adapt=adapt)
+        with self.observability.span(
+            "run", task=request.task.name
+        ) as run_span:
+            plan = self.compose(request)
+            result = self.execute(plan, adapt=adapt)
+        if self.observability.enabled:
+            result.trace = run_span
+        return result

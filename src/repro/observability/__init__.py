@@ -1,0 +1,73 @@
+"""End-to-end observability for the QASOM pipeline.
+
+The middleware's compose → discover → select → bind → invoke → monitor →
+adapt pipeline is instrumented with hierarchical spans (wall-clock *and*
+simulated-clock) and a metrics registry (counters, gauges, fixed-bucket
+histograms).  See ``docs/OBSERVABILITY.md`` for the span taxonomy, metric
+names and exporter formats.
+
+Quick start::
+
+    from repro.observability import Observability
+
+    obs = Observability(clock=environment.clock)
+    middleware = QASOM.for_environment(env, props, observability=obs)
+    middleware.run(request)
+    print(render_span_tree(obs.spans))
+
+Observability is **off by default**: components fall back to
+:data:`NULL_OBSERVABILITY`, whose hooks are no-ops on shared singletons.
+"""
+
+from repro.observability.core import (
+    NULL_OBSERVABILITY,
+    Observability,
+    ObservabilityConfig,
+    enabled,
+    get_default,
+    resolve,
+    set_default,
+)
+from repro.observability.exporters import (
+    export_jsonl,
+    read_jsonl,
+    render_breakdown,
+    render_span_tree,
+    stage_breakdown,
+    write_jsonl,
+)
+from repro.observability.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.observability.spans import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_OBSERVABILITY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityConfig",
+    "Span",
+    "Tracer",
+    "enabled",
+    "export_jsonl",
+    "get_default",
+    "read_jsonl",
+    "render_breakdown",
+    "render_span_tree",
+    "resolve",
+    "set_default",
+    "stage_breakdown",
+    "write_jsonl",
+]

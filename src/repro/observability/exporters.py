@@ -1,0 +1,180 @@
+"""Exporters: console span tree, JSONL dump, per-stage breakdowns.
+
+Three ways out of the in-process tracer/registry:
+
+* :func:`render_span_tree` — a human-readable tree with wall/simulated
+  durations and the most useful attributes (what ``--trace`` prints);
+* :func:`export_jsonl` / :func:`write_jsonl` — one JSON object per line
+  (``{"type": "span"|"metric", ...}``), the machine-readable format
+  ``--metrics-out`` writes and tests round-trip;
+* :func:`stage_breakdown` / :func:`render_breakdown` — aggregate spans by
+  name into per-stage timing tables (the experiment harness's answer to
+  "where did the time go?").
+
+The *no-op* exporter is simply not calling any of these — the disabled
+middleware never materialises spans or metrics in the first place.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from typing import IO, Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.observability.spans import Span
+
+#: Span attributes surfaced inline in the console tree, in display order.
+_TREE_ATTRIBUTES = (
+    "task", "activity", "capability", "service_id", "attempt", "succeeded",
+    "pool_size", "candidates", "levels", "combinations_explored",
+    "utility", "feasible", "kind", "action", "trigger_kind", "policy",
+    "error",
+)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.3f}ms"
+
+
+def _format_attributes(span: Span) -> str:
+    shown = []
+    for key in _TREE_ATTRIBUTES:
+        if key in span.attributes:
+            value = span.attributes[key]
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            shown.append(f"{key}={value}")
+    for key, value in span.attributes.items():
+        if key not in _TREE_ATTRIBUTES:
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            shown.append(f"{key}={value}")
+    return f" [{', '.join(shown)}]" if shown else ""
+
+
+def render_span_tree(spans: Iterable[Span]) -> str:
+    """An indented tree of spans with durations, ready to print."""
+    lines: List[str] = []
+
+    def _render(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        sim = span.sim_duration
+        sim_part = f" (sim {_format_duration(sim)})" if sim else ""
+        lines.append(
+            f"{prefix}{connector}{span.name}"
+            f"  {_format_duration(span.duration)}{sim_part}"
+            f"{_format_attributes(span)}"
+        )
+        child_prefix = prefix if is_root else (
+            prefix + ("   " if is_last else "│  ")
+        )
+        for i, child in enumerate(span.children):
+            _render(child, child_prefix, i == len(span.children) - 1, False)
+
+    roots = list(spans)
+    for root in roots:
+        _render(root, "", True, True)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def export_jsonl(observability: Any) -> List[Dict[str, Any]]:
+    """All spans and metrics as JSON-serialisable records."""
+    records: List[Dict[str, Any]] = []
+    for root in observability.tracer.all_spans() if hasattr(
+        observability.tracer, "all_spans"
+    ) else ():
+        record = root.to_dict()
+        record["type"] = "span"
+        records.append(record)
+    for metric in observability.metrics.snapshot():
+        metric = dict(metric)
+        metric["type"] = f"metric.{metric.pop('type')}"
+        records.append(metric)
+    return records
+
+
+def write_jsonl(observability: Any, stream_or_path: Any) -> int:
+    """Write the JSONL dump; returns the number of records written."""
+    records = export_jsonl(observability)
+    if hasattr(stream_or_path, "write"):
+        _write_records(records, stream_or_path)
+    else:
+        with open(stream_or_path, "w", encoding="utf-8") as handle:
+            _write_records(records, handle)
+    return len(records)
+
+
+def _write_records(records: Sequence[Mapping[str, Any]], handle: IO[str]) -> None:
+    for record in records:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(stream_or_path: Any) -> List[Dict[str, Any]]:
+    """Parse a JSONL dump back into records (the round-trip helper)."""
+    if hasattr(stream_or_path, "read"):
+        text = stream_or_path.read()
+    else:
+        with open(stream_or_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# per-stage breakdowns
+# ----------------------------------------------------------------------
+def stage_breakdown(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:
+    """Aggregate all spans (roots + descendants) by span name.
+
+    Returns ``name -> {count, total_s, median_s, min_s, max_s}``, sorted
+    by descending total time.
+    """
+    durations: Dict[str, List[float]] = {}
+    for root in spans:
+        for span in root.walk():
+            durations.setdefault(span.name, []).append(span.duration)
+    breakdown = {
+        name: {
+            "count": float(len(values)),
+            "total_s": sum(values),
+            "median_s": statistics.median(values),
+            "min_s": min(values),
+            "max_s": max(values),
+        }
+        for name, values in durations.items()
+    }
+    return dict(
+        sorted(breakdown.items(), key=lambda kv: -kv[1]["total_s"])
+    )
+
+
+def render_breakdown(breakdown: Mapping[str, Mapping[str, float]]) -> str:
+    """The per-stage table ``experiment --trace`` prints."""
+    headers = ("stage", "count", "total", "median", "min", "max")
+    rows = [
+        (
+            name,
+            f"{int(stats['count'])}",
+            _format_duration(stats["total_s"]),
+            _format_duration(stats["median_s"]),
+            _format_duration(stats["min_s"]),
+            _format_duration(stats["max_s"]),
+        )
+        for name, stats in breakdown.items()
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

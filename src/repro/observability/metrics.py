@@ -1,0 +1,281 @@
+"""Counters, gauges and histograms for the middleware — stdlib only.
+
+The registry follows the Prometheus naming idiom (snake-case metric names,
+optional label sets) but keeps everything in-process: experiments read the
+registry directly, exporters serialise a snapshot.  Histograms use fixed
+upper-bound buckets, so percentile *summaries* are estimates (the upper
+bound of the bucket the quantile lands in) — cheap, bounded memory, and
+accurate enough for the per-stage latency breakdowns the Ch. VI figures
+need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets, in seconds — spans from sub-millisecond
+#: selection steps to multi-second simulated executions.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "counter",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down (pool sizes, utilities, clock skew)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile summaries.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.  ``quantile(q)`` returns the
+    upper bound of the bucket containing the q-th observation (clamped to
+    the observed min/max), i.e. a conservative estimate.
+    """
+
+    __slots__ = (
+        "name", "labels", "buckets", "counts", "count", "total",
+        "minimum", "maximum",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: _LabelKey = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = tuple(sorted(buckets)) if buckets else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 < q <= 1) from the bucket counts."""
+        if not 0 < q <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i == len(self.buckets):
+                    return self.maximum
+                # Clamp the bucket bound into the observed range.
+                return max(self.minimum, min(self.buckets[i], self.maximum))
+        return self.maximum
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "summary": self.summary(),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store for all of a middleware instance's metrics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, key[1])
+        return counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge(name, key[1])
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(
+                name, key[1], buckets
+            )
+        return histogram
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """All metrics as JSON-serialisable dicts, sorted by (name, labels)."""
+        records: List[Dict[str, Any]] = []
+        for store in (self._counters, self._gauges, self._histograms):
+            records.extend(metric.to_dict() for metric in store.values())
+        records.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return records
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        """Convenience lookup: a counter/gauge's value, if it exists."""
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key) or self._gauges.get(key)
+        return metric.value if metric is not None else None
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullMetric:
+    """One shared sink for every disabled counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry:
+    """Registry with metrics compiled out."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name: str, **labels: Any) -> _NullMetric:
+        return NULL_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> _NullMetric:
+        return NULL_METRIC
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return []
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        return None
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_METRICS = NullMetricsRegistry()

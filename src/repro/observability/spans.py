@@ -1,0 +1,253 @@
+"""Hierarchical tracing for the QASOM pipeline.
+
+A :class:`Span` is one timed stage of the compose → discover → select →
+bind → invoke → adapt pipeline.  Spans carry *two* time axes:
+
+* **wall clock** (``time.perf_counter``) — what the paper's Ch. VI timing
+  figures measure (selection time, adaptation latency);
+* **simulated clock** — the environment's :class:`SimulatedClock`, so a
+  trace also shows where *simulated* execution time went (invocation
+  response times, parallel-branch joins).
+
+The :class:`Tracer` maintains the parent/child structure with an explicit
+stack: spans opened while another span is active become its children, so
+instrumented components nest correctly without passing span objects
+around.  Everything here is synchronous and allocation-light; the
+*disabled* path (see :data:`NULL_SPAN` and :class:`NullTracer`) does no
+allocation at all — instrumented call sites pay one attribute lookup and a
+no-op context-manager enter/exit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Protocol
+
+
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` (the simulated clock qualifies)."""
+
+    def now(self) -> float: ...
+
+
+class Span:
+    """One timed, attributed stage of a pipeline run (context manager)."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "started_wall",
+        "ended_wall",
+        "started_sim",
+        "ended_sim",
+        "attributes",
+        "children",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: Optional[str],
+        tracer: "Tracer",
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started_wall: float = 0.0
+        self.ended_wall: Optional[float] = None
+        self.started_sim: Optional[float] = None
+        self.ended_sim: Optional[float] = None
+        self.attributes: Dict[str, Any] = attributes if attributes else {}
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes (candidate-pool sizes, utilities, triggers…)."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while the span is still open)."""
+        if self.ended_wall is None:
+            return 0.0
+        return self.ended_wall - self.started_wall
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        """Simulated seconds, when a simulated clock was attached."""
+        if self.started_sim is None or self.ended_sim is None:
+            return None
+        return self.ended_sim - self.started_sim
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.attributes.setdefault("error", repr(exc))
+        self._tracer._close(self)
+        return False
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendant spans (including self) with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (children referenced by parent_id)."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_wall": self.started_wall,
+            "duration_s": self.duration,
+        }
+        if self.started_sim is not None:
+            record["started_sim"] = self.started_sim
+        if self.ended_sim is not None:
+            record["ended_sim"] = self.ended_sim
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"duration={self.duration:.6f}s, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span the disabled path hands out."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+#: Singleton returned by every disabled tracer — no allocation per span.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects hierarchical spans for one middleware instance.
+
+    ``clock`` is the environment's simulated clock; when present every
+    span also records simulated start/end timestamps.  Finished *root*
+    spans accumulate in :attr:`spans` (children hang off their parents).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Create (but not yet start) a span; use as a context manager."""
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        return Span(
+            name,
+            span_id=f"s{self._next_id:04d}",
+            parent_id=parent.span_id if parent is not None else None,
+            tracer=self,
+            attributes=attributes or None,
+        )
+
+    def _open(self, span: Span) -> None:
+        # Re-resolve the parent at enter time: a span object may be
+        # created and entered later (or re-parented by sibling order).
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_id = parent.span_id
+        self._stack.append(span)
+        span.started_wall = time.perf_counter()
+        if self.clock is not None:
+            span.started_sim = self.clock.now()
+
+    def _close(self, span: Span) -> None:
+        span.ended_wall = time.perf_counter()
+        if self.clock is not None:
+            span.ended_sim = self.clock.now()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # tolerate out-of-order exits
+            self._stack.remove(span)
+        if span.parent_id is None:
+            self.spans.append(span)
+        else:
+            parent = self._stack[-1] if self._stack else None
+            if parent is not None and parent.span_id == span.parent_id:
+                parent.children.append(span)
+            else:
+                # Parent already closed (shouldn't happen with context
+                # managers) — keep the span reachable as a root.
+                self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all finished spans (the stack of open spans is kept)."""
+        self.spans = []
+
+    def all_spans(self) -> List[Span]:
+        """Every finished span, depth-first across all roots."""
+        collected: List[Span] = []
+        for root in self.spans:
+            collected.extend(root.walk())
+        return collected
+
+
+class NullTracer:
+    """Tracer with tracing compiled out — hands back :data:`NULL_SPAN`."""
+
+    enabled = False
+    clock = None
+
+    #: Shared empty tuple so callers can iterate without branching.
+    spans: tuple = ()
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def reset(self) -> None:
+        pass
+
+    def all_spans(self) -> tuple:
+        return ()
+
+
+#: Singleton disabled tracer.
+NULL_TRACER = NullTracer()

@@ -22,10 +22,16 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import DiscoveryError
+from repro.observability import core as observability_core
 from repro.semantics.matching import MatchDegree, match_concepts
 from repro.semantics.ontology import Ontology
 from repro.services.description import ServiceDescription
 from repro.services.registry import ServiceRegistry
+
+
+#: Candidate-pool-size buckets for the discovery histogram (counts, not
+#: seconds — the shared default buckets are latency-shaped).
+_POOL_BUCKETS = (0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 
 
 @dataclass(frozen=True)
@@ -93,15 +99,19 @@ class QoSAwareDiscovery:
         self,
         registry: ServiceRegistry,
         task_ontology: Optional[Ontology] = None,
+        observability=None,
     ) -> None:
         self.registry = registry
         self.ontology = task_ontology
+        self.obs = observability_core.resolve(observability)
 
     # ------------------------------------------------------------------
     def discover(self, query: DiscoveryQuery) -> List[DiscoveryMatch]:
         """All registry services satisfying the query, best matches first."""
         matches: List[DiscoveryMatch] = []
+        examined = 0
         for service in self.registry:
+            examined += 1
             degree = self._functional_degree(query.capability, service.capability)
             if degree < query.minimum_degree:
                 continue
@@ -111,6 +121,13 @@ class QoSAwareDiscovery:
                 continue
             matches.append(DiscoveryMatch(service, degree))
         matches.sort(key=lambda m: (-m.degree, m.service.name, m.service.service_id))
+        obs = self.obs
+        if obs.enabled:
+            obs.counter("discovery_queries_total").inc()
+            obs.counter("discovery_services_examined_total").inc(examined)
+            obs.histogram(
+                "discovery_pool_size", buckets=_POOL_BUCKETS
+            ).observe(len(matches))
         return matches
 
     def candidates(self, query: DiscoveryQuery) -> List[ServiceDescription]:

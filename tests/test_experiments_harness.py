@@ -7,11 +7,13 @@ import pytest
 from repro.experiments.harness import (
     ExperimentPoint,
     Sweep,
+    Timing,
     measure,
+    measure_traced,
     optimality,
     try_select,
 )
-from repro.experiments.reporting import render_series, render_table
+from repro.experiments.reporting import render_json, render_series, render_table
 
 
 class TestSweep:
@@ -40,6 +42,75 @@ class TestMeasure:
     def test_minimum_one_repetition(self):
         elapsed, result = measure(lambda: 42, repetitions=0)
         assert result == 42
+
+    def test_timing_carries_the_spread(self):
+        elapsed, _ = measure(lambda: sum(range(100)), repetitions=5)
+        assert isinstance(elapsed, Timing)
+        assert len(elapsed.samples) == 5
+        assert elapsed.minimum <= elapsed.median <= elapsed.maximum
+        assert elapsed.minimum <= elapsed.mean <= elapsed.maximum
+        assert elapsed.stdev >= 0.0
+
+
+class TestTiming:
+    def test_is_the_median_as_a_float(self):
+        timing = Timing([3.0, 1.0, 2.0])
+        assert float(timing) == 2.0
+        assert timing == 2.0
+        assert timing.median == 2.0
+
+    def test_spread_statistics(self):
+        timing = Timing([1.0, 2.0, 3.0, 4.0])
+        assert timing.minimum == 1.0
+        assert timing.maximum == 4.0
+        assert timing.mean == 2.5
+        assert timing.stdev == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_single_sample_has_zero_stdev(self):
+        timing = Timing([0.5])
+        assert timing.stdev == 0.0
+        assert timing.mean == 0.5
+
+    def test_rejects_empty_samples(self):
+        with pytest.raises(ValueError):
+            Timing([])
+
+    def test_scaling_scales_every_sample(self):
+        # Benchmarks convert seconds to milliseconds with `elapsed * 1000`;
+        # the spread must survive that conversion.
+        scaled = Timing([0.001, 0.002, 0.003]) * 1000
+        assert isinstance(scaled, Timing)
+        assert scaled == 2.0
+        assert scaled.samples == (1.0, 2.0, 3.0)
+        assert 1000 * Timing([0.002]) == 2.0
+
+    def test_summary_is_json_ready(self):
+        summary = Timing([1.0, 3.0]).summary()
+        assert summary == {
+            "median": 2.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+            "stdev": pytest.approx(1.4142135, rel=1e-6),
+            "repetitions": 2.0,
+        }
+
+
+class TestMeasureTraced:
+    def test_breakdown_aggregates_instrumented_stages(self):
+        from repro.observability import get_default
+
+        def work():
+            obs = get_default()
+            with obs.span("stage_a"):
+                with obs.span("stage_b"):
+                    pass
+            return "done"
+
+        timing, result, breakdown = measure_traced(work, repetitions=2)
+        assert result == "done"
+        assert isinstance(timing, Timing)
+        assert breakdown["stage_a"]["count"] == 2
+        assert breakdown["stage_b"]["count"] == 2
+        # The ambient default is restored afterwards.
+        assert not get_default().enabled
 
 
 class TestOptimality:
@@ -100,3 +171,19 @@ class TestReporting:
         assert "1.235e+07" in text
         assert "0.5" in text
         assert "yes" in text
+
+    def test_render_json_expands_timings(self):
+        import json
+
+        sweep = Sweep("s", "x")
+        sweep.add(1.0, time_ms=Timing([1.0, 2.0, 3.0]), optimality=0.9)
+        data = json.loads(render_json(sweep))
+        assert data["name"] == "s"
+        point = data["points"][0]
+        assert point["x"] == 1.0
+        assert point["values"]["optimality"] == 0.9
+        spread = point["values"]["time_ms"]
+        assert spread["median"] == 2.0
+        assert spread["min"] == 1.0
+        assert spread["max"] == 3.0
+        assert spread["repetitions"] == 3.0

@@ -1,0 +1,203 @@
+"""Monitor subscribe/unsubscribe semantics during ``QASOM.execute``.
+
+The middleware subscribes a trigger collector for exactly the duration of
+the engine run, deduplicates the collected triggers by
+``(service_id, kind)`` before handing them to the adaptation manager, and
+must unsubscribe even when the engine raises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.manager import AdaptationAction, AdaptationOutcome
+from repro.adaptation.monitoring import AdaptationTrigger, TriggerKind
+from repro.env.scenarios import build_shopping_scenario
+from repro.execution.engine import ExecutionReport
+from repro.middleware.qasom import QASOM
+
+
+@pytest.fixture
+def scenario():
+    return build_shopping_scenario()
+
+
+@pytest.fixture
+def middleware(scenario):
+    return QASOM.for_environment(
+        scenario.environment,
+        scenario.properties,
+        ontology=scenario.ontology,
+        repository=scenario.repository,
+    )
+
+
+class _ScriptedEngine:
+    """Stands in for the execution engine: dispatches a scripted sequence
+    of monitor triggers, then returns a canned report."""
+
+    def __init__(self, monitor, failures, succeeded=True):
+        self.monitor = monitor
+        self.failures = list(failures)
+        self.succeeded = succeeded
+
+    def execute(self, plan):
+        for service_id in self.failures:
+            self.monitor.report_failure(service_id, timestamp=0.0)
+        return ExecutionReport(
+            task_name=plan.task.name,
+            succeeded=self.succeeded,
+            started_at=0.0,
+            finished_at=1.0,
+        )
+
+
+class _RecordingManager:
+    """Adaptation manager double that records which triggers it was asked
+    to handle."""
+
+    def __init__(self):
+        self.handled = []
+
+    def deploy(self, plan):
+        pass
+
+    def handle(self, trigger):
+        self.handled.append(trigger)
+        return AdaptationOutcome(trigger=trigger, action=AdaptationAction.NONE)
+
+
+class TestSubscriptionLifecycle:
+    def test_listener_registered_only_during_execute(self, middleware, scenario):
+        plan = middleware.compose(scenario.request)
+        seen_during_run = []
+        middleware.engine = _ScriptedEngine(middleware.monitor, failures=[])
+        original_execute = middleware.engine.execute
+
+        def spying_execute(p):
+            seen_during_run.append(len(middleware.monitor._listeners))
+            return original_execute(p)
+
+        middleware.engine.execute = spying_execute
+        baseline = len(middleware.monitor._listeners)
+        middleware.execute(plan)
+        assert seen_during_run == [baseline + 1]
+        assert len(middleware.monitor._listeners) == baseline
+
+    def test_no_subscription_when_adapt_disabled(self, middleware, scenario):
+        plan = middleware.compose(scenario.request)
+        seen_during_run = []
+        engine = _ScriptedEngine(middleware.monitor, failures=[])
+        original_execute = engine.execute
+
+        def spying_execute(p):
+            seen_during_run.append(len(middleware.monitor._listeners))
+            return original_execute(p)
+
+        engine.execute = spying_execute
+        middleware.engine = engine
+        result = middleware.execute(plan, adapt=False)
+        assert seen_during_run == [0]
+        assert result.adaptations == []
+
+    def test_unsubscribe_runs_when_the_engine_raises(self, middleware, scenario):
+        plan = middleware.compose(scenario.request)
+
+        class _ExplodingEngine:
+            def execute(self, _plan):
+                raise RuntimeError("engine died mid-run")
+
+        middleware.engine = _ExplodingEngine()
+        with pytest.raises(RuntimeError):
+            middleware.execute(plan)
+        # The collector subscribed for the run is gone despite the failure,
+        # so later triggers cannot leak into a dead run's pending list.
+        assert middleware.monitor._listeners == []
+
+    def test_repeated_executes_do_not_accumulate_listeners(
+        self, middleware, scenario
+    ):
+        plan = middleware.compose(scenario.request)
+        middleware.engine = _ScriptedEngine(middleware.monitor, failures=[])
+        for _ in range(3):
+            middleware.execute(plan)
+        assert middleware.monitor._listeners == []
+
+
+class TestTriggerDeduplication:
+    def _run_with_failures(self, middleware, scenario, failures):
+        plan = middleware.compose(scenario.request)
+        manager = _RecordingManager()
+        middleware.adaptation_manager = lambda p, allow_behavioural=True: manager
+        middleware.engine = _ScriptedEngine(middleware.monitor, failures)
+        result = middleware.execute(plan)
+        return manager, result
+
+    def test_each_trigger_collected_exactly_once(self, middleware, scenario):
+        manager, result = self._run_with_failures(
+            middleware, scenario, failures=["svc-1"]
+        )
+        assert len(manager.handled) == 1
+        assert manager.handled[0].service_id == "svc-1"
+        assert manager.handled[0].kind is TriggerKind.FAILURE
+        assert len(result.adaptations) == 1
+
+    def test_duplicate_service_kind_pairs_handled_once(
+        self, middleware, scenario
+    ):
+        manager, result = self._run_with_failures(
+            middleware, scenario, failures=["svc-1", "svc-1", "svc-1"]
+        )
+        assert len(manager.handled) == 1
+        assert len(result.adaptations) == 1
+
+    def test_distinct_services_each_handled(self, middleware, scenario):
+        manager, _ = self._run_with_failures(
+            middleware, scenario, failures=["svc-1", "svc-2", "svc-1"]
+        )
+        assert [t.service_id for t in manager.handled] == ["svc-1", "svc-2"]
+
+    def test_same_service_different_kinds_both_handled(
+        self, middleware, scenario
+    ):
+        plan = middleware.compose(scenario.request)
+        manager = _RecordingManager()
+        middleware.adaptation_manager = lambda p, allow_behavioural=True: manager
+
+        monitor = middleware.monitor
+
+        class _TwoKindEngine:
+            def execute(self, _plan):
+                monitor.report_failure("svc-1", timestamp=0.0)
+                monitor._dispatch(
+                    AdaptationTrigger(
+                        kind=TriggerKind.VIOLATION,
+                        service_id="svc-1",
+                        property_name="latency",
+                        observed=9.0,
+                        projected=None,
+                        bound=1.0,
+                        timestamp=0.0,
+                    )
+                )
+                return ExecutionReport(
+                    task_name=_plan.task.name, succeeded=True,
+                    started_at=0.0, finished_at=1.0,
+                )
+
+        middleware.engine = _TwoKindEngine()
+        result = middleware.execute(plan)
+        kinds = {t.kind for t in manager.handled}
+        assert kinds == {TriggerKind.FAILURE, TriggerKind.VIOLATION}
+        assert len(result.adaptations) == 2
+
+    def test_end_to_end_adaptations_unique_by_service_and_kind(
+        self, middleware, scenario
+    ):
+        # Full pipeline (real engine, real manager): whatever triggers fire,
+        # the outcomes never repeat a (service_id, kind) pair.
+        result = middleware.run(scenario.request)
+        keys = [
+            (o.trigger.service_id, o.trigger.kind) for o in result.adaptations
+        ]
+        assert len(keys) == len(set(keys))

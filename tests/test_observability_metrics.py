@@ -1,0 +1,116 @@
+"""Tests for counters, gauges and histograms (repro.observability.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import MetricsRegistry, NULL_METRICS
+from repro.observability.metrics import Histogram, NULL_METRIC
+
+
+class TestCounter:
+    def test_get_or_create_and_increment(self):
+        registry = MetricsRegistry()
+        registry.counter("invocations_total").inc()
+        registry.counter("invocations_total").inc(2)
+        assert registry.value("invocations_total") == 3
+
+    def test_labels_partition_series(self):
+        registry = MetricsRegistry()
+        registry.counter("invocations_total", status="ok").inc()
+        registry.counter("invocations_total", status="failed").inc(4)
+        assert registry.value("invocations_total", status="ok") == 1
+        assert registry.value("invocations_total", status="failed") == 4
+        assert registry.value("invocations_total") is None
+
+    def test_counters_only_go_up(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pool_size")
+        gauge.set(10)
+        gauge.add(-3)
+        assert registry.value("pool_size") == 7
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 4.0, 10.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 16.0
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 10.0
+        assert histogram.mean == 4.0
+
+    def test_bucket_assignment_with_overflow(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        for value in (0.1, 0.9, 1.5, 99.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]
+
+    def test_quantiles_are_bucket_bound_estimates(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0, 10.0))
+        for value in [0.5] * 50 + [1.5] * 40 + [8.0] * 10:
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.9) == 2.0
+        assert histogram.quantile(0.99) == 10.0 or histogram.quantile(0.99) == 8.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        histogram = Histogram("h", buckets=(100.0,))
+        histogram.observe(3.0)
+        assert histogram.quantile(0.5) == 3.0
+
+    def test_empty_histogram_summary(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["min"] == 0.0
+        assert summary["p99"] == 0.0
+
+    def test_quantile_validation(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_is_json_shaped_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.gauge("a_gauge").set(1.0)
+        registry.histogram("c_hist", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert [r["name"] for r in snapshot] == ["a_gauge", "b_total", "c_hist"]
+        histogram_record = snapshot[2]
+        assert histogram_record["type"] == "histogram"
+        assert histogram_record["summary"]["count"] == 1.0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == []
+
+
+class TestNullRegistry:
+    def test_null_registry_hands_out_shared_sink(self):
+        assert NULL_METRICS.counter("a") is NULL_METRIC
+        assert NULL_METRICS.gauge("b") is NULL_METRIC
+        assert NULL_METRICS.histogram("c") is NULL_METRIC
+
+    def test_null_sink_is_inert(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.set(5)
+        NULL_METRIC.observe(1.0)
+        assert NULL_METRICS.snapshot() == []
+        assert NULL_METRICS.value("a") is None

@@ -1,0 +1,124 @@
+"""Regression guard: disabled observability must stay near-free.
+
+The acceptance bar for the observability layer is that a default
+(disabled) middleware pays at most 5% overhead on the selection +
+execution path compared to the uninstrumented code.  The only code the
+instrumentation adds to the disabled path is (a) ``obs.enabled`` checks
+and (b) null-object span context managers — so rather than comparing two
+builds (the pre-instrumentation code no longer exists), this test bounds
+the *budget*: it counts how many instrumentation touchpoints one run
+actually executes, measures the per-touchpoint cost of the null path, and
+asserts the product is below 5% of the measured workload time.  Bounds
+are deliberately generous; timing noise shrinks the budget by using the
+fastest observed workload run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.env.scenarios import build_shopping_scenario
+from repro.experiments.harness import measure
+from repro.middleware.qasom import QASOM
+from repro.observability import NULL_OBSERVABILITY, Observability
+
+
+def _middleware(scenario, obs=None):
+    return QASOM.for_environment(
+        scenario.environment,
+        scenario.properties,
+        ontology=scenario.ontology,
+        repository=scenario.repository,
+        observability=obs,
+    )
+
+
+def _workload(middleware, request):
+    plan = middleware.compose(request)
+    return middleware.execute(plan)
+
+
+def _count_touchpoints():
+    """(spans, metric updates) one shopping run really performs."""
+    scenario = build_shopping_scenario()
+    obs = Observability(clock=scenario.environment.clock)
+    middleware = _middleware(scenario, obs)
+    _workload(middleware, scenario.request)
+    spans = len(obs.tracer.all_spans())
+    metric_ops = 0
+    for record in obs.metrics.snapshot():
+        if record["type"] == "counter":
+            metric_ops += int(record["value"])
+        elif record["type"] == "histogram":
+            metric_ops += int(record["summary"]["count"])
+        else:
+            metric_ops += 1
+    return spans, metric_ops
+
+
+def _null_span_cost(iterations: int = 20000) -> float:
+    """Per-span cost of the disabled path (shared null context manager)."""
+    obs = NULL_OBSERVABILITY
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("invoke", activity="Pay", attempt=1) as span:
+            span.set(succeeded=True)
+    return (time.perf_counter() - started) / iterations
+
+
+def _enabled_check_cost(iterations: int = 20000) -> float:
+    """Per-check cost of the ``obs.enabled`` guard every metric hook runs
+    (on the disabled path the guarded body never executes)."""
+    obs = NULL_OBSERVABILITY
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if obs.enabled:
+            raise AssertionError("null observability reports enabled")
+    return (time.perf_counter() - started) / iterations
+
+
+class TestDisabledOverhead:
+    def test_default_middleware_is_fully_disabled(self):
+        scenario = build_shopping_scenario()
+        middleware = _middleware(scenario)
+        assert middleware.observability is NULL_OBSERVABILITY
+        result = _workload(middleware, scenario.request)
+        assert result.trace is None
+        assert middleware.observability.spans == ()
+        assert middleware.observability.metrics.snapshot() == []
+
+    def test_disabled_instrumentation_within_five_percent_budget(self):
+        scenario = build_shopping_scenario()
+        middleware = _middleware(scenario)
+        _workload(middleware, scenario.request)  # warm-up
+
+        timing, _ = measure(
+            lambda: _workload(middleware, scenario.request), repetitions=5
+        )
+        # The fastest run is the least noisy estimate of the true cost —
+        # and the *smallest* (hardest) budget to fit under.
+        workload = timing.minimum
+
+        spans, metric_ops = _count_touchpoints()
+        assert spans > 0 and metric_ops > 0, (
+            "an enabled run recorded no instrumentation"
+        )
+        span_cost = _null_span_cost()
+        check_cost = _enabled_check_cost()
+
+        budget = 0.05 * workload
+        spent = spans * span_cost + metric_ops * check_cost
+        assert spent <= budget, (
+            f"disabled instrumentation costs {spent * 1e6:.1f}µs "
+            f"({spans} spans × {span_cost * 1e9:.0f}ns + {metric_ops} "
+            f"enabled-checks × {check_cost * 1e9:.0f}ns) — over the 5% "
+            f"budget of {budget * 1e6:.1f}µs for a "
+            f"{workload * 1e3:.2f}ms workload"
+        )
+
+    def test_null_span_issue_is_allocation_free(self):
+        # The disabled path must not allocate a span per call — the shared
+        # singleton is what keeps the per-touchpoint cost in nanoseconds.
+        first = NULL_OBSERVABILITY.span("a", x=1)
+        second = NULL_OBSERVABILITY.span("b")
+        assert first is second

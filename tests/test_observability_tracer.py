@@ -1,0 +1,158 @@
+"""Tests for the span tracer (repro.observability.spans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution.clock import SimulatedClock
+from repro.observability import NULL_SPAN, NULL_TRACER, Span, Tracer
+from repro.observability.spans import NullTracer
+
+
+class TestSpanNesting:
+    def test_root_span_lands_in_tracer(self):
+        tracer = Tracer()
+        with tracer.span("compose"):
+            pass
+        assert [s.name for s in tracer.spans] == ["compose"]
+        assert tracer.spans[0].parent_id is None
+
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("compose") as parent:
+            with tracer.span("discovery"):
+                pass
+            with tracer.span("qassa.select"):
+                with tracer.span("qassa.cluster"):
+                    pass
+        assert [c.name for c in parent.children] == [
+            "discovery", "qassa.select",
+        ]
+        assert [c.name for c in parent.children[1].children] == [
+            "qassa.cluster"
+        ]
+        # Only the root is registered at top level.
+        assert [s.name for s in tracer.spans] == ["compose"]
+
+    def test_sequential_roots_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        with tracer.span("run"):
+            pass
+        assert len(tracer.spans) == 2
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("run") as root:
+            with tracer.span("invoke"):
+                pass
+            with tracer.span("invoke"):
+                pass
+        assert len(root.find("invoke")) == 2
+        assert [s.name for s in root.walk()] == ["run", "invoke", "invoke"]
+
+
+class TestSpanTimestamps:
+    def test_wall_duration_is_positive(self):
+        tracer = Tracer()
+        with tracer.span("stage") as span:
+            sum(range(1000))
+        assert span.duration > 0.0
+        assert span.ended_wall >= span.started_wall
+
+    def test_open_span_reports_zero_duration(self):
+        tracer = Tracer()
+        span = tracer.span("stage")
+        with span:
+            assert span.duration == 0.0
+        assert span.duration > 0.0
+
+    def test_simulated_clock_captured(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("invoke") as span:
+            clock.advance(2.5)
+        assert span.started_sim == 0.0
+        assert span.ended_sim == 2.5
+        assert span.sim_duration == 2.5
+
+    def test_no_clock_means_no_sim_times(self):
+        tracer = Tracer()
+        with tracer.span("invoke") as span:
+            pass
+        assert span.started_sim is None
+        assert span.sim_duration is None
+
+
+class TestSpanAttributes:
+    def test_creation_and_set_attributes_merge(self):
+        tracer = Tracer()
+        with tracer.span("discovery", activity="Pay") as span:
+            span.set(pool_size=30)
+        assert span.attributes == {"activity": "Pay", "pool_size": 30}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("stage") as span:
+                raise ValueError("boom")
+        assert "ValueError" in span.attributes["error"]
+        # The span still closed and registered.
+        assert tracer.spans == [span]
+
+    def test_to_dict_round_trip_fields(self):
+        tracer = Tracer(clock=SimulatedClock())
+        with tracer.span("invoke", attempt=1) as span:
+            pass
+        record = span.to_dict()
+        assert record["name"] == "invoke"
+        assert record["attributes"] == {"attempt": 1}
+        assert record["parent_id"] is None
+        assert record["duration_s"] == span.duration
+
+
+class TestTracerHousekeeping:
+    def test_reset_drops_finished_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+
+    def test_all_spans_flattens_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.name for s in tracer.all_spans()] == ["a", "b", "c"]
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        ids = [s.span_id for s in tracer.all_spans()]
+        assert len(set(ids)) == len(ids)
+
+
+class TestNullTracer:
+    def test_null_tracer_is_shared_and_allocation_free(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        span = NULL_TRACER.span("anything", attr=1)
+        assert span is NULL_SPAN
+        # Re-issuing returns the very same object: no per-span allocation.
+        assert NULL_TRACER.span("other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span.set(foo=1) is NULL_SPAN
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.all_spans() == ()
+
+    def test_null_span_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_SPAN:
+                raise RuntimeError("boom")
