@@ -11,7 +11,11 @@ Three subcommands mirror the three ways people use the repository:
 
 ``scenario`` and ``experiment`` accept ``--trace`` (print the span tree /
 per-stage breakdown of the run) and ``--metrics-out PATH`` (write the full
-span + metric dump as JSONL) — see ``docs/OBSERVABILITY.md``.
+span + metric dump as JSONL) — see ``docs/OBSERVABILITY.md``.  ``scenario``
+additionally accepts ``--faults FILE`` (replay a JSON fault schedule
+against the environment) and ``--resilience`` (turn on retry/backoff
+policies, circuit breakers and graceful degradation) — see
+``docs/RESILIENCE.md``.
 
 Invoke as ``python -m repro <command> ...``.
 """
@@ -32,7 +36,9 @@ from repro.env.scenarios import (
 )
 from repro.experiments import figures
 from repro.experiments.reporting import render_series, render_table
+from repro.middleware.config import MiddlewareConfig
 from repro.middleware.qasom import QASOM
+from repro.resilience import FaultSchedule, ResilienceConfig
 
 SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "shopping": build_shopping_scenario,
@@ -77,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="environment seed (scenario default if unset)")
     scenario.add_argument("--services", type=int, default=None,
                           help="candidate services per activity")
+    scenario.add_argument("--faults", metavar="FILE", default=None,
+                          help="replay a JSON fault schedule against the "
+                               "environment (see docs/RESILIENCE.md)")
+    scenario.add_argument("--resilience", action="store_true",
+                          help="enable retry/backoff policies, circuit "
+                               "breakers and graceful degradation")
     _add_observability_flags(scenario)
 
     experiment = subparsers.add_parser(
@@ -124,6 +136,14 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
         kwargs["services_per_activity"] = args.services
     scenario = SCENARIOS[args.name](**kwargs)
 
+    if args.faults:
+        schedule = FaultSchedule.load(args.faults)
+        scenario.environment.schedule_faults(schedule)
+        print(f"faults: replaying {len(schedule)} events from "
+              f"{args.faults}", file=out)
+    config = None
+    if args.resilience:
+        config = MiddlewareConfig(resilience=ResilienceConfig(enabled=True))
     obs = None
     if _wants_observability(args):
         obs = observability.Observability(clock=scenario.environment.clock)
@@ -132,6 +152,7 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
         scenario.properties,
         ontology=scenario.ontology,
         repository=scenario.repository,
+        config=config,
         observability=obs,
     )
     print(f"scenario: {scenario.name}", file=out)
@@ -150,10 +171,17 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
         print(f"  {activity:12s} -> {selection.primary.name}", file=out)
     print(f"aggregated QoS: {plan.aggregated_qos}", file=out)
     status = "succeeded" if result.report.succeeded else "FAILED"
+    if result.report.degraded:
+        status += " (degraded)"
     print(f"\nexecution {status}: "
           f"{len(result.report.invocations)} invocations, "
           f"{result.report.elapsed:.3f} s simulated, "
           f"cost {result.report.total_cost:.2f}", file=out)
+    if result.partial is not None:
+        print(f"degraded: skipped "
+              f"{', '.join(result.partial.skipped_activities)}; "
+              f"utility {result.partial.planned_utility:.3f} -> "
+              f"{result.partial.degraded_utility:.3f}", file=out)
     if result.adaptations:
         print(f"adaptations: "
               f"{[a.action.value for a in result.adaptations]}", file=out)

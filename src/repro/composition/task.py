@@ -31,12 +31,17 @@ class Activity:
     ``capability`` anchors the required functionality in the task ontology;
     ``inputs``/``outputs`` carry optional data-flow concepts used by
     discovery and by the data constraints of behavioural adaptation.
+    ``optional`` marks an activity the composition can *gracefully skip*
+    when no provider can be reached (see
+    :mod:`repro.resilience.degradation`) — a notification, say, versus the
+    payment it announces.
     """
 
     name: str
     capability: str
     inputs: FrozenSet[str] = frozenset()
     outputs: FrozenSet[str] = frozenset()
+    optional: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:

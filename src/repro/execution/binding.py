@@ -28,6 +28,7 @@ from repro.composition.selection import CompositionPlan
 from repro.composition.utility import Normalizer, service_utility
 from repro.adaptation.monitoring import QoSMonitor
 from repro.observability import core as observability_core
+from repro.resilience.breaker import BreakerRegistry
 
 #: Tells the binder whether a service is currently reachable.
 LivenessProbe = Callable[[ServiceDescription], bool]
@@ -51,12 +52,14 @@ class DynamicBinder:
         liveness: Optional[LivenessProbe] = None,
         policy: BindingPolicy = BindingPolicy.UTILITY,
         observability=None,
+        breakers: Optional[BreakerRegistry] = None,
     ) -> None:
         self.properties = dict(properties)
         self.monitor = monitor
         self.liveness = liveness
         self.policy = policy
         self.obs = observability_core.resolve(observability)
+        self.breakers = breakers
         self._round_robin_state: Dict[str, int] = {}
 
     def bind(self, plan: CompositionPlan, activity_name: str) -> ServiceDescription:
@@ -82,6 +85,17 @@ class DynamicBinder:
             s for s in selection.services
             if self.liveness is None or self.liveness(s)
         ]
+        if self.breakers is not None and alive:
+            # Fail fast past providers with open circuit breakers — but if
+            # *every* live candidate is open-circuit, bypass the breakers
+            # (a last-ditch probe beats guaranteed failure).
+            admitted = [
+                s for s in alive if self.breakers.allow(s.service_id)
+            ]
+            if admitted:
+                alive = admitted
+            else:
+                self.obs.counter("breaker_saturated_total").inc()
         span.set(ranked=len(selection.services), alive=len(alive))
         if not alive:
             self.obs.counter("bind_failures_total").inc()

@@ -15,6 +15,16 @@ Each activity invocation goes through the :class:`DynamicBinder`, calls the
 pluggable :data:`Invoker` (the environment simulator provides one that
 returns *observed* QoS), feeds the monitor, and — on failure — retries over
 the remaining ranked services before giving up.
+
+The resilience layer (``docs/RESILIENCE.md``) hooks in here: an optional
+:class:`~repro.resilience.policies.RetryPolicy` bounds the attempt budget
+and inserts exponential-backoff delays (with seeded jitter) on the
+simulated clock, a :class:`~repro.resilience.policies.TimeoutPolicy` turns
+over-deadline invocations into failures, a
+:class:`~repro.resilience.breaker.BreakerRegistry` learns each outcome, and
+a :class:`~repro.resilience.policies.DegradationPolicy` lets *optional*
+activities be skipped (a degraded completion) instead of failing the
+composition outright.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from repro.qos.values import QoSVector
 from repro.services.description import ServiceDescription
 from repro.composition.selection import CompositionPlan
 from repro.composition.task import (
+    Activity,
     Conditional,
     Leaf,
     Loop,
@@ -41,6 +52,12 @@ from repro.execution.binding import DynamicBinder
 from repro.execution.clock import SimulatedClock
 from repro.adaptation.monitoring import QoSMonitor
 from repro.observability import core as observability_core
+from repro.resilience.breaker import BreakerRegistry
+from repro.resilience.policies import (
+    DegradationPolicy,
+    RetryPolicy,
+    TimeoutPolicy,
+)
 
 #: Invokes a service at a simulated timestamp.  Returns the *observed* QoS
 #: of the invocation, or None when the invocation failed outright.
@@ -70,10 +87,17 @@ class ExecutionReport:
     invocations: List[InvocationRecord] = field(default_factory=list)
     total_cost: float = 0.0
     failed_activity: Optional[str] = None
+    #: Optional activities skipped under graceful degradation (in skip
+    #: order).  Non-empty ⇒ the run completed *degraded*.
+    skipped_activities: List[str] = field(default_factory=list)
 
     @property
     def elapsed(self) -> float:
         return self.finished_at - self.started_at
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.skipped_activities)
 
     def invocations_of(self, activity_name: str) -> List[InvocationRecord]:
         return [r for r in self.invocations if r.activity_name == activity_name]
@@ -92,15 +116,31 @@ class ExecutionEngine:
         max_attempts_per_activity: int = 3,
         seed: int = 0,
         observability=None,
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[TimeoutPolicy] = None,
+        breakers: Optional[BreakerRegistry] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         self.properties = dict(properties)
         self.invoker = invoker
         self.clock = clock if clock is not None else SimulatedClock()
         self.binder = binder if binder is not None else DynamicBinder(properties)
         self.monitor = monitor
-        self.max_attempts = max_attempts_per_activity
+        # An explicit retry policy owns the attempt budget.
+        self.retry = retry
+        self.max_attempts = (
+            retry.max_attempts if retry is not None
+            else max_attempts_per_activity
+        )
+        self.timeout = timeout
+        self.breakers = breakers
+        self.degradation = degradation
         self.obs = observability_core.resolve(observability)
         self._rng = random.Random(seed)
+        # Backoff jitter draws from its own stream so retries never
+        # perturb the conditional/loop draws — with a fixed seed the same
+        # control flow unfolds whether or not providers fail.
+        self._backoff_rng = random.Random(seed + 0x5F5E1)
 
     # ------------------------------------------------------------------
     def execute(self, plan: CompositionPlan) -> ExecutionReport:
@@ -122,7 +162,7 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     def _run(self, node: Node, plan: CompositionPlan, report: ExecutionReport) -> None:
         if isinstance(node, Leaf):
-            self._run_activity(node.activity.name, plan, report)
+            self._run_activity(node.activity, plan, report)
             return
         if isinstance(node, Sequence):
             for member in node.members:
@@ -168,11 +208,20 @@ class ExecutionEngine:
         raise ExecutionError(f"unknown pattern node {type(node).__name__}")
 
     def _run_activity(
-        self, activity_name: str, plan: CompositionPlan, report: ExecutionReport
+        self, activity: Activity, plan: CompositionPlan, report: ExecutionReport
     ) -> None:
+        activity_name = activity.name
         excluded: List[str] = []
         obs = self.obs
         for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1:
+                obs.counter("retries_total").inc()
+                if self.retry is not None:
+                    backoff = self.retry.backoff_seconds(
+                        attempt - 1, self._backoff_rng
+                    )
+                    if backoff > 0.0:
+                        self.clock.advance(backoff)
             with obs.span(
                 "invoke", activity=activity_name, attempt=attempt
             ) as span:
@@ -180,21 +229,37 @@ class ExecutionEngine:
                     service = self._bind_excluding(plan, activity_name, excluded)
                 except BindingError:
                     obs.counter("invocations_total", status="unbindable").inc()
+                    if self._skip_degraded(activity, report):
+                        return
                     raise _ActivityFailed(activity_name)
                 started = self.clock.now()
                 observed = self.invoker(service, started)
+                timed_out = self.timeout is not None and observed is not None \
+                    and self.timeout.expired(observed.get("response_time"))
                 span.set(
                     service_id=service.service_id,
-                    succeeded=observed is not None,
+                    succeeded=observed is not None and not timed_out,
                 )
-                if observed is None:
+                if observed is None or timed_out:
+                    if timed_out:
+                        # The caller abandoned the call at the deadline:
+                        # time passes by the timeout, not the response.
+                        self.clock.advance(
+                            self.timeout.invoke_timeout_ms / 1000.0
+                        )
+                        span.set(timed_out=True)
                     report.invocations.append(
                         InvocationRecord(
                             activity_name, service.service_id, started, None,
                             succeeded=False, attempt=attempt,
                         )
                     )
-                    obs.counter("invocations_total", status="failed").inc()
+                    obs.counter(
+                        "invocations_total",
+                        status="timeout" if timed_out else "failed",
+                    ).inc()
+                    if self.breakers is not None:
+                        self.breakers.record(service.service_id, False)
                     if self.monitor is not None:
                         self.monitor.report_failure(service.service_id, started)
                     excluded.append(service.service_id)
@@ -214,6 +279,8 @@ class ExecutionEngine:
                 cost = observed.get("cost")
                 if cost is not None:
                     report.total_cost += cost
+                if self.breakers is not None:
+                    self.breakers.record(service.service_id, True)
                 if self.monitor is not None:
                     self.monitor.observe_vector(service.service_id, observed, started)
                 report.invocations.append(
@@ -225,7 +292,27 @@ class ExecutionEngine:
                 obs.counter("invocations_total", status="ok").inc()
                 return
         obs.counter("activities_exhausted_total").inc()
+        if self._skip_degraded(activity, report):
+            return
         raise _ActivityFailed(activity_name)
+
+    def _skip_degraded(
+        self, activity: Activity, report: ExecutionReport
+    ) -> bool:
+        """Skip an exhausted *optional* activity under graceful degradation.
+
+        Returns True when the activity was skipped (the composition keeps
+        going, completing degraded); False means the failure is fatal.
+        """
+        if (
+            self.degradation is None
+            or not self.degradation.enabled
+            or not activity.optional
+        ):
+            return False
+        report.skipped_activities.append(activity.name)
+        self.obs.counter("activities_skipped_total").inc()
+        return True
 
     def _bind_excluding(
         self, plan: CompositionPlan, activity_name: str, excluded: List[str]

@@ -9,6 +9,7 @@ from repro.composition.qassa import QassaConfig
 from repro.adaptation.homeomorphism import HomeomorphismConfig
 from repro.adaptation.monitoring import MonitorConfig
 from repro.observability import ObservabilityConfig
+from repro.resilience.policies import ResilienceConfig
 from repro.semantics.matching import MatchDegree
 
 
@@ -39,3 +40,7 @@ class MiddlewareConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    #: Retry/timeout/backoff policies, per-service circuit breakers and
+    #: graceful degradation for composition execution (off by default —
+    #: the fault-free hot path is unchanged).  See ``docs/RESILIENCE.md``.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)

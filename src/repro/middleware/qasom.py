@@ -41,6 +41,8 @@ from repro.middleware.config import MiddlewareConfig
 from repro.observability import Observability, Span
 from repro.observability import core as observability_core
 from repro.qos.sla import ComplianceTracker, derive_slas
+from repro.resilience.breaker import BreakerRegistry
+from repro.resilience.degradation import PartialExecutionReport
 from repro.env.environment import PervasiveEnvironment
 
 
@@ -55,6 +57,9 @@ class RunResult:
     compliance: Optional["ComplianceTracker"] = None
     #: Root span of the run when observability is enabled (None otherwise).
     trace: Optional[Span] = None
+    #: Degradation summary when the run completed with skipped optional
+    #: activities (None for full completions and hard failures).
+    partial: Optional[PartialExecutionReport] = None
 
 
 class QASOM:
@@ -122,9 +127,30 @@ class QASOM:
                 config=config.homeomorphism,
             )
 
+        # Resilience: with the knob on, build the per-service breaker
+        # registry and hand the retry/timeout/degradation policies to the
+        # binder and engine; off, every hook stays None and the execution
+        # path is byte-for-byte the pre-resilience code.
+        resilience = config.resilience
+        self.breakers: Optional[BreakerRegistry] = None
+        retry = timeout = degradation = None
+        if resilience.enabled:
+            self.breakers = BreakerRegistry(
+                resilience.breaker,
+                clock=environment.clock,
+                observability=observability,
+            )
+            retry = resilience.retry
+            timeout = resilience.timeout
+            degradation = resilience.degradation
+        # The environment's fault counters should land in the same metrics
+        # registry as everything else (unless it already has its own).
+        if observability.enabled and not environment.obs.enabled:
+            environment.attach_observability(observability)
+
         self.binder = DynamicBinder(
             self.properties, self.monitor, liveness=environment.is_alive,
-            observability=observability,
+            observability=observability, breakers=self.breakers,
         )
         self.engine = ExecutionEngine(
             self.properties,
@@ -135,6 +161,10 @@ class QASOM:
             max_attempts_per_activity=config.max_execution_attempts,
             seed=config.seed,
             observability=observability,
+            retry=retry,
+            timeout=timeout,
+            breakers=self.breakers,
+            degradation=degradation,
         )
 
     # ------------------------------------------------------------------
@@ -296,14 +326,20 @@ class QASOM:
                         continue
                     handled.add(key)
                     adaptations.append(manager.handle(trigger))
+            partial: Optional[PartialExecutionReport] = None
+            if report.degraded:
+                partial = PartialExecutionReport.from_run(
+                    plan, report, self.config.resilience.degradation
+                )
             execute_span.set(
                 succeeded=report.succeeded,
                 invocations=len(report.invocations),
                 adaptations=len(adaptations),
+                degraded=report.degraded,
             )
         trace = execute_span if self.observability.enabled else None
         return RunResult(plan=plan, report=report, adaptations=adaptations,
-                         compliance=tracker, trace=trace)
+                         compliance=tracker, trace=trace, partial=partial)
 
     def run(self, request: UserRequest, adapt: bool = True) -> RunResult:
         """compose + execute in one step."""

@@ -1,0 +1,44 @@
+"""Resilience subsystem: policies, circuit breakers, fault injection and
+graceful degradation for composition execution.
+
+See ``docs/RESILIENCE.md`` for the policy knobs, the breaker state machine,
+the fault schedule format and the degradation semantics.
+"""
+
+from repro.resilience.breaker import (
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.degradation import PartialExecutionReport
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    ONE_SHOT_KINDS,
+    WINDOW_KINDS,
+)
+from repro.resilience.policies import (
+    CircuitBreakerPolicy,
+    DegradationPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    TimeoutPolicy,
+)
+
+__all__ = [
+    "BreakerRegistry",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "DegradationPolicy",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "ONE_SHOT_KINDS",
+    "PartialExecutionReport",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "WINDOW_KINDS",
+]

@@ -1,0 +1,183 @@
+"""Per-service circuit breakers on the simulated clock.
+
+A breaker guards one provider: after repeated failures the middleware stops
+sending traffic to it (**open**), re-probes it after a cool-down
+(**half-open**) and restores it once it proves healthy (**closed**).  In a
+pervasive environment this is the difference between burning a retry budget
+on a provider whose device left the room and failing over immediately.
+
+State transitions happen on the shared :class:`SimulatedClock`, so breaker
+behaviour is deterministic and replayable.  The registry exports the
+``breaker_state`` gauge (0 = closed, 1 = half-open, 2 = open, per service)
+and a ``breaker_transitions_total`` counter.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.observability import core as observability_core
+from repro.resilience.policies import CircuitBreakerPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle via repro.execution
+    from repro.execution.clock import SimulatedClock
+
+
+class BreakerState(enum.Enum):
+    """Where a breaker stands: traffic flows (closed), is rejected (open),
+    or trickles through as recovery probes (half-open)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Gauge encoding, ordered by severity.
+_STATE_VALUE = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """The closed/open/half-open state machine for one service."""
+
+    def __init__(
+        self,
+        service_id: str,
+        policy: CircuitBreakerPolicy,
+        clock: "SimulatedClock",
+    ) -> None:
+        self.service_id = service_id
+        self.policy = policy
+        self.clock = clock
+        self._state = BreakerState.CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=policy.window)
+        self._opened_at = 0.0
+        self._half_open_streak = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        self._maybe_half_open()
+        return self._state
+
+    def allow(self) -> bool:
+        """May the binder route a call to this service right now?
+
+        Side-effect free apart from the time-driven open → half-open
+        transition (which is idempotent), so callers can probe a whole
+        candidate list without consuming anything.
+        """
+        self._maybe_half_open()
+        return self._state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        self._maybe_half_open()
+        if self._state is BreakerState.HALF_OPEN:
+            self._half_open_streak += 1
+            if self._half_open_streak >= self.policy.half_open_successes:
+                self._transition(BreakerState.CLOSED)
+                self._outcomes.clear()
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        if self._state is BreakerState.HALF_OPEN:
+            # The probe failed: back to open, cool-down restarts.
+            self._transition(BreakerState.OPEN)
+            self._opened_at = self.clock.now()
+            return
+        if self._state is BreakerState.OPEN:
+            return
+        self._outcomes.append(False)
+        if len(self._outcomes) >= self.policy.min_calls:
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= (
+                self.policy.failure_rate_threshold
+            ):
+                self._transition(BreakerState.OPEN)
+                self._opened_at = self.clock.now()
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        if self._state is BreakerState.OPEN and (
+            self.clock.now() - self._opened_at >= self.policy.cooldown_s
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+
+    def _transition(self, state: BreakerState) -> None:
+        self._state = state
+        if state is BreakerState.HALF_OPEN:
+            self._half_open_streak = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.service_id!r}, {self.state.value}, "
+            f"outcomes={list(self._outcomes)})"
+        )
+
+
+class BreakerRegistry:
+    """Lazily-created breakers for every service the middleware touches."""
+
+    def __init__(
+        self,
+        policy: Optional[CircuitBreakerPolicy] = None,
+        clock: Optional["SimulatedClock"] = None,
+        observability=None,
+    ) -> None:
+        if clock is None:
+            from repro.execution.clock import SimulatedClock
+
+            clock = SimulatedClock()
+        self.policy = policy if policy is not None else CircuitBreakerPolicy()
+        self.clock = clock
+        self.obs = observability_core.resolve(observability)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, service_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(service_id)
+        if breaker is None:
+            breaker = self._breakers[service_id] = CircuitBreaker(
+                service_id, self.policy, self.clock
+            )
+        return breaker
+
+    # ------------------------------------------------------------------
+    def allow(self, service_id: str) -> bool:
+        breaker = self._breakers.get(service_id)
+        return breaker.allow() if breaker is not None else True
+
+    def record(self, service_id: str, succeeded: bool) -> None:
+        breaker = self.breaker(service_id)
+        before = breaker.state
+        if succeeded:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+        after = breaker.state
+        if self.obs.enabled:
+            self.obs.gauge("breaker_state", service=service_id).set(
+                _STATE_VALUE[after]
+            )
+            if after is not before:
+                self.obs.counter(
+                    "breaker_transitions_total", to=after.value
+                ).inc()
+
+    def state(self, service_id: str) -> BreakerState:
+        breaker = self._breakers.get(service_id)
+        return breaker.state if breaker is not None else BreakerState.CLOSED
+
+    def states(self) -> List[Tuple[str, BreakerState]]:
+        return [(sid, b.state) for sid, b in sorted(self._breakers.items())]
+
+    def open_count(self) -> int:
+        return sum(
+            1 for _, state in self.states() if state is BreakerState.OPEN
+        )

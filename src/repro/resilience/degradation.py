@@ -1,0 +1,69 @@
+"""Graceful degradation: partial completion with a utility penalty.
+
+When the retry budget of an **optional** activity
+(:attr:`~repro.composition.task.Activity.optional`) is exhausted, the
+engine skips it instead of failing the whole composition.  The
+:class:`PartialExecutionReport` is the user-facing account of such a run:
+which activities completed, which were skipped, and what the degradation
+cost in utility — ``degraded_utility = planned_utility ·
+(1 − penalty_per_skip · skips)``, clamped at zero.  A report with no skips
+is simply not degraded (``QASOM.execute`` only attaches one when the run
+degraded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, TYPE_CHECKING
+
+from repro.resilience.policies import DegradationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.composition.selection import CompositionPlan
+    from repro.execution.engine import ExecutionReport
+
+
+@dataclass(frozen=True)
+class PartialExecutionReport:
+    """The degradation summary of one (possibly partial) execution."""
+
+    task_name: str
+    completed_activities: List[str] = field(default_factory=list)
+    skipped_activities: List[str] = field(default_factory=list)
+    planned_utility: float = 0.0
+    degraded_utility: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.skipped_activities)
+
+    @property
+    def utility_penalty(self) -> float:
+        return self.planned_utility - self.degraded_utility
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of planned activities that actually completed."""
+        total = len(self.completed_activities) + len(self.skipped_activities)
+        return len(self.completed_activities) / total if total else 1.0
+
+    @classmethod
+    def from_run(
+        cls,
+        plan: "CompositionPlan",
+        report: "ExecutionReport",
+        policy: DegradationPolicy,
+    ) -> "PartialExecutionReport":
+        skipped = list(report.skipped_activities)
+        completed = sorted(
+            {r.activity_name for r in report.invocations if r.succeeded}
+        )
+        penalty = policy.utility_penalty_per_skip * len(skipped)
+        degraded_utility = max(0.0, plan.utility * (1.0 - penalty))
+        return cls(
+            task_name=report.task_name,
+            completed_activities=completed,
+            skipped_activities=skipped,
+            planned_utility=plan.utility,
+            degraded_utility=degraded_utility,
+        )

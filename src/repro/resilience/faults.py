@@ -1,0 +1,245 @@
+"""Declarative, seeded fault-injection schedules.
+
+A :class:`FaultSchedule` is a time-ordered list of :class:`FaultEvent`\\ s
+that :meth:`PervasiveEnvironment.step()
+<repro.env.environment.PervasiveEnvironment.step>` (and, for events landing
+*mid-composition*, :meth:`invoke
+<repro.env.environment.PervasiveEnvironment.invoke>`) replays
+deterministically — the reproducible fault loads the resilience benchmarks
+and the adaptation claims are measured under.  It replaces the ad-hoc
+test-only calls to ``kill_service`` / ``degrade_link`` scattered through
+experiments.
+
+Two families of events:
+
+* **one-shot** — applied exactly once when simulated time reaches ``at``:
+  ``kill_service``, ``kill_device``, ``degrade_link``;
+* **window** — active during ``[at, at + duration)`` and consulted on every
+  invocation that falls inside the window: ``latency_spike`` (multiplies
+  observed response time by ``factor``), ``flaky_window`` (invocations fail
+  with ``fail_probability``), ``partition`` (the device is unreachable).
+
+Schedules are composable (:meth:`FaultSchedule.merge`,
+:meth:`FaultSchedule.shifted`), serialisable to/from JSON (the CLI's
+``--faults <file>``), and the random builders are seeded.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import EnvironmentError_
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault types — three one-shot, three windowed."""
+
+    # One-shot events.
+    KILL_SERVICE = "kill_service"
+    KILL_DEVICE = "kill_device"
+    DEGRADE_LINK = "degrade_link"
+    # Window events.
+    LATENCY_SPIKE = "latency_spike"
+    FLAKY_WINDOW = "flaky_window"
+    PARTITION = "partition"
+
+
+#: Kinds applied once at their timestamp (vs. consulted over a window).
+ONE_SHOT_KINDS = frozenset(
+    {FaultKind.KILL_SERVICE, FaultKind.KILL_DEVICE, FaultKind.DEGRADE_LINK}
+)
+WINDOW_KINDS = frozenset(
+    {FaultKind.LATENCY_SPIKE, FaultKind.FLAKY_WINDOW, FaultKind.PARTITION}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault.
+
+    ``target`` is a service id for ``kill_service`` / ``flaky_window``, a
+    device id for ``kill_device`` / ``degrade_link`` / ``partition``, and
+    either for ``latency_spike`` (the spike applies when the invocation's
+    service *or* hosting device matches).
+    """
+
+    at: float
+    kind: FaultKind
+    target: str
+    duration: float = 0.0
+    factor: float = 2.0            # latency_spike multiplier
+    fraction: float = 0.5          # degrade_link severity
+    fail_probability: float = 1.0  # flaky_window failure odds
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise EnvironmentError_(f"fault at {self.at} is before t=0")
+        if not self.target:
+            raise EnvironmentError_("fault needs a target id")
+        if self.kind in WINDOW_KINDS and self.duration <= 0:
+            raise EnvironmentError_(
+                f"{self.kind.value} fault needs a positive duration"
+            )
+        if self.factor < 1.0:
+            raise EnvironmentError_("latency spike factor must be >= 1")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise EnvironmentError_("degrade fraction must be in [0, 1]")
+        if not 0.0 <= self.fail_probability <= 1.0:
+            raise EnvironmentError_("fail_probability must be in [0, 1]")
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+    def active(self, now: float) -> bool:
+        """Window events only: is ``now`` inside ``[at, until)``?"""
+        return self.at <= now < self.until
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "at": self.at, "kind": self.kind.value, "target": self.target,
+        }
+        if self.kind in WINDOW_KINDS:
+            record["duration"] = self.duration
+        if self.kind is FaultKind.LATENCY_SPIKE:
+            record["factor"] = self.factor
+        if self.kind is FaultKind.DEGRADE_LINK:
+            record["fraction"] = self.fraction
+        if self.kind is FaultKind.FLAKY_WINDOW:
+            record["fail_probability"] = self.fail_probability
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "FaultEvent":
+        try:
+            kind = FaultKind(record["kind"])
+        except (KeyError, ValueError) as exc:
+            raise EnvironmentError_(f"bad fault record {record!r}: {exc}")
+        known = {"at", "kind", "target", "duration", "factor", "fraction",
+                 "fail_probability"}
+        unknown = set(record) - known
+        if unknown:
+            raise EnvironmentError_(
+                f"unknown fault fields {sorted(unknown)} in {record!r}"
+            )
+        kwargs = {k: record[k] for k in known - {"kind"} if k in record}
+        return cls(kind=kind, **kwargs)
+
+
+class FaultSchedule:
+    """An immutable, time-ordered, composable set of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        # Stable sort: events at the same instant replay in insertion
+        # order, keeping composed schedules deterministic.
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.at)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    # -- composition ---------------------------------------------------
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        return FaultSchedule(self._events + tuple(other))
+
+    def shifted(self, dt: float) -> "FaultSchedule":
+        """The same schedule, translated ``dt`` seconds into the future."""
+        return FaultSchedule(
+            replace(event, at=event.at + dt) for event in self._events
+        )
+
+    def targeting(self, kind: FaultKind) -> List[FaultEvent]:
+        return [e for e in self._events if e.kind is kind]
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self._events]}
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "FaultSchedule":
+        events = record.get("events")
+        if not isinstance(events, list):
+            raise EnvironmentError_(
+                "fault schedule JSON needs an 'events' list"
+            )
+        return cls(FaultEvent.from_dict(e) for e in events)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def dump(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "FaultSchedule":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- seeded builders ----------------------------------------------
+    @classmethod
+    def kill_services(
+        cls,
+        service_ids: Sequence[str],
+        between: Tuple[float, float],
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """Kill every listed service at a seeded-random time in a window."""
+        start, end = between
+        if end < start:
+            raise EnvironmentError_(f"empty kill window [{start}, {end}]")
+        rng = random.Random(seed)
+        return cls(
+            FaultEvent(
+                at=start + rng.random() * (end - start),
+                kind=FaultKind.KILL_SERVICE,
+                target=service_id,
+            )
+            for service_id in service_ids
+        )
+
+    @classmethod
+    def kill_fraction(
+        cls,
+        service_ids: Sequence[str],
+        fraction: float,
+        between: Tuple[float, float],
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """Kill a seeded-random ``fraction`` of the services in a window.
+
+        Rounds the victim count *up*, so any positive fraction kills at
+        least one service.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise EnvironmentError_("kill fraction must be in [0, 1]")
+        rng = random.Random(seed)
+        count = min(
+            len(service_ids), int(-(-len(service_ids) * fraction // 1))
+        )
+        victims = rng.sample(list(service_ids), count) if count else []
+        return cls.kill_services(victims, between, seed=seed + 1)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self._events)} events)"

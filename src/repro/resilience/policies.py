@@ -1,0 +1,154 @@
+"""Resilience policies: retry budgets, timeouts, breaker and degradation knobs.
+
+The paper's central promise is that compositions keep meeting their global
+QoS constraints *despite* the volatility of pervasive environments (churn,
+link degradation, provider failure).  The policies in this module are the
+declarative half of that promise: small frozen dataclasses the execution
+path (:class:`~repro.execution.engine.ExecutionEngine`,
+:class:`~repro.execution.binding.DynamicBinder`) consults before and after
+every invocation attempt.  Everything is expressed on the **simulated
+clock** — backoff delays and breaker cool-downs advance simulated time, so
+experiments stay deterministic and compress to milliseconds of wall time.
+
+See ``docs/RESILIENCE.md`` for the full knob reference.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded retry budget with exponential backoff and seeded jitter.
+
+    ``max_attempts`` caps the invocation attempts per activity (the budget —
+    never an unbounded sweep over the candidate list).  Between attempts the
+    engine sleeps ``backoff_base_s * backoff_multiplier^(failures-1)`` on
+    the simulated clock, capped at ``backoff_max_s`` and stretched by up to
+    ``jitter`` (a fraction) of seeded randomness so synchronous retries
+    don't stampede a recovering provider.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExecutionError("retry max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ExecutionError("backoff delays must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ExecutionError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ExecutionError("jitter must lie in [0, 1]")
+
+    def backoff_seconds(self, failures: int, rng: random.Random) -> float:
+        """Delay before the next attempt after ``failures`` failed ones."""
+        if failures < 1:
+            return 0.0
+        delay = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_multiplier ** (failures - 1),
+        )
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * rng.random()
+        return min(delay, self.backoff_max_s * (1.0 + self.jitter))
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """Per-invocation timeout on the simulated clock.
+
+    An invocation whose observed ``response_time`` exceeds
+    ``invoke_timeout_ms`` is treated as a failure: the caller gave up
+    waiting, so the engine advances the clock by exactly the timeout (not
+    the full response time) and moves on to the next candidate.  ``None``
+    disables the timeout.
+    """
+
+    invoke_timeout_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.invoke_timeout_ms is not None and self.invoke_timeout_ms <= 0:
+            raise ExecutionError("invoke timeout must be positive (or None)")
+
+    def expired(self, response_ms: Optional[float]) -> bool:
+        return (
+            self.invoke_timeout_ms is not None
+            and response_ms is not None
+            and response_ms > self.invoke_timeout_ms
+        )
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Per-service circuit breaker thresholds (closed/open/half-open).
+
+    A breaker trips **open** when, over a rolling window of the last
+    ``window`` outcomes (once at least ``min_calls`` were seen), the
+    failure rate reaches ``failure_rate_threshold``.  While open every call
+    is rejected without touching the provider; after ``cooldown_s`` of
+    simulated time the breaker turns **half-open** and lets probe calls
+    through — ``half_open_successes`` consecutive successes close it, any
+    failure re-opens it (restarting the cool-down).
+    """
+
+    window: int = 8
+    min_calls: int = 3
+    failure_rate_threshold: float = 0.5
+    cooldown_s: float = 30.0
+    half_open_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.min_calls < 1:
+            raise ExecutionError("breaker window/min_calls must be >= 1")
+        if not 0.0 < self.failure_rate_threshold <= 1.0:
+            raise ExecutionError("breaker failure_rate_threshold in (0, 1]")
+        if self.cooldown_s < 0:
+            raise ExecutionError("breaker cooldown must be >= 0")
+        if self.half_open_successes < 1:
+            raise ExecutionError("breaker half_open_successes must be >= 1")
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Graceful degradation: complete degraded instead of failing outright.
+
+    When an **optional** activity (``Activity.optional``) exhausts its
+    retry budget, the engine skips it and the composition continues; the
+    run completes *degraded* and each skipped activity costs
+    ``utility_penalty_per_skip`` (a fraction of the plan's utility) in the
+    :class:`~repro.resilience.degradation.PartialExecutionReport`.
+    """
+
+    enabled: bool = True
+    utility_penalty_per_skip: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utility_penalty_per_skip <= 1.0:
+            raise ExecutionError("utility penalty per skip must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The middleware-level resilience knob (``MiddlewareConfig.resilience``).
+
+    Off by default: the fault-free hot path then runs exactly the
+    pre-resilience code (a handful of ``is None`` checks).  With
+    ``enabled`` the middleware builds a per-service breaker registry and
+    hands the retry/timeout/degradation policies to the binder and engine.
+    """
+
+    enabled: bool = False
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout: TimeoutPolicy = field(default_factory=TimeoutPolicy)
+    breaker: CircuitBreakerPolicy = field(default_factory=CircuitBreakerPolicy)
+    degradation: DegradationPolicy = field(default_factory=DegradationPolicy)

@@ -75,6 +75,38 @@ class TestLivenessAndInvocation:
         environment.kill_service(service.service_id)
         assert not environment.is_alive(service)
 
+    def test_kill_service_leaves_device_and_cohosted_alive(
+        self, environment, generator
+    ):
+        first = environment.host_on_new_device(generator.service("task:X"))
+        second = generator.service("task:Y")
+        environment.host(second, first.host_device)
+        environment.kill_service(first.service_id)
+        assert not environment.is_alive(first)
+        # Killing one service is not a device crash: the host and its
+        # other services keep running.
+        assert environment.device(first.host_device).alive
+        assert environment.is_alive(second)
+
+    def test_kill_service_discards_parked_copy(self, environment, generator):
+        service = environment.host_on_new_device(generator.service("task:X"))
+        environment.registry.withdraw(service.service_id)
+        environment._parked[service.service_id] = service
+        environment.kill_service(service.service_id)
+        # A killed service must not resurrect through churn rejoin.
+        assert service.service_id not in environment._parked
+
+    def test_kill_device_takes_all_hosted_services_down(
+        self, environment, generator
+    ):
+        first = environment.host_on_new_device(generator.service("task:X"))
+        second = generator.service("task:Y")
+        environment.host(second, first.host_device)
+        environment.kill_device(first.host_device)
+        assert not environment.is_alive(first)
+        assert not environment.is_alive(second)
+        assert environment.invoke(first, 0.0) is None
+
     def test_invoke_returns_distorted_qos(self, generator):
         environment = PervasiveEnvironment(
             EnvironmentConfig(qos_noise=0.0), seed=4
@@ -109,6 +141,41 @@ class TestLivenessAndInvocation:
         outcomes = [environment.invoke(service, float(i)) for i in range(50)]
         failures = sum(1 for o in outcomes if o is None)
         assert failures > 5  # ~70% expected
+
+    def test_zero_availability_never_succeeds(self, generator):
+        # Regression: ``advertised.get("availability") or 1.0`` used to
+        # treat an advertised 0.0 as fully available.
+        environment = PervasiveEnvironment(seed=5)
+        service = environment.host_on_new_device(generator.service("task:X"))
+        from repro.qos.values import QoSVector
+
+        service = service.with_qos(
+            QoSVector({"response_time": 10.0, "cost": 1.0,
+                       "availability": 0.0}, PROPS)
+        )
+        environment.registry.publish(service)
+        assert all(
+            environment.invoke(service, float(i)) is None for i in range(30)
+        )
+
+    def test_missing_availability_assumed_available(self, generator):
+        environment = PervasiveEnvironment(
+            EnvironmentConfig(qos_noise=0.0), seed=4
+        )
+        service = environment.host_on_new_device(
+            generator.service("task:X"), DeviceClass.SERVER
+        )
+        from repro.qos.values import QoSVector
+
+        props = {n: PROPS[n] for n in ("response_time", "cost")}
+        service = service.with_qos(
+            QoSVector({"response_time": 10.0, "cost": 1.0}, props)
+        )
+        environment.registry.publish(service)
+        outcomes = [environment.invoke(service, float(i)) for i in range(20)]
+        # No availability advertised ⇒ the lottery never fires; only link
+        # loss can fail an invocation here.
+        assert sum(1 for o in outcomes if o is not None) >= 15
 
     def test_invocation_drains_battery(self, generator):
         environment = PervasiveEnvironment(

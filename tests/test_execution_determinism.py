@@ -1,0 +1,208 @@
+"""Determinism regressions: identical seeds ⇒ identical execution traces.
+
+The whole experimental claim of the reproduction rests on runs being
+replayable: with the same seeds, the engine must produce the same
+invocation sequence — under retries, conditional branches, loops, and a
+replayed fault schedule alike.  Service ids come from a process-global
+counter, so traces are normalised to creation-order positions before
+comparison.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.generator import ServiceGenerator
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, conditional, leaf, loop, sequence
+from repro.execution.engine import ExecutionEngine
+from repro.middleware.config import MiddlewareConfig
+from repro.middleware.qasom import QASOM
+from repro.env.device import DeviceClass
+from repro.env.environment import EnvironmentConfig, PervasiveEnvironment
+from repro.resilience import FaultSchedule, ResilienceConfig, RetryPolicy
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+BRANCHY_TREE = sequence(
+    leaf("A", "task:A"),
+    conditional(
+        sequence(leaf("B1", "task:B")),
+        sequence(leaf("B2", "task:B")),
+        probabilities=[0.5, 0.5],
+    ),
+    loop(sequence(leaf("C", "task:C")), max_iterations=4),
+    leaf("D", "task:D"),
+)
+
+
+def build_plan(tree, seed=41):
+    task = Task("t", tree)
+    generator = ServiceGenerator(PROPS, seed=seed)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 6)
+         for a in task.activities},
+    )
+    request = UserRequest(
+        task,
+        constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+        weights={n: 1.0 for n in PROPS},
+    )
+    return QASSA(PROPS, config=QassaConfig(alternates_kept=4)).select(
+        request, candidates
+    )
+
+
+def normalised_trace(plan, report):
+    """(activity, provider position, time, attempt, ok) per invocation."""
+    order = {}
+    for name in sorted(plan.selections):
+        for service in plan.selections[name].services:
+            order.setdefault(service.service_id, len(order))
+    return [
+        (
+            r.activity_name,
+            order.get(r.service_id, -1),
+            round(r.started_at, 9),
+            r.attempt,
+            r.succeeded,
+        )
+        for r in report.invocations
+    ]
+
+
+def flaky_invoker(seed, fail_rate=0.3):
+    rng = random.Random(seed)
+
+    def invoke(service, timestamp):
+        if rng.random() < fail_rate:
+            return None
+        return QoSVector({"response_time": 40.0, "cost": 1.0}, PROPS)
+
+    return invoke
+
+
+def engine_trace(engine_seed=7, invoker_seed=3):
+    plan = build_plan(BRANCHY_TREE)
+    engine = ExecutionEngine(
+        PROPS, flaky_invoker(invoker_seed), seed=engine_seed,
+        retry=RetryPolicy(max_attempts=3, backoff_base_s=0.1, jitter=0.2),
+    )
+    return normalised_trace(plan, engine.execute(plan))
+
+
+class TestEngineDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        assert engine_trace() == engine_trace()
+
+    def test_different_invoker_seed_changes_the_trace(self):
+        assert engine_trace(invoker_seed=3) != engine_trace(invoker_seed=4)
+
+    def test_retries_do_not_perturb_control_flow(self):
+        # The backoff jitter draws from a dedicated RNG stream, so the
+        # conditional/loop draws — hence the set of *activities* executed —
+        # are identical whether providers fail or not.
+        def activities(invoker):
+            plan = build_plan(BRANCHY_TREE)
+            engine = ExecutionEngine(
+                PROPS, invoker, seed=7,
+                retry=RetryPolicy(max_attempts=3, backoff_base_s=0.1,
+                                  jitter=0.5),
+            )
+            report = engine.execute(plan)
+            path = []
+            for record in report.invocations:
+                if record.succeeded:
+                    path.append(record.activity_name)
+            return path
+
+        def healthy(service, timestamp):
+            return QoSVector({"response_time": 40.0, "cost": 1.0}, PROPS)
+
+        fail_first = {}
+
+        def flaky_once(service, timestamp):
+            # Every activity's first attempt fails, forcing one retry each.
+            key = service.capability
+            if not fail_first.get(key):
+                fail_first[key] = True
+                return None
+            return healthy(service, timestamp)
+
+        assert activities(healthy) == activities(flaky_once)
+
+
+def qasom_trace(run_seed=17, with_faults=True):
+    """A full middleware run under a replayed fault schedule."""
+    environment = PervasiveEnvironment(
+        EnvironmentConfig(qos_noise=0.05), seed=run_seed
+    )
+    generator = ServiceGenerator(PROPS, seed=run_seed + 1)
+    creation_order = {}
+    for capability in ("task:A", "task:B", "task:C", "task:D"):
+        for _ in range(4):
+            service = environment.host_on_new_device(
+                generator.service(capability), DeviceClass.SERVER
+            )
+            service = service.with_qos(QoSVector(
+                {"response_time": 80.0, "cost": 1.0, "availability": 0.95},
+                PROPS,
+            ))
+            environment.registry.publish(service)
+            creation_order[service.service_id] = len(creation_order)
+
+    config = MiddlewareConfig(
+        seed=run_seed,
+        resilience=ResilienceConfig(
+            enabled=True,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.05,
+                              jitter=0.3),
+        ),
+    )
+    qasom = QASOM(environment, PROPS, config=config)
+    task = Task("t", BRANCHY_TREE)
+    request = UserRequest(
+        task,
+        constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+        weights={n: 1.0 for n in PROPS},
+    )
+    plan = qasom.compose(request)
+
+    if with_faults:
+        bound = sorted({s.service_id for s in plan.binding().values()})
+        schedule = FaultSchedule.kill_fraction(
+            bound, fraction=0.5, between=(0.0, 0.2), seed=run_seed,
+        )
+        environment.schedule_faults(schedule)
+    result = qasom.execute(plan, adapt=False)
+    return [
+        (
+            r.activity_name,
+            creation_order[r.service_id],
+            round(r.started_at, 9),
+            r.attempt,
+            r.succeeded,
+        )
+        for r in result.report.invocations
+    ]
+
+
+class TestMiddlewareDeterminism:
+    def test_fault_schedule_replay_is_deterministic(self):
+        first = qasom_trace()
+        second = qasom_trace()
+        assert first == second
+        # The schedule actually bit: killed primaries forced the binder
+        # onto different providers than the fault-free twin run used.
+        assert first != qasom_trace(with_faults=False)
+
+    def test_different_seed_differs(self):
+        assert qasom_trace(17) != qasom_trace(23)

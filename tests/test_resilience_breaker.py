@@ -1,0 +1,147 @@
+"""Tests for the per-service circuit breaker state machine and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution.clock import SimulatedClock
+from repro.observability import Observability
+from repro.resilience import (
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+)
+
+POLICY = CircuitBreakerPolicy(
+    window=4, min_calls=3, failure_rate_threshold=0.5,
+    cooldown_s=10.0, half_open_successes=1,
+)
+
+
+def make_breaker(clock=None):
+    return CircuitBreaker("svc-1", POLICY, clock or SimulatedClock())
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_min_calls_keep_it_closed(self):
+        breaker = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failure_rate_trips_open(self):
+        breaker = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_successes_dilute_the_window(self):
+        breaker = make_breaker()
+        # Window of 4: three successes then one failure = 25% < 50%.
+        for _ in range(3):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_window_is_rolling(self):
+        breaker = make_breaker()
+        for _ in range(4):
+            breaker.record_success()
+        # Old successes roll out of the 4-wide window as failures arrive.
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_cooldown_turns_half_open_on_sim_clock(self):
+        clock = SimulatedClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_success_closes(self):
+        clock = SimulatedClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        # A single fresh failure must not instantly re-trip: the outcome
+        # window was cleared on close.
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        clock = SimulatedClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.record_failure()  # failed probe
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_multiple_half_open_successes_required(self):
+        clock = SimulatedClock()
+        policy = CircuitBreakerPolicy(
+            window=4, min_calls=3, failure_rate_threshold=0.5,
+            cooldown_s=10.0, half_open_successes=2,
+        )
+        breaker = CircuitBreaker("svc-1", policy, clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestRegistry:
+    def test_unknown_service_allowed_without_creating_state(self):
+        registry = BreakerRegistry(POLICY)
+        assert registry.allow("ghost")
+        assert registry.states() == []
+
+    def test_record_creates_and_drives_breakers(self):
+        registry = BreakerRegistry(POLICY, clock=SimulatedClock())
+        for _ in range(3):
+            registry.record("svc-a", False)
+        registry.record("svc-b", True)
+        assert registry.state("svc-a") is BreakerState.OPEN
+        assert registry.state("svc-b") is BreakerState.CLOSED
+        assert not registry.allow("svc-a")
+        assert registry.allow("svc-b")
+        assert registry.open_count() == 1
+
+    def test_breaker_state_gauge_and_transition_counter(self):
+        obs = Observability()
+        registry = BreakerRegistry(
+            POLICY, clock=SimulatedClock(), observability=obs
+        )
+        for _ in range(3):
+            registry.record("svc-a", False)
+        assert obs.metrics.value("breaker_state", service="svc-a") == 2.0
+        assert obs.metrics.value(
+            "breaker_transitions_total", to="open"
+        ) == 1.0
+        registry.clock.advance(10.0)
+        registry.record("svc-a", True)
+        assert obs.metrics.value("breaker_state", service="svc-a") == 0.0

@@ -1,0 +1,223 @@
+"""Tests for graceful degradation: optional activities and partial reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.generator import ServiceGenerator
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+from repro.execution.engine import ExecutionEngine
+from repro.middleware.config import MiddlewareConfig
+from repro.middleware.qasom import QASOM
+from repro.observability import Observability
+from repro.env.device import DeviceClass
+from repro.env.environment import EnvironmentConfig, PervasiveEnvironment
+from repro.resilience import (
+    DegradationPolicy,
+    FaultSchedule,
+    PartialExecutionReport,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+def build_plan(tree, seed=41, alternates=5):
+    task = Task("t", tree)
+    generator = ServiceGenerator(PROPS, seed=seed)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 8)
+         for a in task.activities},
+    )
+    request = UserRequest(
+        task,
+        constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+        weights={n: 1.0 for n in PROPS},
+    )
+    return QASSA(PROPS, config=QassaConfig(alternates_kept=alternates)).select(
+        request, candidates
+    )
+
+
+def selective_invoker(dead_capability):
+    """Succeed everywhere except services providing ``dead_capability``."""
+
+    def invoke(service, timestamp):
+        if service.capability == dead_capability:
+            return None
+        return QoSVector({"response_time": 50.0, "cost": 1.0}, PROPS)
+
+    return invoke
+
+
+OPTIONAL_TREE = sequence(
+    leaf("A", "task:A"),
+    leaf("B", "task:B", optional=True),
+    leaf("C", "task:C"),
+)
+
+
+class TestActivityFlag:
+    def test_optional_defaults_false(self):
+        assert not leaf("A", "task:A").activity.optional
+
+    def test_leaf_passes_optional_through(self):
+        assert leaf("B", "task:B", optional=True).activity.optional
+
+
+class TestEngineDegradation:
+    def test_optional_activity_is_skipped_when_exhausted(self):
+        plan = build_plan(OPTIONAL_TREE)
+        obs = Observability()
+        engine = ExecutionEngine(
+            PROPS, selective_invoker("task:B"),
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            degradation=DegradationPolicy(),
+            observability=obs,
+        )
+        report = engine.execute(plan)
+        assert report.succeeded
+        assert report.degraded
+        assert report.skipped_activities == ["B"]
+        # A and C still ran to completion around the skip.
+        assert [r.activity_name for r in report.invocations if r.succeeded] \
+            == ["A", "C"]
+        assert obs.metrics.value("activities_skipped_total") == 1.0
+
+    def test_required_activity_still_fails_the_run(self):
+        plan = build_plan(OPTIONAL_TREE)
+        engine = ExecutionEngine(
+            PROPS, selective_invoker("task:A"),
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            degradation=DegradationPolicy(),
+        )
+        report = engine.execute(plan)
+        assert not report.succeeded
+        assert report.failed_activity == "A"
+        assert not report.degraded
+
+    def test_disabled_policy_fails_even_optional_activities(self):
+        plan = build_plan(OPTIONAL_TREE)
+        engine = ExecutionEngine(
+            PROPS, selective_invoker("task:B"),
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            degradation=DegradationPolicy(enabled=False),
+        )
+        report = engine.execute(plan)
+        assert not report.succeeded
+        assert report.failed_activity == "B"
+
+    def test_no_policy_means_no_degradation(self):
+        plan = build_plan(OPTIONAL_TREE)
+        engine = ExecutionEngine(
+            PROPS, selective_invoker("task:B"),
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+        )
+        report = engine.execute(plan)
+        assert not report.succeeded
+
+
+class TestPartialReport:
+    def run_degraded(self, penalty=0.15):
+        plan = build_plan(OPTIONAL_TREE)
+        engine = ExecutionEngine(
+            PROPS, selective_invoker("task:B"),
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            degradation=DegradationPolicy(),
+        )
+        report = engine.execute(plan)
+        policy = DegradationPolicy(utility_penalty_per_skip=penalty)
+        return plan, PartialExecutionReport.from_run(plan, report, policy)
+
+    def test_accounts_for_completed_and_skipped(self):
+        _, partial = self.run_degraded()
+        assert partial.completed_activities == ["A", "C"]
+        assert partial.skipped_activities == ["B"]
+        assert partial.degraded
+        assert partial.completion_ratio == pytest.approx(2 / 3)
+
+    def test_utility_penalty_math(self):
+        plan, partial = self.run_degraded(penalty=0.2)
+        assert partial.planned_utility == pytest.approx(plan.utility)
+        assert partial.degraded_utility == pytest.approx(plan.utility * 0.8)
+        assert partial.utility_penalty == pytest.approx(plan.utility * 0.2)
+
+    def test_degraded_utility_clamped_at_zero(self):
+        # Two skips at 0.6 penalty each would go negative without the clamp.
+        plan = build_plan(OPTIONAL_TREE)
+        engine = ExecutionEngine(
+            PROPS, selective_invoker("task:B"),
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            degradation=DegradationPolicy(),
+        )
+        report = engine.execute(plan)
+        report.skipped_activities.append("B2")  # synthetic second skip
+        partial = PartialExecutionReport.from_run(
+            plan, report, DegradationPolicy(utility_penalty_per_skip=0.6)
+        )
+        assert partial.degraded_utility == 0.0
+
+
+class TestQasomSurface:
+    def make_qasom(self, generator_seed=9):
+        environment = PervasiveEnvironment(
+            EnvironmentConfig(qos_noise=0.0), seed=5
+        )
+        generator = ServiceGenerator(PROPS, seed=generator_seed)
+        for capability in ("task:A", "task:B", "task:C"):
+            for _ in range(3):
+                service = environment.host_on_new_device(
+                    generator.service(capability), DeviceClass.SERVER
+                )
+                service = service.with_qos(QoSVector(
+                    {"response_time": 100.0, "cost": 1.0,
+                     "availability": 1.0}, PROPS,
+                ))
+                environment.registry.publish(service)
+        config = MiddlewareConfig(
+            resilience=ResilienceConfig(
+                enabled=True,
+                retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            )
+        )
+        return environment, QASOM(environment, PROPS, config=config)
+
+    def request(self):
+        task = Task("t", OPTIONAL_TREE)
+        return UserRequest(
+            task,
+            constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+            weights={n: 1.0 for n in PROPS},
+        )
+
+    def test_execute_surfaces_partial_report(self):
+        environment, qasom = self.make_qasom()
+        plan = qasom.compose(self.request())
+        # Kill every provider of the optional activity B before running.
+        schedule = FaultSchedule.kill_services(
+            [s.service_id for s in environment.registry.services()
+             if s.capability == "task:B"],
+            between=(0.0, 0.0),
+        )
+        environment.schedule_faults(schedule)
+        result = qasom.execute(plan, adapt=False)
+        assert result.report.succeeded
+        assert result.partial is not None
+        assert result.partial.skipped_activities == ["B"]
+        assert result.partial.degraded_utility < result.partial.planned_utility
+
+    def test_full_completion_has_no_partial(self):
+        _, qasom = self.make_qasom()
+        result = qasom.execute(qasom.compose(self.request()), adapt=False)
+        assert result.report.succeeded
+        assert result.partial is None

@@ -1,0 +1,236 @@
+"""Tests for fault schedules and their deterministic environment replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EnvironmentError_
+from repro.observability import Observability
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.generator import ServiceGenerator
+from repro.env.device import DeviceClass
+from repro.env.environment import EnvironmentConfig, PervasiveEnvironment
+from repro.resilience import FaultEvent, FaultKind, FaultSchedule
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+@pytest.fixture
+def generator():
+    return ServiceGenerator(PROPS, seed=3)
+
+
+def quiet_environment(seed=3, faults=None, observability=None):
+    """No churn, no QoS noise — fault effects stand out exactly."""
+    return PervasiveEnvironment(
+        EnvironmentConfig(qos_noise=0.0), seed=seed, faults=faults,
+        observability=observability,
+    )
+
+
+def fully_available(generator, environment, device_class=DeviceClass.SERVER):
+    service = environment.host_on_new_device(
+        generator.service("task:X"), device_class
+    )
+    service = service.with_qos(
+        QoSVector({"response_time": 100.0, "cost": 1.0,
+                   "availability": 1.0}, PROPS)
+    )
+    environment.registry.publish(service)
+    return service
+
+
+class TestFaultEvent:
+    def test_window_kinds_need_duration(self):
+        with pytest.raises(EnvironmentError_):
+            FaultEvent(1.0, FaultKind.PARTITION, "dev-1")
+
+    def test_validation(self):
+        with pytest.raises(EnvironmentError_):
+            FaultEvent(-1.0, FaultKind.KILL_SERVICE, "svc")
+        with pytest.raises(EnvironmentError_):
+            FaultEvent(0.0, FaultKind.KILL_SERVICE, "")
+        with pytest.raises(EnvironmentError_):
+            FaultEvent(0.0, FaultKind.LATENCY_SPIKE, "d", duration=1.0,
+                       factor=0.5)
+
+    def test_active_window(self):
+        event = FaultEvent(2.0, FaultKind.PARTITION, "dev-1", duration=3.0)
+        assert not event.active(1.9)
+        assert event.active(2.0)
+        assert event.active(4.9)
+        assert not event.active(5.0)
+
+    def test_dict_round_trip(self):
+        event = FaultEvent(1.5, FaultKind.FLAKY_WINDOW, "svc-1",
+                           duration=4.0, fail_probability=0.7)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            FaultEvent.from_dict(
+                {"at": 0.0, "kind": "kill_service", "target": "s",
+                 "typo": True}
+            )
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule([
+            FaultEvent(5.0, FaultKind.KILL_SERVICE, "b"),
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, "a"),
+        ])
+        assert [e.at for e in schedule] == [1.0, 5.0]
+
+    def test_merge_and_shift(self):
+        one = FaultSchedule([FaultEvent(1.0, FaultKind.KILL_SERVICE, "a")])
+        two = FaultSchedule([FaultEvent(0.5, FaultKind.KILL_DEVICE, "d")])
+        merged = one.merge(two)
+        assert [e.target for e in merged] == ["d", "a"]
+        shifted = merged.shifted(10.0)
+        assert [e.at for e in shifted] == [10.5, 11.0]
+
+    def test_json_round_trip(self, tmp_path):
+        schedule = FaultSchedule([
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, "svc-1"),
+            FaultEvent(2.0, FaultKind.LATENCY_SPIKE, "dev-1",
+                       duration=3.0, factor=4.0),
+            FaultEvent(3.0, FaultKind.DEGRADE_LINK, "dev-2", fraction=0.8),
+        ])
+        path = tmp_path / "faults.json"
+        schedule.dump(path)
+        loaded = FaultSchedule.load(path)
+        assert loaded.events == schedule.events
+
+    def test_kill_fraction_is_seeded_and_bounded(self):
+        ids = [f"svc-{i}" for i in range(10)]
+        one = FaultSchedule.kill_fraction(ids, 0.3, (0.0, 5.0), seed=4)
+        two = FaultSchedule.kill_fraction(ids, 0.3, (0.0, 5.0), seed=4)
+        assert [e.to_dict() for e in one] == [e.to_dict() for e in two]
+        assert len(one) == 3
+        assert all(0.0 <= e.at <= 5.0 for e in one)
+        assert all(e.kind is FaultKind.KILL_SERVICE for e in one)
+
+    def test_kill_fraction_rounds_up(self):
+        assert len(FaultSchedule.kill_fraction(["a", "b"], 0.1, (0, 1))) == 1
+
+
+class TestEnvironmentReplay:
+    def test_step_applies_due_kill(self, generator):
+        environment = quiet_environment()
+        service = fully_available(generator, environment)
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(3.0, FaultKind.KILL_SERVICE, service.service_id),
+        ]))
+        environment.step(2)
+        assert environment.is_alive(service)
+        environment.step(1)  # clock reaches 3.0
+        assert not environment.is_alive(service)
+
+    def test_kill_applies_mid_execution_via_invoke_timestamp(self, generator):
+        environment = quiet_environment()
+        service = fully_available(generator, environment)
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, service.service_id),
+        ]))
+        # No step() in between: the invocation timestamp alone triggers
+        # the replay, as it does when the engine advances the clock.
+        assert environment.invoke(service, 0.5) is not None
+        assert environment.invoke(service, 1.5) is None
+
+    def test_kill_device_takes_cohosted_services_down(self, generator):
+        environment = quiet_environment()
+        first = fully_available(generator, environment)
+        second = generator.service("task:Y")
+        environment.host(second, f"dev-{first.service_id}")
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(1.0, FaultKind.KILL_DEVICE, f"dev-{first.service_id}"),
+        ]))
+        environment.step(1)
+        assert not environment.is_alive(first)
+        assert not environment.is_alive(second)
+
+    def test_partition_window_blocks_then_recovers(self, generator):
+        environment = quiet_environment()
+        service = fully_available(generator, environment)
+        device_id = service.host_device
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(1.0, FaultKind.PARTITION, device_id, duration=2.0),
+        ]))
+        assert environment.invoke(service, 0.5) is not None
+        assert environment.invoke(service, 1.5) is None
+        assert environment.invoke(service, 2.9) is None
+        assert environment.invoke(service, 3.1) is not None
+
+    def test_flaky_window_fails_with_probability_one(self, generator):
+        environment = quiet_environment()
+        service = fully_available(generator, environment)
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(0.0, FaultKind.FLAKY_WINDOW, service.service_id,
+                       duration=5.0, fail_probability=1.0),
+        ]))
+        assert all(
+            environment.invoke(service, 0.5 + i) is None for i in range(4)
+        )
+        assert environment.invoke(service, 6.0) is not None
+
+    def test_latency_spike_multiplies_response_time(self, generator):
+        # Twin environments with identical seeds: the only difference is
+        # the scheduled spike, so observed response times differ by
+        # exactly the spike factor.
+        plain_env = quiet_environment(seed=11)
+        spiky_env = quiet_environment(seed=11)
+
+        plain = fully_available(generator, plain_env)
+        spiked = fully_available(ServiceGenerator(PROPS, seed=3), spiky_env)
+        spiky_env.schedule_faults(FaultSchedule([
+            FaultEvent(0.0, FaultKind.LATENCY_SPIKE,
+                       spiked.host_device, duration=10.0, factor=3.0),
+        ]))
+        baseline = plain_env.invoke(plain, 1.0)
+        boosted = spiky_env.invoke(spiked, 1.0)
+        assert baseline is not None and boosted is not None
+        assert boosted["response_time"] == pytest.approx(
+            baseline["response_time"] * 3.0
+        )
+
+    def test_degrade_link_event(self, generator):
+        environment = quiet_environment()
+        service = fully_available(generator, environment)
+        link = environment.network.link(service.host_device)
+        before = link.latency.value
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(1.0, FaultKind.DEGRADE_LINK, service.host_device,
+                       fraction=0.9),
+        ]))
+        environment.step(1)
+        assert link.latency.value > before
+
+    def test_faults_injected_counter(self, generator):
+        obs = Observability()
+        environment = quiet_environment(observability=obs)
+        service = fully_available(generator, environment)
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, service.service_id),
+            FaultEvent(1.0, FaultKind.PARTITION, "dev-x", duration=1.0),
+        ]))
+        environment.step(1)
+        assert obs.metrics.value(
+            "faults_injected_total", kind="kill_service"
+        ) == 1.0
+        assert obs.metrics.value(
+            "faults_injected_total", kind="partition"
+        ) == 1.0
+
+    def test_schedule_via_constructor_and_pending_introspection(self, generator):
+        schedule = FaultSchedule([
+            FaultEvent(5.0, FaultKind.KILL_SERVICE, "svc-9"),
+        ])
+        environment = quiet_environment(faults=schedule)
+        assert len(environment.pending_faults) == 1
+        environment.step(5)
+        assert environment.pending_faults == []

@@ -1,0 +1,193 @@
+"""Tests for retry/backoff and timeout policies, standalone and in-engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.observability import Observability
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.generator import ServiceGenerator
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+from repro.execution.clock import SimulatedClock
+from repro.execution.engine import ExecutionEngine
+from repro.resilience import RetryPolicy, TimeoutPolicy
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+def build_plan(tree, seed=41, alternates=5):
+    task = Task("t", tree)
+    generator = ServiceGenerator(PROPS, seed=seed)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, 8)
+         for a in task.activities},
+    )
+    request = UserRequest(
+        task,
+        constraints=(GlobalConstraint.at_most("response_time", 1e9),),
+        weights={n: 1.0 for n in PROPS},
+    )
+    return QASSA(PROPS, config=QassaConfig(alternates_kept=alternates)).select(
+        request, candidates
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_multiplier=2.0,
+                             backoff_max_s=10.0, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.backoff_seconds(n, rng) for n in (1, 2, 3)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_backoff_capped_at_max(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_multiplier=10.0,
+                             backoff_max_s=2.5, jitter=0.0)
+        assert policy.backoff_seconds(5, random.Random(0)) == pytest.approx(2.5)
+
+    def test_zero_failures_means_no_delay(self):
+        policy = RetryPolicy()
+        assert policy.backoff_seconds(0, random.Random(0)) == 0.0
+
+    def test_jitter_bounded_and_seed_deterministic(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_multiplier=1.0,
+                             backoff_max_s=1.0, jitter=0.5)
+        sampled = [policy.backoff_seconds(1, random.Random(s))
+                   for s in range(50)]
+        assert all(1.0 <= d <= 1.5 for d in sampled)
+        assert len(set(sampled)) > 1  # jitter actually varies
+        again = [policy.backoff_seconds(1, random.Random(s))
+                 for s in range(50)]
+        assert sampled == again
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ExecutionError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ExecutionError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestTimeoutPolicy:
+    def test_disabled_never_expires(self):
+        assert not TimeoutPolicy().expired(1e12)
+        assert not TimeoutPolicy().expired(None)
+
+    def test_expiry_threshold(self):
+        policy = TimeoutPolicy(invoke_timeout_ms=100.0)
+        assert policy.expired(100.1)
+        assert not policy.expired(100.0)
+        assert not policy.expired(None)
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            TimeoutPolicy(invoke_timeout_ms=0.0)
+
+
+class TestEngineRetryIntegration:
+    def test_retry_budget_is_respected(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+
+        def dead(service, timestamp):
+            return None
+
+        retry = RetryPolicy(max_attempts=4, jitter=0.0)
+        engine = ExecutionEngine(PROPS, dead, retry=retry)
+        report = engine.execute(plan)
+        assert not report.succeeded
+        # The budget, not the candidate list (8 services ranked), bounds
+        # the sweep.
+        assert len(report.invocations_of("A")) == 4
+
+    def test_backoff_advances_simulated_clock(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+
+        def dead(service, timestamp):
+            return None
+
+        clock = SimulatedClock()
+        retry = RetryPolicy(max_attempts=3, backoff_base_s=0.5,
+                            backoff_multiplier=2.0, backoff_max_s=10.0,
+                            jitter=0.0)
+        engine = ExecutionEngine(PROPS, dead, clock=clock, retry=retry)
+        engine.execute(plan)
+        # Two retries: 0.5 s + 1.0 s of backoff (failures cost no time).
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_retries_total_counter(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+        obs = Observability()
+
+        def dead(service, timestamp):
+            return None
+
+        engine = ExecutionEngine(
+            PROPS, dead, retry=RetryPolicy(max_attempts=3, jitter=0.0),
+            observability=obs,
+        )
+        engine.execute(plan)
+        assert obs.metrics.value("retries_total") == 2.0
+
+    def test_retry_timestamps_reflect_backoff(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+
+        def dead(service, timestamp):
+            return None
+
+        retry = RetryPolicy(max_attempts=3, backoff_base_s=1.0,
+                            backoff_multiplier=1.0, backoff_max_s=1.0,
+                            jitter=0.0)
+        engine = ExecutionEngine(PROPS, dead, retry=retry)
+        report = engine.execute(plan)
+        starts = [r.started_at for r in report.invocations_of("A")]
+        assert starts == pytest.approx([0.0, 1.0, 2.0])
+
+
+class TestEngineTimeoutIntegration:
+    def test_over_deadline_invocation_is_a_failure(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+
+        def slow(service, timestamp):
+            return QoSVector({"response_time": 500.0, "cost": 1.0}, PROPS)
+
+        clock = SimulatedClock()
+        engine = ExecutionEngine(
+            PROPS, slow, clock=clock,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0,
+                              backoff_max_s=0.0, jitter=0.0),
+            timeout=TimeoutPolicy(invoke_timeout_ms=100.0),
+        )
+        report = engine.execute(plan)
+        assert not report.succeeded
+        records = report.invocations_of("A")
+        assert len(records) == 2
+        assert all(not r.succeeded for r in records)
+        assert all(r.observed_qos is None for r in records)
+        # The caller waited exactly the timeout per attempt, not 500 ms.
+        assert clock.now() == pytest.approx(0.2)
+        assert report.total_cost == 0.0
+
+    def test_fast_invocation_passes_under_timeout(self):
+        plan = build_plan(sequence(leaf("A", "task:A")))
+
+        def fast(service, timestamp):
+            return QoSVector({"response_time": 50.0, "cost": 1.0}, PROPS)
+
+        engine = ExecutionEngine(
+            PROPS, fast, timeout=TimeoutPolicy(invoke_timeout_ms=100.0),
+        )
+        report = engine.execute(plan)
+        assert report.succeeded
+        assert report.elapsed == pytest.approx(0.05)
