@@ -36,6 +36,7 @@ from repro.adaptation.task_class import Behaviour, TaskClass, TaskClassRepositor
 from repro.composition.request import UserRequest
 from repro.composition.selection import CandidateSets, CompositionPlan
 from repro.composition.task import Task
+from repro.semantics.matching import MatchCache
 from repro.semantics.ontology import Ontology
 
 #: Resolves an alternative behaviour's activities to candidate services.
@@ -73,6 +74,12 @@ class BehaviouralAdaptation:
         self.selector = selector
         self.ontology = ontology if ontology is not None else repository.ontology
         self.config = config
+        # One memoised grading shared by every repository scan: behaviours
+        # of the same task class reuse the same vertex labels, so the
+        # second and later embeddings hit the cache almost exclusively.
+        self.match_cache: Optional[MatchCache] = (
+            MatchCache(self.ontology) if self.ontology is not None else None
+        )
 
     # ------------------------------------------------------------------
     def candidate_behaviours(
@@ -93,7 +100,8 @@ class BehaviouralAdaptation:
                 if behaviour.task.name == task.name:
                     continue  # the failing behaviour itself
                 outcome = find_homeomorphism(
-                    pattern, behaviour.graph, self.ontology, self.config
+                    pattern, behaviour.graph, self.ontology, self.config,
+                    match_cache=self.match_cache,
                 )
                 if outcome.found:
                     hits.append((task_class, behaviour, outcome))

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.adaptation.behaviour_graph import BehaviouralGraph, Vertex
-from repro.semantics.matching import MatchDegree, match_concepts
+from repro.semantics.matching import MatchCache, MatchDegree, match_concepts
 from repro.semantics.ontology import Ontology
 
 
@@ -83,11 +83,20 @@ class _Matcher:
         host: BehaviouralGraph,
         ontology: Optional[Ontology],
         config: HomeomorphismConfig,
+        match_cache: Optional["MatchCache"] = None,
     ) -> None:
         self.pattern = pattern
         self.host = host
         self.ontology = ontology
         self.config = config
+        # Vertex labels repeat across candidate chains and backtracking
+        # steps; memoising the grading pays even within a single search,
+        # and a caller-supplied cache carries it across searches.
+        self.match_cache: Optional[MatchCache] = None
+        if ontology is not None:
+            self.match_cache = (
+                match_cache if match_cache is not None else MatchCache(ontology)
+            )
         self.steps = 0
 
     # ------------------------------------------------------------------
@@ -98,7 +107,8 @@ class _Matcher:
             self.ontology.is_class(required) and self.ontology.is_class(offered)
         ):
             return MatchDegree.EXACT if required == offered else MatchDegree.FAIL
-        return match_concepts(self.ontology, required, offered)
+        assert self.match_cache is not None
+        return self.match_cache.match(required, offered)
 
     def _concept_covered(self, required: str, offered: FrozenSet[str]) -> bool:
         return any(
@@ -411,12 +421,17 @@ def find_homeomorphism(
     host: BehaviouralGraph,
     ontology: Optional[Ontology] = None,
     config: HomeomorphismConfig = HomeomorphismConfig(),
+    match_cache: Optional[MatchCache] = None,
 ) -> HomeomorphismResult:
     """Determine whether ``pattern`` is homeomorphic to a subgraph of
     ``host`` under the extended (semantic, data-constrained, split-capable,
-    vertex-disjoint) definition of §V.6."""
+    vertex-disjoint) definition of §V.6.
+
+    ``match_cache`` lets callers that probe many hosts against one ontology
+    (repository scans, behavioural adaptation) share memoised vertex-label
+    gradings across searches."""
     started = time.perf_counter()
-    matcher = _Matcher(pattern, host, ontology, config)
+    matcher = _Matcher(pattern, host, ontology, config, match_cache)
     report, candidate_map = matcher.preliminary()
     if not report.passed:
         return HomeomorphismResult(

@@ -24,6 +24,7 @@ from repro.qos.values import QoSVector
 from repro.services.description import ServiceDescription
 from repro.composition.aggregation import aggregate_composition
 from repro.composition.selection import CompositionPlan
+from repro.composition.selection_cache import SelectionCache
 from repro.adaptation.monitoring import QoSMonitor
 
 
@@ -45,9 +46,16 @@ class ServiceSubstitution:
         self,
         properties: Mapping[str, QoSProperty],
         monitor: Optional[QoSMonitor] = None,
+        selection_cache: Optional[SelectionCache] = None,
     ) -> None:
         self.properties = dict(properties)
         self.monitor = monitor
+        #: When the selector shared its :class:`SelectionCache`, fresh
+        #: candidates are ranked by the cached per-activity normaliser and
+        #: the last run's weights before being tried — the best substitute
+        #: by the *user's* utility is attempted first instead of whatever
+        #: order discovery returned.
+        self.selection_cache = selection_cache
 
     # ------------------------------------------------------------------
     def substitute(
@@ -75,6 +83,10 @@ class ServiceSubstitution:
             if s.service_id != failing_service_id
             and all(s != existing for existing in tried)
         ]
+        if self.selection_cache is not None and fresh:
+            ranked = self.selection_cache.rank_candidates(activity_name, fresh)
+            if ranked is not None:
+                fresh = ranked
 
         for pool, is_fresh in ((tried, False), (fresh, True)):
             for candidate in pool:

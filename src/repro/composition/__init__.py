@@ -42,6 +42,7 @@ from repro.composition.selection import (
     SelectedActivity,
     SelectionStatistics,
 )
+from repro.composition.selection_cache import SelectionCache
 from repro.composition.task import (
     Activity,
     Conditional,
@@ -70,6 +71,7 @@ __all__ = [
     "QassaConfig",
     "RandomSelection",
     "SelectedActivity",
+    "SelectionCache",
     "SelectionStatistics",
     "Sequence",
     "Task",

@@ -101,6 +101,18 @@ def _conditional(
         return prop.direction.worst(branch_values)
     if approach is AggregationApproach.OPTIMISTIC:
         return prop.direction.best(branch_values)
+    if len(probabilities) != len(branch_values):
+        raise AggregationError(
+            f"conditional mean-value aggregation of {prop.name!r} got "
+            f"{len(branch_values)} branch values but "
+            f"{len(probabilities)} probabilities"
+        )
+    total = sum(probabilities)
+    if abs(total - 1.0) > 1e-6:
+        raise AggregationError(
+            f"conditional branch probabilities sum to {total:g}, expected 1 "
+            f"(mean-value aggregation of {prop.name!r})"
+        )
     return sum(p * v for p, v in zip(probabilities, branch_values))
 
 
@@ -111,19 +123,28 @@ def _loop(
     mean_iterations: float,
     approach: AggregationApproach,
 ) -> float:
-    if approach is AggregationApproach.PESSIMISTIC:
-        n: float = max_iterations
-    elif approach is AggregationApproach.OPTIMISTIC:
-        n = 1.0
-    else:
-        n = mean_iterations
     kind = prop.aggregation
     if kind is AggregationKind.ADDITIVE:
-        return n * body_value
-    if kind is AggregationKind.MULTIPLICATIVE:
-        return body_value ** n
-    # MIN / MAX / AVERAGE over n copies of the same value is the value.
-    return body_value
+        def at(n: float) -> float:
+            return n * body_value
+    elif kind is AggregationKind.MULTIPLICATIVE:
+        def at(n: float) -> float:
+            return body_value ** n
+    else:
+        # MIN / MAX / AVERAGE over n copies of the same value is the value.
+        return body_value
+    if approach is AggregationApproach.MEAN:
+        return at(mean_iterations)
+    # Which iteration count is the worst/best case depends on the
+    # property's direction, not the pattern: n·v grows with n, so for a
+    # *positive* additive property (a reward accrued per pass) the
+    # pessimistic bound is a single iteration, not max_iterations — and
+    # symmetrically for multiplicative values above/below 1.  Both
+    # formulas are monotone in n, so the extremes sit at the endpoints.
+    extremes = (at(1.0), at(float(max_iterations)))
+    if approach is AggregationApproach.PESSIMISTIC:
+        return prop.direction.worst(extremes)
+    return prop.direction.best(extremes)
 
 
 def aggregate_values(

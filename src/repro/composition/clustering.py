@@ -13,11 +13,14 @@ paper calls Δ (Delta) corresponds to ``iterations × k × n × d``.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SelectionError
+
+logger = logging.getLogger(__name__)
 
 
 Point = Dict[str, float]
@@ -76,7 +79,9 @@ def kmeans(
     k = min(k, len(points))
     rng = random.Random(seed)
 
-    # k-means++ seeding.
+    # k-means++ seeding.  Points coinciding with an already-chosen centroid
+    # (distance 0) are never re-picked: a duplicate seed can only produce an
+    # empty cluster that gets silently dropped, shrinking the level ladder.
     centroids: List[Point] = [dict(points[rng.randrange(len(points))])]
     while len(centroids) < k:
         distances = [
@@ -84,18 +89,24 @@ def kmeans(
         ]
         total = sum(distances)
         if total <= 0:
-            # All remaining points coincide with a centroid; any choice works.
-            centroids.append(dict(points[rng.randrange(len(points))]))
-            continue
+            # Every point coincides with an existing centroid; further seeds
+            # would all be duplicates.  Stop with fewer, distinct centroids.
+            break
         threshold = rng.uniform(0, total)
         cumulative = 0.0
-        for p, d in zip(points, distances):
+        picked: Optional[int] = None
+        for i, d in enumerate(distances):
+            if d <= 0.0:
+                continue
             cumulative += d
             if cumulative >= threshold:
-                centroids.append(dict(p))
+                picked = i
                 break
-        else:
-            centroids.append(dict(points[-1]))
+        if picked is None:
+            # Floating-point shortfall in the cumulative sum; the farthest
+            # point is distinct from every centroid because total > 0.
+            picked = max(range(len(points)), key=distances.__getitem__)
+        centroids.append(dict(points[picked]))
 
     assignment = [-1] * len(points)
     iterations = 0
@@ -193,6 +204,14 @@ def build_qos_levels(
     levels.sort(key=lambda lv: -lv.centroid_utility)
     for rank, level in enumerate(levels):
         level.rank = rank
+    requested = min(k, len(points))
+    if len(levels) < requested:
+        logger.warning(
+            "k-means produced %d QoS levels out of %d requested "
+            "(duplicate candidate QoS collapses clusters)",
+            len(levels),
+            requested,
+        )
     return levels, result
 
 

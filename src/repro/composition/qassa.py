@@ -48,7 +48,7 @@ from repro.errors import SelectionError
 from repro.qos.properties import QoSProperty
 from repro.qos.values import QoSVector
 from repro.services.description import ServiceDescription
-from repro.composition.aggregation import AggregationApproach, aggregate_composition
+from repro.composition.aggregation import AggregationApproach, aggregation_bounds
 from repro.composition.clustering import QoSLevel, build_qos_levels
 from repro.composition.request import UserRequest
 from repro.composition.selection import (
@@ -57,8 +57,8 @@ from repro.composition.selection import (
     SelectedActivity,
     SelectionStatistics,
     evaluate_assignment,
-    make_global_normalizer,
 )
+from repro.composition.selection_cache import SelectionCache
 from repro.composition.utility import Normalizer, service_utility
 from repro.observability import core as observability_core
 
@@ -102,6 +102,10 @@ class LocalSelection:
     normalizer: Normalizer
     clustering_iterations: int
     reserve: List[ServiceDescription] = field(default_factory=list)
+    #: Per-property ``(best, worst)`` advertised values over the *full*
+    #: candidate set (pruned ones included) — lets the global normaliser be
+    #: rebuilt from cached local selections without rescanning candidates.
+    extremes: Dict[str, Tuple[float, float]] = field(default_factory=dict)
 
 
 class QASSA:
@@ -116,6 +120,14 @@ class QASSA:
         Aggregation approach for run-time-unknown patterns.
     config:
         Algorithm tuning knobs.
+    cache:
+        Optional :class:`~repro.composition.selection_cache.SelectionCache`.
+        When present, per-activity local-phase results are reused across
+        ``select()`` calls whenever an activity's candidate pool is
+        unchanged — churn and fault events then recompute only the
+        activities they actually touched.  Chosen compositions are
+        identical with and without the cache (the local phase is
+        deterministic).
     """
 
     def __init__(
@@ -124,10 +136,12 @@ class QASSA:
         approach: AggregationApproach = AggregationApproach.PESSIMISTIC,
         config: QassaConfig = QassaConfig(),
         observability=None,
+        cache: Optional[SelectionCache] = None,
     ) -> None:
         self.properties = dict(properties)
         self.approach = approach
         self.config = config
+        self.cache = cache
         self.obs = observability_core.resolve(observability)
 
     # ------------------------------------------------------------------
@@ -156,10 +170,7 @@ class QASSA:
             relevant = self._relevant_properties(request)
             weights = request.normalised_weights(relevant)
 
-            locals_ = {
-                name: self._local_phase(name, services, relevant, weights, stats)
-                for name, services in candidates.items()
-            }
+            locals_ = self._local_selections(candidates, relevant, weights, stats)
             plan = self._global_phase(
                 request, candidates, locals_, relevant, weights, stats,
                 best_effort
@@ -205,10 +216,7 @@ class QASSA:
         stats = SelectionStatistics(search_space=candidates.search_space())
         relevant = self._relevant_properties(request)
         weights = request.normalised_weights(relevant)
-        locals_ = {
-            name: self._local_phase(name, services, relevant, weights, stats)
-            for name, services in candidates.items()
-        }
+        locals_ = self._local_selections(candidates, relevant, weights, stats)
         plans, _ = self._global_phase_multi(
             request, candidates, locals_, relevant, weights, stats, k
         )
@@ -261,7 +269,7 @@ class QASSA:
     ) -> Tuple[List[CompositionPlan], Optional[CompositionPlan]]:
         task = request.task
         names = candidates.activity_names()
-        global_norm = make_global_normalizer(task, candidates, relevant, self.approach)
+        global_norm = self._build_global_normalizer(task, locals_, relevant)
 
         def state_priority(state: Tuple[int, ...]) -> float:
             return sum(
@@ -350,6 +358,57 @@ class QASSA:
     # ------------------------------------------------------------------
     # local phase
     # ------------------------------------------------------------------
+    def _local_selections(
+        self,
+        candidates: CandidateSets,
+        relevant: Mapping[str, QoSProperty],
+        weights: Mapping[str, float],
+        stats: SelectionStatistics,
+    ) -> Dict[str, LocalSelection]:
+        """Local phase for every activity, consulting the cache when wired."""
+        cache = self.cache
+        if cache is None:
+            return {
+                name: self._local_phase(name, services, relevant, weights, stats)
+                for name, services in candidates.items()
+            }
+        cache.begin(self._context_key(relevant, weights), weights)
+        locals_: Dict[str, LocalSelection] = {}
+        for name, services in candidates.items():
+            fp = SelectionCache.fingerprint(services)
+            payload = cache.lookup(name, fp)
+            if payload is None:
+                payload = self._local_phase(name, services, relevant, weights, stats)
+                cache.store(name, fp, payload)
+                stats.cache_misses += 1
+                stats.activities_recomputed += 1
+            else:
+                stats.cache_hits += 1
+            locals_[name] = payload
+        if self.obs.enabled:
+            self.obs.counter("selection_cache_hits_total").inc(stats.cache_hits)
+            self.obs.counter("selection_cache_misses_total").inc(stats.cache_misses)
+            self.obs.counter("selection_activities_recomputed_total").inc(
+                stats.activities_recomputed
+            )
+        return locals_
+
+    def _context_key(
+        self,
+        relevant: Mapping[str, QoSProperty],
+        weights: Mapping[str, float],
+    ) -> Tuple:
+        """Everything, beyond the candidate pools, a local-phase result
+        depends on.  Cached entries from a different context are unusable."""
+        return (
+            tuple(sorted(relevant)),
+            tuple(sorted(weights.items())),
+            self.approach.value,
+            self.config.levels_per_activity,
+            self.config.prune_dominated,
+            self.config.seed,
+        )
+
     def _relevant_properties(self, request: UserRequest) -> Dict[str, QoSProperty]:
         names = request.relevant_properties or tuple(self.properties)
         missing = [n for n in names if n not in self.properties]
@@ -380,6 +439,9 @@ class QASSA:
                 pruned=len(selection.reserve),
                 clustering_iterations=selection.clustering_iterations,
             )
+        requested = min(self.config.levels_per_activity, len(selection.points))
+        if len(selection.levels) < requested and self.obs.enabled:
+            self.obs.counter("qassa_levels_collapsed_total").inc()
         return selection
 
     def _local_phase_inner(
@@ -392,6 +454,18 @@ class QASSA:
     ) -> LocalSelection:
         vectors = [s.advertised_qos.restrict(relevant) for s in services]
         normalizer = Normalizer.from_vectors(vectors, relevant)
+        extremes: Dict[str, Tuple[float, float]] = {}
+        for pname, prop in relevant.items():
+            values = [v[pname] for v in vectors if pname in v]
+            if not values:
+                raise SelectionError(
+                    f"no candidate of activity {activity_name!r} advertises "
+                    f"{pname!r}"
+                )
+            extremes[pname] = (
+                prop.direction.best(values),
+                prop.direction.worst(values),
+            )
 
         kept_services = list(services)
         kept_vectors = vectors
@@ -430,7 +504,28 @@ class QASSA:
             normalizer=normalizer,
             clustering_iterations=km.iterations,
             reserve=reserve,
+            extremes=extremes,
         )
+
+    def _build_global_normalizer(
+        self,
+        task,
+        locals_: Mapping[str, LocalSelection],
+        relevant: Mapping[str, QoSProperty],
+    ) -> Normalizer:
+        """Global normaliser from the per-activity extremes the local phase
+        recorded — equivalent to
+        :func:`~repro.composition.selection.make_global_normalizer` but
+        reusable from cached local selections without rescanning candidates.
+        """
+        spans: Dict[str, Tuple[float, float]] = {}
+        for pname, prop in relevant.items():
+            per_activity = {
+                name: sel.extremes[pname] for name, sel in locals_.items()
+            }
+            best, worst = aggregation_bounds(task, prop, per_activity, self.approach)
+            spans[pname] = (min(best, worst), max(best, worst))
+        return Normalizer(dict(relevant), spans)
 
     @staticmethod
     def _non_dominated_indexes(vectors: Sequence[QoSVector]) -> List[int]:

@@ -125,6 +125,13 @@ class SelectionStatistics:
     combinations_explored: int = 0
     clustering_iterations: int = 0
     search_space: int = 0
+    #: Incremental re-selection instrumentation (zero when no cache is wired):
+    #: per-activity local-phase results served from / missed in the
+    #: :class:`~repro.composition.selection_cache.SelectionCache`, and how
+    #: many activities actually had their local phase recomputed this run.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    activities_recomputed: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
 

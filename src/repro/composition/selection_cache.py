@@ -1,0 +1,129 @@
+"""Incremental re-selection cache for QASSA's local phase.
+
+In a pervasive environment selection runs repeatedly: services churn,
+faults trigger substitution, users re-issue requests.  Most of the time the
+candidate set of *most* activities is unchanged between two runs — only the
+activity whose provider appeared/vanished actually needs its normalisation,
+Pareto pruning and clustering redone.  :class:`SelectionCache` makes that
+incremental: it remembers, per activity, the local-phase result keyed by a
+**fingerprint** of the candidate set, and a selector asks it before
+recomputing.
+
+Design notes
+------------
+
+* The payload is *opaque* to this module (QASSA stores its
+  ``LocalSelection`` objects) so the cache carries no import dependency on
+  the selector — the selector depends on the cache, never the reverse.
+* The fingerprint covers everything the local phase reads from a candidate:
+  ``(service_id, advertised QoS vector)`` per service, in pool order.  Any
+  publish/withdraw/QoS-refresh of a candidate changes the fingerprint and
+  forces a recompute; reordering the pool does too (clustering seeds index
+  into pool order, so order is part of the contract).
+* Results also depend on the selection *context* — which properties are
+  relevant, the user's weights, the aggregation approach and the local-phase
+  tuning knobs.  :meth:`begin` receives a hashable ``context_key``; when it
+  differs from the previous run's the whole cache is flushed.  Within one
+  context, cached results are byte-equal to recomputed ones because the
+  local phase is deterministic (seeded k-means, stable sorts).
+* :meth:`rank_candidates` lets the substitution path reuse the cached
+  per-activity normaliser and the last run's weights to score fresh
+  candidates without a full re-selection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.services.description import ServiceDescription
+from repro.composition.utility import service_utility
+
+#: One candidate set's identity: ``(service_id, advertised_qos)`` per
+#: service, in pool order.  ``QoSVector`` is hashable and value-compares,
+#: so a provider refreshing its advertised QoS changes the fingerprint.
+Fingerprint = Tuple[Tuple[str, Any], ...]
+
+
+class SelectionCache:
+    """Per-activity memo of local-phase results across selection runs."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[Fingerprint, Any]] = {}
+        self._context_key: Optional[Any] = None
+        self._weights: Dict[str, float] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(services: Sequence[ServiceDescription]) -> Fingerprint:
+        """Identity of a candidate pool for caching purposes."""
+        return tuple((s.service_id, s.advertised_qos) for s in services)
+
+    def begin(self, context_key: Any, weights: Mapping[str, float]) -> None:
+        """Start a selection run under ``context_key``.
+
+        A context change (different relevant properties, weights, approach
+        or local-phase knobs) flushes every entry — results computed under
+        another context are not comparable, let alone reusable.
+        """
+        if context_key != self._context_key:
+            if self._context_key is not None:
+                self.invalidations += 1
+            self._entries.clear()
+            self._context_key = context_key
+        self._weights = dict(weights)
+
+    def lookup(self, activity_name: str, fingerprint: Fingerprint) -> Optional[Any]:
+        """The cached payload for an unchanged candidate pool, else None."""
+        entry = self._entries.get(activity_name)
+        if entry is not None and entry[0] == fingerprint:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def store(self, activity_name: str, fingerprint: Fingerprint, payload: Any) -> None:
+        self._entries[activity_name] = (fingerprint, payload)
+
+    def clear(self) -> None:
+        """Drop everything (e.g. when the QoS model itself changes)."""
+        if self._entries or self._context_key is not None:
+            self.invalidations += 1
+        self._entries.clear()
+        self._context_key = None
+        self._weights = {}
+
+    # ------------------------------------------------------------------
+    def rank_candidates(
+        self,
+        activity_name: str,
+        services: Sequence[ServiceDescription],
+    ) -> Optional[List[ServiceDescription]]:
+        """Rank fresh candidates with the cached normaliser + last weights.
+
+        Substitution discovers replacement services *after* the selection
+        run that populated this cache; scoring them against the cached
+        per-activity normaliser keeps their utilities comparable with the
+        original ranking without recomputing the local phase.  Returns
+        ``None`` when the activity has no cached entry (caller falls back
+        to its unscored ordering).
+        """
+        entry = self._entries.get(activity_name)
+        if entry is None or not self._weights:
+            return None
+        normalizer = getattr(entry[1], "normalizer", None)
+        if normalizer is None:
+            return None
+        weights = self._weights
+
+        def score(service: ServiceDescription) -> float:
+            return service_utility(
+                service.advertised_qos, normalizer, weights
+            )
+
+        return sorted(services, key=lambda s: (-score(s), s.service_id))

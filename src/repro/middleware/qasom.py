@@ -29,6 +29,7 @@ from repro.services.discovery import DiscoveryQuery, QoSAwareDiscovery
 from repro.composition.qassa import QASSA
 from repro.composition.request import UserRequest
 from repro.composition.selection import CandidateSets, CompositionPlan
+from repro.composition.selection_cache import SelectionCache
 from repro.composition.task import Task
 from repro.execution.binding import DynamicBinder
 from repro.execution.engine import ExecutionEngine, ExecutionReport
@@ -106,16 +107,25 @@ class QASOM:
             from repro.qos.dependencies import CrossLayerEstimator
 
             self.estimator = CrossLayerEstimator(environment)
+        # Incremental re-selection: one cache shared by the selector (reuse
+        # of per-activity local phases across compose() calls) and the
+        # substitution path (utility-ranking of fresh candidates).
+        self.selection_cache: Optional[SelectionCache] = (
+            SelectionCache() if config.incremental_selection else None
+        )
         self.selector = QASSA(
             self.properties, config.aggregation, config.qassa,
-            observability=observability,
+            observability=observability, cache=self.selection_cache,
         )
 
         # Adaptation framework.
         self.monitor = QoSMonitor(
             self.properties, config.monitor, observability=observability
         )
-        self.substitution = ServiceSubstitution(self.properties, self.monitor)
+        self.substitution = ServiceSubstitution(
+            self.properties, self.monitor,
+            selection_cache=self.selection_cache,
+        )
         self.repository = repository
         self.behavioural: Optional[BehaviouralAdaptation] = None
         if repository is not None:

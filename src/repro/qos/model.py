@@ -25,7 +25,7 @@ from repro.qos.properties import QoSProperty, STANDARD_PROPERTIES
 from repro.qos.service_qos import build_service_ontology
 from repro.qos.user_qos import build_user_ontology
 from repro.qos.values import QoSVector
-from repro.semantics.matching import MatchDegree, match_concepts
+from repro.semantics.matching import MatchCache, MatchDegree
 from repro.semantics.ontology import Ontology
 
 
@@ -36,6 +36,10 @@ class QoSModel:
         self.ontology = ontology if ontology is not None else Ontology("qos-empty")
         self._properties: Dict[str, QoSProperty] = {}
         self._by_uri: Dict[str, QoSProperty] = {}
+        # Term mapping re-grades the same (user concept, property URI) pairs
+        # on every translated request; the cache self-invalidates when the
+        # ontology mutates (generation check), so sharing it is safe.
+        self.match_cache = MatchCache(self.ontology)
 
     # ------------------------------------------------------------------
     def register(self, prop: QoSProperty) -> QoSProperty:
@@ -95,8 +99,8 @@ class QoSModel:
             raise QoSModelError(f"unknown QoS concept: {concept_uri!r}")
         matches: List[Tuple[QoSProperty, MatchDegree]] = []
         for uri, prop in self._by_uri.items():
-            degree = match_concepts(
-                self.ontology, concept_uri, uri, root="qos:QoSProperty"
+            degree = self.match_cache.match(
+                concept_uri, uri, root="qos:QoSProperty"
             )
             if degree >= minimum:
                 matches.append((prop, degree))

@@ -15,11 +15,17 @@ the needed subset from scratch:
   adaptation.
 """
 
-from repro.semantics.matching import MatchDegree, match_concepts
+from repro.semantics.matching import (
+    MatchCache,
+    MatchDegree,
+    match_concepts,
+    similarity,
+)
 from repro.semantics.ontology import Ontology, RDF_TYPE, RDFS_SUBCLASS
 from repro.semantics.triples import Triple, TripleStore
 
 __all__ = [
+    "MatchCache",
     "MatchDegree",
     "Ontology",
     "RDF_TYPE",
@@ -27,4 +33,5 @@ __all__ = [
     "Triple",
     "TripleStore",
     "match_concepts",
+    "similarity",
 ]

@@ -23,7 +23,7 @@ match results can be ranked and thresholded.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.semantics.ontology import Ontology
 
@@ -82,13 +82,21 @@ def match_concepts(
     return MatchDegree.FAIL
 
 
-def similarity(ontology: Ontology, required: str, offered: str) -> float:
+def similarity(
+    ontology: Ontology,
+    required: str,
+    offered: str,
+    root: Optional[str] = None,
+) -> float:
     """A [0, 1] similarity score derived from the match degree.
 
     Used where a numeric weight is needed (e.g. ranking discovery results):
     EXACT → 1.0, PLUGIN → 0.8, SUBSUME → 0.5, SIBLING → 0.2, FAIL → 0.0.
+    ``root`` is forwarded to :func:`match_concepts`: without it a shared top
+    concept would upgrade genuinely unrelated pairs from FAIL (0.0) to
+    SIBLING (0.2) and skew rankings.
     """
-    degree = match_concepts(ontology, required, offered)
+    degree = match_concepts(ontology, required, offered, root)
     return {
         MatchDegree.EXACT: 1.0,
         MatchDegree.PLUGIN: 0.8,
@@ -96,3 +104,66 @@ def similarity(ontology: Ontology, required: str, offered: str) -> float:
         MatchDegree.SIBLING: 0.2,
         MatchDegree.FAIL: 0.0,
     }[degree]
+
+
+class MatchCache:
+    """Memoised :func:`match_concepts` over one ontology.
+
+    Discovery, QoS-term translation and behavioural vertex matching all
+    grade the same small set of concept pairs over and over during a
+    selection round; subsumption reasoning is amortised-O(1) but the
+    constant (set intersections, equivalence-class walks) still dominates
+    the hot path.  The cache keys on ``(required, offered, root)`` and holds
+    the resulting degree.
+
+    Invalidation rides the ontology's own hook: every lookup compares
+    :attr:`Ontology.cache_generation` (bumped by
+    :meth:`Ontology.invalidate_caches`, which every declaration-API mutation
+    and bulk load calls) against the generation the entries were computed
+    under, and flushes on mismatch — a stale hit is impossible.
+
+    ``hits``/``misses`` are exposed for observability counters.
+    """
+
+    __slots__ = ("ontology", "_entries", "_generation", "hits", "misses")
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self._entries: Dict[Tuple[str, str, Optional[str]], MatchDegree] = {}
+        self._generation = ontology.cache_generation
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def match(
+        self, required: str, offered: str, root: Optional[str] = None
+    ) -> MatchDegree:
+        """Graded match, served from cache when the ontology is unchanged."""
+        generation = self.ontology.cache_generation
+        if generation != self._generation:
+            self._entries.clear()
+            self._generation = generation
+        key = (required, offered, root)
+        degree = self._entries.get(key)
+        if degree is None:
+            degree = match_concepts(self.ontology, required, offered, root)
+            self._entries[key] = degree
+            self.misses += 1
+        else:
+            self.hits += 1
+        return degree
+
+    def similarity(
+        self, required: str, offered: str, root: Optional[str] = None
+    ) -> float:
+        """Cached counterpart of :func:`similarity`."""
+        degree = self.match(required, offered, root)
+        return {
+            MatchDegree.EXACT: 1.0,
+            MatchDegree.PLUGIN: 0.8,
+            MatchDegree.SUBSUME: 0.5,
+            MatchDegree.SIBLING: 0.2,
+            MatchDegree.FAIL: 0.0,
+        }[degree]

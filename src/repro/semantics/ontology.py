@@ -48,6 +48,7 @@ class Ontology:
         self.store = TripleStore()
         self._ancestor_cache: Dict[str, FrozenSet[str]] = {}
         self._descendant_cache: Dict[str, FrozenSet[str]] = {}
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # declaration API
@@ -278,6 +279,16 @@ class Ontology:
                 seen.add(node)
                 stack.extend(self.parents(node))
 
+    @property
+    def cache_generation(self) -> int:
+        """Monotonic counter bumped by :meth:`invalidate_caches`.
+
+        Downstream memoisers (e.g. :class:`repro.semantics.matching.MatchCache`)
+        compare it against the generation they cached at, so invalidating
+        this ontology's reasoning caches transitively flushes theirs.
+        """
+        return self._generation
+
     def invalidate_caches(self) -> None:
         """Drop memoised inference results.
 
@@ -286,6 +297,7 @@ class Ontology:
         """
         self._ancestor_cache.clear()
         self._descendant_cache.clear()
+        self._generation += 1
 
     # Internal alias kept for the declaration methods.
     _invalidate = invalidate_caches

@@ -23,7 +23,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import DiscoveryError
 from repro.observability import core as observability_core
-from repro.semantics.matching import MatchDegree, match_concepts
+from repro.semantics.matching import MatchCache, MatchDegree
 from repro.semantics.ontology import Ontology
 from repro.services.description import ServiceDescription
 from repro.services.registry import ServiceRegistry
@@ -100,17 +100,31 @@ class QoSAwareDiscovery:
         registry: ServiceRegistry,
         task_ontology: Optional[Ontology] = None,
         observability=None,
+        match_cache: Optional[MatchCache] = None,
     ) -> None:
         self.registry = registry
         self.ontology = task_ontology
+        #: Memoised concept grading, shared with translation/adaptation when
+        #: the caller passes one in.  Ontology mutations flush it through the
+        #: ``Ontology.invalidate_caches`` generation counter.
+        self.match_cache: Optional[MatchCache] = None
+        if task_ontology is not None:
+            self.match_cache = (
+                match_cache
+                if match_cache is not None
+                else MatchCache(task_ontology)
+            )
         self.obs = observability_core.resolve(observability)
 
     # ------------------------------------------------------------------
     def discover(self, query: DiscoveryQuery) -> List[DiscoveryMatch]:
         """All registry services satisfying the query, best matches first."""
+        cache = self.match_cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
         matches: List[DiscoveryMatch] = []
         examined = 0
-        for service in self.registry:
+        for service in self._candidate_pool(query):
             examined += 1
             degree = self._functional_degree(query.capability, service.capability)
             if degree < query.minimum_degree:
@@ -128,6 +142,13 @@ class QoSAwareDiscovery:
             obs.histogram(
                 "discovery_pool_size", buckets=_POOL_BUCKETS
             ).observe(len(matches))
+            if cache is not None:
+                obs.counter("semantic_match_cache_hits_total").inc(
+                    cache.hits - hits_before
+                )
+                obs.counter("semantic_match_cache_misses_total").inc(
+                    cache.misses - misses_before
+                )
         return matches
 
     def candidates(self, query: DiscoveryQuery) -> List[ServiceDescription]:
@@ -135,12 +156,29 @@ class QoSAwareDiscovery:
         return [m.service for m in self.discover(query)]
 
     # ------------------------------------------------------------------
+    def _candidate_pool(self, query: DiscoveryQuery) -> List[ServiceDescription]:
+        """Services whose *capability concept* can satisfy the query.
+
+        Grades each distinct advertised capability once (memoised across
+        queries by the match cache) and expands the survivors through the
+        registry's capability index, instead of re-grading every advertised
+        service per activity.  With ``minimum_degree == FAIL`` everything
+        passes, which degrades to the old full scan.
+        """
+        pool: List[ServiceDescription] = []
+        for capability in sorted(self.registry.capabilities()):
+            degree = self._functional_degree(query.capability, capability)
+            if degree >= query.minimum_degree:
+                pool.extend(self.registry.by_capability(capability))
+        return pool
+
     def _functional_degree(self, required: str, offered: str) -> MatchDegree:
         if self.ontology is None or not (
             self.ontology.is_class(required) and self.ontology.is_class(offered)
         ):
             return MatchDegree.EXACT if required == offered else MatchDegree.FAIL
-        return match_concepts(self.ontology, required, offered)
+        assert self.match_cache is not None
+        return self.match_cache.match(required, offered)
 
     def _iope_compatible(
         self, query: DiscoveryQuery, service: ServiceDescription

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import AggregationError
+from repro.qos import units as u
 from repro.qos.properties import (
     AVAILABILITY,
     COST,
@@ -15,10 +16,14 @@ from repro.qos.properties import (
     RESPONSE_TIME,
     SECURITY_LEVEL,
     THROUGHPUT,
+    AggregationKind,
+    Direction,
+    QoSProperty,
 )
 from repro.qos.values import QoSVector
 from repro.composition.aggregation import (
     AggregationApproach,
+    _conditional,
     aggregate_composition,
     aggregate_values,
     aggregation_bounds,
@@ -134,6 +139,100 @@ class TestLoop:
             assert aggregate_values(
                 prop, self.LOOP, VALUES, AggregationApproach.PESSIMISTIC
             ) == 10.0
+
+
+class TestLoopDirection:
+    """The worst/best iteration count depends on the property's direction.
+
+    For a POSITIVE additive property (a reward accrued per pass) a single
+    iteration is the *pessimistic* case — assuming max_iterations would
+    inflate the guaranteed bound.  Regression tests for the direction-blind
+    ``_loop`` that always took ``n = max_iterations`` pessimistically.
+    """
+
+    REWARD = QoSProperty(
+        name="reward",
+        uri="sqos:Reward",
+        direction=Direction.POSITIVE,
+        aggregation=AggregationKind.ADDITIVE,
+        unit=u.SCORE,
+        value_range=(0.0, 100.0),
+    )
+    GAIN = QoSProperty(
+        name="gain",
+        uri="sqos:Gain",
+        direction=Direction.POSITIVE,
+        aggregation=AggregationKind.MULTIPLICATIVE,
+        unit=u.RATIO,
+        value_range=(0.5, 4.0),
+    )
+    LOOP = loop(leaf("A"), max_iterations=4, expected_iterations=2.5)
+
+    def test_positive_additive_pessimistic_is_single_iteration(self):
+        assert aggregate_values(
+            self.REWARD, self.LOOP, VALUES, AggregationApproach.PESSIMISTIC
+        ) == 10.0
+
+    def test_positive_additive_optimistic_is_max_iterations(self):
+        assert aggregate_values(
+            self.REWARD, self.LOOP, VALUES, AggregationApproach.OPTIMISTIC
+        ) == 40.0
+
+    def test_positive_multiplicative_above_one(self):
+        values = {"A": 1.25}
+        assert aggregate_values(
+            self.GAIN, self.LOOP, values, AggregationApproach.PESSIMISTIC
+        ) == pytest.approx(1.25)
+        assert aggregate_values(
+            self.GAIN, self.LOOP, values, AggregationApproach.OPTIMISTIC
+        ) == pytest.approx(1.25 ** 4)
+
+    def test_negative_additive_unchanged(self):
+        # The classic case (response time) keeps its Table IV.1 semantics.
+        assert aggregate_values(
+            RESPONSE_TIME, self.LOOP, VALUES, AggregationApproach.PESSIMISTIC
+        ) == 40.0
+        assert aggregate_values(
+            RESPONSE_TIME, self.LOOP, VALUES, AggregationApproach.OPTIMISTIC
+        ) == 10.0
+
+    def test_mean_uses_expected_iterations_either_direction(self):
+        assert aggregate_values(
+            self.REWARD, self.LOOP, VALUES, AggregationApproach.MEAN
+        ) == pytest.approx(25.0)
+
+
+class TestConditionalMeanValidation:
+    """MEAN aggregation must reject malformed probability vectors instead of
+    silently zip-truncating or scaling by a non-unit total."""
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(AggregationError, match="probabilities"):
+            _conditional(
+                RESPONSE_TIME, [10.0, 20.0, 30.0], [0.5, 0.5],
+                AggregationApproach.MEAN,
+            )
+
+    def test_probabilities_not_summing_to_one_raise(self):
+        with pytest.raises(AggregationError, match="sum to"):
+            _conditional(
+                RESPONSE_TIME, [10.0, 20.0], [0.3, 0.3],
+                AggregationApproach.MEAN,
+            )
+
+    def test_pessimistic_ignores_probabilities(self):
+        # Worst-branch selection never consults probabilities, so the
+        # validation must not fire outside the MEAN path.
+        assert _conditional(
+            RESPONSE_TIME, [10.0, 20.0, 30.0], [0.5, 0.5],
+            AggregationApproach.PESSIMISTIC,
+        ) == 30.0
+
+    def test_valid_probabilities_accepted(self):
+        assert _conditional(
+            RESPONSE_TIME, [10.0, 20.0], [0.25, 0.75],
+            AggregationApproach.MEAN,
+        ) == pytest.approx(17.5)
 
 
 class TestNestedPatterns:

@@ -120,6 +120,44 @@ class TestQoSClasses:
         assert len(quantise_classes(level, points, decimals=4)) == 2
 
 
+class TestSeedDeduplication:
+    def test_duplicate_heavy_input_never_duplicates_seeds(self):
+        # Five copies of one point and one distinct point: only two distinct
+        # seeds exist, so seeding must stop at two centroids instead of
+        # padding with duplicates that become silently-dropped empty clusters.
+        points = [pt(0, 0)] * 5 + [pt(1, 1)]
+        for seed in range(8):
+            result = kmeans(points, k=3, dims=DIMS, seed=seed)
+            assert result.k == 2
+            centroids = {(c.centroid["x"], c.centroid["y"]) for c in result.clusters}
+            assert len(centroids) == 2
+
+    def test_all_identical_points_single_cluster(self):
+        result = kmeans([pt(0.5, 0.5)] * 4, k=3, dims=DIMS)
+        assert result.k == 1
+        assert sorted(result.clusters[0].members) == [0, 1, 2, 3]
+
+    def test_collapsed_levels_emit_warning(self, caplog):
+        points = [pt(0, 0)] * 5 + [pt(1, 1)]
+        utilities = [0.0] * 5 + [1.0]
+        with caplog.at_level("WARNING", logger="repro.composition.clustering"):
+            levels, _ = build_qos_levels(
+                points, utilities, {"x": 0.5, "y": 0.5}, k=3
+            )
+        assert len(levels) == 2
+        assert any("QoS levels" in record.message for record in caplog.records)
+
+    def test_full_rank_input_emits_no_warning(self, caplog):
+        points = [pt(0, 0), pt(0.5, 0.5), pt(1, 1)]
+        utilities = [0.0, 0.5, 1.0]
+        with caplog.at_level("WARNING", logger="repro.composition.clustering"):
+            levels, _ = build_qos_levels(
+                points, utilities, {"x": 0.5, "y": 0.5}, k=3
+            )
+        assert len(levels) == 3
+        assert not caplog.records
+
+
 _points = st.lists(
     st.fixed_dictionaries(
         {"x": st.floats(0, 1, allow_nan=False), "y": st.floats(0, 1, allow_nan=False)}

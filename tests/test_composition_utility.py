@@ -79,6 +79,38 @@ class TestFromVectors:
     def test_scales(self, normalizer):
         assert normalizer.scales()["response_time"] == 100.0
 
+    def test_single_candidate_degenerate_spans_score_one(self):
+        # One candidate: every span collapses to a point and every value of
+        # that candidate normalises to 1.0 (nothing in the population beats it).
+        only = vec(response_time=120.0, cost=3.0, availability=0.9)
+        normalizer = Normalizer.from_vectors([only], PROPS)
+        for name in PROPS:
+            assert normalizer.span(name) == (only[name], only[name])
+            assert normalizer.normalise(name, only[name]) == 1.0
+        weights = {"response_time": 0.5, "cost": 0.3, "availability": 0.2}
+        assert service_utility(only, normalizer, weights) == pytest.approx(1.0)
+
+    def test_disjoint_property_subsets(self):
+        # Candidates advertising disjoint property subsets: each property's
+        # span comes only from the vectors that carry it.
+        population = [
+            vec(response_time=100.0),
+            vec(response_time=300.0),
+            vec(cost=2.0),
+        ]
+        normalizer = Normalizer.from_vectors(population, PROPS)
+        assert normalizer.span("response_time") == (100.0, 300.0)
+        # "cost" appears once → degenerate span, normalises to best.
+        assert normalizer.span("cost") == (2.0, 2.0)
+        assert normalizer.normalise("cost", 2.0) == 1.0
+        # "availability" appears nowhere → value_range fallback.
+        assert normalizer.span("availability") == AVAILABILITY.value_range
+
+    def test_empty_population_all_value_range_fallback(self):
+        normalizer = Normalizer.from_vectors([], PROPS)
+        for name, prop in PROPS.items():
+            assert normalizer.span(name) == prop.value_range
+
 
 class TestUtility:
     def test_best_vector_scores_one(self, normalizer):

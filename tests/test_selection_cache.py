@@ -1,0 +1,241 @@
+"""Tests for incremental re-selection: SelectionCache + QASSA/substitution wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.values import QoSVector
+from repro.services.description import ServiceDescription
+from repro.services.generator import ServiceGenerator
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.selection_cache import SelectionCache
+from repro.composition.task import Task, leaf, sequence
+from repro.composition.utility import service_utility
+from repro.adaptation.substitution import ServiceSubstitution
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability", "reliability")
+}
+
+
+def build_pools(activities=3, services=10, seed=0):
+    task = Task(
+        "p", sequence(*[leaf(f"A{i}", f"task:C{i}") for i in range(activities)])
+    )
+    generator = ServiceGenerator(PROPS, seed=seed)
+    pools = {
+        a.name: generator.candidates(a.capability, services)
+        for a in task.activities
+    }
+    return task, generator, pools
+
+
+def make_request(task, weights=None):
+    return UserRequest(
+        task, constraints=(), weights=weights or {n: 1.0 for n in PROPS}
+    )
+
+
+def plan_signature(plan):
+    """Everything that identifies a selection outcome, for byte-equality."""
+    return (
+        plan.service_ids(),
+        {
+            name: [s.service_id for s in sel.services]
+            for name, sel in plan.selections.items()
+        },
+        plan.utility,
+        {name: plan.aggregated_qos[name] for name in plan.aggregated_qos},
+        plan.feasible,
+    )
+
+
+class TestCacheCore:
+    def test_lookup_miss_then_hit(self):
+        cache = SelectionCache()
+        cache.begin(("ctx",), {"cost": 1.0})
+        fp = (("svc-1", None),)
+        assert cache.lookup("A", fp) is None
+        cache.store("A", fp, payload := object())
+        assert cache.lookup("A", fp) is payload
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_fingerprint_changes_with_qos(self):
+        qos_a = QoSVector({"cost": 1.0}, PROPS)
+        qos_b = QoSVector({"cost": 2.0}, PROPS)
+        s1 = ServiceDescription("s", "task:C", qos_a, service_id="fixed-id")
+        s2 = ServiceDescription("s", "task:C", qos_b, service_id="fixed-id")
+        assert SelectionCache.fingerprint([s1]) != SelectionCache.fingerprint([s2])
+
+    def test_context_change_flushes(self):
+        cache = SelectionCache()
+        cache.begin(("ctx-1",), {"cost": 1.0})
+        fp = (("svc-1", None),)
+        cache.store("A", fp, object())
+        cache.begin(("ctx-2",), {"cost": 1.0})
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.lookup("A", fp) is None
+
+    def test_clear(self):
+        cache = SelectionCache()
+        cache.begin(("ctx",), {"cost": 1.0})
+        cache.store("A", (("svc-1", None),), object())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.rank_candidates("A", []) is None
+
+
+class TestIncrementalQassa:
+    def test_second_select_hits_every_activity(self):
+        task, _, pools = build_pools()
+        request = make_request(task)
+        cache = SelectionCache()
+        selector = QASSA(PROPS, cache=cache)
+        first = selector.select(request, CandidateSets(task, pools))
+        assert first.statistics.cache_misses == 3
+        assert first.statistics.activities_recomputed == 3
+        second = selector.select(request, CandidateSets(task, pools))
+        assert second.statistics.cache_hits == 3
+        assert second.statistics.activities_recomputed == 0
+        assert plan_signature(first) == plan_signature(second)
+
+    def test_plans_identical_with_and_without_cache(self):
+        task, _, pools = build_pools(activities=4, services=15, seed=3)
+        request = make_request(task)
+        cold = QASSA(PROPS).select(request, CandidateSets(task, pools))
+        cached_selector = QASSA(PROPS, cache=SelectionCache())
+        warm = cached_selector.select(request, CandidateSets(task, pools))
+        # Second run from a fully warm cache must still be byte-equal.
+        warm2 = cached_selector.select(request, CandidateSets(task, pools))
+        assert plan_signature(cold) == plan_signature(warm)
+        assert plan_signature(cold) == plan_signature(warm2)
+
+    def test_churn_recomputes_only_the_changed_activity(self):
+        task, generator, pools = build_pools()
+        request = make_request(task)
+        cache = SelectionCache()
+        selector = QASSA(PROPS, cache=cache)
+        selector.select(request, CandidateSets(task, pools))
+
+        churned = dict(pools)
+        churned["A1"] = generator.candidates("task:C1", 10)
+        plan = selector.select(request, CandidateSets(task, churned))
+        assert plan.statistics.cache_hits == 2
+        assert plan.statistics.cache_misses == 1
+        assert plan.statistics.activities_recomputed == 1
+        # And still identical to a from-scratch run on the churned pools.
+        cold = QASSA(PROPS).select(request, CandidateSets(task, churned))
+        assert plan_signature(plan) == plan_signature(cold)
+
+    def test_weight_change_invalidates(self):
+        task, _, pools = build_pools()
+        cache = SelectionCache()
+        selector = QASSA(PROPS, cache=cache)
+        selector.select(make_request(task), CandidateSets(task, pools))
+        other_weights = {"response_time": 3.0, "cost": 1.0,
+                         "availability": 1.0, "reliability": 1.0}
+        plan = selector.select(
+            make_request(task, weights=other_weights),
+            CandidateSets(task, pools),
+        )
+        assert cache.invalidations == 1
+        assert plan.statistics.cache_hits == 0
+        assert plan.statistics.activities_recomputed == 3
+
+    def test_pool_reorder_is_a_miss(self):
+        # Clustering seeds index into pool order, so order is part of the
+        # fingerprint: a reordered pool must recompute, not hit.
+        task, _, pools = build_pools(activities=1)
+        request = make_request(task)
+        cache = SelectionCache()
+        selector = QASSA(PROPS, cache=cache)
+        selector.select(request, CandidateSets(task, pools))
+        reordered = {"A0": list(reversed(pools["A0"]))}
+        plan = selector.select(request, CandidateSets(task, reordered))
+        assert plan.statistics.cache_misses == 1
+
+    def test_select_ranked_uses_the_cache_too(self):
+        task, _, pools = build_pools()
+        request = make_request(task)
+        selector = QASSA(PROPS, cache=SelectionCache())
+        selector.select(request, CandidateSets(task, pools))
+        plans = selector.select_ranked(request, CandidateSets(task, pools), k=2)
+        assert plans[0].statistics.cache_hits == 3
+
+
+class TestRankCandidates:
+    def test_orders_fresh_candidates_by_cached_utility(self):
+        task, generator, pools = build_pools(activities=1, services=8)
+        request = make_request(task)
+        cache = SelectionCache()
+        QASSA(PROPS, cache=cache).select(request, CandidateSets(task, pools))
+
+        fresh = generator.candidates("task:C0", 6)
+        ranked = cache.rank_candidates("A0", fresh)
+        assert ranked is not None
+        assert sorted(s.service_id for s in ranked) == sorted(
+            s.service_id for s in fresh
+        )
+        normalizer = cache._entries["A0"][1].normalizer
+        weights = {n: 0.25 for n in PROPS}
+        scores = [
+            service_utility(s.advertised_qos, normalizer, weights)
+            for s in ranked
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_unknown_activity_returns_none(self):
+        cache = SelectionCache()
+        cache.begin(("ctx",), {"cost": 1.0})
+        assert cache.rank_candidates("nope", []) is None
+
+
+class TestSubstitutionUsesCache:
+    def _fixed(self, name, rt):
+        return ServiceDescription(
+            name=name,
+            capability="task:C0",
+            advertised_qos=QoSVector(
+                {"response_time": rt, "cost": 1.0,
+                 "availability": 0.95, "reliability": 0.95},
+                PROPS,
+            ),
+            service_id=name,
+        )
+
+    def test_fresh_candidates_tried_best_utility_first(self):
+        task = Task("p", sequence(leaf("A0", "task:C0")))
+        pool = [self._fixed("slow", 900.0), self._fixed("primary", 100.0)]
+        request = make_request(task)
+        cache = SelectionCache()
+        selector = QASSA(PROPS, cache=cache, config=QassaConfig(alternates_kept=0))
+        plan = selector.select(request, CandidateSets(task, {"A0": pool}))
+        failing = plan.selections["A0"].primary.service_id
+
+        fresh = [
+            s for s in (self._fixed("mediocre", 500.0), self._fixed("fast", 50.0))
+            if s.service_id != failing
+        ]
+        with_cache = ServiceSubstitution(PROPS, selection_cache=cache)
+        result = with_cache.substitute(plan, failing, fresh_candidates=fresh)
+        # Both fresh candidates keep the (unconstrained) plan feasible; the
+        # ranked path must try the higher-utility one first.
+        assert result.replacement.service_id == "fast"
+        assert result.used_fresh_candidates
+
+    def test_without_cache_order_is_preserved(self):
+        task = Task("p", sequence(leaf("A0", "task:C0")))
+        pool = [self._fixed("primary", 100.0)]
+        request = make_request(task)
+        plan = QASSA(PROPS, config=QassaConfig(alternates_kept=0)).select(
+            request, CandidateSets(task, {"A0": pool})
+        )
+        fresh = [self._fixed("mediocre", 500.0), self._fixed("fast", 50.0)]
+        plain = ServiceSubstitution(PROPS)
+        result = plain.substitute(plan, "primary", fresh_candidates=fresh)
+        assert result.replacement.service_id == "mediocre"

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.semantics.matching import MatchDegree, match_concepts, similarity
+from repro.semantics.matching import (
+    MatchCache,
+    MatchDegree,
+    match_concepts,
+    similarity,
+)
 from repro.semantics.ontology import Ontology
 
 
@@ -88,3 +93,57 @@ class TestSimilarity:
             similarity(tasks, "CardPayment", "MobilePayment"),
         ]
         assert chain == sorted(chain, reverse=True)
+
+    def test_similarity_forwards_root(self, tasks):
+        # Without a root, Payment/Notification are siblings under Activity;
+        # naming Activity as root degrades the pair to FAIL → score 0.
+        assert similarity(tasks, "Payment", "Notification") == 0.2
+        assert similarity(tasks, "Payment", "Notification", root="Activity") == 0.0
+
+
+class TestMatchCache:
+    def test_hit_and_miss_counting(self, tasks):
+        cache = MatchCache(tasks)
+        assert cache.match("Payment", "CardPayment") is MatchDegree.PLUGIN
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.match("Payment", "CardPayment") is MatchDegree.PLUGIN
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_fail_results_are_cached_too(self, tasks):
+        tasks.declare_class("Orphan")
+        cache = MatchCache(tasks)
+        assert cache.match("Payment", "Orphan") is MatchDegree.FAIL
+        assert cache.match("Payment", "Orphan") is MatchDegree.FAIL
+        # FAIL is falsy (IntEnum 0) — the second call must still be a hit.
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_root_is_part_of_the_key(self, tasks):
+        cache = MatchCache(tasks)
+        assert cache.match("Payment", "Notification") is MatchDegree.SIBLING
+        assert (
+            cache.match("Payment", "Notification", root="Activity")
+            is MatchDegree.FAIL
+        )
+        assert len(cache) == 2
+
+    def test_ontology_mutation_invalidates(self, tasks):
+        tasks.declare_class("Orphan")
+        cache = MatchCache(tasks)
+        assert cache.match("Payment", "Orphan") is MatchDegree.FAIL
+        tasks.declare_subclass("Orphan", "Payment")
+        assert cache.match("Payment", "Orphan") is MatchDegree.PLUGIN
+        # The stale FAIL entry was flushed, not served.
+        assert cache.misses == 2
+
+    def test_similarity_matches_module_function(self, tasks):
+        cache = MatchCache(tasks)
+        for required, offered in (
+            ("Payment", "Payment"),
+            ("Payment", "CardPayment"),
+            ("CardPayment", "Payment"),
+            ("CardPayment", "MobilePayment"),
+        ):
+            assert cache.similarity(required, offered) == similarity(
+                tasks, required, offered
+            )

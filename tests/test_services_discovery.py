@@ -196,3 +196,64 @@ class TestQoSFiltering:
         discovery = QoSAwareDiscovery(registry, ontology)
         services = discovery.candidates(DiscoveryQuery("task:Payment"))
         assert [s.name for s in services] == ["a"]
+
+
+class TestCapabilityPoolAndCache:
+    def test_pool_matches_full_scan(self, registry, ontology):
+        # The capability-indexed pool must yield exactly the services a
+        # grade-every-service scan would have admitted, in the same order.
+        for i in range(4):
+            registry.publish(svc(f"p{i}", "task:Payment", rt=10.0 * (i + 1)))
+            registry.publish(svc(f"c{i}", "task:CardPayment", rt=10.0 * (i + 1)))
+            registry.publish(svc(f"b{i}", "task:Browse"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        query = DiscoveryQuery("task:Payment")
+        results = discovery.discover(query)
+        expected = sorted(
+            (
+                (s, discovery._functional_degree(query.capability, s.capability))
+                for s in registry
+                if discovery._functional_degree(
+                    query.capability, s.capability
+                ) >= query.minimum_degree
+            ),
+            key=lambda pair: (-pair[1], pair[0].name, pair[0].service_id),
+        )
+        assert [(m.service, m.degree) for m in results] == expected
+
+    def test_repeated_queries_hit_the_cache(self, registry, ontology):
+        for i in range(3):
+            registry.publish(svc(f"p{i}", "task:Payment"))
+            registry.publish(svc(f"c{i}", "task:CardPayment"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        query = DiscoveryQuery("task:Payment")
+        first = discovery.discover(query)
+        misses_after_first = discovery.match_cache.misses
+        second = discovery.discover(query)
+        assert [m.service.service_id for m in first] == [
+            m.service.service_id for m in second
+        ]
+        # Two distinct capabilities to grade: the second query re-grades
+        # nothing — every lookup is a hit.
+        assert discovery.match_cache.misses == misses_after_first
+        assert discovery.match_cache.hits >= 2
+
+    def test_shared_cache_instance_accepted(self, registry, ontology):
+        from repro.semantics.matching import MatchCache
+
+        shared = MatchCache(ontology)
+        registry.publish(svc("p", "task:Payment"))
+        discovery = QoSAwareDiscovery(registry, ontology, match_cache=shared)
+        discovery.discover(DiscoveryQuery("task:Payment"))
+        assert discovery.match_cache is shared
+        assert shared.misses > 0
+
+    def test_cache_follows_ontology_mutation(self, registry, ontology):
+        registry.publish(svc("browse", "task:Browse"))
+        discovery = QoSAwareDiscovery(registry, ontology)
+        assert discovery.discover(DiscoveryQuery("task:Payment")) == []
+        # A new declaration makes Browse a Payment; the cached FAIL must not
+        # survive the ontology mutation.
+        ontology.declare_subclass("task:Browse", "task:Payment")
+        results = discovery.discover(DiscoveryQuery("task:Payment"))
+        assert [m.service.name for m in results] == ["browse"]
