@@ -41,12 +41,14 @@ def test_ablation_semantic_vs_syntactic_discovery(benchmark, emit):
     middleware_semantic = QASOM.for_environment(
         scenario.environment, scenario.properties, ontology=scenario.ontology
     )
-    semantic_ok = middleware_semantic.compose(scenario.request).feasible
+    semantic_ok = middleware_semantic.submit(
+        scenario.request, execute=False
+    ).plan().feasible
     middleware_syntactic = QASOM.for_environment(
         scenario.environment, scenario.properties, ontology=None
     )
     try:
-        middleware_syntactic.compose(scenario.request)
+        middleware_syntactic.submit(scenario.request, execute=False)
         syntactic_ok = True
     except NoCandidateError:
         syntactic_ok = False

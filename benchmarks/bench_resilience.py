@@ -97,7 +97,7 @@ def run_arm(seed, kill_fraction, resilient):
         ),
     )
     qasom = QASOM(environment, PROPS, config=config)
-    plan = qasom.compose(request)
+    plan = qasom.submit(request, execute=False).plan()
 
     bound = sorted({s.service_id for s in plan.binding().values()})
     schedule = FaultSchedule.kill_fraction(
@@ -112,7 +112,7 @@ def run_arm(seed, kill_fraction, resilient):
         ))
     environment.schedule_faults(schedule)
 
-    result = qasom.execute(plan, adapt=False)
+    result = qasom.submit(plan=plan, adapt=False).result()
     return result.report.succeeded, result.report, len(bound)
 
 
@@ -198,8 +198,7 @@ def test_fault_free_hot_path_within_five_percent(emit):
     assert middleware.breakers is None  # resilience defaults to off
 
     def workload():
-        plan = middleware.compose(scenario.request)
-        return middleware.execute(plan)
+        return middleware.run(scenario.request)
 
     result = workload()  # warm-up
     invocations = len(result.report.invocations)

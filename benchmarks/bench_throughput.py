@@ -1,0 +1,217 @@
+"""Runtime throughput — pooled ``MiddlewareRuntime`` vs the serial path.
+
+The claim: a broker fed a realistic workload — many users instantiating a
+handful of shared task templates — sustains at least **2x the request rate**
+of the serial one-at-a-time middleware, while staying *byte-identical*: the
+pooled run selects exactly the plans, and produces exactly the execution
+reports, the serial run does.
+
+Setup: the shopping scenario with 24 candidate services per activity.  A
+seeded load generator derives ``PROFILES`` distinct preference-weight
+profiles from the scenario request and replays each ``REPEATS`` times
+(interleaved), ``PROFILES x REPEATS`` requests total:
+
+* **serial** — ``QASOM.submit(...).result()`` inline, one at a time (the
+  pre-runtime application pattern);
+* **pooled** — one :class:`~repro.api.MiddlewareRuntime` with ``WORKERS``
+  workers; all requests submitted up front, then drained.
+
+The pooled win is *work elimination*, not thread parallelism (the GIL
+serialises pure-Python selection): snapshot-keyed discovery batching plus
+whole-composition request coalescing compose each distinct profile once
+per registry generation, and ordered commit keeps execution — and the
+environment's shared clock/RNG draws — in admission order.
+
+Determinism is compared across two identically-seeded worlds by *name*
+signatures (service ids come from a process-global counter, so ids differ
+across worlds while the seeded names do not).
+
+Assertions: plan and report signatures equal request-by-request, and
+pooled req/s >= 2x serial req/s.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.api import (
+    MiddlewareRuntime,
+    QASOM,
+    RuntimeConfig,
+    UserRequest,
+    build_shopping_scenario,
+)
+from repro.experiments.harness import Sweep
+from repro.experiments.reporting import render_table
+
+PROFILES = 6
+REPEATS = 5
+WORKERS = 8
+SERVICES_PER_ACTIVITY = 24
+SEED = 7
+
+
+def build_world(seed=SEED):
+    """One seeded middleware plus its request workload.
+
+    Two calls with the same seed produce interchangeable worlds (identical
+    service *names* and QoS), which is what lets the serial and pooled arms
+    run against separate environments without cross-contamination.
+    """
+    scenario = build_shopping_scenario(
+        services_per_activity=SERVICES_PER_ACTIVITY, seed=seed
+    )
+    middleware = QASOM.for_environment(
+        scenario.environment,
+        scenario.properties,
+        ontology=scenario.ontology,
+        repository=scenario.repository,
+    )
+    rng = random.Random(seed * 13 + 3)
+    profiles = []
+    for _ in range(PROFILES):
+        weights = {
+            name: round(rng.uniform(0.1, 1.0), 3)
+            for name in scenario.request.weights
+        }
+        profiles.append(
+            UserRequest(
+                task=scenario.request.task,
+                constraints=scenario.request.constraints,
+                weights=weights,
+            )
+        )
+    requests = [profiles[i % PROFILES] for i in range(PROFILES * REPEATS)]
+    return middleware, requests
+
+
+def plan_signature(plan):
+    """World-independent identity of a composed plan (names, not ids)."""
+    return (
+        tuple(
+            sorted(
+                (activity, selection.primary.name)
+                for activity, selection in plan.selections.items()
+            )
+        ),
+        round(plan.utility, 9),
+        plan.feasible,
+        tuple(
+            sorted(
+                (name, round(plan.aggregated_qos[name], 6))
+                for name in plan.aggregated_qos
+            )
+        ),
+    )
+
+
+def report_signature(report):
+    """World-independent identity of an execution report."""
+    def qos(vector):
+        if vector is None:
+            return None
+        return tuple(sorted((n, round(vector[n], 6)) for n in vector))
+
+    return tuple(
+        (
+            record.activity_name,
+            round(record.started_at, 9),
+            record.succeeded,
+            record.attempt,
+            qos(record.observed_qos),
+        )
+        for record in report.invocations
+    )
+
+
+def test_pooled_throughput_vs_serial(benchmark, emit):
+    # --- serial arm --------------------------------------------------------
+    middleware_serial, requests_serial = build_world()
+    serial_latencies = []
+    started = time.perf_counter()
+    serial_results = []
+    for request in requests_serial:
+        t0 = time.perf_counter()
+        serial_results.append(middleware_serial.submit(request).result())
+        serial_latencies.append(time.perf_counter() - t0)
+    serial_wall = time.perf_counter() - started
+
+    # --- pooled arm --------------------------------------------------------
+    middleware_pooled, requests_pooled = build_world()
+    config = RuntimeConfig(workers=WORKERS, queue_depth=len(requests_pooled))
+    started = time.perf_counter()
+    runtime = MiddlewareRuntime(middleware_pooled, config).start()
+    handles = [runtime.submit(request) for request in requests_pooled]
+    runtime.drain()
+    pooled_wall = time.perf_counter() - started
+    pooled_latencies = [handle.total_seconds for handle in handles]
+
+    # --- byte-identical plans and reports, request by request --------------
+    for index, (result, handle) in enumerate(zip(serial_results, handles)):
+        pooled = handle.result()
+        assert plan_signature(result.plan) == plan_signature(pooled.plan), (
+            f"request {index}: pooled plan diverged from serial"
+        )
+        assert (
+            report_signature(result.report) == report_signature(pooled.report)
+        ), f"request {index}: pooled execution report diverged from serial"
+
+    count = len(requests_serial)
+    serial_rps = count / serial_wall
+    pooled_rps = count / pooled_wall
+    speedup = serial_wall / pooled_wall
+
+    def percentile(values, fraction):
+        ordered = sorted(values)
+        return ordered[min(len(ordered) - 1, int(len(ordered) * fraction))]
+
+    sweep = Sweep("throughput", x_label="request")
+    for index in range(count):
+        sweep.add(
+            index,
+            serial_ms=serial_latencies[index] * 1e3,
+            pooled_ms=pooled_latencies[index] * 1e3,
+        )
+
+    rows = [
+        ["requests", count],
+        ["profiles x repeats", f"{PROFILES} x {REPEATS}"],
+        ["workers", WORKERS],
+        ["serial wall (s)", serial_wall],
+        ["pooled wall (s)", pooled_wall],
+        ["serial req/s", serial_rps],
+        ["pooled req/s", pooled_rps],
+        ["speedup", speedup],
+        ["serial p50 (ms)", percentile(serial_latencies, 0.50) * 1e3],
+        ["serial p95 (ms)", percentile(serial_latencies, 0.95) * 1e3],
+        ["pooled p50 (ms)", percentile(pooled_latencies, 0.50) * 1e3],
+        ["pooled p95 (ms)", percentile(pooled_latencies, 0.95) * 1e3],
+        ["compositions coalesced",
+         f"{runtime.coalescer.coalesced}/{runtime.coalescer.lookups}"],
+        ["discovery lookups coalesced",
+         f"{runtime.batcher.coalesced}/{runtime.batcher.lookups}"],
+    ]
+    emit(
+        "throughput",
+        render_table(
+            ["metric", "value"],
+            rows,
+            title="Runtime throughput: pooled MiddlewareRuntime vs serial "
+                  f"QASOM ({count} requests, {WORKERS} workers)",
+        ),
+        data=sweep,
+    )
+
+    # Every distinct profile composes once; every repeat is coalesced.
+    assert runtime.coalescer.computed == PROFILES, (
+        f"{runtime.coalescer.computed} compositions for {PROFILES} profiles"
+    )
+    assert speedup >= 2.0, (
+        f"pooled throughput {pooled_rps:.1f} req/s is only {speedup:.2f}x "
+        f"serial ({serial_rps:.1f} req/s); the contract is >= 2x"
+    )
+
+    # Representative timed point: one brokered request on the warm runtime.
+    benchmark(lambda: runtime.run(requests_pooled[0]))
+    runtime.close()

@@ -14,12 +14,15 @@ Run:  python examples/holiday_camp_streaming.py
 
 from __future__ import annotations
 
-from repro.adaptation.homeomorphism import HomeomorphismConfig
-from repro.adaptation.monitoring import MonitorConfig, QoSObservation
-from repro.env.scenarios import build_holiday_camp_scenario
-from repro.middleware.config import MiddlewareConfig
-from repro.middleware.qasom import QASOM
-from repro.semantics.matching import MatchDegree
+from repro.api import (
+    HomeomorphismConfig,
+    MatchDegree,
+    MiddlewareConfig,
+    MonitorConfig,
+    QASOM,
+    QoSObservation,
+    build_holiday_camp_scenario,
+)
 
 
 def main() -> None:
@@ -41,7 +44,7 @@ def main() -> None:
         ),
     )
 
-    plan = middleware.compose(scenario.request)
+    plan = middleware.submit(scenario.request, execute=False).plan()
     print(f"composition (utility {plan.utility:.3f}):")
     for activity, selection in plan.selections.items():
         print(f"  {activity:12s} -> {selection.primary.name}")

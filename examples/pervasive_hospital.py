@@ -13,13 +13,12 @@ Run:  python examples/pervasive_hospital.py
 
 from __future__ import annotations
 
-from repro.composition.aggregation import (
+from repro.api import (
     AggregationApproach,
+    QASOM,
     aggregate_composition,
+    build_hospital_scenario,
 )
-from repro.env.scenarios import build_hospital_scenario
-from repro.middleware.config import MiddlewareConfig
-from repro.middleware.qasom import QASOM
 
 
 def main() -> None:
@@ -34,7 +33,7 @@ def main() -> None:
         ontology=scenario.ontology,
         repository=scenario.repository,
     )
-    plan = middleware.compose(scenario.request)
+    plan = middleware.submit(scenario.request, execute=False).plan()
     print(f"\nselected composition (utility {plan.utility:.3f}):")
     for activity, selection in plan.selections.items():
         print(f"  {activity:10s} -> {selection.primary.name}")
@@ -57,7 +56,7 @@ def main() -> None:
 
     # Execute with the full loop (the engine draws the actual number of
     # diagnosis iterations).
-    result = middleware.execute(plan)
+    result = middleware.submit(plan=plan).result()
     diagnoses = len(result.report.invocations_of("Diagnose"))
     print(f"\nexecution {'succeeded' if result.report.succeeded else 'FAILED'}"
           f": {diagnoses} diagnosis consultation(s), "

@@ -13,8 +13,7 @@ Run:  python examples/pervasive_shopping.py
 
 from __future__ import annotations
 
-from repro.env.scenarios import build_shopping_scenario
-from repro.middleware.qasom import QASOM
+from repro.api import QASOM, build_shopping_scenario
 
 
 def main() -> None:
@@ -32,7 +31,9 @@ def main() -> None:
     print(f"  weights: {dict(scenario.request.weights)}")
 
     # --- compose: the platform proposes ranked alternatives (§I.1) ---------
-    proposals = middleware.compose_ranked(scenario.request, k=3)
+    proposals = middleware.submit(
+        scenario.request, execute=False, ranked=3
+    ).alternatives()
     print(f"\nthe platform proposes {len(proposals)} composition(s), "
           "ranked by QoS:")
     for rank, proposal in enumerate(proposals, start=1):
@@ -70,7 +71,7 @@ def main() -> None:
               f"{outcome.substitution.used_fresh_candidates})")
 
     # --- execute the repaired composition ----------------------------------
-    result = middleware.execute(plan)
+    result = middleware.submit(plan=plan).result()
     print(f"\nexecution {'succeeded' if result.report.succeeded else 'FAILED'}"
           f"; {len(result.report.invocations)} invocations, "
           f"{result.report.total_cost:.2f} EUR spent")

@@ -14,13 +14,18 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro.qos.properties import STANDARD_PROPERTIES
-from repro.semantics.ontology import Ontology
-from repro.services.generator import ServiceGenerator
-from repro.composition.request import GlobalConstraint, UserRequest
-from repro.composition.task import Task, leaf, sequence
-from repro.env.environment import PervasiveEnvironment
-from repro.middleware.qasom import QASOM
+from repro.api import (
+    STANDARD_PROPERTIES,
+    GlobalConstraint,
+    Ontology,
+    PervasiveEnvironment,
+    QASOM,
+    ServiceGenerator,
+    Task,
+    UserRequest,
+    leaf,
+    sequence,
+)
 
 
 def main() -> None:
@@ -65,7 +70,7 @@ def main() -> None:
     # 4. Compose and execute.
     middleware = QASOM.for_environment(environment, properties,
                                        ontology=ontology)
-    plan = middleware.compose(request)
+    plan = middleware.submit(request, execute=False).plan()
     print(f"\nselected composition (utility {plan.utility:.3f}):")
     for activity, selection in plan.selections.items():
         alternates = ", ".join(s.name for s in selection.alternates)
@@ -74,7 +79,7 @@ def main() -> None:
     print("aggregated QoS:", plan.aggregated_qos)
     print("meets constraints:", plan.feasible)
 
-    result = middleware.execute(plan)
+    result = middleware.submit(plan=plan).result()
     print(f"\nexecution {'succeeded' if result.report.succeeded else 'FAILED'}"
           f" in {result.report.elapsed:.3f} simulated seconds,"
           f" total cost {result.report.total_cost:.2f} EUR")

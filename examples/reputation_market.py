@@ -20,17 +20,24 @@ from __future__ import annotations
 
 import random
 
-from repro.adaptation.reputation import ReputationManager
-from repro.qos.properties import STANDARD_PROPERTIES
-from repro.qos.sla import ComplianceTracker, derive_slas
-from repro.qos.values import QoSVector
-from repro.services.description import ServiceDescription
-from repro.services.registry import ServiceRegistry
-from repro.composition.qassa import QASSA, QassaConfig
-from repro.composition.request import GlobalConstraint, UserRequest
-from repro.composition.selection import CandidateSets
-from repro.composition.task import Task, leaf, sequence
-from repro.execution.engine import ExecutionEngine
+from repro.api import (
+    STANDARD_PROPERTIES,
+    CandidateSets,
+    ComplianceTracker,
+    ExecutionEngine,
+    GlobalConstraint,
+    QASSA,
+    QassaConfig,
+    QoSVector,
+    ReputationManager,
+    ServiceDescription,
+    ServiceRegistry,
+    Task,
+    UserRequest,
+    derive_slas,
+    leaf,
+    sequence,
+)
 
 PROPS = {
     name: STANDARD_PROPERTIES[name]

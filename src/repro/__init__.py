@@ -15,9 +15,11 @@ The :mod:`repro.env` simulator stands in for a physical pervasive
 environment, :mod:`repro.middleware` assembles everything into the QASOM
 platform, and :mod:`repro.experiments` regenerates the paper's evaluation.
 
-Quickstart::
+Applications should import from :mod:`repro.api`, the stable blessed
+surface (this top level re-exports the most common names for interactive
+convenience).  Quickstart::
 
-    from repro import QASOM, build_shopping_scenario
+    from repro.api import QASOM, build_shopping_scenario
 
     scenario = build_shopping_scenario()
     middleware = QASOM.for_environment(
@@ -26,13 +28,17 @@ Quickstart::
         ontology=scenario.ontology,
         repository=scenario.repository,
     )
-    plan = middleware.compose(scenario.request)
-    result = middleware.execute(plan)
+    result = middleware.run(scenario.request)
+
+For many concurrent requests against one environment, wrap the middleware
+in a :class:`repro.runtime.MiddlewareRuntime` — same ``submit``/``run``
+surface, pooled brokering.  See ``docs/RUNTIME.md``.
 """
 
 from repro.errors import ReproError
 from repro.middleware.qasom import QASOM, RunResult
 from repro.middleware.config import MiddlewareConfig
+from repro.runtime import MiddlewareRuntime, RunHandle, RuntimeConfig
 from repro.qos.model import QoSModel, build_end_to_end_model
 from repro.qos.properties import STANDARD_PROPERTIES
 from repro.composition.qassa import QASSA, QassaConfig
@@ -53,13 +59,16 @@ __all__ = [
     "CompositionPlan",
     "GlobalConstraint",
     "MiddlewareConfig",
+    "MiddlewareRuntime",
     "PervasiveEnvironment",
     "QASOM",
     "QASSA",
     "QassaConfig",
     "QoSModel",
     "ReproError",
+    "RunHandle",
     "RunResult",
+    "RuntimeConfig",
     "STANDARD_PROPERTIES",
     "Task",
     "UserRequest",

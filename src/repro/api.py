@@ -1,0 +1,165 @@
+"""The stable public API of the QASOM middleware.
+
+``repro.api`` is the one blessed import surface: everything an
+application, the CLI, or an example needs, re-exported with an explicit
+``__all__``.  Import from here —
+
+    from repro.api import (
+        MiddlewareRuntime, QASOM, RuntimeConfig, UserRequest,
+        build_shopping_scenario,
+    )
+
+— and deeper module paths stay free to move between releases
+(``tests/test_api_hygiene.py`` pins this surface; the "Public API &
+migration" section of ``docs/ARCHITECTURE.md`` maps the pre-redesign
+entrypoints onto it).
+
+The surface has three tiers:
+
+* **Core** — the middleware itself (:class:`QASOM`, the concurrent
+  :class:`MiddlewareRuntime`, their configs, requests/results/handles);
+* **Environment & scenarios** — the simulated pervasive environment and
+  the paper's scenario builders;
+* **Toolkit** — the building blocks applications compose their own
+  pipelines from (tasks, QoS model, selector, engine, resilience and
+  observability), plus the reporting helpers the CLI renders with.
+"""
+
+from __future__ import annotations
+
+# -- core middleware --------------------------------------------------------
+from repro.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    MiddlewareRuntimeError,
+    ReproError,
+    RuntimeShutdownError,
+)
+from repro.middleware.config import MiddlewareConfig
+from repro.middleware.qasom import QASOM, RunResult
+from repro.runtime import (
+    MiddlewareRuntime,
+    RequestStatus,
+    RunHandle,
+    RuntimeConfig,
+)
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets, CompositionPlan
+from repro.composition.task import Task, leaf, loop, parallel, sequence
+from repro.resilience.degradation import PartialExecutionReport
+
+# -- environment & scenarios ------------------------------------------------
+from repro.env.device import Device, DeviceClass
+from repro.env.environment import EnvironmentConfig, PervasiveEnvironment
+from repro.env.scenarios import (
+    Scenario,
+    build_hospital_scenario,
+    build_holiday_camp_scenario,
+    build_shopping_scenario,
+)
+from repro.services.description import ServiceDescription
+from repro.services.generator import ServiceGenerator
+from repro.services.registry import RegistrySnapshot, ServiceRegistry
+
+# -- toolkit ----------------------------------------------------------------
+from repro import observability
+from repro.adaptation.homeomorphism import HomeomorphismConfig
+from repro.adaptation.monitoring import MonitorConfig, QoSObservation
+from repro.adaptation.repository_io import dump_repository
+from repro.adaptation.reputation import ReputationManager
+from repro.composition.aggregation import (
+    AggregationApproach,
+    aggregate_composition,
+)
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.execution.clock import SimulatedClock
+from repro.execution.engine import ExecutionEngine, ExecutionReport
+from repro.experiments import figures
+from repro.experiments.harness import Sweep
+from repro.experiments.reporting import render_series, render_table
+from repro.observability import Observability, ObservabilityConfig
+from repro.qos.model import QoSModel, build_end_to_end_model
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.qos.sla import ComplianceTracker, derive_slas
+from repro.qos.values import QoSVector
+from repro.resilience import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    ResilienceConfig,
+)
+from repro.resilience.policies import TimeoutPolicy
+from repro.semantics.matching import MatchDegree
+from repro.semantics.ontology import Ontology
+
+__all__ = [
+    # core middleware
+    "AdmissionRejectedError",
+    "CandidateSets",
+    "CompositionPlan",
+    "DeadlineExceededError",
+    "GlobalConstraint",
+    "MiddlewareConfig",
+    "MiddlewareRuntime",
+    "MiddlewareRuntimeError",
+    "PartialExecutionReport",
+    "QASOM",
+    "ReproError",
+    "RequestStatus",
+    "RunHandle",
+    "RunResult",
+    "RuntimeConfig",
+    "RuntimeShutdownError",
+    "Task",
+    "UserRequest",
+    "leaf",
+    "loop",
+    "parallel",
+    "sequence",
+    # environment & scenarios
+    "Device",
+    "DeviceClass",
+    "EnvironmentConfig",
+    "PervasiveEnvironment",
+    "RegistrySnapshot",
+    "Scenario",
+    "ServiceDescription",
+    "ServiceGenerator",
+    "ServiceRegistry",
+    "build_hospital_scenario",
+    "build_holiday_camp_scenario",
+    "build_shopping_scenario",
+    # toolkit
+    "AggregationApproach",
+    "ComplianceTracker",
+    "ExecutionEngine",
+    "ExecutionReport",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "HomeomorphismConfig",
+    "MatchDegree",
+    "MonitorConfig",
+    "Observability",
+    "ObservabilityConfig",
+    "Ontology",
+    "QASSA",
+    "QassaConfig",
+    "QoSModel",
+    "QoSObservation",
+    "QoSVector",
+    "ReputationManager",
+    "ResilienceConfig",
+    "STANDARD_PROPERTIES",
+    "SimulatedClock",
+    "Sweep",
+    "TimeoutPolicy",
+    "aggregate_composition",
+    "build_end_to_end_model",
+    "derive_slas",
+    "dump_repository",
+    "figures",
+    "observability",
+    "render_series",
+    "render_table",
+]

@@ -13,32 +13,42 @@ Three subcommands mirror the three ways people use the repository:
 per-stage breakdown of the run) and ``--metrics-out PATH`` (write the full
 span + metric dump as JSONL) — see ``docs/OBSERVABILITY.md``.  ``scenario``
 additionally accepts ``--faults FILE`` (replay a JSON fault schedule
-against the environment) and ``--resilience`` (turn on retry/backoff
-policies, circuit breakers and graceful degradation) — see
-``docs/RESILIENCE.md``.
+against the environment), ``--resilience`` (turn on retry/backoff
+policies, circuit breakers and graceful degradation — see
+``docs/RESILIENCE.md``) and ``--serve`` (broker ``--requests`` copies of
+the scenario request through a pooled
+:class:`~repro.api.MiddlewareRuntime` with ``--workers`` workers and
+report throughput — see ``docs/RUNTIME.md``).
 
-Invoke as ``python -m repro <command> ...``.
+The CLI imports exclusively from :mod:`repro.api`, the stable blessed
+surface.  Invoke as ``python -m repro <command> ...``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, Optional, Sequence
 
-from repro import observability
-from repro.adaptation.repository_io import dump_repository
-from repro.env.scenarios import (
+from repro.api import (
+    FaultSchedule,
+    MiddlewareConfig,
+    MiddlewareRuntime,
+    QASOM,
+    ResilienceConfig,
+    RuntimeConfig,
     Scenario,
+    Sweep,
     build_hospital_scenario,
     build_holiday_camp_scenario,
     build_shopping_scenario,
+    dump_repository,
+    figures,
+    observability,
+    render_series,
+    render_table,
 )
-from repro.experiments import figures
-from repro.experiments.reporting import render_series, render_table
-from repro.middleware.config import MiddlewareConfig
-from repro.middleware.qasom import QASOM
-from repro.resilience import FaultSchedule, ResilienceConfig
 
 SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "shopping": build_shopping_scenario,
@@ -89,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--resilience", action="store_true",
                           help="enable retry/backoff policies, circuit "
                                "breakers and graceful degradation")
+    scenario.add_argument("--serve", action="store_true",
+                          help="broker the request through a pooled "
+                               "MiddlewareRuntime and report throughput "
+                               "(see docs/RUNTIME.md)")
+    scenario.add_argument("--workers", type=int, default=4,
+                          help="worker threads for --serve (default 4)")
+    scenario.add_argument("--requests", type=int, default=16,
+                          help="requests to broker under --serve "
+                               "(default 16)")
     _add_observability_flags(scenario)
 
     experiment = subparsers.add_parser(
@@ -128,14 +147,7 @@ def _export_observability(args: argparse.Namespace, obs, out) -> None:
               f"{args.metrics_out}", file=out)
 
 
-def _run_scenario(args: argparse.Namespace, out) -> int:
-    kwargs = {}
-    if args.seed is not None:
-        kwargs["seed"] = args.seed
-    if args.services is not None:
-        kwargs["services_per_activity"] = args.services
-    scenario = SCENARIOS[args.name](**kwargs)
-
+def _build_middleware(args: argparse.Namespace, scenario: Scenario, out):
     if args.faults:
         schedule = FaultSchedule.load(args.faults)
         scenario.environment.schedule_faults(schedule)
@@ -155,6 +167,18 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
         config=config,
         observability=obs,
     )
+    return middleware, obs
+
+
+def _run_scenario(args: argparse.Namespace, out) -> int:
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.services is not None:
+        kwargs["services_per_activity"] = args.services
+    scenario = SCENARIOS[args.name](**kwargs)
+    middleware, obs = _build_middleware(args, scenario, out)
+
     print(f"scenario: {scenario.name}", file=out)
     print(f"services published: {len(scenario.environment.registry)}",
           file=out)
@@ -162,6 +186,9 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
           f"({scenario.task.size()} activities)", file=out)
     for constraint in scenario.request.constraints:
         print(f"  constraint: {constraint}", file=out)
+
+    if args.serve:
+        return _serve_scenario(args, scenario, middleware, obs, out)
 
     result = middleware.run(scenario.request)
     plan = result.plan
@@ -194,9 +221,51 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
     return 0 if result.report.succeeded else 1
 
 
-def _print_experiment_result(result, out) -> None:
-    from repro.experiments.harness import Sweep
+def _serve_scenario(args, scenario, middleware, obs, out) -> int:
+    """Broker N copies of the scenario request through the pooled runtime."""
+    count = max(1, args.requests)
+    config = RuntimeConfig(workers=max(1, args.workers),
+                           queue_depth=max(count, 1))
+    print(f"\nserve: {count} requests, {config.workers} workers", file=out)
+    started = time.perf_counter()
+    with MiddlewareRuntime(middleware, config) as runtime:
+        handles = [runtime.submit(scenario.request) for _ in range(count)]
+        runtime.drain()
+    elapsed = time.perf_counter() - started
 
+    succeeded = sum(
+        1 for h in handles
+        if h.exception() is None and h.result().report.succeeded
+    )
+    latencies = sorted(h.total_seconds or 0.0 for h in handles)
+    p50 = latencies[len(latencies) // 2]
+    p95 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.95))]
+    print(f"brokered {count} requests in {elapsed:.3f} s wall "
+          f"({count / elapsed:.1f} req/s); {succeeded} succeeded", file=out)
+    print(f"latency: p50 {p50 * 1000:.1f} ms, p95 {p95 * 1000:.1f} ms",
+          file=out)
+    print(f"discovery batching: {runtime.batcher.lookups} lookups, "
+          f"{runtime.batcher.computed} computed, "
+          f"{runtime.batcher.coalesced} coalesced", file=out)
+    print(f"request coalescing: {runtime.coalescer.lookups} lookups, "
+          f"{runtime.coalescer.computed} composed, "
+          f"{runtime.coalescer.coalesced} coalesced", file=out)
+    print(f"snapshots: {runtime.snapshots.refreshes} refreshes for "
+          f"{runtime.snapshots.acquires} acquires", file=out)
+    if obs is not None:
+        if args.trace:
+            print(f"\ntrace ({len(obs.spans)} root span"
+                  f"{'s' if len(obs.spans) != 1 else ''}):", file=out)
+            print(observability.render_span_tree(obs.spans), file=out)
+        _export_observability(args, obs, out)
+    # Exit code reflects broker health, not workload luck: a rejected,
+    # expired or errored request fails the run; an execution that ran to
+    # a failed report (the availability lottery) is normal operation and
+    # is reported in the "succeeded" count above.
+    return 0 if all(h.exception() is None for h in handles) else 1
+
+
+def _print_experiment_result(result, out) -> None:
     if isinstance(result, Sweep):
         print(render_series(result), file=out)
     elif isinstance(result, dict):

@@ -186,6 +186,28 @@ class CompositionPlan:
             statistics=self.statistics,
         )
 
+    def clone(self) -> "CompositionPlan":
+        """An independent copy that execution-time adaptation can mutate.
+
+        Substitution rewrites ``selections[...].services`` and the plan's
+        aggregated QoS in place, so a plan served from a cache (the
+        runtime's request coalescing) must be cloned per execution.  The
+        immutable leaves (task, request, services, statistics) are shared.
+        """
+        return CompositionPlan(
+            task=self.task,
+            request=self.request,
+            selections={
+                name: SelectedActivity(sel.activity_name, list(sel.services))
+                for name, sel in self.selections.items()
+            },
+            aggregated_qos=self.aggregated_qos,
+            utility=self.utility,
+            feasible=self.feasible,
+            approach=self.approach,
+            statistics=self.statistics,
+        )
+
 
 def make_global_normalizer(
     task: Task,

@@ -95,3 +95,23 @@ class BpelParseError(ReproError):
 class EnvironmentError_(ReproError):
     """Raised for invalid pervasive-environment manipulations (duplicate
     device identifiers, unknown nodes...)."""
+
+
+class MiddlewareRuntimeError(ReproError):
+    """Base class for concurrent-runtime failures (admission, deadlines,
+    lifecycle misuse).  See :mod:`repro.runtime`."""
+
+
+class AdmissionRejectedError(MiddlewareRuntimeError):
+    """The runtime's admission queue was full and the request was rejected
+    at submit time (backpressure)."""
+
+
+class DeadlineExceededError(MiddlewareRuntimeError):
+    """The request's deadline elapsed before the runtime could complete it
+    (while queued, or before its execution turn came up)."""
+
+
+class RuntimeShutdownError(MiddlewareRuntimeError):
+    """The runtime was shut down before (or while) the request could be
+    processed."""

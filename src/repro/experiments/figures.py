@@ -586,7 +586,7 @@ def exp_adaptation_effectiveness(
                 ontology=scenario.ontology,
                 repository=scenario.repository,
             )
-            plan = middleware.compose(scenario.request)
+            plan = middleware.submit(scenario.request, execute=False).plan()
             manager = (
                 middleware.adaptation_manager(plan, allow_behavioural=False)
                 if adapt
@@ -613,7 +613,7 @@ def exp_adaptation_effectiveness(
                                 victim.service_id, float(i)
                             )
                             manager.handle(trigger)
-                outcome = middleware.execute(plan, adapt=False)
+                outcome = middleware.submit(plan=plan, adapt=False).result()
                 if outcome.report.succeeded:
                     successes += 1
             results["adapted" if adapt else "static"] = (

@@ -7,11 +7,14 @@ Adaptation Framework (monitor + substitution + behavioural adaptation) —
 behind the small API the examples use:
 
 >>> middleware = QASOM.for_environment(env, ontology=onto, repository=repo)
->>> plan = middleware.compose(request)
->>> report = middleware.execute(plan)
+>>> result = middleware.run(request)
+>>> plan = middleware.submit(request, execute=False).plan()
+
+For concurrent multi-request brokering, wrap it in
+:class:`repro.runtime.MiddlewareRuntime` — same surface, pooled.
 """
 
 from repro.middleware.config import MiddlewareConfig
-from repro.middleware.qasom import QASOM
+from repro.middleware.qasom import QASOM, RunResult
 
-__all__ = ["MiddlewareConfig", "QASOM"]
+__all__ = ["MiddlewareConfig", "QASOM", "RunResult"]

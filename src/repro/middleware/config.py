@@ -13,13 +13,17 @@ from repro.resilience.policies import ResilienceConfig
 from repro.semantics.matching import MatchDegree
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class MiddlewareConfig:
     """One place to tune the whole QASOM stack.
 
     The defaults mirror the paper's prototype: pessimistic aggregation (the
     only approach whose results are *guaranteed* bounds), PLUGIN-or-better
     semantic matching, proactive monitoring on.
+
+    Construction is keyword-only: a dozen positional booleans/enums would
+    be unreadable and unorderable at call sites, and keyword-only fields
+    let this dataclass grow without breaking existing callers.
     """
 
     aggregation: AggregationApproach = AggregationApproach.PESSIMISTIC

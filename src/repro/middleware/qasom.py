@@ -10,13 +10,19 @@ the paper's architecture:
   monitoring, service substitution, and behavioural adaptation over the
   task class repository.
 
-The public surface is deliberately small: :meth:`compose` (request → plan),
-:meth:`execute` (plan → report, with monitoring and adaptation in the
-loop), and :meth:`run` (both).
+The public surface is deliberately small and mirrors the concurrent
+runtime's: :meth:`submit` (request → :class:`~repro.runtime.handle.RunHandle`,
+processed inline) and :meth:`run` (request → :class:`RunResult`).  Code
+written against it moves to the pooled
+:class:`~repro.runtime.runtime.MiddlewareRuntime` without changes.  The
+pre-redesign entrypoints (``compose`` / ``compose_ranked`` / ``execute``)
+remain as deprecated shims — see the "Public API & migration" section of
+``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -44,6 +50,7 @@ from repro.observability import core as observability_core
 from repro.qos.sla import ComplianceTracker, derive_slas
 from repro.resilience.breaker import BreakerRegistry
 from repro.resilience.degradation import PartialExecutionReport
+from repro.runtime.handle import RunHandle, RunSpec, completed_handle
 from repro.env.environment import PervasiveEnvironment
 
 
@@ -70,6 +77,7 @@ class QASOM:
         self,
         environment: PervasiveEnvironment,
         properties: Mapping[str, QoSProperty],
+        *,
         task_ontology: Optional[Ontology] = None,
         repository: Optional[TaskClassRepository] = None,
         qos_model: Optional[QoSModel] = None,
@@ -183,6 +191,7 @@ class QASOM:
         cls,
         environment: PervasiveEnvironment,
         properties: Mapping[str, QoSProperty],
+        *,
         ontology: Optional[Ontology] = None,
         repository: Optional[TaskClassRepository] = None,
         config: Optional[MiddlewareConfig] = None,
@@ -228,7 +237,7 @@ class QASOM:
             pools[activity.name] = services
         return CandidateSets(task, pools)
 
-    def compose(
+    def _compose_plan(
         self, request: UserRequest, best_effort: bool = False
     ) -> CompositionPlan:
         """Discover + select: the request's answer, ready for execution."""
@@ -243,7 +252,7 @@ class QASOM:
             span.set(utility=plan.utility, feasible=plan.feasible)
         return plan
 
-    def compose_ranked(
+    def _compose_ranked_plans(
         self, request: UserRequest, k: int = 3
     ) -> List[CompositionPlan]:
         """Several distinct feasible compositions, best QoS first (§I.1:
@@ -289,7 +298,7 @@ class QASOM:
     # ------------------------------------------------------------------
     # end-to-end
     # ------------------------------------------------------------------
-    def execute(
+    def _execute_plan(
         self,
         plan: CompositionPlan,
         adapt: bool = True,
@@ -351,13 +360,106 @@ class QASOM:
         return RunResult(plan=plan, report=report, adaptations=adaptations,
                          compliance=tracker, trace=trace, partial=partial)
 
-    def run(self, request: UserRequest, adapt: bool = True) -> RunResult:
+    # ------------------------------------------------------------------
+    # stable public surface (mirrors MiddlewareRuntime)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Optional[UserRequest] = None,
+        *,
+        plan: Optional[CompositionPlan] = None,
+        execute: bool = True,
+        adapt: bool = True,
+        ranked: int = 0,
+        best_effort: bool = False,
+        track_sla: bool = False,
+    ) -> RunHandle:
+        """Process one submission inline; returns a completed handle.
+
+        The single entry point of the redesigned API: pass a ``request``
+        to compose (and, by default, execute) it, ``execute=False`` for a
+        plan-only run, ``ranked=k`` for up to ``k`` alternative proposals,
+        or ``plan=`` to execute a previously composed plan.  The returned
+        :class:`~repro.runtime.handle.RunHandle` is already terminal —
+        the same surface :class:`~repro.runtime.runtime.MiddlewareRuntime`
+        completes asynchronously, so call sites are agnostic to the
+        serial/pooled deployment choice.
+        """
+        spec = RunSpec(
+            request=request, plan=plan, execute=execute, adapt=adapt,
+            ranked=ranked, best_effort=best_effort, track_sla=track_sla,
+        )
+        if spec.ranked:
+            plans = self._compose_ranked_plans(spec.request, k=spec.ranked)
+            return completed_handle(spec, plans=plans)
+        if spec.plan is not None:
+            chosen = spec.plan
+        else:
+            chosen = self._compose_plan(
+                spec.request, best_effort=spec.best_effort
+            )
+        if not spec.execute:
+            return completed_handle(spec, plans=[chosen])
+        result = self._execute_plan(
+            chosen, adapt=spec.adapt, track_sla=spec.track_sla
+        )
+        return completed_handle(spec, result=result)
+
+    def run(
+        self,
+        request: UserRequest,
+        *,
+        adapt: bool = True,
+        best_effort: bool = False,
+        track_sla: bool = False,
+    ) -> RunResult:
         """compose + execute in one step."""
         with self.observability.span(
             "run", task=request.task.name
         ) as run_span:
-            plan = self.compose(request)
-            result = self.execute(plan, adapt=adapt)
+            plan = self._compose_plan(request, best_effort=best_effort)
+            result = self._execute_plan(
+                plan, adapt=adapt, track_sla=track_sla
+            )
         if self.observability.enabled:
             result.trace = run_span
         return result
+
+    # ------------------------------------------------------------------
+    # deprecated pre-redesign entrypoints (thin shims)
+    # ------------------------------------------------------------------
+    def compose(
+        self, request: UserRequest, best_effort: bool = False
+    ) -> CompositionPlan:
+        """Deprecated: use ``submit(request, execute=False).plan()``."""
+        warnings.warn(
+            "QASOM.compose() is deprecated; use "
+            "submit(request, execute=False).plan()",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._compose_plan(request, best_effort=best_effort)
+
+    def compose_ranked(
+        self, request: UserRequest, k: int = 3
+    ) -> List[CompositionPlan]:
+        """Deprecated: use ``submit(request, execute=False, ranked=k)
+        .alternatives()``."""
+        warnings.warn(
+            "QASOM.compose_ranked() is deprecated; use "
+            "submit(request, execute=False, ranked=k).alternatives()",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._compose_ranked_plans(request, k=k)
+
+    def execute(
+        self,
+        plan: CompositionPlan,
+        adapt: bool = True,
+        track_sla: bool = False,
+    ) -> RunResult:
+        """Deprecated: use ``submit(plan=plan).result()``."""
+        warnings.warn(
+            "QASOM.execute() is deprecated; use submit(plan=plan).result()",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._execute_plan(plan, adapt=adapt, track_sla=track_sla)

@@ -167,7 +167,12 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create store for all of a middleware instance's metrics."""
+    """Get-or-create store for all of a middleware instance's metrics.
+
+    Get-or-create is race-free under concurrent access (``setdefault`` on
+    the instrument maps is atomic in CPython), so runtime worker threads
+    sharing one registry always converge on the same instrument object.
+    """
 
     enabled = True
 
@@ -181,14 +186,14 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         counter = self._counters.get(key)
         if counter is None:
-            counter = self._counters[key] = Counter(name, key[1])
+            counter = self._counters.setdefault(key, Counter(name, key[1]))
         return counter
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         key = (name, _label_key(labels))
         gauge = self._gauges.get(key)
         if gauge is None:
-            gauge = self._gauges[key] = Gauge(name, key[1])
+            gauge = self._gauges.setdefault(key, Gauge(name, key[1]))
         return gauge
 
     def histogram(
@@ -200,8 +205,8 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         histogram = self._histograms.get(key)
         if histogram is None:
-            histogram = self._histograms[key] = Histogram(
-                name, key[1], buckets
+            histogram = self._histograms.setdefault(
+                key, Histogram(name, key[1], buckets)
             )
         return histogram
 

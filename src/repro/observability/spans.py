@@ -20,6 +20,8 @@ no-op context-manager enter/exit.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Protocol
 
@@ -164,6 +166,12 @@ class Tracer:
     ``clock`` is the environment's simulated clock; when present every
     span also records simulated start/end timestamps.  Finished *root*
     spans accumulate in :attr:`spans` (children hang off their parents).
+
+    The open-span stack is **thread-local**: spans opened by a runtime
+    worker thread nest under that thread's own ancestry and surface as
+    separate roots, so concurrent requests produce coherent per-request
+    trees instead of corrupting one shared stack.  Span ids are drawn from
+    an atomic counter and stay unique across threads.
     """
 
     enabled = True
@@ -171,17 +179,24 @@ class Tracer:
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock
         self.spans: List[Span] = []
-        self._stack: List[Span] = []
-        self._next_id = 0
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: Any) -> Span:
         """Create (but not yet start) a span; use as a context manager."""
-        self._next_id += 1
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
         return Span(
             name,
-            span_id=f"s{self._next_id:04d}",
+            span_id=f"s{next(self._ids):04d}",
             parent_id=parent.span_id if parent is not None else None,
             tracer=self,
             attributes=attributes or None,

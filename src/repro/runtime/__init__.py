@@ -1,0 +1,28 @@
+"""Concurrent multi-request runtime for the QASOM middleware.
+
+The paper evaluates one composition request at a time; this package is the
+deployable-middleware counterpart: a bounded worker pool that admits many
+user requests against one shared environment, with snapshot-isolated
+composition, coalesced discovery, per-request deadlines and backpressure —
+while staying byte-for-byte deterministic with the serial path.
+
+Entry points: :class:`MiddlewareRuntime` (the pool),
+:class:`RuntimeConfig` (knobs), :class:`RunHandle` (the result surface,
+shared with :meth:`repro.middleware.qasom.QASOM.submit`).
+"""
+
+from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
+from repro.runtime.handle import RequestStatus, RunHandle, RunSpec
+from repro.runtime.runtime import MiddlewareRuntime, RuntimeConfig
+from repro.runtime.snapshot import SnapshotManager
+
+__all__ = [
+    "DiscoveryBatcher",
+    "RequestCoalescer",
+    "MiddlewareRuntime",
+    "RequestStatus",
+    "RunHandle",
+    "RunSpec",
+    "RuntimeConfig",
+    "SnapshotManager",
+]

@@ -1,0 +1,488 @@
+"""The concurrent multi-request runtime: admission, workers, ordered commit.
+
+:class:`MiddlewareRuntime` turns a single-shot :class:`~repro.middleware.qasom.QASOM`
+instance into a request broker that admits many
+:class:`~repro.composition.request.UserRequest` submissions against one
+shared environment:
+
+* **Admission control** — a bounded FIFO queue; submissions beyond
+  ``queue_depth`` are rejected immediately
+  (:class:`~repro.errors.AdmissionRejectedError`) so overload surfaces as
+  backpressure, not unbounded latency.  Per-request deadlines reuse the
+  resilience layer's :class:`~repro.resilience.policies.TimeoutPolicy`:
+  a request whose deadline lapses while queued is expired, never run.
+* **Snapshot isolation** — every composition runs against a
+  generation-consistent registry snapshot
+  (:class:`~repro.runtime.snapshot.SnapshotManager`), so churn proceeding
+  on the environment can never show a half-mutated world to an in-flight
+  selection.
+* **Discovery batching & request coalescing** — capability lookups from
+  co-arriving requests coalesce through one
+  :class:`~repro.runtime.batching.DiscoveryBatcher` (and the middleware's
+  shared semantic match cache), and whole composition results for
+  *identical* requests coalesce through a
+  :class:`~repro.runtime.batching.RequestCoalescer` — the throughput win
+  on repeated task templates, since the GIL rules out parallel selection.
+* **Deterministic ordered commit** — composition is concurrent, but
+  executions commit strictly in admission order under the environment's
+  shared clock/RNG, so a pooled run produces byte-identical plans *and*
+  execution reports to the same workload run serially.  Selection itself
+  is deterministic per request (each worker owns a private selector), so
+  concurrency never changes what gets composed.
+
+See ``docs/RUNTIME.md`` for the architecture and tuning guide.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    MiddlewareRuntimeError,
+    NoCandidateError,
+    RuntimeShutdownError,
+)
+from repro.composition.qassa import QASSA
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets, CompositionPlan
+from repro.composition.selection_cache import SelectionCache
+from repro.resilience.policies import TimeoutPolicy
+from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
+from repro.runtime.handle import RequestStatus, RunHandle, RunSpec
+from repro.runtime.snapshot import SnapshotManager
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.middleware.qasom import QASOM, RunResult
+
+
+@dataclass(frozen=True, kw_only=True)
+class RuntimeConfig:
+    """Tuning knobs of the concurrent runtime.
+
+    ``workers`` bounds the composition pool; ``queue_depth`` bounds the
+    admission queue (beyond it, submissions are rejected — backpressure);
+    ``deadline`` is the per-request completion budget on the wall clock
+    (the default policy has no timeout).  ``drain_on_close`` controls
+    whether :meth:`MiddlewareRuntime.close` finishes the queued work or
+    cancels it.
+    """
+
+    workers: int = 4
+    queue_depth: int = 64
+    deadline: TimeoutPolicy = field(default_factory=TimeoutPolicy)
+    drain_on_close: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise MiddlewareRuntimeError("runtime needs at least one worker")
+        if self.queue_depth < 1:
+            raise MiddlewareRuntimeError("queue depth must be >= 1")
+
+
+class MiddlewareRuntime:
+    """A bounded worker pool brokering requests for one QASOM instance.
+
+    Usable as a context manager::
+
+        with MiddlewareRuntime(middleware, RuntimeConfig(workers=8)) as rt:
+            handles = [rt.submit(r) for r in requests]
+            results = [h.result() for h in handles]
+    """
+
+    def __init__(
+        self,
+        middleware: QASOM,
+        config: Optional[RuntimeConfig] = None,
+        *,
+        autostart: bool = True,
+    ) -> None:
+        self.middleware = middleware
+        self.config = config if config is not None else RuntimeConfig()
+        self.autostart = autostart
+        self.observability = middleware.observability
+        self.snapshots = SnapshotManager(middleware.environment.registry)
+        self.batcher = DiscoveryBatcher(
+            ontology=middleware.discovery.ontology,
+            match_cache=middleware.discovery.match_cache,
+            observability=self.observability,
+        )
+        self.coalescer = RequestCoalescer(observability=self.observability)
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: Deque[RunHandle] = deque()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+        self._in_flight = 0
+        self._idle = threading.Condition(self._lock)
+
+        # Ordered commit: executing submissions take a ticket at admission
+        # and executions happen strictly in ticket order.
+        self._commit_cond = threading.Condition()
+        self._next_ticket = 0
+        self._next_commit = 0
+        self._abandoned: set = set()
+        self._tickets: Dict[int, int] = {}  # id(handle) -> ticket
+
+        # One private selector per worker thread: QASSA is deterministic,
+        # so private selectors (and private selection caches) yield the
+        # same plans as the serial selector without any cross-thread races.
+        self._thread_state = threading.local()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MiddlewareRuntime":
+        """Spin up the worker pool (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeShutdownError("runtime already closed")
+            if self._started:
+                return self
+            self._started = True
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"qasom-runtime-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def close(self, drain: Optional[bool] = None) -> None:
+        """Stop the pool.  ``drain`` overrides ``config.drain_on_close``."""
+        drain = self.config.drain_on_close if drain is None else drain
+        cancelled: List[RunHandle] = []
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                cancelled = list(self._queue)
+                self._queue.clear()
+            self._work.notify_all()
+        for handle in cancelled:
+            self._abandon_ticket(handle)
+            handle._fail(
+                RuntimeShutdownError("runtime shut down before the request "
+                                     "was processed"),
+                RequestStatus.CANCELLED,
+            )
+            self._counter("runtime_cancelled_total").inc()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "MiddlewareRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # submission surface (mirrors QASOM.submit)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Optional[UserRequest] = None,
+        *,
+        plan: Optional[CompositionPlan] = None,
+        execute: bool = True,
+        adapt: bool = True,
+        ranked: int = 0,
+        best_effort: bool = False,
+        track_sla: bool = False,
+    ) -> RunHandle:
+        """Admit one request; returns immediately with a :class:`RunHandle`.
+
+        Raises nothing on overload: a rejected submission comes back as a
+        handle in ``REJECTED`` state whose accessors raise
+        :class:`~repro.errors.AdmissionRejectedError` — callers that fan
+        out many submissions inspect failures per handle.
+        """
+        spec = RunSpec(
+            request=request, plan=plan, execute=execute, adapt=adapt,
+            ranked=ranked, best_effort=best_effort, track_sla=track_sla,
+        )
+        handle = RunHandle(spec)
+        self._counter("runtime_submitted_total").inc()
+        with self._lock:
+            if self._closed:
+                raise RuntimeShutdownError("runtime is closed")
+            if len(self._queue) >= self.config.queue_depth:
+                handle._fail(
+                    AdmissionRejectedError(
+                        f"admission queue full "
+                        f"({self.config.queue_depth} pending)"
+                    ),
+                    RequestStatus.REJECTED,
+                )
+                self._counter("runtime_rejected_total").inc()
+                return handle
+            if spec.execute:
+                with self._commit_cond:
+                    self._tickets[id(handle)] = self._next_ticket
+                    self._next_ticket += 1
+            self._queue.append(handle)
+            self._gauge("runtime_queue_depth").set(len(self._queue))
+            self._work.notify()
+        if self.autostart and not self._started:
+            self.start()
+        return handle
+
+    def run(self, request: UserRequest, **options) -> RunResult:
+        """Submit and block for the full result (stable-API convenience)."""
+        return self.submit(request, **options).result()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until the queue is empty and no request is in flight."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._idle:
+            while self._queue or self._in_flight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        raise MiddlewareRuntimeError(
+                            "runtime did not drain within the timeout"
+                        )
+                self._idle.wait(remaining)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet picked up."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently on a worker."""
+        with self._lock:
+            return self._in_flight
+
+    # ------------------------------------------------------------------
+    # worker machinery
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._work.wait()
+                if not self._queue:
+                    return  # closed and drained (or cancelled)
+                handle = self._queue.popleft()
+                self._gauge("runtime_queue_depth").set(len(self._queue))
+                self._in_flight += 1
+                self._gauge("runtime_in_flight").set(self._in_flight)
+            try:
+                self._process(handle)
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                    self._gauge("runtime_in_flight").set(self._in_flight)
+                    self._idle.notify_all()
+
+    def _process(self, handle: RunHandle) -> None:
+        spec = handle.spec
+        handle._mark_running()
+        if self._expired(handle):
+            self._expire(handle, "queued")
+            return
+        task_name = (
+            spec.request.task.name if spec.request is not None
+            else spec.plan.task.name
+        )
+        with self.observability.span(
+            "runtime.request", task=task_name, execute=spec.execute,
+        ) as span:
+            span.set(queue_ms=round((handle.queue_seconds or 0.0) * 1e3, 3))
+            try:
+                if spec.plan is not None:
+                    plans = [spec.plan]
+                else:
+                    plans = self._compose(spec)
+                if not spec.execute:
+                    handle._complete(plans=plans)
+                    self._counter("runtime_completed_total").inc()
+                    span.set(status="done")
+                    return
+                if self._expired(handle):
+                    self._expire(handle, "pre-commit")
+                    span.set(status="expired")
+                    return
+                result = self._commit(handle, plans[0])
+                if result is None:  # expired while awaiting its turn
+                    span.set(status="expired")
+                    return
+                handle._complete(result)
+                self._counter("runtime_completed_total").inc()
+                span.set(status="done")
+            except Exception as exc:  # noqa: BLE001 - failure lands on handle
+                self._abandon_ticket(handle)
+                handle._fail(exc, RequestStatus.FAILED)
+                self._counter("runtime_failed_total").inc()
+                span.set(status="failed")
+
+    def _compose(self, spec: RunSpec) -> List[CompositionPlan]:
+        """Concurrent composition: snapshot + batched discovery + private
+        selector, with whole-result coalescing across identical requests.
+        Pools and plans are identical to the serial path."""
+        snapshot = self.snapshots.acquire()
+        key = self._plan_key(spec, snapshot.generation)
+        if key is None:
+            return self._compose_against(spec, snapshot)
+        return self.coalescer.plans(
+            key, lambda: self._compose_against(spec, snapshot)
+        )
+
+    def _plan_key(self, spec: RunSpec, generation: int):
+        """The coalescing key for a request, or ``None`` when uncacheable.
+
+        Composition is a pure function of the snapshot generation plus the
+        request content and selection options — *except* when the
+        cross-layer estimator is on (candidate QoS then depends on live
+        device/link state the generation does not cover), so those
+        requests always compose fresh.
+        """
+        if spec.request is None or self.middleware.estimator is not None:
+            return None
+        request = spec.request
+        return (
+            generation,
+            id(request.task),
+            tuple(request.constraints),
+            tuple(sorted(request.weights.items())),
+            spec.ranked,
+            spec.best_effort,
+        )
+
+    def _compose_against(
+        self, spec: RunSpec, snapshot
+    ) -> List[CompositionPlan]:
+        middleware = self.middleware
+        request = spec.request
+        pools: Dict[str, List] = {}
+        with self.observability.span(
+            "compose", task=request.task.name,
+            activities=request.task.size(), generation=snapshot.generation,
+        ) as span:
+            for activity in request.task.activities:
+                services = self.batcher.candidates(
+                    snapshot,
+                    activity.capability,
+                    middleware.config.discovery_minimum_degree,
+                )
+                if middleware.estimator is not None:
+                    services = [
+                        middleware.estimator.estimated_service(s)
+                        for s in services
+                    ]
+                if not services:
+                    raise NoCandidateError(activity.name)
+                pools[activity.name] = services
+            candidates = CandidateSets(request.task, pools)
+            selector = self._selector()
+            if spec.ranked:
+                plans = selector.select_ranked(
+                    request, candidates, k=spec.ranked
+                )
+            else:
+                plans = [
+                    selector.select(
+                        request, candidates, best_effort=spec.best_effort
+                    )
+                ]
+            span.set(utility=plans[0].utility, feasible=plans[0].feasible)
+        return plans
+
+    def _commit(
+        self, handle: RunHandle, plan: CompositionPlan
+    ) -> Optional[RunResult]:
+        """Execute in strict admission order against the live environment."""
+        ticket = self._tickets.pop(id(handle))
+        with self._commit_cond:
+            while self._next_commit != ticket:
+                self._commit_cond.wait()
+        try:
+            if self._expired(handle):
+                self._expire(handle, "commit")
+                return None
+            return self.middleware._execute_plan(
+                plan, adapt=handle.spec.adapt, track_sla=handle.spec.track_sla
+            )
+        finally:
+            with self._commit_cond:
+                self._advance_commit_locked()
+
+    # ------------------------------------------------------------------
+    def _selector(self) -> QASSA:
+        """This worker thread's private selector (built on first use)."""
+        selector = getattr(self._thread_state, "selector", None)
+        if selector is None:
+            middleware = self.middleware
+            selector = QASSA(
+                middleware.properties,
+                middleware.config.aggregation,
+                middleware.config.qassa,
+                observability=self.observability,
+                cache=(
+                    SelectionCache()
+                    if middleware.config.incremental_selection else None
+                ),
+            )
+            self._thread_state.selector = selector
+        return selector
+
+    def _expired(self, handle: RunHandle) -> bool:
+        elapsed_ms = (time.perf_counter() - handle.submitted_wall) * 1e3
+        return self.config.deadline.expired(elapsed_ms)
+
+    def _expire(self, handle: RunHandle, stage: str) -> None:
+        self._abandon_ticket(handle)
+        handle._fail(
+            DeadlineExceededError(
+                f"deadline of {self.config.deadline.invoke_timeout_ms:g} ms "
+                f"elapsed ({stage})"
+            ),
+            RequestStatus.EXPIRED,
+        )
+        self._counter("runtime_expired_total").inc()
+
+    def _abandon_ticket(self, handle: RunHandle) -> None:
+        """Release a commit ticket without executing (failure/expiry)."""
+        with self._commit_cond:
+            ticket = self._tickets.pop(id(handle), None)
+            if ticket is None:
+                return
+            if self._next_commit == ticket:
+                self._advance_commit_locked()
+            else:
+                self._abandoned.add(ticket)
+
+    def _advance_commit_locked(self) -> None:
+        self._next_commit += 1
+        while self._next_commit in self._abandoned:
+            self._abandoned.discard(self._next_commit)
+            self._next_commit += 1
+        self._commit_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def _counter(self, name: str):
+        return self.observability.counter(name)
+
+    def _gauge(self, name: str):
+        return self.observability.gauge(name)

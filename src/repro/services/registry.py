@@ -6,11 +6,22 @@ and exposes a small pub/sub hook so the middleware's monitoring and
 adaptation frameworks learn about churn (services joining/leaving) — the
 paper's environments are dynamic and selection results can be invalidated by
 departures.
+
+Two guarantees matter to callers that overlap reads with churn:
+
+* every read accessor (:meth:`~ServiceRegistry.by_capability`,
+  :meth:`~ServiceRegistry.capabilities`, :meth:`~ServiceRegistry.services`,
+  iteration) returns a **materialised** copy, never a live dict/set view —
+  a candidate list held across a churn event stays iterable and stable;
+* every mutation bumps :attr:`~ServiceRegistry.generation`, so callers can
+  detect churn cheaply and :meth:`~ServiceRegistry.snapshot` can be cached
+  copy-on-write (the runtime's snapshot-isolation layer builds on this —
+  see :mod:`repro.runtime.snapshot`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ServiceDescriptionError
 from repro.services.description import ServiceDescription
@@ -22,6 +33,61 @@ EVENT_WITHDRAWN = "withdrawn"
 EVENT_UPDATED = "updated"
 
 
+class RegistrySnapshot:
+    """An immutable, materialised view of a registry at one generation.
+
+    Exposes the registry's read surface (:meth:`by_capability`,
+    :meth:`capabilities`, :meth:`services`, :meth:`get`, containment,
+    iteration) over copied indexes, so discovery can run against it while
+    churn proceeds on the live registry — the snapshot never changes.
+    Obtain one from :meth:`ServiceRegistry.snapshot`.
+    """
+
+    __slots__ = ("generation", "_by_id", "_by_capability")
+
+    def __init__(
+        self,
+        generation: int,
+        by_id: Dict[str, ServiceDescription],
+        by_capability: Dict[str, Tuple[str, ...]],
+    ) -> None:
+        self.generation = generation
+        self._by_id = by_id
+        self._by_capability = by_capability
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, service_id: str) -> bool:
+        return service_id in self._by_id
+
+    def __iter__(self) -> Iterator[ServiceDescription]:
+        return iter(list(self._by_id.values()))
+
+    def get(self, service_id: str) -> Optional[ServiceDescription]:
+        """The description published under ``service_id``, if any."""
+        return self._by_id.get(service_id)
+
+    def by_capability(self, capability: str) -> List[ServiceDescription]:
+        """Services advertising exactly this capability at snapshot time."""
+        ids = self._by_capability.get(capability, ())
+        return [self._by_id[i] for i in ids]
+
+    def capabilities(self) -> Set[str]:
+        """Capability concepts with at least one provider at snapshot time."""
+        return set(self._by_capability)
+
+    def services(self) -> List[ServiceDescription]:
+        """Every service visible in this snapshot."""
+        return list(self._by_id.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"RegistrySnapshot(generation={self.generation}, "
+            f"services={len(self._by_id)})"
+        )
+
+
 class ServiceRegistry:
     """An in-memory, capability-indexed service directory."""
 
@@ -29,6 +95,17 @@ class ServiceRegistry:
         self._by_id: Dict[str, ServiceDescription] = {}
         self._by_capability: Dict[str, Set[str]] = {}
         self._listeners: List[RegistryListener] = []
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter: bumped by every publish/withdraw.
+
+        Equal generations imply identical directory contents, so callers
+        (snapshot managers, discovery batchers) can cache derived state
+        keyed by generation and invalidate on change.
+        """
+        return self._generation
 
     def __len__(self) -> int:
         return len(self._by_id)
@@ -54,6 +131,7 @@ class ServiceRegistry:
         self._by_capability.setdefault(service.capability, set()).add(
             service.service_id
         )
+        self._generation += 1
         self._notify(EVENT_UPDATED if previous else EVENT_PUBLISHED, service)
         return service
 
@@ -70,6 +148,7 @@ class ServiceRegistry:
                 f"cannot withdraw unknown service {service_id!r}"
             ) from None
         self._unindex(service, drop_id=False)
+        self._generation += 1
         self._notify(EVENT_WITHDRAWN, service)
         return service
 
@@ -88,15 +167,42 @@ class ServiceRegistry:
         Semantic (subsumption-aware) lookup lives in
         :class:`repro.services.discovery.QoSAwareDiscovery`; the registry
         itself is purely syntactic, as a real directory would be.
+
+        The returned list is a materialised snapshot: the index set is
+        copied before expansion, so churn fired mid-call (by a registry
+        listener, or another thread) can neither corrupt the iteration nor
+        leave the caller holding a half-mutated view.
         """
-        ids = self._by_capability.get(capability, set())
-        return [self._by_id[i] for i in ids if i in self._by_id]
+        ids = tuple(self._by_capability.get(capability, ()))
+        by_id = self._by_id
+        return [by_id[i] for i in ids if i in by_id]
 
     def capabilities(self) -> Set[str]:
-        return {c for c, ids in self._by_capability.items() if ids}
+        """Capability concepts with at least one registered provider
+        (materialised — safe to hold across churn)."""
+        return {c for c, ids in list(self._by_capability.items()) if ids}
 
     def services(self) -> List[ServiceDescription]:
+        """Every registered service, as a materialised list."""
         return list(self._by_id.values())
+
+    def snapshot(self) -> RegistrySnapshot:
+        """A consistent, immutable copy of the whole directory.
+
+        The copy is re-taken until the generation is stable across the
+        read, so a snapshot never interleaves with a concurrent publish or
+        withdraw (single-writer registries converge on the first pass).
+        """
+        while True:
+            generation = self._generation
+            by_id = dict(self._by_id)
+            by_capability = {
+                capability: tuple(ids)
+                for capability, ids in list(self._by_capability.items())
+                if ids
+            }
+            if self._generation == generation:
+                return RegistrySnapshot(generation, by_id, by_capability)
 
     # ------------------------------------------------------------------
     def subscribe(self, listener: RegistryListener) -> Callable[[], None]:

@@ -102,3 +102,158 @@ class TestExceptionHierarchy:
                 raise exc
             except ReproError:
                 pass
+
+
+class TestStableApiSurface:
+    """``repro.api`` is the one blessed import surface (this PR's redesign)."""
+
+    def test_api_all_is_pinned(self):
+        from repro import api
+
+        assert sorted(api.__all__) == api.__all__ or True  # order is tiered
+        expected = {
+            # core middleware
+            "AdmissionRejectedError", "CandidateSets", "CompositionPlan",
+            "DeadlineExceededError", "GlobalConstraint", "MiddlewareConfig",
+            "MiddlewareRuntime", "MiddlewareRuntimeError",
+            "PartialExecutionReport", "QASOM", "ReproError", "RequestStatus",
+            "RunHandle", "RunResult", "RuntimeConfig", "RuntimeShutdownError",
+            "Task", "UserRequest", "leaf", "loop", "parallel", "sequence",
+            # environment & scenarios
+            "Device", "DeviceClass", "EnvironmentConfig",
+            "PervasiveEnvironment", "RegistrySnapshot", "Scenario",
+            "ServiceDescription", "ServiceGenerator", "ServiceRegistry",
+            "build_hospital_scenario", "build_holiday_camp_scenario",
+            "build_shopping_scenario",
+            # toolkit
+            "AggregationApproach", "ComplianceTracker", "ExecutionEngine",
+            "ExecutionReport", "FaultEvent", "FaultKind", "FaultSchedule",
+            "HomeomorphismConfig", "MatchDegree", "MonitorConfig",
+            "Observability", "ObservabilityConfig", "Ontology", "QASSA",
+            "QassaConfig", "QoSModel", "QoSObservation", "QoSVector",
+            "ReputationManager", "ResilienceConfig", "STANDARD_PROPERTIES",
+            "SimulatedClock", "Sweep", "TimeoutPolicy",
+            "aggregate_composition", "build_end_to_end_model", "derive_slas",
+            "dump_repository", "figures", "observability", "render_series",
+            "render_table",
+        }
+        assert set(api.__all__) == expected
+
+    def test_api_exports_resolve_and_are_importable(self):
+        from repro import api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_cli_imports_only_from_the_api(self):
+        import re
+        import inspect as _inspect
+
+        from repro import cli
+
+        source = _inspect.getsource(cli)
+        deep = [
+            line for line in source.splitlines()
+            if re.match(r"\s*from repro\.(?!api\b)", line)
+            or re.match(r"\s*import repro\.(?!api\b)", line)
+        ]
+        assert deep == [], f"repro.cli bypasses repro.api: {deep}"
+
+    def test_examples_import_only_from_the_api(self):
+        import pathlib
+        import re
+
+        examples = (
+            pathlib.Path(__file__).resolve().parent.parent / "examples"
+        )
+        offenders = []
+        for path in sorted(examples.glob("*.py")):
+            for line in path.read_text().splitlines():
+                if re.match(r"\s*(from|import) repro\.(?!api\b)", line):
+                    offenders.append(f"{path.name}: {line.strip()}")
+        assert offenders == [], f"examples bypass repro.api: {offenders}"
+
+
+class TestKeywordOnlyConstruction:
+    """The redesigned constructors reject positional config soup."""
+
+    def test_middleware_config_rejects_positionals(self):
+        from repro.api import MiddlewareConfig
+
+        with pytest.raises(TypeError):
+            MiddlewareConfig("pessimistic")
+
+    def test_runtime_config_rejects_positionals(self):
+        from repro.api import RuntimeConfig
+
+        with pytest.raises(TypeError):
+            RuntimeConfig(8)
+
+    def test_qasom_rejects_extra_positionals(self):
+        from repro.api import QASOM
+
+        with pytest.raises(TypeError):
+            QASOM(None, None, None)  # everything past (env, props) is kw-only
+
+
+class TestDeprecatedShims:
+    """compose/compose_ranked/execute still work, under DeprecationWarning."""
+
+    @staticmethod
+    def _middleware():
+        from repro.api import (
+            Ontology, PervasiveEnvironment, QASOM, ServiceGenerator,
+            STANDARD_PROPERTIES, Task, UserRequest, leaf, sequence,
+        )
+
+        props = {
+            n: STANDARD_PROPERTIES[n]
+            for n in ("response_time", "cost", "availability")
+        }
+        ontology = Ontology("shim-tests")
+        root = ontology.declare_class("task:Root")
+        ontology.declare_class("task:Only", [root])
+        environment = PervasiveEnvironment(seed=5)
+        generator = ServiceGenerator(props, seed=5)
+        for service in generator.candidates("task:Only", 5):
+            environment.host_on_new_device(service)
+        middleware = QASOM.for_environment(environment, props,
+                                           ontology=ontology)
+        task = Task("shim", sequence(leaf("A", "task:Only")))
+        request = UserRequest(task=task, constraints=(),
+                              weights={n: 1.0 for n in props})
+        return middleware, request
+
+    def test_compose_warns_and_delegates(self):
+        middleware, request = self._middleware()
+        with pytest.warns(DeprecationWarning, match="submit"):
+            plan = middleware.compose(request)
+        assert plan.feasible == middleware.submit(
+            request, execute=False
+        ).plan().feasible
+
+    def test_compose_ranked_warns_and_delegates(self):
+        middleware, request = self._middleware()
+        with pytest.warns(DeprecationWarning, match="submit"):
+            proposals = middleware.compose_ranked(request, k=2)
+        assert proposals
+        assert proposals == sorted(proposals, key=lambda p: -p.utility)
+
+    def test_execute_warns_and_delegates(self):
+        middleware, request = self._middleware()
+        plan = middleware.submit(request, execute=False).plan()
+        with pytest.warns(DeprecationWarning, match="submit"):
+            result = middleware.execute(plan)
+        assert result.report is not None
+
+    def test_internal_modules_raise_no_deprecation_warnings(self):
+        """An end-to-end run through the new surface is shim-free."""
+        import warnings
+
+        middleware, request = self._middleware()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = middleware.run(request)
+            handle = middleware.submit(request, execute=False)
+            assert handle.plan() is not None
+        assert result.plan is not None

@@ -85,3 +85,24 @@ class TestRepositoryCommand:
         assert main(["repository", "shopping"], out=out) == 0
         recovered = load_repository(out.getvalue())
         assert recovered.require("shopping")
+
+
+class TestServeMode:
+    def test_serve_brokers_requests_through_the_pool(self):
+        out = io.StringIO()
+        code = main(["scenario", "shopping", "--services", "6", "--serve",
+                     "--workers", "2", "--requests", "5"], out=out)
+        text = out.getvalue()
+        assert "serve: 5 requests, 2 workers" in text
+        assert "brokered 5 requests" in text
+        assert "req/s" in text
+        assert "latency: p50" in text
+        assert "request coalescing:" in text
+        assert "discovery batching:" in text
+        assert code == 0
+
+    def test_serve_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["scenario", "shopping", "--serve"])
+        assert args.workers == 4
+        assert args.requests == 16

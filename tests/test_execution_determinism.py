@@ -174,7 +174,7 @@ def qasom_trace(run_seed=17, with_faults=True):
         constraints=(GlobalConstraint.at_most("response_time", 1e9),),
         weights={n: 1.0 for n in PROPS},
     )
-    plan = qasom.compose(request)
+    plan = qasom.submit(request, execute=False).plan()
 
     if with_faults:
         bound = sorted({s.service_id for s in plan.binding().values()})
@@ -182,7 +182,7 @@ def qasom_trace(run_seed=17, with_faults=True):
             bound, fraction=0.5, between=(0.0, 0.2), seed=run_seed,
         )
         environment.schedule_faults(schedule)
-    result = qasom.execute(plan, adapt=False)
+    result = qasom.submit(plan=plan, adapt=False).result()
     return [
         (
             r.activity_name,

@@ -46,7 +46,7 @@ class TestHappyPath:
     def test_every_executed_activity_was_planned(self, builder):
         scenario = builder()
         middleware = make_middleware(scenario)
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         # Snapshot before execution: post-execution adaptation may rewrite
         # the plan's ranked lists.
         planned_ids = {
@@ -54,7 +54,7 @@ class TestHappyPath:
             for selection in plan.selections.values()
             for s in selection.services
         }
-        result = middleware.execute(plan)
+        result = middleware.submit(plan=plan).result()
         executed_ids = {
             r.service_id for r in result.report.invocations if r.succeeded
         }
@@ -66,11 +66,11 @@ class TestFailureInjection:
     def test_mass_kill_forces_retries_or_adaptation(self):
         scenario = build_shopping_scenario(seed=101)
         middleware = make_middleware(scenario)
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         # Kill the primary of every activity before execution.
         for selection in plan.selections.values():
             scenario.environment.kill_service(selection.primary.service_id)
-        result = middleware.execute(plan)
+        result = middleware.submit(plan=plan).result()
         if result.report.succeeded:
             # Each successful activity ran on a non-primary service.
             for record in result.report.invocations:
@@ -86,9 +86,9 @@ class TestFailureInjection:
     def test_environment_churn_between_compose_and_execute(self):
         scenario = build_holiday_camp_scenario(seed=55)
         middleware = make_middleware(scenario)
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         scenario.environment.step(10)  # churn + fluctuation + battery drain
-        result = middleware.execute(plan)
+        result = middleware.submit(plan=plan).result()
         # Execution either succeeds (via binding/retries) or reports the
         # failed activity — never crashes.
         assert result.report.succeeded or result.report.failed_activity
@@ -96,7 +96,7 @@ class TestFailureInjection:
     def test_substitution_after_violation_trigger(self):
         scenario = build_shopping_scenario(seed=202)
         middleware = make_middleware(scenario)
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         manager = middleware.adaptation_manager(plan)
         victim = plan.selections["Order"].primary
         trigger = middleware.monitor.report_failure(victim.service_id, 0.0)
@@ -116,7 +116,7 @@ class TestFailureInjection:
         escalation order."""
         scenario = build_shopping_scenario(seed=303)
         middleware = make_middleware(scenario)
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         order_primary = plan.selections["Order"].primary
         for service in list(scenario.environment.registry):
             if service.capability == "task:Order":
@@ -151,7 +151,7 @@ class TestProactiveMonitoringLoop:
                 monitor=MonitorConfig(alpha=0.7, trend_gain=4.0)
             ),
         )
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         middleware.adaptation_manager(plan)  # installs watches
         victim = plan.selections["Browse"].primary
         bound = None
@@ -185,7 +185,7 @@ class TestCrossScenarioReuse:
     def test_tighter_budget_lowers_cost(self):
         scenario = build_shopping_scenario(seed=88)
         middleware = make_middleware(scenario)
-        loose_plan = middleware.compose(scenario.request)
+        loose_plan = middleware.submit(scenario.request, execute=False).plan()
         budget = loose_plan.aggregated_qos["cost"] * 0.9
         tight_request = UserRequest(
             scenario.task,
@@ -194,7 +194,7 @@ class TestCrossScenarioReuse:
             weights=scenario.request.weights,
         )
         try:
-            tight_plan = middleware.compose(tight_request)
+            tight_plan = middleware.submit(tight_request, execute=False).plan()
         except Exception:
             pytest.skip("no composition fits the tightened budget")
         assert tight_plan.aggregated_qos["cost"] <= budget + 1e-9

@@ -32,14 +32,14 @@ class TestLongRunningSession:
         for round_ in range(50):
             scenario.environment.step(2)
             try:
-                plan = middleware.compose(scenario.request)
+                plan = middleware.submit(scenario.request, execute=False).plan()
             except ReproError:
                 refused += 1
                 continue
             answered += 1
             assert plan.feasible
             assert scenario.request.satisfied_by(plan.aggregated_qos)
-            result = middleware.execute(plan)
+            result = middleware.submit(plan=plan).result()
             if result.report.succeeded:
                 executed_ok += 1
         # Liveness: the middleware answered most rounds and some executions
@@ -83,11 +83,11 @@ class TestLongRunningSession:
             ontology=scenario.ontology,
             repository=scenario.repository,
         )
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         # Drain every hosting phone flat.
         for device in scenario.environment.devices():
             device.battery_remaining_wh = 0.0
             device.online = False
-        result = middleware.execute(plan)
+        result = middleware.submit(plan=plan).result()
         assert not result.report.succeeded
         assert result.report.failed_activity is not None

@@ -25,7 +25,7 @@ def middleware(scenario):
 
 class TestComposeRanked:
     def test_ranked_alternatives_for_user_choice(self, middleware, scenario):
-        plans = middleware.compose_ranked(scenario.request, k=3)
+        plans = middleware.submit(scenario.request, execute=False, ranked=3).alternatives()
         assert 1 <= len(plans) <= 3
         utilities = [p.utility for p in plans]
         assert utilities == sorted(utilities, reverse=True)
@@ -33,10 +33,10 @@ class TestComposeRanked:
             assert plan.feasible
 
     def test_any_ranked_plan_executes(self, middleware, scenario):
-        plans = middleware.compose_ranked(scenario.request, k=2)
+        plans = middleware.submit(scenario.request, execute=False, ranked=2).alternatives()
         # The user may pick any proposed composition, not just the best.
         chosen = plans[-1]
-        result = middleware.execute(chosen)
+        result = middleware.submit(plan=chosen).result()
         assert result.report.invocations
 
 
@@ -46,14 +46,14 @@ class TestSlaTracking:
         assert result.compliance is None
 
     def test_tracker_populated_when_enabled(self, middleware, scenario):
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         # Snapshot before execution: adaptation may rewrite the ranked
         # lists afterwards, but the SLAs were derived from this state.
         expected = float(sum(
             len(selection.services)
             for selection in plan.selections.values()
         ))
-        result = middleware.execute(plan, track_sla=True)
+        result = middleware.submit(plan=plan, track_sla=True).result()
         tracker = result.compliance
         assert tracker is not None
         summary = tracker.summary()
@@ -63,10 +63,10 @@ class TestSlaTracking:
     def test_breaches_surface_in_tracker(self, middleware, scenario):
         """Degrading every link hard makes observed response times blow the
         per-service shares — the tracker must report the breaches."""
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         for device in scenario.environment.devices():
             scenario.environment.degrade_link(device.device_id, fraction=1.0)
-        result = middleware.execute(plan, adapt=False, track_sla=True)
+        result = middleware.submit(plan=plan, adapt=False, track_sla=True).result()
         tracker = result.compliance
         if result.report.invocations and any(
             r.observed_qos for r in result.report.invocations
@@ -85,10 +85,10 @@ class TestInfrastructureAwareComposition:
             ontology=scenario.ontology,
             config=MiddlewareConfig(infrastructure_aware=True),
         )
-        plan_before = aware.compose(scenario.request)
+        plan_before = aware.submit(scenario.request, execute=False).plan()
         victim = plan_before.selections["Browse"].primary
         scenario.environment.degrade_link(victim.host_device, fraction=1.0)
-        plan_after = aware.compose(scenario.request)
+        plan_after = aware.submit(scenario.request, execute=False).plan()
         # Either the middleware moved off the degraded host, or it kept it
         # but accounted for the degradation in the aggregate (estimate >
         # raw advertisement).
@@ -108,7 +108,7 @@ class TestInfrastructureAwareComposition:
             scenario.environment, scenario.properties,
             ontology=scenario.ontology,
         )
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         for selection in plan.selections.values():
             raw = scenario.environment.registry.require(
                 selection.primary.service_id

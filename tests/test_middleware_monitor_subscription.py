@@ -69,7 +69,7 @@ class _RecordingManager:
 
 class TestSubscriptionLifecycle:
     def test_listener_registered_only_during_execute(self, middleware, scenario):
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         seen_during_run = []
         middleware.engine = _ScriptedEngine(middleware.monitor, failures=[])
         original_execute = middleware.engine.execute
@@ -80,12 +80,12 @@ class TestSubscriptionLifecycle:
 
         middleware.engine.execute = spying_execute
         baseline = len(middleware.monitor._listeners)
-        middleware.execute(plan)
+        middleware.submit(plan=plan).result()
         assert seen_during_run == [baseline + 1]
         assert len(middleware.monitor._listeners) == baseline
 
     def test_no_subscription_when_adapt_disabled(self, middleware, scenario):
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         seen_during_run = []
         engine = _ScriptedEngine(middleware.monitor, failures=[])
         original_execute = engine.execute
@@ -96,12 +96,12 @@ class TestSubscriptionLifecycle:
 
         engine.execute = spying_execute
         middleware.engine = engine
-        result = middleware.execute(plan, adapt=False)
+        result = middleware.submit(plan=plan, adapt=False).result()
         assert seen_during_run == [0]
         assert result.adaptations == []
 
     def test_unsubscribe_runs_when_the_engine_raises(self, middleware, scenario):
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
 
         class _ExplodingEngine:
             def execute(self, _plan):
@@ -109,7 +109,7 @@ class TestSubscriptionLifecycle:
 
         middleware.engine = _ExplodingEngine()
         with pytest.raises(RuntimeError):
-            middleware.execute(plan)
+            middleware.submit(plan=plan).result()
         # The collector subscribed for the run is gone despite the failure,
         # so later triggers cannot leak into a dead run's pending list.
         assert middleware.monitor._listeners == []
@@ -117,20 +117,20 @@ class TestSubscriptionLifecycle:
     def test_repeated_executes_do_not_accumulate_listeners(
         self, middleware, scenario
     ):
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         middleware.engine = _ScriptedEngine(middleware.monitor, failures=[])
         for _ in range(3):
-            middleware.execute(plan)
+            middleware.submit(plan=plan).result()
         assert middleware.monitor._listeners == []
 
 
 class TestTriggerDeduplication:
     def _run_with_failures(self, middleware, scenario, failures):
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         manager = _RecordingManager()
         middleware.adaptation_manager = lambda p, allow_behavioural=True: manager
         middleware.engine = _ScriptedEngine(middleware.monitor, failures)
-        result = middleware.execute(plan)
+        result = middleware.submit(plan=plan).result()
         return manager, result
 
     def test_each_trigger_collected_exactly_once(self, middleware, scenario):
@@ -160,7 +160,7 @@ class TestTriggerDeduplication:
     def test_same_service_different_kinds_both_handled(
         self, middleware, scenario
     ):
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         manager = _RecordingManager()
         middleware.adaptation_manager = lambda p, allow_behavioural=True: manager
 
@@ -186,7 +186,7 @@ class TestTriggerDeduplication:
                 )
 
         middleware.engine = _TwoKindEngine()
-        result = middleware.execute(plan)
+        result = middleware.submit(plan=plan).result()
         kinds = {t.kind for t in manager.handled}
         assert kinds == {TriggerKind.FAILURE, TriggerKind.VIOLATION}
         assert len(result.adaptations) == 2

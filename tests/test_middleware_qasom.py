@@ -29,7 +29,7 @@ def middleware(scenario):
 
 class TestCompose:
     def test_compose_returns_feasible_plan(self, middleware, scenario):
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         assert plan.feasible
         assert set(plan.selections) == set(scenario.task.activity_names)
         assert scenario.request.satisfied_by(plan.aggregated_qos)
@@ -39,7 +39,7 @@ class TestCompose:
     ):
         """The shopping task asks for task:Payment; only Card/Mobile payment
         services exist, so composition relies on PLUGIN matches."""
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         payment_service = plan.selections["Pay"].primary
         assert payment_service.capability in (
             "task:CardPayment", "task:MobilePayment",
@@ -49,7 +49,7 @@ class TestCompose:
         bogus = Task("bogus", sequence(leaf("X", "task:Nonexistent")))
         request = UserRequest(bogus, weights={"cost": 1.0})
         with pytest.raises(NoCandidateError):
-            middleware.compose(request)
+            middleware.submit(request, execute=False).plan()
 
     def test_candidates_for_uses_discovery(self, middleware, scenario):
         candidates = middleware.candidates_for(scenario.task)
@@ -61,8 +61,8 @@ class TestCompose:
 
 class TestExecute:
     def test_execute_produces_report(self, middleware, scenario):
-        plan = middleware.compose(scenario.request)
-        result = middleware.execute(plan)
+        plan = middleware.submit(scenario.request, execute=False).plan()
+        result = middleware.submit(plan=plan).result()
         assert result.plan is plan
         assert result.report.invocations
         # Task has 4 activities; conditional/loop may change counts, but the
@@ -71,8 +71,8 @@ class TestExecute:
         assert activities_run <= set(scenario.task.activity_names)
 
     def test_execute_without_adaptation(self, middleware, scenario):
-        plan = middleware.compose(scenario.request)
-        result = middleware.execute(plan, adapt=False)
+        plan = middleware.submit(scenario.request, execute=False).plan()
+        result = middleware.submit(plan=plan, adapt=False).result()
         assert result.adaptations == []
 
     def test_run_end_to_end(self, middleware, scenario):
@@ -87,10 +87,10 @@ class TestExecute:
             ontology=scenario.ontology,
             repository=scenario.repository,
         )
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         victim = plan.selections["Browse"].primary
         scenario.environment.kill_service(victim.service_id)
-        result = middleware.execute(plan)
+        result = middleware.submit(plan=plan).result()
         # Execution survived through dynamic binding / retries.
         assert result.report.succeeded or result.adaptations
 
@@ -104,7 +104,7 @@ class TestConfig:
             scenario.environment, scenario.properties,
             ontology=scenario.ontology, config=config,
         )
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         assert plan.approach is AggregationApproach.MEAN
 
     def test_no_repository_disables_behavioural(self, scenario):

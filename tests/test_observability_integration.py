@@ -100,11 +100,11 @@ class TestTracedRun:
     def test_failed_invocations_traced_as_retries(self, scenario):
         obs = Observability(clock=scenario.environment.clock)
         middleware = _middleware(scenario, obs)
-        plan = middleware.compose(scenario.request)
+        plan = middleware.submit(scenario.request, execute=False).plan()
         # Kill one bound primary: the engine must retry on an alternate.
         victim = next(iter(plan.selections.values())).primary
         scenario.environment.kill_service(victim.service_id)
-        result = middleware.execute(plan, adapt=False)
+        result = middleware.submit(plan=plan, adapt=False).result()
         assert result.report.succeeded
         invokes = result.trace.find("invoke")
         assert invokes, "execution produced no invoke spans"

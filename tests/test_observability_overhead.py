@@ -34,8 +34,8 @@ def _middleware(scenario, obs=None):
 
 
 def _workload(middleware, request):
-    plan = middleware.compose(request)
-    return middleware.execute(plan)
+    plan = middleware.submit(request, execute=False).plan()
+    return middleware.submit(plan=plan).result()
 
 
 def _count_touchpoints():

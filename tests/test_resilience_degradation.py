@@ -202,7 +202,7 @@ class TestQasomSurface:
 
     def test_execute_surfaces_partial_report(self):
         environment, qasom = self.make_qasom()
-        plan = qasom.compose(self.request())
+        plan = qasom.submit(self.request(), execute=False).plan()
         # Kill every provider of the optional activity B before running.
         schedule = FaultSchedule.kill_services(
             [s.service_id for s in environment.registry.services()
@@ -210,7 +210,7 @@ class TestQasomSurface:
             between=(0.0, 0.0),
         )
         environment.schedule_faults(schedule)
-        result = qasom.execute(plan, adapt=False)
+        result = qasom.submit(plan=plan, adapt=False).result()
         assert result.report.succeeded
         assert result.partial is not None
         assert result.partial.skipped_activities == ["B"]
@@ -218,6 +218,7 @@ class TestQasomSurface:
 
     def test_full_completion_has_no_partial(self):
         _, qasom = self.make_qasom()
-        result = qasom.execute(qasom.compose(self.request()), adapt=False)
+        plan = qasom.submit(self.request(), execute=False).plan()
+        result = qasom.submit(plan=plan, adapt=False).result()
         assert result.report.succeeded
         assert result.partial is None

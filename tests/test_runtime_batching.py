@@ -1,0 +1,198 @@
+"""Tests for discovery batching and whole-composition request coalescing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
+from repro.semantics.matching import MatchCache, MatchDegree
+from repro.semantics.ontology import Ontology
+from repro.services.discovery import DiscoveryQuery, QoSAwareDiscovery
+from repro.services.generator import ServiceGenerator
+from repro.services.registry import ServiceRegistry
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+def build_registry(capabilities=("task:Pay", "task:Browse"), count=5, seed=3):
+    registry = ServiceRegistry()
+    generator = ServiceGenerator(PROPS, seed=seed)
+    for capability in capabilities:
+        registry.publish_all(generator.candidates(capability, count))
+    return registry, generator
+
+
+def build_ontology(capabilities=("task:Pay", "task:Browse")):
+    ontology = Ontology("batching-tests")
+    root = ontology.declare_class("task:Root")
+    for capability in capabilities:
+        ontology.declare_class(capability, [root])
+    return ontology
+
+
+class TestDiscoveryBatcher:
+    def test_pools_match_direct_discovery(self):
+        registry, _ = build_registry()
+        ontology = build_ontology()
+        snapshot = registry.snapshot()
+        batcher = DiscoveryBatcher(ontology=ontology,
+                                   match_cache=MatchCache(ontology))
+        direct = QoSAwareDiscovery(registry, ontology)
+        for capability in ("task:Pay", "task:Browse"):
+            batched = batcher.candidates(
+                snapshot, capability, MatchDegree.PLUGIN
+            )
+            expected = direct.candidates(
+                DiscoveryQuery(capability=capability,
+                               minimum_degree=MatchDegree.PLUGIN)
+            )
+            assert [s.service_id for s in batched] == [
+                s.service_id for s in expected
+            ]
+
+    def test_repeat_lookups_are_coalesced(self):
+        registry, _ = build_registry()
+        snapshot = registry.snapshot()
+        batcher = DiscoveryBatcher(ontology=build_ontology())
+        for _ in range(4):
+            batcher.candidates(snapshot, "task:Pay", MatchDegree.PLUGIN)
+        assert batcher.computed == 1
+        assert batcher.lookups == 4
+        assert batcher.coalesced == 3
+
+    def test_callers_get_independent_list_copies(self):
+        registry, _ = build_registry()
+        snapshot = registry.snapshot()
+        batcher = DiscoveryBatcher(ontology=build_ontology())
+        first = batcher.candidates(snapshot, "task:Pay", MatchDegree.PLUGIN)
+        first.reverse()
+        second = batcher.candidates(snapshot, "task:Pay", MatchDegree.PLUGIN)
+        assert [s.service_id for s in second] != [
+            s.service_id for s in first
+        ] or len(first) < 2
+
+    def test_generation_change_invalidates(self):
+        registry, generator = build_registry()
+        batcher = DiscoveryBatcher(ontology=build_ontology())
+        old = registry.snapshot()
+        batcher.candidates(old, "task:Pay", MatchDegree.PLUGIN)
+        registry.publish(generator.service("task:Pay"))
+        fresh = registry.snapshot()
+        pool = batcher.candidates(fresh, "task:Pay", MatchDegree.PLUGIN)
+        assert batcher.computed == 2
+        assert len(pool) == 6
+
+    def test_concurrent_identical_lookups_compute_once(self):
+        import threading
+
+        registry, _ = build_registry(count=30)
+        snapshot = registry.snapshot()
+        batcher = DiscoveryBatcher(ontology=build_ontology())
+        barrier = threading.Barrier(6)
+        pools = []
+
+        def worker():
+            barrier.wait()
+            pools.append(
+                batcher.candidates(snapshot, "task:Pay", MatchDegree.PLUGIN)
+            )
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert batcher.computed == 1
+        ids = [[s.service_id for s in pool] for pool in pools]
+        assert all(pool == ids[0] for pool in ids)
+
+
+class FakePlan:
+    """Stands in for a CompositionPlan: the coalescer only calls clone()."""
+
+    def __init__(self, label):
+        self.label = label
+        self.clones = 0
+
+    def clone(self):
+        clone = FakePlan(self.label)
+        self.clones += 1
+        return clone
+
+
+class TestRequestCoalescer:
+    def test_computes_once_per_key(self):
+        coalescer = RequestCoalescer()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return [FakePlan("p")]
+
+        first = coalescer.plans((0, "k"), compute)
+        second = coalescer.plans((0, "k"), compute)
+        assert len(calls) == 1
+        assert coalescer.computed == 1 and coalescer.coalesced == 1
+        assert first[0].label == second[0].label
+
+    def test_every_caller_gets_a_clone(self):
+        coalescer = RequestCoalescer()
+        pristine = FakePlan("p")
+        first = coalescer.plans((0, "k"), lambda: [pristine])
+        second = coalescer.plans((0, "k"), lambda: [pristine])
+        assert first[0] is not pristine
+        assert second[0] is not pristine
+        assert first[0] is not second[0]
+
+    def test_new_generation_evicts_stale_entries(self):
+        coalescer = RequestCoalescer()
+        coalescer.plans((0, "k"), lambda: [FakePlan("old")])
+        coalescer.plans((1, "k"), lambda: [FakePlan("new")])
+        # The old generation is gone: same old key recomputes.
+        coalescer.plans((0, "k"), lambda: [FakePlan("recomputed")])
+        assert coalescer.computed == 3
+
+    def test_failed_computation_propagates_and_retries(self):
+        coalescer = RequestCoalescer()
+
+        def boom():
+            raise ReproError("selection blew up")
+
+        with pytest.raises(ReproError):
+            coalescer.plans((0, "k"), boom)
+        # The failure is not cached: a later caller computes fresh.
+        plans = coalescer.plans((0, "k"), lambda: [FakePlan("ok")])
+        assert plans[0].label == "ok"
+
+    def test_concurrent_identical_requests_compose_once(self):
+        import threading
+        import time
+
+        coalescer = RequestCoalescer()
+        barrier = threading.Barrier(6)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.01)  # widen the in-flight window
+            return [FakePlan("p")]
+
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(coalescer.plans((0, "k"), compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(calls) == 1
+        assert len(results) == 6
+        assert len({id(r[0]) for r in results}) == 6  # all clones

@@ -1,0 +1,86 @@
+"""Tests for the runtime's copy-on-write snapshot manager."""
+
+from __future__ import annotations
+
+from repro.qos.properties import RESPONSE_TIME
+from repro.qos.values import QoSVector
+from repro.runtime.snapshot import SnapshotManager
+from repro.services.description import ServiceDescription
+from repro.services.registry import ServiceRegistry
+
+PROPS = {"response_time": RESPONSE_TIME}
+
+
+def svc(name, capability="task:X"):
+    return ServiceDescription(
+        name=name,
+        capability=capability,
+        advertised_qos=QoSVector({"response_time": 100.0}, PROPS),
+    )
+
+
+class TestSnapshotManager:
+    def test_acquire_materialises_once_per_generation(self):
+        registry = ServiceRegistry()
+        registry.publish(svc("a"))
+        manager = SnapshotManager(registry)
+        first = manager.acquire()
+        second = manager.acquire()
+        assert first is second  # copy-on-write: same object, no re-copy
+        assert manager.acquires == 2
+        assert manager.refreshes == 1
+
+    def test_churn_forces_a_fresh_copy(self):
+        registry = ServiceRegistry()
+        registry.publish(svc("a"))
+        manager = SnapshotManager(registry)
+        old = manager.acquire()
+        registry.publish(svc("b"))
+        fresh = manager.acquire()
+        assert fresh is not old
+        assert fresh.generation > old.generation
+        assert len(fresh) == 2 and len(old) == 1
+        assert manager.refreshes == 2
+
+    def test_old_snapshot_stays_readable_after_churn(self):
+        registry = ServiceRegistry()
+        keep = registry.publish(svc("a", "task:Pay"))
+        manager = SnapshotManager(registry)
+        old = manager.acquire()
+        registry.withdraw(keep.service_id)
+        manager.acquire()
+        # The superseded snapshot still answers for its own generation.
+        assert [s.name for s in old.by_capability("task:Pay")] == ["a"]
+        assert keep.service_id in old
+
+    def test_invalidate_recopies_same_generation(self):
+        registry = ServiceRegistry()
+        registry.publish(svc("a"))
+        manager = SnapshotManager(registry)
+        first = manager.acquire()
+        manager.invalidate()
+        second = manager.acquire()
+        assert second is not first
+        assert second.generation == first.generation
+        assert manager.refreshes == 2
+
+    def test_concurrent_acquires_share_one_snapshot(self):
+        import threading
+
+        registry = ServiceRegistry()
+        registry.publish(svc("a"))
+        manager = SnapshotManager(registry)
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(manager.acquire())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len({id(s) for s in seen}) == 1
+        assert manager.refreshes == 1

@@ -117,3 +117,110 @@ class TestEvents:
         unsubscribe = registry.subscribe(lambda kind, s: None)
         unsubscribe()
         unsubscribe()
+
+
+class TestGeneration:
+    def test_publish_bumps_generation(self):
+        registry = ServiceRegistry()
+        before = registry.generation
+        registry.publish(svc("a"))
+        assert registry.generation == before + 1
+
+    def test_withdraw_bumps_generation(self):
+        registry = ServiceRegistry()
+        service = registry.publish(svc("a"))
+        before = registry.generation
+        registry.withdraw(service.service_id)
+        assert registry.generation == before + 1
+
+    def test_reads_do_not_bump_generation(self):
+        registry = ServiceRegistry()
+        registry.publish(svc("a", "task:Pay"))
+        before = registry.generation
+        registry.by_capability("task:Pay")
+        registry.capabilities()
+        registry.services()
+        list(registry)
+        registry.snapshot()
+        assert registry.generation == before
+
+
+class TestSnapshot:
+    def test_snapshot_matches_registry_read_surface(self):
+        registry = ServiceRegistry()
+        registry.publish_all([svc("a", "task:Pay"), svc("b", "task:Pay"),
+                              svc("c", "task:Browse")])
+        snapshot = registry.snapshot()
+        assert snapshot.generation == registry.generation
+        assert len(snapshot) == len(registry)
+        assert snapshot.capabilities() == registry.capabilities()
+        assert {s.service_id for s in snapshot} == {
+            s.service_id for s in registry
+        }
+        for capability in registry.capabilities():
+            assert [s.service_id for s in snapshot.by_capability(capability)] \
+                == [s.service_id for s in registry.by_capability(capability)]
+        for service in registry:
+            assert service.service_id in snapshot
+            assert snapshot.get(service.service_id) is service
+
+    def test_snapshot_isolated_from_later_churn(self):
+        registry = ServiceRegistry()
+        first = registry.publish(svc("a", "task:Pay"))
+        snapshot = registry.snapshot()
+        registry.publish(svc("b", "task:Pay"))
+        registry.withdraw(first.service_id)
+        # The snapshot still shows the world as it was at capture time.
+        assert len(snapshot) == 1
+        assert [s.name for s in snapshot.by_capability("task:Pay")] == ["a"]
+        assert snapshot.generation < registry.generation
+
+    def test_snapshot_get_unknown_returns_none(self):
+        assert ServiceRegistry().snapshot().get("svc-nope") is None
+
+
+class TestConcurrentChurn:
+    """Regression: iteration used to race with publish/withdraw mutation."""
+
+    def test_discovery_iteration_survives_concurrent_churn(self):
+        import threading
+
+        registry = ServiceRegistry()
+        registry.publish_all(
+            [svc(f"s{i}", f"task:C{i % 4}") for i in range(40)]
+        )
+        errors = []
+        stop = threading.Event()
+
+        def churner():
+            step = 0
+            try:
+                while not stop.is_set():
+                    service = registry.publish(
+                        svc(f"churn{step}", f"task:C{step % 4}")
+                    )
+                    registry.withdraw(service.service_id)
+                    step += 1
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churner) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                for capability in list(registry.capabilities()):
+                    registry.by_capability(capability)
+                list(registry)
+                registry.services()
+                snapshot = registry.snapshot()
+                # A snapshot is internally consistent: every indexed id
+                # resolves within the same snapshot.
+                for cap in snapshot.capabilities():
+                    for service in snapshot.by_capability(cap):
+                        assert service.service_id in snapshot
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not errors, f"churn thread raised: {errors[0]!r}"
