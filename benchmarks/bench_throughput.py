@@ -11,10 +11,12 @@ seeded load generator derives ``PROFILES`` distinct preference-weight
 profiles from the scenario request and replays each ``REPEATS`` times
 (interleaved), ``PROFILES x REPEATS`` requests total:
 
-* **serial** — ``QASOM.submit(...).result()`` inline, one at a time (the
-  pre-runtime application pattern);
-* **pooled** — one :class:`~repro.api.MiddlewareRuntime` with ``WORKERS``
-  workers; all requests submitted up front, then drained.
+* **serial** — a single-client :class:`~repro.api.ClosedLoopDriver` over
+  ``QASOM.submit`` (submit, wait, repeat — the pre-runtime application
+  pattern);
+* **pooled** — an unpaced :class:`~repro.api.OpenLoopDriver` over one
+  :class:`~repro.api.MiddlewareRuntime` with ``WORKERS`` workers (all
+  requests submitted back-to-back, then drained).
 
 The pooled win is *work elimination*, not thread parallelism (the GIL
 serialises pure-Python selection): snapshot-keyed discovery batching plus
@@ -36,7 +38,9 @@ import random
 import time
 
 from repro.api import (
+    ClosedLoopDriver,
     MiddlewareRuntime,
+    OpenLoopDriver,
     QASOM,
     RuntimeConfig,
     UserRequest,
@@ -126,25 +130,25 @@ def report_signature(report):
 
 
 def test_pooled_throughput_vs_serial(benchmark, emit):
-    # --- serial arm --------------------------------------------------------
+    # --- serial arm: one closed-loop client, no think time -----------------
     middleware_serial, requests_serial = build_world()
-    serial_latencies = []
+    serial_driver = ClosedLoopDriver(middleware_serial.submit)
     started = time.perf_counter()
-    serial_results = []
-    for request in requests_serial:
-        t0 = time.perf_counter()
-        serial_results.append(middleware_serial.submit(request).result())
-        serial_latencies.append(time.perf_counter() - t0)
+    serial_report = serial_driver.run(requests_serial)
     serial_wall = time.perf_counter() - started
+    serial_results = [r.handle.result() for r in serial_report.records]
+    serial_latencies = [r.wall_seconds for r in serial_report.records]
 
-    # --- pooled arm --------------------------------------------------------
+    # --- pooled arm: unpaced open loop, submit everything then drain -------
     middleware_pooled, requests_pooled = build_world()
     config = RuntimeConfig(workers=WORKERS, queue_depth=len(requests_pooled))
     started = time.perf_counter()
     runtime = MiddlewareRuntime(middleware_pooled, config).start()
-    handles = [runtime.submit(request) for request in requests_pooled]
+    pooled_driver = OpenLoopDriver(runtime.submit)
+    pooled_report = pooled_driver.run(requests_pooled)
     runtime.drain()
     pooled_wall = time.perf_counter() - started
+    handles = [record.handle for record in pooled_report.records]
     pooled_latencies = [handle.total_seconds for handle in handles]
 
     # --- byte-identical plans and reports, request by request --------------

@@ -38,6 +38,7 @@ from repro.errors import (
 from repro.middleware.config import MiddlewareConfig
 from repro.middleware.qasom import QASOM, RunResult
 from repro.runtime import (
+    AdaptiveAdmissionController,
     MiddlewareRuntime,
     RequestStatus,
     RunHandle,
@@ -75,9 +76,22 @@ from repro.composition.qassa import QASSA, QassaConfig
 from repro.execution.clock import SimulatedClock
 from repro.execution.engine import ExecutionEngine, ExecutionReport
 from repro.experiments import figures
+from repro.experiments.drivers import (
+    ClosedLoopDriver,
+    DriverReport,
+    OnOffArrivals,
+    OpenLoopDriver,
+    PoissonArrivals,
+)
 from repro.experiments.harness import Sweep
 from repro.experiments.reporting import render_series, render_table
-from repro.observability import Observability, ObservabilityConfig
+from repro.observability import (
+    Observability,
+    ObservabilityConfig,
+    Slo,
+    StageWindows,
+    WindowedHistogram,
+)
 from repro.qos.model import QoSModel, build_end_to_end_model
 from repro.qos.properties import STANDARD_PROPERTIES
 from repro.qos.sla import ComplianceTracker, derive_slas
@@ -94,6 +108,7 @@ from repro.semantics.ontology import Ontology
 
 __all__ = [
     # core middleware
+    "AdaptiveAdmissionController",
     "AdmissionRejectedError",
     "CandidateSets",
     "CompositionPlan",
@@ -131,7 +146,9 @@ __all__ = [
     "build_shopping_scenario",
     # toolkit
     "AggregationApproach",
+    "ClosedLoopDriver",
     "ComplianceTracker",
+    "DriverReport",
     "ExecutionEngine",
     "ExecutionReport",
     "FaultEvent",
@@ -142,7 +159,10 @@ __all__ = [
     "MonitorConfig",
     "Observability",
     "ObservabilityConfig",
+    "OnOffArrivals",
     "Ontology",
+    "OpenLoopDriver",
+    "PoissonArrivals",
     "QASSA",
     "QassaConfig",
     "QoSModel",
@@ -152,8 +172,11 @@ __all__ = [
     "ResilienceConfig",
     "STANDARD_PROPERTIES",
     "SimulatedClock",
+    "Slo",
+    "StageWindows",
     "Sweep",
     "TimeoutPolicy",
+    "WindowedHistogram",
     "aggregate_composition",
     "build_end_to_end_model",
     "derive_slas",

@@ -10,8 +10,11 @@ Three subcommands mirror the three ways people use the repository:
   bundle (the declarative format behavioural adaptation searches).
 
 ``scenario`` and ``experiment`` accept ``--trace`` (print the span tree /
-per-stage breakdown of the run) and ``--metrics-out PATH`` (write the full
-span + metric dump as JSONL) — see ``docs/OBSERVABILITY.md``.  ``scenario``
+per-stage breakdown of the run), ``--metrics-out PATH`` (write the full
+span + metric dump as JSONL), ``--metrics-windows-out PATH`` (write the
+per-window pipeline-stage timeline as JSONL) and
+``--slo P99MS[:AVAILABILITY]`` (evaluate a windowed SLO over the run and
+print the per-window verdicts) — see ``docs/OBSERVABILITY.md``.  ``scenario``
 additionally accepts ``--faults FILE`` (replay a JSON fault schedule
 against the environment), ``--resilience`` (turn on retry/backoff
 policies, circuit breakers and graceful degradation — see
@@ -124,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_slo(text: str):
+    """``P99MS[:AVAILABILITY]`` -> an :class:`~repro.api.Slo` (argparse type)."""
+    p99_text, _, availability_text = text.partition(":")
+    return observability.Slo(
+        p99_ms=float(p99_text),
+        availability=float(availability_text) if availability_text else None,
+    )
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", action="store_true",
@@ -134,10 +146,23 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", metavar="PATH", default=None,
         help="write the span + metric dump as JSONL to PATH",
     )
+    parser.add_argument(
+        "--metrics-windows-out", metavar="PATH", default=None,
+        help="write the per-window pipeline-stage timeline as JSONL to "
+             "PATH (see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--slo", metavar="P99MS[:AVAILABILITY]", type=_parse_slo,
+        default=None,
+        help="evaluate a windowed SLO over the run: a p99 latency bound "
+             "in milliseconds, optionally with an availability floor "
+             "(e.g. 250 or 250:0.95)",
+    )
 
 
 def _wants_observability(args: argparse.Namespace) -> bool:
-    return bool(args.trace or args.metrics_out)
+    return bool(args.trace or args.metrics_out or args.metrics_windows_out
+                or args.slo)
 
 
 def _export_observability(args: argparse.Namespace, obs, out) -> None:
@@ -145,6 +170,31 @@ def _export_observability(args: argparse.Namespace, obs, out) -> None:
         records = observability.write_jsonl(obs, args.metrics_out)
         print(f"\nobservability: wrote {records} records to "
               f"{args.metrics_out}", file=out)
+    if not (args.metrics_windows_out or args.slo):
+        return
+    windows = observability.StageWindows()
+    windows.ingest_observability(obs)
+    if args.metrics_windows_out:
+        records = observability.write_window_jsonl(
+            windows, args.metrics_windows_out
+        )
+        print(f"\nobservability: wrote {records} window records to "
+              f"{args.metrics_windows_out}", file=out)
+    if args.slo:
+        print("\nwindowed timeline "
+              f"({windows.ingested} spans ingested):", file=out)
+        print(observability.render_window_table(windows), file=out)
+        # End-to-end latency lives in the runtime's per-request spans
+        # when brokered (--serve); the serial path has no request spans,
+        # so fall back to the execution stage.
+        stage = ("request" if len(windows.stage("request")) else "execution")
+        verdicts = args.slo.evaluate(
+            windows.stage(stage).series(), windows.availability()
+        )
+        print(f"\nSLO on the {stage!r} stage:", file=out)
+        print(observability.render_slo_table(verdicts, args.slo), file=out)
+        print("SLO " + ("PASSED" if all(v.passed for v in verdicts)
+                        else "VIOLATED"), file=out)
 
 
 def _build_middleware(args: argparse.Namespace, scenario: Scenario, out):

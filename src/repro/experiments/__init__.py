@@ -5,18 +5,35 @@
   activity, ``k`` global constraints at a controlled tightness.
 * :mod:`repro.experiments.harness` — timed sweeps with repetitions and the
   optimality metric (utility vs the exhaustive optimum).
+* :mod:`repro.experiments.drivers` — deterministic open-loop (Poisson,
+  bursty ON-OFF) and closed-loop (N clients, think time) workload drivers
+  feeding any ``submit`` surface, with windowed latency/goodput reports.
 * :mod:`repro.experiments.figures` — one entry point per paper figure or
   table; each returns the same series the paper plots.
 * :mod:`repro.experiments.reporting` — plain-text table rendering for the
   benchmark output.
 """
 
+from repro.experiments.drivers import (
+    ClosedLoopDriver,
+    DriverReport,
+    OnOffArrivals,
+    OpenLoopDriver,
+    PoissonArrivals,
+    RequestRecord,
+)
 from repro.experiments.harness import ExperimentPoint, Sweep, measure, optimality
 from repro.experiments.reporting import render_series, render_table
 from repro.experiments.workloads import Workload, WorkloadSpec, make_workload
 
 __all__ = [
+    "ClosedLoopDriver",
+    "DriverReport",
     "ExperimentPoint",
+    "OnOffArrivals",
+    "OpenLoopDriver",
+    "PoissonArrivals",
+    "RequestRecord",
     "Sweep",
     "Workload",
     "WorkloadSpec",

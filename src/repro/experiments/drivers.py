@@ -1,0 +1,384 @@
+"""Queueing workload drivers: open-loop and closed-loop load generation.
+
+The benchmarks used to hand-roll their request loops (submit-all-then-
+drain, or submit-and-wait one at a time).  Those loops are workload
+*models* with names in queueing theory, so this module makes them explicit
+and reusable:
+
+* **open loop** (:class:`OpenLoopDriver`) — arrivals come from an external
+  process that does not care whether the system keeps up; the definitive
+  overload model.  Arrival timing comes from a deterministic process on
+  the simulated clock — :class:`PoissonArrivals` (M/·/· traffic) or
+  :class:`OnOffArrivals` (bursty ON-OFF traffic) — or, with no process,
+  requests are submitted back-to-back (the saturation limit);
+* **closed loop** (:class:`ClosedLoopDriver`) — ``clients`` users each
+  wait for their response, think, and submit again; load is self-limiting.
+  Rounds are barrier-synced: each round submits one request per client in
+  order, waits for all of them, then advances the simulated clock by the
+  think time.  With ``clients=1`` and no think time this is exactly the
+  serial submit-and-wait pattern.
+
+Both drivers submit through any ``submit(request, **options) ->
+RunHandle`` callable — :meth:`repro.middleware.qasom.QASOM.submit` (inline)
+or :meth:`repro.runtime.runtime.MiddlewareRuntime.submit` (pooled) — and
+return a :class:`DriverReport`: per-request :class:`RequestRecord` rows
+plus windowed latency/availability series and the SLO-bounded goodput the
+tail-latency benchmark gates on.
+
+Everything is seeded and keyed to the simulated clock, so a workload is a
+pure function of ``(seed, request list)`` — replaying one reproduces the
+same arrival timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.observability.windows import WindowedHistogram
+from repro.runtime.handle import RequestStatus, RunHandle
+
+SubmitFn = Callable[..., RunHandle]
+
+
+# ----------------------------------------------------------------------
+# arrival processes
+# ----------------------------------------------------------------------
+class PoissonArrivals:
+    """Deterministic Poisson arrivals: i.i.d. exponential inter-arrivals.
+
+    ``rate`` is the mean arrival rate λ in requests per simulated second;
+    the seeded RNG makes the timeline reproducible.
+    """
+
+    def __init__(self, rate: float, *, seed: int = 0) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.rate = float(rate)
+        self.seed = seed
+
+    def times(self, count: int, start: float = 0.0) -> List[float]:
+        """The first ``count`` absolute arrival times from ``start``."""
+        rng = random.Random(self.seed)
+        at = start
+        arrivals = []
+        for _ in range(count):
+            at += rng.expovariate(self.rate)
+            arrivals.append(at)
+        return arrivals
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self.rate:g}/s, seed={self.seed})"
+
+
+class OnOffArrivals:
+    """Bursty ON-OFF arrivals: Poisson bursts separated by quiet gaps.
+
+    The source alternates between an ON phase of ``on_seconds`` emitting
+    Poisson arrivals at ``on_rate``, and an OFF phase of ``off_seconds``
+    emitting none (the classic interrupted-Poisson burst model).  Mean
+    rate is ``on_rate * on_seconds / (on_seconds + off_seconds)``, but the
+    instantaneous rate during a burst is what stresses tail latency.
+    """
+
+    def __init__(
+        self,
+        on_rate: float,
+        *,
+        on_seconds: float,
+        off_seconds: float,
+        seed: int = 0,
+    ) -> None:
+        if on_rate <= 0:
+            raise ValueError("burst arrival rate must be positive")
+        if on_seconds <= 0 or off_seconds < 0:
+            raise ValueError("phase durations must be positive (ON) and "
+                             "non-negative (OFF)")
+        self.on_rate = float(on_rate)
+        self.on_seconds = float(on_seconds)
+        self.off_seconds = float(off_seconds)
+        self.seed = seed
+
+    def times(self, count: int, start: float = 0.0) -> List[float]:
+        """The first ``count`` absolute arrival times from ``start``."""
+        rng = random.Random(self.seed)
+        period = self.on_seconds + self.off_seconds
+        at = start
+        arrivals: List[float] = []
+        while len(arrivals) < count:
+            at += rng.expovariate(self.on_rate)
+            # Position within the ON-OFF period; arrivals falling into an
+            # OFF phase are deferred to the start of the next burst.
+            offset = (at - start) % period
+            if offset >= self.on_seconds:
+                at += period - offset
+            arrivals.append(at)
+        return arrivals
+
+    def __repr__(self) -> str:
+        return (
+            f"OnOffArrivals(on={self.on_rate:g}/s x {self.on_seconds:g}s, "
+            f"off={self.off_seconds:g}s, seed={self.seed})"
+        )
+
+
+# ----------------------------------------------------------------------
+# per-request records and the report
+# ----------------------------------------------------------------------
+@dataclass
+class RequestRecord:
+    """One submitted request: its arrival time and its handle."""
+
+    index: int
+    arrival_sim: float
+    handle: RunHandle
+
+    @property
+    def status(self) -> RequestStatus:
+        """The handle's current lifecycle state."""
+        return self.handle.status
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        """Wall-clock submission-to-terminal latency (None until then)."""
+        return self.handle.total_seconds
+
+    @property
+    def sim_seconds(self) -> Optional[float]:
+        """Simulated submission-to-terminal latency (None if unstamped)."""
+        return self.handle.sim_seconds
+
+    def latency(self, axis: str = "sim") -> Optional[float]:
+        """The record's latency on the chosen axis (``"sim"``/``"wall"``).
+
+        The simulated axis falls back to the wall axis when no simulated
+        clock stamped the handle, so reports work against bare inline
+        middlewares too.
+        """
+        if axis == "wall":
+            return self.wall_seconds
+        sim = self.sim_seconds
+        return sim if sim is not None else self.wall_seconds
+
+
+@dataclass
+class DriverReport:
+    """What one driver run produced: records plus windowed series."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    window_seconds: float = 1.0
+
+    def wait(self, timeout: Optional[float] = None) -> "DriverReport":
+        """Block until every submitted handle is terminal; returns self."""
+        for record in self.records:
+            record.handle.wait(timeout)
+        return self
+
+    # -- aggregate counts ----------------------------------------------
+    @property
+    def submitted(self) -> int:
+        """How many requests the driver submitted."""
+        return len(self.records)
+
+    def count(self, status: RequestStatus) -> int:
+        """How many records are currently in ``status``."""
+        return sum(1 for r in self.records if r.status is status)
+
+    @property
+    def completed(self) -> int:
+        """Requests that finished successfully."""
+        return self.count(RequestStatus.DONE)
+
+    @property
+    def rejected(self) -> int:
+        """Requests refused at admission (backpressure)."""
+        return self.count(RequestStatus.REJECTED)
+
+    # -- windowed series -----------------------------------------------
+    def latency_windows(self, axis: str = "sim") -> WindowedHistogram:
+        """Completed-request latency windowed by *arrival* time."""
+        series = WindowedHistogram(
+            f"driver_latency_{axis}", window_seconds=self.window_seconds
+        )
+        for record in self.records:
+            if record.status is not RequestStatus.DONE:
+                continue
+            latency = record.latency(axis)
+            if latency is not None:
+                series.observe(latency, at=record.arrival_sim)
+        return series
+
+    def availability(self) -> Dict[int, float]:
+        """Per-arrival-window fraction of requests that completed."""
+        totals: Dict[int, int] = {}
+        done: Dict[int, int] = {}
+        for record in self.records:
+            index = int(record.arrival_sim // self.window_seconds)
+            totals[index] = totals.get(index, 0) + 1
+            if record.status is RequestStatus.DONE:
+                done[index] = done.get(index, 0) + 1
+        return {
+            index: done.get(index, 0) / totals[index]
+            for index in sorted(totals)
+        }
+
+    # -- SLO-bounded goodput -------------------------------------------
+    def goodput(self, slo_seconds: float, axis: str = "sim") -> int:
+        """Completions whose latency met the SLO bound.
+
+        Raw completion counts flatter any system that eventually drains
+        its queue; goodput only credits responses the user would have
+        accepted — completed *and* within ``slo_seconds``.
+        """
+        good = 0
+        for record in self.records:
+            if record.status is not RequestStatus.DONE:
+                continue
+            latency = record.latency(axis)
+            if latency is not None and latency <= slo_seconds:
+                good += 1
+        return good
+
+    def summary(self, slo_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """Counts (and goodput, when an SLO bound is given) as one dict."""
+        report: Dict[str, Any] = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.count(RequestStatus.FAILED),
+            "expired": self.count(RequestStatus.EXPIRED),
+            "cancelled": self.count(RequestStatus.CANCELLED),
+        }
+        if slo_seconds is not None:
+            report["goodput"] = self.goodput(slo_seconds)
+        return report
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def _advance_to(clock: Any, timestamp: float) -> float:
+    """Advance a (possibly shared) simulated clock to at least ``timestamp``.
+
+    Runtime workers advance the same clock while executing, so between
+    reading ``now`` and advancing, time may move past the target — in
+    which case the arrival is simply late and nothing needs advancing.
+    """
+    while True:
+        now = clock.now()
+        if now >= timestamp:
+            return now
+        try:
+            return clock.advance_to(timestamp)
+        except ExecutionError:
+            continue
+
+
+class OpenLoopDriver:
+    """Submit requests at externally-scheduled times, never waiting.
+
+    With an ``arrivals`` process the driver paces submissions on the
+    simulated ``clock`` (advancing it to each arrival time); with
+    ``arrivals=None`` it submits back-to-back — the saturation limit, and
+    exactly the old pooled-benchmark loop.  The returned report's handles
+    may still be in flight; drain the runtime (or ``report.wait()``)
+    before reading latencies.
+    """
+
+    def __init__(
+        self,
+        submit: SubmitFn,
+        *,
+        clock: Optional[Any] = None,
+        arrivals: Optional[Any] = None,
+        window_seconds: float = 1.0,
+    ) -> None:
+        if arrivals is not None and clock is None:
+            raise ValueError("paced arrivals need the simulated clock")
+        self.submit = submit
+        self.clock = clock
+        self.arrivals = arrivals
+        self.window_seconds = window_seconds
+
+    def run(
+        self, requests: Sequence[Any], **submit_options: Any
+    ) -> DriverReport:
+        """Submit every request; returns the (possibly in-flight) report."""
+        report = DriverReport(window_seconds=self.window_seconds)
+        times: Optional[List[float]] = None
+        if self.arrivals is not None:
+            times = self.arrivals.times(
+                len(requests), start=self.clock.now()
+            )
+        for index, request in enumerate(requests):
+            if times is not None:
+                arrival = _advance_to(self.clock, times[index])
+            else:
+                arrival = self.clock.now() if self.clock is not None else 0.0
+            handle = self.submit(request, **submit_options)
+            report.records.append(RequestRecord(index, arrival, handle))
+        return report
+
+    def __repr__(self) -> str:
+        pacing = repr(self.arrivals) if self.arrivals else "back-to-back"
+        return f"OpenLoopDriver({pacing})"
+
+
+class ClosedLoopDriver:
+    """``clients`` synchronised users: submit, wait, think, repeat.
+
+    Requests are consumed in order, ``clients`` per round; every round
+    waits for all its handles (the barrier keeping the number of
+    outstanding requests at most ``clients``) and then advances the
+    simulated clock by ``think_seconds``.  ``clients=1`` with zero think
+    time reproduces the serial submit-and-wait pattern exactly.
+    """
+
+    def __init__(
+        self,
+        submit: SubmitFn,
+        *,
+        clients: int = 1,
+        think_seconds: float = 0.0,
+        clock: Optional[Any] = None,
+        window_seconds: float = 1.0,
+    ) -> None:
+        if clients < 1:
+            raise ValueError("a closed loop needs at least one client")
+        if think_seconds < 0:
+            raise ValueError("think time cannot be negative")
+        if think_seconds and clock is None:
+            raise ValueError("think time needs the simulated clock")
+        self.submit = submit
+        self.clients = clients
+        self.think_seconds = think_seconds
+        self.clock = clock
+        self.window_seconds = window_seconds
+
+    def run(
+        self, requests: Sequence[Any], **submit_options: Any
+    ) -> DriverReport:
+        """Run the closed loop to exhaustion; all handles are terminal."""
+        report = DriverReport(window_seconds=self.window_seconds)
+        for round_start in range(0, len(requests), self.clients):
+            round_requests = requests[round_start:round_start + self.clients]
+            round_records = []
+            for offset, request in enumerate(round_requests):
+                arrival = self.clock.now() if self.clock is not None else 0.0
+                handle = self.submit(request, **submit_options)
+                record = RequestRecord(round_start + offset, arrival, handle)
+                round_records.append(record)
+                report.records.append(record)
+            for record in round_records:  # the round barrier
+                record.handle.wait()
+            if self.think_seconds and self.clock is not None:
+                self.clock.advance(self.think_seconds)
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"ClosedLoopDriver(clients={self.clients}, "
+            f"think={self.think_seconds:g}s)"
+        )

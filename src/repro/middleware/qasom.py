@@ -389,9 +389,18 @@ class QASOM:
             request=request, plan=plan, execute=execute, adapt=adapt,
             ranked=ranked, best_effort=best_effort, track_sla=track_sla,
         )
+        submitted_sim = self.environment.clock.now()
+
+        def stamped(handle):
+            # Simulated-clock latency annotations, mirroring what the
+            # concurrent runtime stamps on pooled handles.
+            handle.submitted_sim = submitted_sim
+            handle.finished_sim = self.environment.clock.now()
+            return handle
+
         if spec.ranked:
             plans = self._compose_ranked_plans(spec.request, k=spec.ranked)
-            return completed_handle(spec, plans=plans)
+            return stamped(completed_handle(spec, plans=plans))
         if spec.plan is not None:
             chosen = spec.plan
         else:
@@ -399,11 +408,11 @@ class QASOM:
                 spec.request, best_effort=spec.best_effort
             )
         if not spec.execute:
-            return completed_handle(spec, plans=[chosen])
+            return stamped(completed_handle(spec, plans=[chosen]))
         result = self._execute_plan(
             chosen, adapt=spec.adapt, track_sla=spec.track_sla
         )
-        return completed_handle(spec, result=result)
+        return stamped(completed_handle(spec, result=result))
 
     def run(
         self,

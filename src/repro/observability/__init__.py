@@ -45,6 +45,20 @@ from repro.observability.metrics import (
     NULL_METRICS,
 )
 from repro.observability.spans import NULL_SPAN, NULL_TRACER, Span, Tracer
+from repro.observability.windows import (
+    PIPELINE_STAGES,
+    Slo,
+    SloVerdict,
+    StageWindows,
+    StatsWindow,
+    WindowStats,
+    WindowedHistogram,
+    render_slo_table,
+    render_window_table,
+    sparkline,
+    window_records,
+    write_window_jsonl,
+)
 
 __all__ = [
     "NULL_METRICS",
@@ -58,16 +72,28 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "ObservabilityConfig",
+    "PIPELINE_STAGES",
+    "Slo",
+    "SloVerdict",
     "Span",
+    "StageWindows",
+    "StatsWindow",
     "Tracer",
+    "WindowStats",
+    "WindowedHistogram",
     "enabled",
     "export_jsonl",
     "get_default",
     "read_jsonl",
     "render_breakdown",
+    "render_slo_table",
     "render_span_tree",
+    "render_window_table",
     "resolve",
     "set_default",
+    "sparkline",
     "stage_breakdown",
+    "window_records",
     "write_jsonl",
+    "write_window_jsonl",
 ]

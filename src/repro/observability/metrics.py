@@ -12,6 +12,7 @@ need.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram buckets, in seconds — spans from sub-millisecond
@@ -81,9 +82,10 @@ class Histogram:
     """Fixed-bucket histogram with percentile summaries.
 
     ``buckets`` are inclusive upper bounds; one implicit overflow bucket
-    catches everything above the last bound.  ``quantile(q)`` returns the
-    upper bound of the bucket containing the q-th observation (clamped to
-    the observed min/max), i.e. a conservative estimate.
+    catches everything above the last bound.  Bucket lookup is a binary
+    search (``bisect``), so ``observe`` is O(log buckets).  ``quantile(q)``
+    interpolates linearly *within* the bucket containing the q-th
+    observation — see its docstring for the estimator.
     """
 
     __slots__ = (
@@ -116,18 +118,29 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        # bisect_left finds the first bound >= value (bounds are inclusive
+        # upper bounds); values above the last bound land in the implicit
+        # overflow bucket at index len(buckets).
+        self.counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimated q-quantile (0 < q <= 1) from the bucket counts."""
+        """Estimated q-quantile (0 < q <= 1) from the bucket counts.
+
+        Estimator: find the bucket containing the q-th observation, then
+        interpolate linearly within it, assuming observations are spread
+        uniformly across the bucket's span.  The bucket's lower edge is
+        the previous bound (or the observed minimum for the first bucket);
+        its upper edge is the bound itself (or the observed maximum for
+        the overflow bucket).  The interpolated estimate is finally
+        clamped into ``[minimum, maximum]`` — the conservative guarantee
+        that an estimate never leaves the observed range, which matters
+        for sparse histograms whose single occupied bucket is much wider
+        than the data.
+        """
         if not 0 < q <= 1:
             raise ValueError("quantile must be in (0, 1]")
         if self.count == 0:
@@ -135,12 +148,18 @@ class Histogram:
         rank = math.ceil(q * self.count)
         cumulative = 0
         for i, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.minimum if i == 0 else self.buckets[i - 1]
+                upper = (
+                    self.maximum if i == len(self.buckets)
+                    else self.buckets[i]
+                )
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lower + fraction * (upper - lower)
+                return max(self.minimum, min(estimate, self.maximum))
             cumulative += bucket_count
-            if cumulative >= rank:
-                if i == len(self.buckets):
-                    return self.maximum
-                # Clamp the bucket bound into the observed range.
-                return max(self.minimum, min(self.buckets[i], self.maximum))
         return self.maximum
 
     def summary(self) -> Dict[str, float]:
@@ -152,8 +171,30 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.50),
             "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
         }
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's observations into this one (in place).
+
+        Both histograms must share the same bucket bounds — the windowed
+        telemetry layer relies on this to collapse per-window histograms
+        into one cumulative distribution without re-observing values.
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for i, bucket_count in enumerate(other.counts):
+            self.counts[i] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+        return self
 
     def to_dict(self) -> Dict[str, Any]:
         return {

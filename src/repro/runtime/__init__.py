@@ -11,15 +11,23 @@ Entry points: :class:`MiddlewareRuntime` (the pool),
 shared with :meth:`repro.middleware.qasom.QASOM.submit`).
 """
 
+from repro.runtime.admission import (
+    AdaptiveAdmissionController,
+    StaticAdmissionController,
+    build_admission_controller,
+)
 from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
 from repro.runtime.handle import RequestStatus, RunHandle, RunSpec
 from repro.runtime.runtime import MiddlewareRuntime, RuntimeConfig
 from repro.runtime.snapshot import SnapshotManager
 
 __all__ = [
+    "AdaptiveAdmissionController",
     "DiscoveryBatcher",
     "RequestCoalescer",
     "MiddlewareRuntime",
+    "StaticAdmissionController",
+    "build_admission_controller",
     "RequestStatus",
     "RunHandle",
     "RunSpec",

@@ -118,6 +118,12 @@ class RunHandle:
         self.submitted_wall: float = time.perf_counter()
         self.started_wall: Optional[float] = None
         self.finished_wall: Optional[float] = None
+        #: Simulated-clock submission/finish stamps, filled in by whichever
+        #: path processed the handle (runtime pool or inline submit) when a
+        #: simulated clock is available.  Pure annotations: they never
+        #: influence scheduling, so serial/pooled byte-identity is untouched.
+        self.submitted_sim: Optional[float] = None
+        self.finished_sim: Optional[float] = None
 
     # -- state transitions (runtime-internal) ---------------------------
     def _mark_running(self) -> None:
@@ -208,6 +214,19 @@ class RunHandle:
         if self.finished_wall is None:
             return None
         return self.finished_wall - self.submitted_wall
+
+    @property
+    def sim_seconds(self) -> Optional[float]:
+        """Simulated seconds from submission to terminal state.
+
+        ``None`` until terminal, or when no simulated clock stamped the
+        handle.  This is the latency axis the windowed tail-latency
+        telemetry and SLO gates use — deterministic across runs, unlike
+        the wall-clock stamps.
+        """
+        if self.submitted_sim is None or self.finished_sim is None:
+            return None
+        return self.finished_sim - self.submitted_sim
 
     # -- internals ------------------------------------------------------
     def _await(self, timeout: Optional[float]) -> None:

@@ -53,6 +53,7 @@ from repro.composition.request import UserRequest
 from repro.composition.selection import CandidateSets, CompositionPlan
 from repro.composition.selection_cache import SelectionCache
 from repro.resilience.policies import TimeoutPolicy
+from repro.runtime.admission import build_admission_controller
 from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
 from repro.runtime.handle import RequestStatus, RunHandle, RunSpec
 from repro.runtime.snapshot import SnapshotManager
@@ -73,18 +74,49 @@ class RuntimeConfig:
     (the default policy has no timeout).  ``drain_on_close`` controls
     whether :meth:`MiddlewareRuntime.close` finishes the queued work or
     cancels it.
+
+    ``admission`` selects the backpressure policy: ``"static"`` (the
+    default — the fixed ``queue_depth`` bound, byte-identical to the
+    pre-policy runtime) or ``"adaptive"`` (an
+    :class:`~repro.runtime.admission.AdaptiveAdmissionController` that
+    tightens the effective depth under load via Little's law, keeping the
+    expected admission wait under ``admission_target_delay_ms``; λ and W
+    are measured over ``admission_window_seconds`` on the simulated
+    clock, and the depth never drops below ``admission_min_depth``).
     """
 
     workers: int = 4
     queue_depth: int = 64
     deadline: TimeoutPolicy = field(default_factory=TimeoutPolicy)
     drain_on_close: bool = True
+    admission: str = "static"
+    admission_target_delay_ms: float = 250.0
+    admission_window_seconds: float = 5.0
+    admission_min_depth: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise MiddlewareRuntimeError("runtime needs at least one worker")
         if self.queue_depth < 1:
             raise MiddlewareRuntimeError("queue depth must be >= 1")
+        if self.admission not in ("static", "adaptive"):
+            raise MiddlewareRuntimeError(
+                f"unknown admission policy {self.admission!r}; "
+                "expected 'static' or 'adaptive'"
+            )
+        if self.admission_target_delay_ms <= 0:
+            raise MiddlewareRuntimeError(
+                "admission target delay must be positive"
+            )
+        if self.admission_window_seconds <= 0:
+            raise MiddlewareRuntimeError(
+                "admission measurement window must be positive"
+            )
+        if not 1 <= self.admission_min_depth <= self.queue_depth:
+            raise MiddlewareRuntimeError(
+                "admission_min_depth must satisfy "
+                "1 <= min_depth <= queue_depth"
+            )
 
 
 class MiddlewareRuntime:
@@ -115,6 +147,10 @@ class MiddlewareRuntime:
             observability=self.observability,
         )
         self.coalescer = RequestCoalescer(observability=self.observability)
+        self.admission = build_admission_controller(
+            self.config, self.observability
+        )
+        self._clock = middleware.environment.clock
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -173,6 +209,7 @@ class MiddlewareRuntime:
             self._work.notify_all()
         for handle in cancelled:
             self._abandon_ticket(handle)
+            handle.finished_sim = self._clock.now()
             handle._fail(
                 RuntimeShutdownError("runtime shut down before the request "
                                      "was processed"),
@@ -216,15 +253,18 @@ class MiddlewareRuntime:
             ranked=ranked, best_effort=best_effort, track_sla=track_sla,
         )
         handle = RunHandle(spec)
+        handle.submitted_sim = self._clock.now()
         self._counter("runtime_submitted_total").inc()
+        self.admission.on_arrival(handle.submitted_sim)
         with self._lock:
             if self._closed:
                 raise RuntimeShutdownError("runtime is closed")
-            if len(self._queue) >= self.config.queue_depth:
+            if not self.admission.admit(len(self._queue)):
+                handle.finished_sim = handle.submitted_sim
                 handle._fail(
                     AdmissionRejectedError(
                         f"admission queue full "
-                        f"({self.config.queue_depth} pending)"
+                        f"({self.admission.effective_depth()} pending)"
                     ),
                     RequestStatus.REJECTED,
                 )
@@ -291,6 +331,8 @@ class MiddlewareRuntime:
             try:
                 self._process(handle)
             finally:
+                if handle.done() and handle.finished_sim is None:
+                    handle.finished_sim = self._clock.now()
                 with self._lock:
                     self._in_flight -= 1
                     self._gauge("runtime_in_flight").set(self._in_flight)
@@ -414,16 +456,29 @@ class MiddlewareRuntime:
     ) -> Optional[RunResult]:
         """Execute in strict admission order against the live environment."""
         ticket = self._tickets.pop(id(handle))
+        wait_started = time.perf_counter()
         with self._commit_cond:
             while self._next_commit != ticket:
                 self._commit_cond.wait()
+        commit_wait_ms = (time.perf_counter() - wait_started) * 1e3
         try:
             if self._expired(handle):
                 self._expire(handle, "commit")
                 return None
-            return self.middleware._execute_plan(
-                plan, adapt=handle.spec.adapt, track_sla=handle.spec.track_sla
+            service_started = self._clock.now()
+            with self.observability.span(
+                "runtime.commit", ticket=ticket,
+                commit_wait_ms=round(commit_wait_ms, 3),
+            ):
+                result = self.middleware._execute_plan(
+                    plan, adapt=handle.spec.adapt,
+                    track_sla=handle.spec.track_sla,
+                )
+            service_ended = self._clock.now()
+            self.admission.on_complete(
+                service_ended - service_started, service_ended
             )
+            return result
         finally:
             with self._commit_cond:
                 self._advance_commit_locked()

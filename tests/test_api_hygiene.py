@@ -113,7 +113,8 @@ class TestStableApiSurface:
         assert sorted(api.__all__) == api.__all__ or True  # order is tiered
         expected = {
             # core middleware
-            "AdmissionRejectedError", "CandidateSets", "CompositionPlan",
+            "AdaptiveAdmissionController", "AdmissionRejectedError",
+            "CandidateSets", "CompositionPlan",
             "DeadlineExceededError", "GlobalConstraint", "MiddlewareConfig",
             "MiddlewareRuntime", "MiddlewareRuntimeError",
             "PartialExecutionReport", "QASOM", "ReproError", "RequestStatus",
@@ -126,13 +127,16 @@ class TestStableApiSurface:
             "build_hospital_scenario", "build_holiday_camp_scenario",
             "build_shopping_scenario",
             # toolkit
-            "AggregationApproach", "ComplianceTracker", "ExecutionEngine",
+            "AggregationApproach", "ClosedLoopDriver", "ComplianceTracker",
+            "DriverReport", "ExecutionEngine",
             "ExecutionReport", "FaultEvent", "FaultKind", "FaultSchedule",
             "HomeomorphismConfig", "MatchDegree", "MonitorConfig",
-            "Observability", "ObservabilityConfig", "Ontology", "QASSA",
+            "Observability", "ObservabilityConfig", "OnOffArrivals",
+            "Ontology", "OpenLoopDriver", "PoissonArrivals", "QASSA",
             "QassaConfig", "QoSModel", "QoSObservation", "QoSVector",
             "ReputationManager", "ResilienceConfig", "STANDARD_PROPERTIES",
-            "SimulatedClock", "Sweep", "TimeoutPolicy",
+            "SimulatedClock", "Slo", "StageWindows", "Sweep", "TimeoutPolicy",
+            "WindowedHistogram",
             "aggregate_composition", "build_end_to_end_model", "derive_slas",
             "dump_repository", "figures", "observability", "render_series",
             "render_table",

@@ -87,6 +87,69 @@ class TestRepositoryCommand:
         assert recovered.require("shopping")
 
 
+class TestWindowedObservabilityFlags:
+    def test_slo_parses_bound_and_floor(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["scenario", "shopping", "--slo", "250:0.95"]
+        )
+        assert args.slo.p99_ms == 250.0
+        assert args.slo.availability == 0.95
+
+    def test_slo_parses_bare_bound(self):
+        parser = build_parser()
+        args = parser.parse_args(["scenario", "shopping", "--slo", "250"])
+        assert args.slo.p99_ms == 250.0
+        assert args.slo.availability is None
+
+    def test_slo_rejects_garbage(self):
+        parser = build_parser()
+        for bad in ("fast", "-1", "250:1.5", "250:soon"):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["scenario", "shopping", "--slo", bad])
+
+    def test_scenario_slo_prints_timeline_and_verdicts(self):
+        out = io.StringIO()
+        code = main(["scenario", "shopping", "--services", "6",
+                     "--slo", "60000"], out=out)
+        text = out.getvalue()
+        assert "windowed timeline" in text
+        assert "SLO on the 'execution' stage" in text
+        assert "SLO PASSED" in text or "SLO VIOLATED" in text
+        assert code in (0, 1)
+
+    def test_serve_slo_uses_request_stage(self):
+        out = io.StringIO()
+        code = main(["scenario", "shopping", "--services", "6", "--serve",
+                     "--workers", "2", "--requests", "4",
+                     "--slo", "60000:0.5"], out=out)
+        text = out.getvalue()
+        assert "SLO on the 'request' stage" in text
+        assert "availability" in text
+        assert code == 0
+
+    def test_metrics_windows_out_writes_jsonl(self, tmp_path):
+        import json
+
+        path = tmp_path / "windows.jsonl"
+        out = io.StringIO()
+        code = main(["scenario", "shopping", "--services", "6",
+                     "--metrics-windows-out", str(path)], out=out)
+        assert code in (0, 1)
+        assert f"window records to {path}" in out.getvalue()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records, "no window records written"
+        assert all(r["type"] == "window" for r in records)
+        stages = {r["stage"] for r in records}
+        assert "discovery" in stages and "execution" in stages
+
+    def test_experiment_slo_evaluates_windows(self):
+        out = io.StringIO()
+        code = main(["experiment", "table-iv1", "--slo", "60000"], out=out)
+        assert "windowed timeline" in out.getvalue()
+        assert code == 0
+
+
 class TestServeMode:
     def test_serve_brokers_requests_through_the_pool(self):
         out = io.StringIO()

@@ -55,13 +55,21 @@ class TestHistogram:
             histogram.observe(value)
         assert histogram.counts == [2, 1, 1]
 
-    def test_quantiles_are_bucket_bound_estimates(self):
+    def test_quantiles_interpolate_within_the_bucket(self):
         histogram = Histogram("h", buckets=(1.0, 2.0, 5.0, 10.0))
         for value in [0.5] * 50 + [1.5] * 40 + [8.0] * 10:
             histogram.observe(value)
-        assert histogram.quantile(0.5) == 1.0
-        assert histogram.quantile(0.9) == 2.0
-        assert histogram.quantile(0.99) == 10.0 or histogram.quantile(0.99) == 8.0
+        # p50: rank 50 of 100 sits at the end of the first bucket, whose
+        # span is [min=0.5, 1.0] -> 0.5 + (50/50)*0.5 = 1.0.
+        assert histogram.quantile(0.5) == pytest.approx(1.0)
+        # p90: rank 90, 40th of 40 in bucket (1.0, 2.0] -> its upper edge.
+        assert histogram.quantile(0.9) == pytest.approx(2.0)
+        # p99: rank 99, 9th of 10 in bucket (5.0, 10.0], clamped to the
+        # observed maximum 8.0 (interpolation alone would say 9.5).
+        assert histogram.quantile(0.99) == pytest.approx(8.0)
+        # Interior interpolation: rank 70 is the 20th of 40 observations
+        # in bucket (1.0, 2.0] -> 1.0 + (20/40)*1.0 = 1.5.
+        assert histogram.quantile(0.7) == pytest.approx(1.5)
 
     def test_quantile_clamped_to_observed_range(self):
         histogram = Histogram("h", buckets=(100.0,))
@@ -81,6 +89,89 @@ class TestHistogram:
             histogram.quantile(0.0)
         with pytest.raises(ValueError):
             histogram.quantile(1.5)
+
+
+class TestHistogramEdgeCases:
+    def test_empty_histogram_quantiles_and_mean(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        summary = histogram.summary()
+        assert summary["p95"] == 0.0 and summary["p999"] == 0.0
+
+    def test_single_observation_pins_every_quantile(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(1.7)
+        for q in (0.01, 0.5, 0.95, 0.999, 1.0):
+            assert histogram.quantile(q) == pytest.approx(1.7)
+        summary = histogram.summary()
+        assert summary["min"] == summary["max"] == 1.7
+
+    def test_overflow_bucket_interpolates_toward_the_maximum(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        for value in (5.0, 10.0, 20.0):
+            histogram.observe(value)
+        # All mass in the overflow bucket [1.0, max=20.0]; quantiles stay
+        # inside the observed range and are monotone in q.
+        q50, q99 = histogram.quantile(0.5), histogram.quantile(0.99)
+        assert 5.0 <= q50 <= q99 <= 20.0
+
+    def test_unsorted_custom_bucket_bounds_are_sorted(self):
+        histogram = Histogram("h", buckets=(5.0, 1.0, 2.0))
+        assert histogram.buckets == (1.0, 2.0, 5.0)
+        histogram.observe(1.5)
+        assert histogram.counts == [0, 1, 0, 0]
+
+    def test_summary_exposes_p95_and_p999(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        for value in range(1, 101):
+            histogram.observe(value / 100)
+        summary = histogram.summary()
+        assert summary["p50"] <= summary["p90"] <= summary["p95"]
+        assert summary["p95"] <= summary["p99"] <= summary["p999"]
+
+    def test_merge_requires_identical_buckets_and_folds_counts(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(99.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.counts == [1, 1, 1]
+        assert a.minimum == 0.5 and a.maximum == 99.0
+        with pytest.raises(ValueError):
+            a.merge(Histogram("h", buckets=(1.0,)))
+
+    def test_merge_with_empty_histogram_keeps_extremes(self):
+        a = Histogram("h", buckets=(1.0,))
+        a.observe(0.5)
+        a.merge(Histogram("h", buckets=(1.0,)))
+        assert a.minimum == 0.5 and a.maximum == 0.5 and a.count == 1
+
+
+class TestRegistryLabelKeys:
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", a="1", b="2").inc()
+        assert registry.value("x_total", b="2", a="1") == 1
+        assert registry.counter("x_total", b="2", a="1") is registry.counter(
+            "x_total", a="1", b="2"
+        )
+
+    def test_non_string_label_values_are_stringified(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", code=200).inc()
+        assert registry.value("x_total", code="200") == 1
+
+    def test_same_name_different_label_keys_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        registry.gauge("g", shard="a").set(2.0)
+        assert registry.value("g") == 1.0
+        assert registry.value("g", shard="a") == 2.0
+        labels = [r["labels"] for r in registry.snapshot()]
+        assert {} in labels and {"shard": "a"} in labels
 
 
 class TestRegistrySnapshot:

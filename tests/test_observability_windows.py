@@ -1,0 +1,274 @@
+"""Tests for windowed telemetry (repro.observability.windows)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.execution.clock import SimulatedClock
+from repro.observability import (
+    Observability,
+    Slo,
+    StageWindows,
+    WindowedHistogram,
+    render_slo_table,
+    render_window_table,
+    sparkline,
+    window_records,
+    write_window_jsonl,
+)
+from repro.observability.spans import Tracer
+
+
+class TestWindowedHistogram:
+    def test_observations_land_in_aligned_windows(self):
+        series = WindowedHistogram("latency", window_seconds=1.0)
+        series.observe(0.1, at=0.2)
+        series.observe(0.2, at=0.9)
+        series.observe(0.3, at=1.1)
+        assert len(series) == 2
+        first, second = series.series()
+        assert (first.index, first.count) == (0, 2)
+        assert (second.index, second.count) == (1, 1)
+        assert first.start == 0.0 and first.end == 1.0
+        assert second.start == 1.0 and second.end == 2.0
+
+    def test_reads_attached_clock_when_no_timestamp_given(self):
+        clock = SimulatedClock()
+        series = WindowedHistogram("latency", clock=clock)
+        series.observe(0.5)
+        clock.advance(3.0)
+        series.observe(0.7)
+        assert [s.index for s in series.windows()] == [0, 3]
+
+    def test_observe_without_clock_or_timestamp_is_an_error(self):
+        series = WindowedHistogram("latency")
+        with pytest.raises(ValueError):
+            series.observe(0.5)
+
+    def test_series_fills_gaps_with_empty_windows(self):
+        series = WindowedHistogram("latency")
+        series.observe(1.0, at=0.5)
+        series.observe(1.0, at=4.5)
+        filled = series.series()
+        assert [s.index for s in filled] == [0, 1, 2, 3, 4]
+        assert [s.count for s in filled] == [1, 0, 0, 0, 1]
+        sparse = series.series(fill_gaps=False)
+        assert [s.index for s in sparse] == [0, 4]
+
+    def test_sim_clock_jump_rolls_to_a_new_window_and_evicts_oldest(self):
+        series = WindowedHistogram("latency", max_windows=3)
+        for second in (0, 1, 2):
+            series.observe(0.1, at=second + 0.5)
+        # A large sim-clock jump: window 50 arrives, window 0 is evicted.
+        series.observe(0.1, at=50.5)
+        assert [s.index for s in series.windows()] == [1, 2, 50]
+        # A straggler older than the retention horizon is dropped, counted.
+        series.observe(0.1, at=0.9)
+        assert [s.index for s in series.windows()] == [1, 2, 50]
+        assert series.dropped == 1
+        assert series.observed == 4
+
+    def test_merged_folds_every_window_into_one_histogram(self):
+        series = WindowedHistogram("latency", buckets=(1.0, 2.0))
+        series.observe(0.5, at=0.0)
+        series.observe(1.5, at=1.0)
+        series.observe(9.0, at=2.0)
+        merged = series.merged()
+        assert merged.count == 3
+        assert merged.counts == [1, 1, 1]
+        assert merged.minimum == 0.5 and merged.maximum == 9.0
+
+    def test_window_percentiles_are_per_window_not_cumulative(self):
+        series = WindowedHistogram("latency", buckets=(0.01, 0.1, 1.0))
+        for _ in range(100):
+            series.observe(0.005, at=0.5)
+        for _ in range(100):
+            series.observe(0.9, at=1.5)
+        fast, slow = series.series()
+        assert fast.p99 <= 0.01
+        assert slow.p99 >= 0.1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram("x", window_seconds=0.0)
+        with pytest.raises(ValueError):
+            WindowedHistogram("x", max_windows=0)
+
+
+def _traced_run(clock: SimulatedClock, tracer: Tracer, *, status: str = "done",
+                queue_ms: float = 4.0, execute_sim: float = 0.3) -> None:
+    """Emit one runtime.request span tree shaped like the real pipeline."""
+    with tracer.span("runtime.request") as request:
+        request.set(queue_ms=queue_ms, status=status)
+        with tracer.span("discovery"):
+            pass
+        with tracer.span("qassa.select"):
+            pass
+        with tracer.span("bind"):
+            pass
+        with tracer.span("execute"):
+            clock.advance(execute_sim)
+        with tracer.span("runtime.commit"):
+            pass
+
+
+class TestStageWindows:
+    def test_ingests_pipeline_stages_from_span_trees(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock=clock)
+        _traced_run(clock, tracer)
+        clock.advance(0.7)  # next request starts in sim-second 1
+        _traced_run(clock, tracer)
+        windows = StageWindows(window_seconds=1.0)
+        recognised = windows.ingest(tracer.spans)
+        assert recognised == 12  # 6 recognised spans per request
+        stages = windows.stages()
+        for stage in ("admission-wait", "discovery", "selection", "binding",
+                      "execution", "commit", "request"):
+            assert stage in stages, stage
+        # Requests started at sim 0.0 and 1.0 -> separate windows.
+        assert [s.index for s in stages["request"].windows()] == [0, 1]
+        # admission-wait is queue_ms converted to seconds.
+        merged = stages["admission-wait"].merged()
+        assert merged.count == 2
+        assert merged.maximum == pytest.approx(0.004)
+
+    def test_unrecognised_spans_are_ignored(self):
+        tracer = Tracer()
+        with tracer.span("compose"):
+            with tracer.span("qassa.cluster"):
+                pass
+        windows = StageWindows()
+        assert windows.ingest(tracer.spans) == 0
+        assert windows.stages() == {}
+
+    def test_wall_fallback_when_no_sim_clock(self):
+        tracer = Tracer()  # no clock: spans carry wall timestamps only
+        with tracer.span("discovery"):
+            pass
+        windows = StageWindows(window_seconds=1.0)
+        windows.ingest(tracer.spans)
+        # First ingested span defines the wall epoch -> window 0.
+        assert [s.index for s in windows.stage("discovery").windows()] == [0]
+
+    def test_availability_counts_request_outcomes_per_window(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock=clock)
+        _traced_run(clock, tracer, status="done", execute_sim=0.1)
+        _traced_run(clock, tracer, status="rejected", execute_sim=0.1)
+        clock.advance(0.9)
+        _traced_run(clock, tracer, status="done", execute_sim=0.1)
+        windows = StageWindows(window_seconds=1.0)
+        windows.ingest(tracer.spans)
+        availability = windows.availability()
+        assert availability[0] == pytest.approx(0.5)
+        assert availability[1] == pytest.approx(1.0)
+        assert windows.outcomes()[0] == {"done": 1, "rejected": 1}
+
+    def test_ingest_observability_reads_finished_roots(self):
+        clock = SimulatedClock()
+        observability = Observability(clock=clock)
+        with observability.span("execute"):
+            clock.advance(0.2)
+        windows = StageWindows()
+        assert windows.ingest_observability(observability) == 1
+
+
+class TestSlo:
+    def _windows(self, *latencies_per_window):
+        series = WindowedHistogram("latency", buckets=(0.01, 0.1, 1.0))
+        for index, latencies in enumerate(latencies_per_window):
+            for latency in latencies:
+                series.observe(latency, at=index + 0.5)
+        return series.series()
+
+    def test_windowed_pass_fail_series(self):
+        windows = self._windows([0.005] * 10, [0.9] * 10)
+        slo = Slo(p99_ms=50.0)
+        verdicts = slo.evaluate(windows)
+        assert [v.passed for v in verdicts] == [True, False]
+        assert "p99" in verdicts[1].failures[0]
+        assert not slo.passed(windows)
+
+    def test_availability_floor(self):
+        windows = self._windows([0.005] * 4)
+        slo = Slo(p99_ms=50.0, availability=0.99)
+        verdicts = slo.evaluate(windows, availability={0: 0.5})
+        assert not verdicts[0].passed
+        assert "availability" in verdicts[0].failures[0]
+        # Without an availability series the latency bound alone judges.
+        assert slo.evaluate(windows)[0].passed
+
+    def test_empty_windows_pass_trivially(self):
+        windows = self._windows([0.005], [], [0.005])
+        assert Slo(p99_ms=50.0).passed(windows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Slo()
+        with pytest.raises(ValueError):
+            Slo(p99_ms=-1.0)
+        with pytest.raises(ValueError):
+            Slo(p99_ms=10.0, availability=1.5)
+
+    def test_verdict_round_trips_to_dict(self):
+        windows = self._windows([0.005])
+        verdict = Slo(p99_ms=50.0).evaluate(windows)[0]
+        record = verdict.to_dict()
+        assert record["passed"] is True and record["index"] == 0
+
+
+class TestExporters:
+    def _stage_windows(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock=clock)
+        _traced_run(clock, tracer)
+        clock.advance(0.7)
+        _traced_run(clock, tracer, status="rejected")
+        windows = StageWindows(window_seconds=1.0)
+        windows.ingest(tracer.spans)
+        return windows
+
+    def test_sparkline_scales_to_eight_levels(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█" and len(line) == 3
+
+    def test_jsonl_round_trip(self, tmp_path):
+        windows = self._stage_windows()
+        path = tmp_path / "windows.jsonl"
+        written = write_window_jsonl(windows, str(path))
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines() if line
+        ]
+        assert len(records) == written and written > 0
+        assert {r["type"] for r in records} == {"window"}
+        request_rows = [r for r in records if r["stage"] == "request"]
+        assert {r["index"] for r in request_rows} == {0, 1}
+        assert any("availability" in r for r in request_rows)
+
+    def test_jsonl_accepts_a_stream(self):
+        stream = io.StringIO()
+        written = write_window_jsonl(self._stage_windows(), stream)
+        assert written == len(stream.getvalue().splitlines())
+
+    def test_window_records_tag_stage_and_window_size(self):
+        records = window_records(self._stage_windows())
+        assert all(r["window_seconds"] == 1.0 for r in records)
+        assert {r["stage"] for r in records} >= {"execution", "request"}
+
+    def test_console_tables_render(self):
+        windows = self._stage_windows()
+        table = render_window_table(windows)
+        assert "execution" in table and "p99/window" in table
+        request_series = windows.stage("request").series()
+        verdicts = Slo(p99_ms=1000.0).evaluate(
+            request_series, windows.availability()
+        )
+        slo_table = render_slo_table(verdicts, Slo(p99_ms=1000.0))
+        assert "pass" in slo_table and "SLO" in slo_table

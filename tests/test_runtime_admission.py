@@ -1,0 +1,234 @@
+"""Tests for admission-control policies (repro.runtime.admission)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MiddlewareRuntimeError
+from repro.middleware.qasom import QASOM
+from repro.observability import Observability
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.runtime import (
+    AdaptiveAdmissionController,
+    MiddlewareRuntime,
+    RequestStatus,
+    RuntimeConfig,
+    StaticAdmissionController,
+    build_admission_controller,
+)
+from repro.semantics.ontology import Ontology
+from repro.services.generator import ServiceGenerator
+from repro.composition.request import UserRequest
+from repro.composition.task import Task, leaf, sequence
+from repro.env.environment import PervasiveEnvironment
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+def build_world(seed=3, services=6):
+    ontology = Ontology("admission-tests")
+    root = ontology.declare_class("task:Root")
+    ontology.declare_class("task:One", [root])
+    environment = PervasiveEnvironment(seed=seed)
+    generator = ServiceGenerator(PROPS, seed=seed)
+    for service in generator.candidates("task:One", services):
+        environment.host_on_new_device(service)
+    middleware = QASOM.for_environment(environment, PROPS, ontology=ontology)
+    task = Task("admission", sequence(leaf("A", "task:One")))
+    request = UserRequest(task=task, constraints=(),
+                          weights={name: 1.0 for name in PROPS})
+    return middleware, request
+
+
+class TestStaticController:
+    def test_admits_strictly_below_depth(self):
+        controller = StaticAdmissionController(3)
+        assert controller.admit(0) and controller.admit(2)
+        assert not controller.admit(3)
+        assert controller.effective_depth() == 3
+
+    def test_ignores_load_signals(self):
+        controller = StaticAdmissionController(3)
+        controller.on_arrival(0.0)
+        controller.on_complete(100.0, 1.0)
+        assert controller.effective_depth() == 3
+
+
+class TestAdaptiveController:
+    def _controller(self, **overrides):
+        options = dict(
+            target_delay_seconds=1.0, window_seconds=10.0, min_depth=1,
+        )
+        options.update(overrides)
+        return AdaptiveAdmissionController(16, **options)
+
+    def test_behaves_statically_until_service_samples_exist(self):
+        controller = self._controller()
+        for t in range(5):
+            controller.on_arrival(float(t))
+        assert controller.effective_depth() == 16
+        assert controller.admit(15) and not controller.admit(16)
+
+    def test_depth_follows_littles_law(self):
+        controller = self._controller()
+        # Measured service time 0.5 s, target wait 1 s -> depth ceil(2)=2.
+        controller.on_complete(0.5, 1.0)
+        assert controller.effective_depth() == 2
+        assert controller.admit(1) and not controller.admit(2)
+
+    def test_depth_is_floored_and_capped(self):
+        controller = self._controller(min_depth=2)
+        controller.on_complete(100.0, 1.0)  # pathologically slow
+        assert controller.effective_depth() == 2
+        controller.on_complete(0.0001, 2.0)  # mean still ~50 s
+        assert controller.effective_depth() == 2
+
+    def test_samples_age_out_of_the_window(self):
+        controller = self._controller(window_seconds=5.0)
+        controller.on_complete(2.0, 1.0)
+        assert controller.effective_depth() == 1
+        # 10 sim-seconds later the slow sample left the window; with no
+        # evidence the controller relaxes back to the static bound.
+        controller.on_arrival(11.0)
+        assert controller.effective_depth() == 16
+
+    def test_rates_and_decision_count(self):
+        controller = self._controller(window_seconds=10.0)
+        for t in range(10):
+            controller.on_arrival(float(t))
+        assert controller.arrival_rate() == pytest.approx(1.0)
+        controller.on_complete(0.25, 9.0)
+        assert controller.service_seconds() == pytest.approx(0.25)
+        assert controller.decisions == 1  # 16 -> 4
+
+    def test_emits_gauges_and_decision_span(self):
+        observability = Observability()
+        controller = AdaptiveAdmissionController(
+            16, target_delay_seconds=1.0, window_seconds=10.0,
+            observability=observability,
+        )
+        controller.on_arrival(0.0)
+        controller.on_complete(0.5, 0.5)
+        metrics = observability.metrics
+        assert metrics.value("runtime_admission_effective_depth") == 2
+        assert metrics.value("runtime_admission_arrival_rate") > 0
+        assert metrics.value("runtime_admission_service_seconds") == 0.5
+        decision_spans = [
+            s for s in observability.tracer.all_spans()
+            if s.name == "runtime.admission"
+        ]
+        assert len(decision_spans) == 1
+        assert decision_spans[0].attributes["effective_depth"] == 2
+        assert decision_spans[0].attributes["previous_depth"] == 16
+
+    def test_identical_timelines_make_identical_decisions(self):
+        events = [("a", 0.0), ("c", 0.4, 0.5), ("a", 0.6), ("c", 0.1, 1.0),
+                  ("a", 1.2), ("c", 0.9, 2.5), ("a", 7.0)]
+
+        def replay():
+            controller = self._controller(window_seconds=5.0)
+            depths = []
+            for event in events:
+                if event[0] == "a":
+                    controller.on_arrival(event[1])
+                else:
+                    controller.on_complete(event[1], event[2])
+                depths.append(controller.effective_depth())
+            return depths
+
+        assert replay() == replay()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._controller(target_delay_seconds=0.0)
+        with pytest.raises(ValueError):
+            self._controller(window_seconds=-1.0)
+        with pytest.raises(ValueError):
+            self._controller(min_depth=0)
+        with pytest.raises(ValueError):
+            self._controller(min_depth=17)
+
+
+class TestConfigWiring:
+    def test_static_is_the_default_policy(self):
+        controller = build_admission_controller(RuntimeConfig(queue_depth=8))
+        assert isinstance(controller, StaticAdmissionController)
+        assert not controller.adaptive
+
+    def test_adaptive_policy_reads_its_knobs(self):
+        config = RuntimeConfig(
+            queue_depth=8, admission="adaptive",
+            admission_target_delay_ms=500.0, admission_window_seconds=2.0,
+            admission_min_depth=3,
+        )
+        controller = build_admission_controller(config)
+        assert isinstance(controller, AdaptiveAdmissionController)
+        assert controller.adaptive
+        assert controller.target_delay_seconds == pytest.approx(0.5)
+        assert controller.window_seconds == 2.0
+        assert controller.min_depth == 3
+
+    def test_config_validates_admission_fields(self):
+        with pytest.raises(MiddlewareRuntimeError):
+            RuntimeConfig(admission="psychic")
+        with pytest.raises(MiddlewareRuntimeError):
+            RuntimeConfig(admission_target_delay_ms=0.0)
+        with pytest.raises(MiddlewareRuntimeError):
+            RuntimeConfig(admission_window_seconds=0.0)
+        with pytest.raises(MiddlewareRuntimeError):
+            RuntimeConfig(queue_depth=4, admission_min_depth=5)
+
+
+class TestRuntimeIntegration:
+    def test_adaptive_runtime_tightens_admission_under_slow_service(self):
+        middleware, request = build_world()
+        config = RuntimeConfig(
+            workers=1, queue_depth=32, admission="adaptive",
+            admission_target_delay_ms=1.0, admission_window_seconds=60.0,
+        )
+        runtime = MiddlewareRuntime(middleware, config, autostart=False)
+        # Warm the controller: one completed request whose simulated
+        # execution dwarfs the 1 ms target delay tightens the bound to 1.
+        runtime.start()
+        first = runtime.submit(request)
+        assert first.result() is not None
+        runtime.drain()
+        assert runtime.admission.effective_depth() == 1
+        runtime.close()
+
+    def test_handles_carry_simulated_latency_stamps(self):
+        middleware, request = build_world()
+        runtime = MiddlewareRuntime(
+            middleware, RuntimeConfig(workers=1, queue_depth=4)
+        )
+        handle = runtime.submit(request)
+        result = handle.result()
+        runtime.close()
+        assert result is not None
+        assert handle.submitted_sim is not None
+        assert handle.finished_sim is not None
+        assert handle.sim_seconds is not None and handle.sim_seconds > 0
+
+    def test_rejected_handles_have_zero_sim_latency(self):
+        middleware, request = build_world()
+        runtime = MiddlewareRuntime(
+            middleware,
+            RuntimeConfig(workers=1, queue_depth=1),
+            autostart=False,
+        )
+        runtime.submit(request)
+        rejected = runtime.submit(request)
+        assert rejected.status is RequestStatus.REJECTED
+        assert rejected.sim_seconds == 0.0
+        runtime.close(drain=False)
+
+    def test_inline_submit_stamps_sim_latency(self):
+        middleware, request = build_world()
+        handle = middleware.submit(request)
+        assert handle.sim_seconds is not None and handle.sim_seconds > 0
+        plan_only = middleware.submit(request, execute=False)
+        # Composition takes no simulated time.
+        assert plan_only.sim_seconds == 0.0
