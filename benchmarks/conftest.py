@@ -35,6 +35,7 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 TRACKED_BENCHMARKS = {
     "throughput": "BENCH_throughput.json",
     "tail_latency": "BENCH_tail_latency.json",
+    "chaos": "BENCH_chaos.json",
 }
 
 #: Most-recent runs kept per trajectory file.

@@ -33,16 +33,23 @@ from repro.errors import (
     DeadlineExceededError,
     MiddlewareRuntimeError,
     ReproError,
+    RuntimeInvariantError,
     RuntimeShutdownError,
+    WorkerCrashError,
 )
 from repro.middleware.config import MiddlewareConfig
 from repro.middleware.qasom import QASOM, RunResult
 from repro.runtime import (
     AdaptiveAdmissionController,
+    ChaosPolicy,
+    InvariantReport,
     MiddlewareRuntime,
     RequestStatus,
+    RetryBudget,
     RunHandle,
     RuntimeConfig,
+    assert_runtime_invariants,
+    verify_runtime_invariants,
 )
 from repro.composition.request import GlobalConstraint, UserRequest
 from repro.composition.selection import CandidateSets, CompositionPlan
@@ -111,9 +118,11 @@ __all__ = [
     "AdaptiveAdmissionController",
     "AdmissionRejectedError",
     "CandidateSets",
+    "ChaosPolicy",
     "CompositionPlan",
     "DeadlineExceededError",
     "GlobalConstraint",
+    "InvariantReport",
     "MiddlewareConfig",
     "MiddlewareRuntime",
     "MiddlewareRuntimeError",
@@ -121,16 +130,21 @@ __all__ = [
     "QASOM",
     "ReproError",
     "RequestStatus",
+    "RetryBudget",
     "RunHandle",
     "RunResult",
     "RuntimeConfig",
+    "RuntimeInvariantError",
     "RuntimeShutdownError",
     "Task",
     "UserRequest",
+    "WorkerCrashError",
+    "assert_runtime_invariants",
     "leaf",
     "loop",
     "parallel",
     "sequence",
+    "verify_runtime_invariants",
     # environment & scenarios
     "Device",
     "DeviceClass",

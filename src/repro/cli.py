@@ -35,6 +35,7 @@ import time
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.api import (
+    ChaosPolicy,
     FaultSchedule,
     MiddlewareConfig,
     MiddlewareRuntime,
@@ -43,6 +44,7 @@ from repro.api import (
     RuntimeConfig,
     Scenario,
     Sweep,
+    verify_runtime_invariants,
     build_hospital_scenario,
     build_holiday_camp_scenario,
     build_shopping_scenario,
@@ -106,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="broker the request through a pooled "
                                "MiddlewareRuntime and report throughput "
                                "(see docs/RUNTIME.md)")
+    scenario.add_argument("--chaos", metavar="FILE", default=None,
+                          help="with --serve: inject the runtime fault "
+                               "kinds of a JSON fault schedule (worker "
+                               "crashes/stalls, snapshot failures, commit "
+                               "delays) into the pooled runtime; "
+                               "service/device kinds in the same file are "
+                               "replayed by the environment (see "
+                               "docs/RUNTIME.md)")
     scenario.add_argument("--workers", type=int, default=4,
                           help="worker threads for --serve (default 4)")
     scenario.add_argument("--requests", type=int, default=16,
@@ -239,6 +249,10 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
 
     if args.serve:
         return _serve_scenario(args, scenario, middleware, obs, out)
+    if args.chaos:
+        print("error: --chaos requires --serve (runtime faults are "
+              "injected into the worker pool)", file=out)
+        return 2
 
     result = middleware.run(scenario.request)
     plan = result.plan
@@ -276,11 +290,26 @@ def _serve_scenario(args, scenario, middleware, obs, out) -> int:
     count = max(1, args.requests)
     config = RuntimeConfig(workers=max(1, args.workers),
                            queue_depth=max(count, 1))
+    chaos = None
+    if args.chaos:
+        schedule = FaultSchedule.load(args.chaos)
+        environment_events = schedule.environment_events()
+        if len(environment_events):
+            scenario.environment.schedule_faults(environment_events)
+        kwargs = {"observability": obs} if obs is not None else {}
+        chaos = ChaosPolicy.from_schedule(
+            schedule, scenario.environment.clock, **kwargs
+        )
+        print(f"chaos: {len(schedule.runtime_events())} runtime events, "
+              f"{len(environment_events)} environment events from "
+              f"{args.chaos}", file=out)
     print(f"\nserve: {count} requests, {config.workers} workers", file=out)
     started = time.perf_counter()
-    with MiddlewareRuntime(middleware, config) as runtime:
+    with MiddlewareRuntime(middleware, config, chaos=chaos) as runtime:
         handles = [runtime.submit(scenario.request) for _ in range(count)]
         runtime.drain()
+        if chaos is not None:
+            report = verify_runtime_invariants(runtime, handles)
     elapsed = time.perf_counter() - started
 
     succeeded = sum(
@@ -302,6 +331,18 @@ def _serve_scenario(args, scenario, middleware, obs, out) -> int:
           f"{runtime.coalescer.coalesced} coalesced", file=out)
     print(f"snapshots: {runtime.snapshots.refreshes} refreshes for "
           f"{runtime.snapshots.acquires} acquires", file=out)
+    if chaos is not None:
+        print(f"chaos: fired {len(chaos.fired)} faults "
+              f"({', '.join(f.event.kind.value for f in chaos.fired) or '-'})"
+              f", {len(chaos.pending)} pending", file=out)
+        print(f"supervision: {runtime.supervisor.restarts} worker restarts, "
+              f"{runtime.requeued} requeues, retry budget "
+              f"{runtime.retry_budget.tokens:.1f} tokens "
+              f"({runtime.retry_budget.denied} denied)", file=out)
+        verdict = "OK" if report.ok else "; ".join(report.violations)
+        print(f"invariants: {verdict}", file=out)
+        if not report.ok:
+            return 1
     if obs is not None:
         if args.trace:
             print(f"\ntrace ({len(obs.spans)} root span"

@@ -20,7 +20,12 @@ from typing import Callable, Dict, List, Mapping, Optional, Set
 from repro.errors import EnvironmentError_
 from repro.observability import core as observability_core
 from repro.qos.values import QoSVector
-from repro.resilience.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    RUNTIME_KINDS,
+)
 from repro.services.description import ServiceDescription
 from repro.services.registry import ServiceRegistry
 from repro.execution.clock import SimulatedClock
@@ -257,6 +262,14 @@ class PervasiveEnvironment:
     def _apply_due_faults(self, now: float) -> None:
         while self._pending_faults and self._pending_faults[0].at <= now:
             event = self._pending_faults.pop(0)
+            if event.kind in RUNTIME_KINDS:
+                # Runtime fault domains belong to the runtime's ChaosPolicy,
+                # not the environment — skip them so a mixed schedule can be
+                # handed to both layers safely.
+                self.obs.counter(
+                    "faults_runtime_skipped_total", kind=event.kind.value
+                ).inc()
+                continue
             self.obs.counter(
                 "faults_injected_total", kind=event.kind.value
             ).inc()

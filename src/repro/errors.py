@@ -115,3 +115,16 @@ class DeadlineExceededError(MiddlewareRuntimeError):
 class RuntimeShutdownError(MiddlewareRuntimeError):
     """The runtime was shut down before (or while) the request could be
     processed."""
+
+
+class WorkerCrashError(MiddlewareRuntimeError):
+    """A worker thread died while holding this request and the supervisor
+    could not (or was not allowed to) requeue it — the requeue budget was
+    exhausted, the bounded requeue count was reached, or the crash landed
+    mid-commit where re-execution would not be safe."""
+
+
+class RuntimeInvariantError(MiddlewareRuntimeError):
+    """A runtime safety invariant was violated (request lost, commit
+    duplicated or out of ticket order, worker pool not restored) — raised
+    by :func:`repro.runtime.chaos.assert_runtime_invariants`."""

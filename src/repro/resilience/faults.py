@@ -10,14 +10,23 @@ and the adaptation claims are measured under.  It replaces the ad-hoc
 test-only calls to ``kill_service`` / ``degrade_link`` scattered through
 experiments.
 
-Two families of events:
+Three families of events:
 
 * **one-shot** — applied exactly once when simulated time reaches ``at``:
   ``kill_service``, ``kill_device``, ``degrade_link``;
 * **window** — active during ``[at, at + duration)`` and consulted on every
   invocation that falls inside the window: ``latency_spike`` (multiplies
   observed response time by ``factor``), ``flaky_window`` (invocations fail
-  with ``fail_probability``), ``partition`` (the device is unreachable).
+  with ``fail_probability``), ``partition`` (the device is unreachable);
+* **runtime** — platform-level faults consumed not by the environment but
+  by the concurrent runtime's :class:`~repro.runtime.chaos.ChaosPolicy` at
+  well-defined injection points: ``worker_crash`` (a worker thread dies
+  with the request it holds), ``worker_stall`` (a worker freezes for
+  ``duration`` wall seconds), ``snapshot_failure`` (one registry-snapshot
+  acquisition fails transiently) and ``commit_delay`` (the commit stage
+  stalls for ``duration`` wall seconds while holding its turn).  Runtime
+  events fire at most once, when the first matching injection point
+  observes simulated time ``>= at``; the environment ignores them.
 
 Schedules are composable (:meth:`FaultSchedule.merge`,
 :meth:`FaultSchedule.shifted`), serialisable to/from JSON (the CLI's
@@ -36,7 +45,7 @@ from repro.errors import EnvironmentError_
 
 
 class FaultKind(enum.Enum):
-    """The injectable fault types — three one-shot, three windowed."""
+    """The injectable fault types — one-shot, windowed and runtime."""
 
     # One-shot events.
     KILL_SERVICE = "kill_service"
@@ -46,6 +55,11 @@ class FaultKind(enum.Enum):
     LATENCY_SPIKE = "latency_spike"
     FLAKY_WINDOW = "flaky_window"
     PARTITION = "partition"
+    # Runtime (platform-level) events, consumed by the runtime's ChaosPolicy.
+    WORKER_CRASH = "worker_crash"
+    WORKER_STALL = "worker_stall"
+    SNAPSHOT_FAILURE = "snapshot_failure"
+    COMMIT_DELAY = "commit_delay"
 
 
 #: Kinds applied once at their timestamp (vs. consulted over a window).
@@ -54,6 +68,21 @@ ONE_SHOT_KINDS = frozenset(
 )
 WINDOW_KINDS = frozenset(
     {FaultKind.LATENCY_SPIKE, FaultKind.FLAKY_WINDOW, FaultKind.PARTITION}
+)
+#: Kinds the concurrent runtime injects at its own fault-domain boundaries
+#: (worker pool, snapshot manager, commit stage) — the environment skips
+#: them during replay.
+RUNTIME_KINDS = frozenset(
+    {
+        FaultKind.WORKER_CRASH,
+        FaultKind.WORKER_STALL,
+        FaultKind.SNAPSHOT_FAILURE,
+        FaultKind.COMMIT_DELAY,
+    }
+)
+#: Runtime kinds whose ``duration`` is a wall-clock sleep length.
+RUNTIME_DELAY_KINDS = frozenset(
+    {FaultKind.WORKER_STALL, FaultKind.COMMIT_DELAY}
 )
 
 
@@ -64,7 +93,11 @@ class FaultEvent:
     ``target`` is a service id for ``kill_service`` / ``flaky_window``, a
     device id for ``kill_device`` / ``degrade_link`` / ``partition``, and
     either for ``latency_spike`` (the spike applies when the invocation's
-    service *or* hosting device matches).
+    service *or* hosting device matches).  For the runtime worker kinds
+    (``worker_crash`` / ``worker_stall``) it is ``"worker-<index>"`` to pin
+    a specific worker or ``"any"`` for whichever worker reaches the
+    injection point first; ``snapshot_failure`` / ``commit_delay``
+    conventionally use ``"runtime"``.
     """
 
     at: float
@@ -83,6 +116,11 @@ class FaultEvent:
         if self.kind in WINDOW_KINDS and self.duration <= 0:
             raise EnvironmentError_(
                 f"{self.kind.value} fault needs a positive duration"
+            )
+        if self.kind in RUNTIME_DELAY_KINDS and self.duration <= 0:
+            raise EnvironmentError_(
+                f"{self.kind.value} fault needs a positive duration "
+                "(the wall-clock stall length)"
             )
         if self.factor < 1.0:
             raise EnvironmentError_("latency spike factor must be >= 1")
@@ -104,7 +142,7 @@ class FaultEvent:
         record: Dict[str, Any] = {
             "at": self.at, "kind": self.kind.value, "target": self.target,
         }
-        if self.kind in WINDOW_KINDS:
+        if self.kind in WINDOW_KINDS or self.kind in RUNTIME_DELAY_KINDS:
             record["duration"] = self.duration
         if self.kind is FaultKind.LATENCY_SPIKE:
             record["factor"] = self.factor
@@ -167,6 +205,18 @@ class FaultSchedule:
 
     def targeting(self, kind: FaultKind) -> List[FaultEvent]:
         return [e for e in self._events if e.kind is kind]
+
+    def runtime_events(self) -> "FaultSchedule":
+        """The runtime-kind subset (fed to a runtime ``ChaosPolicy``)."""
+        return FaultSchedule(
+            e for e in self._events if e.kind in RUNTIME_KINDS
+        )
+
+    def environment_events(self) -> "FaultSchedule":
+        """The service/device-kind subset (replayed by the environment)."""
+        return FaultSchedule(
+            e for e in self._events if e.kind not in RUNTIME_KINDS
+        )
 
     # -- serialisation -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -240,6 +290,55 @@ class FaultSchedule:
         )
         victims = rng.sample(list(service_ids), count) if count else []
         return cls.kill_services(victims, between, seed=seed + 1)
+
+    @classmethod
+    def runtime_chaos(
+        cls,
+        between: Tuple[float, float],
+        *,
+        crashes: int = 2,
+        stalls: int = 1,
+        snapshot_failures: int = 0,
+        commit_delays: int = 0,
+        stall_seconds: float = 0.05,
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """A seeded runtime-fault schedule over a simulated-time window.
+
+        The workhorse builder for chaos benchmarks/tests: ``crashes`` worker
+        crashes, ``stalls`` worker stalls of ``stall_seconds`` each,
+        plus optional snapshot failures and commit delays, all at
+        seeded-random instants inside ``between``.  Deterministic for a
+        given seed, like the service-fault builders.
+        """
+        start, end = between
+        if end < start:
+            raise EnvironmentError_(f"empty chaos window [{start}, {end}]")
+        rng = random.Random(seed)
+
+        def instant() -> float:
+            return start + rng.random() * (end - start)
+
+        events: List[FaultEvent] = []
+        for _ in range(crashes):
+            events.append(
+                FaultEvent(instant(), FaultKind.WORKER_CRASH, "any")
+            )
+        for _ in range(stalls):
+            events.append(
+                FaultEvent(instant(), FaultKind.WORKER_STALL, "any",
+                           duration=stall_seconds)
+            )
+        for _ in range(snapshot_failures):
+            events.append(
+                FaultEvent(instant(), FaultKind.SNAPSHOT_FAILURE, "runtime")
+            )
+        for _ in range(commit_delays):
+            events.append(
+                FaultEvent(instant(), FaultKind.COMMIT_DELAY, "runtime",
+                           duration=stall_seconds)
+            )
+        return cls(events)
 
     def __repr__(self) -> str:
         return f"FaultSchedule({len(self._events)} events)"

@@ -17,17 +17,36 @@ from repro.runtime.admission import (
     build_admission_controller,
 )
 from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
+from repro.runtime.chaos import (
+    ChaosPolicy,
+    FiredFault,
+    InjectedSnapshotFailure,
+    InjectedWorkerCrash,
+    InvariantReport,
+    assert_runtime_invariants,
+    verify_runtime_invariants,
+)
 from repro.runtime.handle import RequestStatus, RunHandle, RunSpec
 from repro.runtime.runtime import MiddlewareRuntime, RuntimeConfig
 from repro.runtime.snapshot import SnapshotManager
+from repro.runtime.supervisor import RetryBudget, WorkerSupervisor
 
 __all__ = [
     "AdaptiveAdmissionController",
+    "ChaosPolicy",
     "DiscoveryBatcher",
+    "FiredFault",
+    "InjectedSnapshotFailure",
+    "InjectedWorkerCrash",
+    "InvariantReport",
     "RequestCoalescer",
     "MiddlewareRuntime",
+    "RetryBudget",
     "StaticAdmissionController",
+    "WorkerSupervisor",
+    "assert_runtime_invariants",
     "build_admission_controller",
+    "verify_runtime_invariants",
     "RequestStatus",
     "RunHandle",
     "RunSpec",

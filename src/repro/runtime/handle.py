@@ -16,6 +16,7 @@ submitting thread blocks on :meth:`RunHandle.result` /
 from __future__ import annotations
 
 import enum
+import itertools
 import threading
 import time
 from dataclasses import dataclass
@@ -96,6 +97,14 @@ class RunSpec:
             )
 
 
+#: Process-wide monotonic handle sequence.  ``next()`` on an
+#: ``itertools.count`` is atomic under the GIL, so handles created from
+#: any thread get unique, never-reused ids — unlike ``id(handle)``, which
+#: the allocator recycles after GC and which could cross-wire the
+#: runtime's ticket bookkeeping between an old and a new handle.
+_HANDLE_SEQ = itertools.count(1)
+
+
 class RunHandle:
     """The caller's view of one submitted request.
 
@@ -108,6 +117,11 @@ class RunHandle:
 
     def __init__(self, spec: RunSpec) -> None:
         self.spec = spec
+        #: Unique, never-reused identity (the runtime's ticket-map key).
+        self.seq: int = next(_HANDLE_SEQ)
+        #: How many times a supervisor/transient-fault requeue re-admitted
+        #: this request after a worker crash or injected snapshot failure.
+        self.requeues: int = 0
         self._done = threading.Event()
         self._status = RequestStatus.QUEUED
         self._result: Optional["RunResult"] = None
@@ -129,6 +143,10 @@ class RunHandle:
     def _mark_running(self) -> None:
         self._status = RequestStatus.RUNNING
         self.started_wall = time.perf_counter()
+
+    def _mark_requeued(self) -> None:
+        """Back to the queue after a worker crash / transient fault."""
+        self._status = RequestStatus.QUEUED
 
     def _complete(
         self,

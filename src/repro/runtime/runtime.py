@@ -47,6 +47,7 @@ from repro.errors import (
     MiddlewareRuntimeError,
     NoCandidateError,
     RuntimeShutdownError,
+    WorkerCrashError,
 )
 from repro.composition.qassa import QASSA
 from repro.composition.request import UserRequest
@@ -55,8 +56,10 @@ from repro.composition.selection_cache import SelectionCache
 from repro.resilience.policies import TimeoutPolicy
 from repro.runtime.admission import build_admission_controller
 from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
+from repro.runtime.chaos import ChaosPolicy, InjectedSnapshotFailure
 from repro.runtime.handle import RequestStatus, RunHandle, RunSpec
 from repro.runtime.snapshot import SnapshotManager
+from repro.runtime.supervisor import RetryBudget, WorkerSupervisor
 
 from typing import TYPE_CHECKING
 
@@ -93,6 +96,18 @@ class RuntimeConfig:
     admission_target_delay_ms: float = 250.0
     admission_window_seconds: float = 5.0
     admission_min_depth: int = 1
+    #: Fault-domain knobs: ``max_requeues`` bounds how often one request may
+    #: be re-admitted after a worker crash / transient runtime fault;
+    #: the ``retry_budget_*`` trio parameterises the token bucket that caps
+    #: the fraction of traffic that may be requeue work (each admission
+    #: deposits ``ratio`` tokens up to ``cap``; each requeue spends one);
+    #: ``close_join_seconds`` bounds how long :meth:`MiddlewareRuntime.close`
+    #: waits for each worker before declaring it leaked.
+    max_requeues: int = 2
+    retry_budget_ratio: float = 0.1
+    retry_budget_initial: float = 4.0
+    retry_budget_cap: float = 32.0
+    close_join_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -117,6 +132,24 @@ class RuntimeConfig:
                 "admission_min_depth must satisfy "
                 "1 <= min_depth <= queue_depth"
             )
+        if self.max_requeues < 0:
+            raise MiddlewareRuntimeError("max_requeues must be >= 0")
+        if not 0.0 <= self.retry_budget_ratio <= 1.0:
+            raise MiddlewareRuntimeError(
+                "retry_budget_ratio must be in [0, 1]"
+            )
+        if self.retry_budget_initial < 0 or self.retry_budget_cap < 0:
+            raise MiddlewareRuntimeError(
+                "retry budget initial/cap must be >= 0"
+            )
+        if self.retry_budget_cap < self.retry_budget_initial:
+            raise MiddlewareRuntimeError(
+                "retry_budget_cap must be >= retry_budget_initial"
+            )
+        if self.close_join_seconds <= 0:
+            raise MiddlewareRuntimeError(
+                "close_join_seconds must be positive"
+            )
 
 
 class MiddlewareRuntime:
@@ -135,10 +168,12 @@ class MiddlewareRuntime:
         config: Optional[RuntimeConfig] = None,
         *,
         autostart: bool = True,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         self.middleware = middleware
         self.config = config if config is not None else RuntimeConfig()
         self.autostart = autostart
+        self.chaos = chaos
         self.observability = middleware.observability
         self.snapshots = SnapshotManager(middleware.environment.registry)
         self.batcher = DiscoveryBatcher(
@@ -150,24 +185,37 @@ class MiddlewareRuntime:
         self.admission = build_admission_controller(
             self.config, self.observability
         )
+        self.supervisor = WorkerSupervisor(self)
+        self.retry_budget = RetryBudget(
+            ratio=self.config.retry_budget_ratio,
+            initial=self.config.retry_budget_initial,
+            cap=self.config.retry_budget_cap,
+            observability=self.observability,
+        )
         self._clock = middleware.environment.clock
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._queue: Deque[RunHandle] = deque()
-        self._threads: List[threading.Thread] = []
+        # Worker slot -> thread; the supervisor replaces a slot in place
+        # when it respawns a dead worker.
+        self._threads: List[Optional[threading.Thread]] = []
         self._started = False
         self._closed = False
         self._in_flight = 0
         self._idle = threading.Condition(self._lock)
 
         # Ordered commit: executing submissions take a ticket at admission
-        # and executions happen strictly in ticket order.
+        # and executions happen strictly in ticket order.  Keys are the
+        # handle's monotonic ``seq`` — never ``id()``, which the allocator
+        # reuses after GC and which would cross-wire tickets.
         self._commit_cond = threading.Condition()
         self._next_ticket = 0
         self._next_commit = 0
         self._abandoned: set = set()
-        self._tickets: Dict[int, int] = {}  # id(handle) -> ticket
+        self._tickets: Dict[int, int] = {}  # handle.seq -> ticket
+        self._commit_log: List[tuple] = []  # (ticket, handle.seq)
+        self._requeues = 0
 
         # One private selector per worker thread: QASSA is deterministic,
         # so private selectors (and private selection caches) yield the
@@ -178,7 +226,7 @@ class MiddlewareRuntime:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "MiddlewareRuntime":
-        """Spin up the worker pool (idempotent)."""
+        """Spin up the supervised worker pool (idempotent)."""
         with self._lock:
             if self._closed:
                 raise RuntimeShutdownError("runtime already closed")
@@ -186,17 +234,18 @@ class MiddlewareRuntime:
                 return self
             self._started = True
         for index in range(self.config.workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                name=f"qasom-runtime-{index}",
-                daemon=True,
-            )
-            self._threads.append(thread)
-            thread.start()
+            self.supervisor.spawn(index)
         return self
 
     def close(self, drain: Optional[bool] = None) -> None:
-        """Stop the pool.  ``drain`` overrides ``config.drain_on_close``."""
+        """Stop the pool.  ``drain`` overrides ``config.drain_on_close``.
+
+        Workers that fail to exit within ``config.close_join_seconds``
+        each are counted on ``runtime_threads_leaked_total``; when
+        draining, leaked workers additionally raise
+        :class:`~repro.errors.MiddlewareRuntimeError` — a drained close
+        promises all work finished, which a wedged worker belies.
+        """
         drain = self.config.drain_on_close if drain is None else drain
         cancelled: List[RunHandle] = []
         with self._lock:
@@ -206,6 +255,10 @@ class MiddlewareRuntime:
             if not drain:
                 cancelled = list(self._queue)
                 self._queue.clear()
+            # Snapshot under the same lock the supervisor registers new
+            # threads under: every spawned thread is either in this list
+            # or was refused (post-close), so none can escape the join.
+            threads = [t for t in self._threads if t is not None]
             self._work.notify_all()
         for handle in cancelled:
             self._abandon_ticket(handle)
@@ -216,9 +269,19 @@ class MiddlewareRuntime:
                 RequestStatus.CANCELLED,
             )
             self._counter("runtime_cancelled_total").inc()
-        for thread in self._threads:
-            thread.join(timeout=30.0)
+        for thread in threads:
+            thread.join(timeout=self.config.close_join_seconds)
+        leaked = [t for t in threads if t.is_alive()]
         self._threads.clear()
+        if leaked:
+            self._counter("runtime_threads_leaked_total").inc(len(leaked))
+            if drain:
+                names = ", ".join(t.name for t in leaked)
+                raise MiddlewareRuntimeError(
+                    f"{len(leaked)} worker thread(s) still alive "
+                    f"{self.config.close_join_seconds:g}s after a draining "
+                    f"close: {names}"
+                )
 
     def __enter__(self) -> "MiddlewareRuntime":
         return self.start()
@@ -272,11 +335,12 @@ class MiddlewareRuntime:
                 return handle
             if spec.execute:
                 with self._commit_cond:
-                    self._tickets[id(handle)] = self._next_ticket
+                    self._tickets[handle.seq] = self._next_ticket
                     self._next_ticket += 1
             self._queue.append(handle)
             self._gauge("runtime_queue_depth").set(len(self._queue))
             self._work.notify()
+        self.retry_budget.on_admit()
         if self.autostart and not self._started:
             self.start()
         return handle
@@ -314,10 +378,47 @@ class MiddlewareRuntime:
         with self._lock:
             return self._in_flight
 
+    @property
+    def running(self) -> bool:
+        """Started and not yet closed."""
+        with self._lock:
+            return self._started and not self._closed
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker threads currently alive (the supervised pool size)."""
+        with self._lock:
+            return sum(
+                1 for t in self._threads if t is not None and t.is_alive()
+            )
+
+    @property
+    def commit_log(self) -> tuple:
+        """``(ticket, handle.seq)`` pairs in the order commits happened.
+
+        The invariant checker's raw material: strictly increasing tickets
+        with unique seqs mean no commit was duplicated or reordered, even
+        across crash-requeue cycles.
+        """
+        with self._commit_cond:
+            return tuple(self._commit_log)
+
+    @property
+    def requeued(self) -> int:
+        """Crash/fault-orphaned requests successfully re-admitted."""
+        with self._lock:
+            return self._requeues
+
+    @property
+    def open_tickets(self) -> int:
+        """Commit tickets not yet released (in-flight executing requests)."""
+        with self._commit_cond:
+            return len(self._tickets)
+
     # ------------------------------------------------------------------
     # worker machinery
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, worker: int = 0) -> None:
         while True:
             with self._lock:
                 while not self._queue and not self._closed:
@@ -329,7 +430,32 @@ class MiddlewareRuntime:
                 self._in_flight += 1
                 self._gauge("runtime_in_flight").set(self._in_flight)
             try:
-                self._process(handle)
+                try:
+                    if self.chaos is not None:
+                        self.chaos.on_worker_pickup(worker)
+                    self._process(handle)
+                    if not handle.done():
+                        # _process returned without a terminal state — a
+                        # bug, but never one the caller should block on.
+                        self._requeue_or_fail(
+                            handle,
+                            MiddlewareRuntimeError(
+                                "request processing finished without a "
+                                "terminal state"
+                            ),
+                        )
+                except InjectedSnapshotFailure as exc:
+                    # Transient runtime fault: the worker survives, the
+                    # request goes back to the queue (budget permitting).
+                    self._requeue_or_fail(handle, exc)
+                except BaseException as exc:
+                    # This worker is about to die (injected crash, or a
+                    # bug that escaped _process).  Salvage its request
+                    # *before* the in-flight count drops so drain() can
+                    # never observe the orphan as finished work, then let
+                    # the supervisor see the death.
+                    self._requeue_or_fail(handle, exc)
+                    raise
             finally:
                 if handle.done() and handle.finished_sim is None:
                     handle.finished_sim = self._clock.now()
@@ -337,6 +463,55 @@ class MiddlewareRuntime:
                     self._in_flight -= 1
                     self._gauge("runtime_in_flight").set(self._in_flight)
                     self._idle.notify_all()
+
+    def _requeue_or_fail(
+        self, handle: RunHandle, error: BaseException
+    ) -> None:
+        """Salvage an orphaned request: re-admit it, or fail it fast.
+
+        Requeueing keeps the *original* admission ticket, so a crashed
+        request still commits in its original order (pooled==serial
+        byte-identity survives crashes).  It is refused — failing the
+        handle instead — when the runtime is closing, the bounded requeue
+        count is spent, the :class:`RetryBudget` is empty (the
+        metastability guard), or the ticket was already consumed (the
+        crash landed mid-commit, where re-execution could duplicate
+        environment side effects).
+        """
+        if handle.done():
+            return
+        with self._lock:
+            closed = self._closed
+        with self._commit_cond:
+            ticket_live = (
+                not handle.spec.execute or handle.seq in self._tickets
+            )
+        if (
+            not closed
+            and ticket_live
+            and handle.requeues < self.config.max_requeues
+            and self.retry_budget.try_acquire()
+        ):
+            handle.requeues += 1
+            handle._mark_requeued()
+            with self._lock:
+                # Front of the queue: the request already holds the oldest
+                # ticket, so the commit pipeline unblocks fastest this way.
+                self._queue.appendleft(handle)
+                self._gauge("runtime_queue_depth").set(len(self._queue))
+                self._work.notify()
+                self._requeues += 1
+            self._counter("runtime_requeued_total").inc()
+            return
+        self._abandon_ticket(handle)
+        if not isinstance(error, Exception):
+            error = WorkerCrashError(
+                f"worker crashed while processing this request and it "
+                f"could not be requeued: {error}"
+            )
+        handle.finished_sim = self._clock.now()
+        handle._fail(error, RequestStatus.FAILED)
+        self._counter("runtime_failed_total").inc()
 
     def _process(self, handle: RunHandle) -> None:
         spec = handle.spec
@@ -373,6 +548,11 @@ class MiddlewareRuntime:
                 handle._complete(result)
                 self._counter("runtime_completed_total").inc()
                 span.set(status="done")
+            except InjectedSnapshotFailure:
+                # Transient chaos — keep the ticket; the worker loop
+                # requeues the request under the retry budget.
+                span.set(status="requeued")
+                raise
             except Exception as exc:  # noqa: BLE001 - failure lands on handle
                 self._abandon_ticket(handle)
                 handle._fail(exc, RequestStatus.FAILED)
@@ -383,6 +563,8 @@ class MiddlewareRuntime:
         """Concurrent composition: snapshot + batched discovery + private
         selector, with whole-result coalescing across identical requests.
         Pools and plans are identical to the serial path."""
+        if self.chaos is not None:
+            self.chaos.on_snapshot_acquire()
         snapshot = self.snapshots.acquire()
         key = self._plan_key(spec, snapshot.generation)
         if key is None:
@@ -455,13 +637,20 @@ class MiddlewareRuntime:
         self, handle: RunHandle, plan: CompositionPlan
     ) -> Optional[RunResult]:
         """Execute in strict admission order against the live environment."""
-        ticket = self._tickets.pop(id(handle))
         wait_started = time.perf_counter()
         with self._commit_cond:
+            ticket = self._tickets[handle.seq]
             while self._next_commit != ticket:
                 self._commit_cond.wait()
+            # Our turn: consume the ticket and log the commit.  From here
+            # on a crash can no longer requeue this request (re-execution
+            # would duplicate environment side effects).
+            del self._tickets[handle.seq]
+            self._commit_log.append((ticket, handle.seq))
         commit_wait_ms = (time.perf_counter() - wait_started) * 1e3
         try:
+            if self.chaos is not None:
+                self.chaos.on_commit(ticket)
             if self._expired(handle):
                 self._expire(handle, "commit")
                 return None
@@ -520,7 +709,7 @@ class MiddlewareRuntime:
     def _abandon_ticket(self, handle: RunHandle) -> None:
         """Release a commit ticket without executing (failure/expiry)."""
         with self._commit_cond:
-            ticket = self._tickets.pop(id(handle), None)
+            ticket = self._tickets.pop(handle.seq, None)
             if ticket is None:
                 return
             if self._next_commit == ticket:

@@ -114,12 +114,16 @@ class TestStableApiSurface:
         expected = {
             # core middleware
             "AdaptiveAdmissionController", "AdmissionRejectedError",
-            "CandidateSets", "CompositionPlan",
-            "DeadlineExceededError", "GlobalConstraint", "MiddlewareConfig",
+            "CandidateSets", "ChaosPolicy", "CompositionPlan",
+            "DeadlineExceededError", "GlobalConstraint", "InvariantReport",
+            "MiddlewareConfig",
             "MiddlewareRuntime", "MiddlewareRuntimeError",
             "PartialExecutionReport", "QASOM", "ReproError", "RequestStatus",
-            "RunHandle", "RunResult", "RuntimeConfig", "RuntimeShutdownError",
-            "Task", "UserRequest", "leaf", "loop", "parallel", "sequence",
+            "RetryBudget", "RunHandle", "RunResult", "RuntimeConfig",
+            "RuntimeInvariantError", "RuntimeShutdownError",
+            "Task", "UserRequest", "WorkerCrashError",
+            "assert_runtime_invariants", "leaf", "loop", "parallel",
+            "sequence", "verify_runtime_invariants",
             # environment & scenarios
             "Device", "DeviceClass", "EnvironmentConfig",
             "PervasiveEnvironment", "RegistrySnapshot", "Scenario",

@@ -169,3 +169,37 @@ class TestServeMode:
         args = parser.parse_args(["scenario", "shopping", "--serve"])
         assert args.workers == 4
         assert args.requests == 16
+        assert args.chaos is None
+
+
+class TestChaosOption:
+    @staticmethod
+    def chaos_file(tmp_path):
+        from repro.resilience import FaultSchedule
+
+        schedule = FaultSchedule.runtime_chaos(
+            (0.0, 0.2), crashes=1, stalls=1, stall_seconds=0.01, seed=3
+        )
+        path = tmp_path / "chaos.json"
+        schedule.dump(path)
+        return path
+
+    def test_chaos_requires_serve(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenario", "shopping", "--services", "6",
+                     "--chaos", str(self.chaos_file(tmp_path))], out=out)
+        assert code == 2
+        assert "--chaos requires --serve" in out.getvalue()
+
+    def test_chaos_serve_injects_and_verifies_invariants(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenario", "shopping", "--services", "6", "--serve",
+                     "--workers", "2", "--requests", "6",
+                     "--chaos", str(self.chaos_file(tmp_path))], out=out)
+        text = out.getvalue()
+        assert "chaos: 2 runtime events, 0 environment events" in text
+        assert "chaos: fired" in text
+        assert "worker_crash" in text
+        assert "supervision:" in text
+        assert "invariants: OK" in text
+        assert code in (0, 1)  # a request may fail under injected faults

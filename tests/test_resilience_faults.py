@@ -119,6 +119,147 @@ class TestFaultSchedule:
         assert len(FaultSchedule.kill_fraction(["a", "b"], 0.1, (0, 1))) == 1
 
 
+class TestScheduleComposition:
+    """Round-trips and overlap semantics for the schedule combinators."""
+
+    def test_merge_preserves_every_event_and_round_trips(self):
+        one = FaultSchedule([
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, "a"),
+            FaultEvent(3.0, FaultKind.PARTITION, "dev", duration=2.0),
+        ])
+        two = FaultSchedule([
+            FaultEvent(2.0, FaultKind.WORKER_CRASH, "any"),
+        ])
+        merged = one.merge(two)
+        assert len(merged) == 3
+        assert FaultSchedule.from_json(merged.to_json()).events == \
+            merged.events
+
+    def test_merge_keeps_same_timestamp_events(self):
+        same = [
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, "a"),
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, "b"),
+        ]
+        merged = FaultSchedule([same[0]]).merge(FaultSchedule([same[1]]))
+        assert sorted(e.target for e in merged) == ["a", "b"]
+
+    def test_shifted_round_trips_through_json(self):
+        schedule = FaultSchedule([
+            FaultEvent(0.5, FaultKind.WORKER_STALL, "any", duration=1.0),
+            FaultEvent(1.0, FaultKind.KILL_DEVICE, "dev-1"),
+        ]).shifted(2.5)
+        assert [e.at for e in schedule] == [3.0, 3.5]
+        assert FaultSchedule.from_json(schedule.to_json()).events == \
+            schedule.events
+
+    def test_targeting_filters_by_kind(self):
+        schedule = FaultSchedule([
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, "a"),
+            FaultEvent(2.0, FaultKind.WORKER_CRASH, "any"),
+            FaultEvent(3.0, FaultKind.KILL_SERVICE, "b"),
+        ])
+        killed = schedule.targeting(FaultKind.KILL_SERVICE)
+        assert [e.target for e in killed] == ["a", "b"]
+        assert schedule.targeting(FaultKind.COMMIT_DELAY) == []
+
+    def test_overlapping_windows_are_both_active(self):
+        first = FaultEvent(1.0, FaultKind.PARTITION, "dev-1", duration=4.0)
+        second = FaultEvent(3.0, FaultKind.PARTITION, "dev-1", duration=4.0)
+        # inside the overlap both apply; outside exactly one does
+        assert first.active(3.5) and second.active(3.5)
+        assert first.active(2.0) and not second.active(2.0)
+        assert not first.active(6.0) and second.active(6.0)
+
+    def test_overlapping_partitions_block_for_combined_window(self, generator):
+        environment = quiet_environment()
+        service = fully_available(generator, environment)
+        device = service.host_device
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(1.0, FaultKind.PARTITION, device, duration=2.0),
+            FaultEvent(2.0, FaultKind.PARTITION, device, duration=2.0),
+        ]))
+        assert environment.invoke(service, 0.5) is not None
+        assert environment.invoke(service, 1.5) is None   # first window
+        assert environment.invoke(service, 2.5) is None   # overlap
+        assert environment.invoke(service, 3.5) is None   # second window
+        assert environment.invoke(service, 4.5) is not None
+
+
+class TestRuntimeFaultKinds:
+    """The platform-layer kinds added for the runtime's fault domains."""
+
+    def test_delay_kinds_need_positive_duration(self):
+        with pytest.raises(EnvironmentError_):
+            FaultEvent(1.0, FaultKind.WORKER_STALL, "any")
+        with pytest.raises(EnvironmentError_):
+            FaultEvent(1.0, FaultKind.COMMIT_DELAY, "runtime")
+        # crash and snapshot failure are instantaneous: no duration needed
+        FaultEvent(1.0, FaultKind.WORKER_CRASH, "any")
+        FaultEvent(1.0, FaultKind.SNAPSHOT_FAILURE, "runtime")
+
+    @pytest.mark.parametrize("event", [
+        FaultEvent(1.0, FaultKind.WORKER_CRASH, "worker-3"),
+        FaultEvent(2.0, FaultKind.WORKER_STALL, "any", duration=0.5),
+        FaultEvent(3.0, FaultKind.SNAPSHOT_FAILURE, "runtime"),
+        FaultEvent(4.0, FaultKind.COMMIT_DELAY, "runtime", duration=0.1),
+    ], ids=lambda e: e.kind.value)
+    def test_runtime_event_dict_round_trip(self, event):
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_runtime_environment_split(self):
+        schedule = FaultSchedule([
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, "svc"),
+            FaultEvent(2.0, FaultKind.WORKER_CRASH, "any"),
+            FaultEvent(3.0, FaultKind.PARTITION, "dev", duration=1.0),
+            FaultEvent(4.0, FaultKind.COMMIT_DELAY, "runtime",
+                       duration=0.1),
+        ])
+        runtime = schedule.runtime_events()
+        environment = schedule.environment_events()
+        assert [e.kind for e in runtime] == [
+            FaultKind.WORKER_CRASH, FaultKind.COMMIT_DELAY
+        ]
+        assert [e.kind for e in environment] == [
+            FaultKind.KILL_SERVICE, FaultKind.PARTITION
+        ]
+        # a lossless partition of the original schedule
+        assert runtime.merge(environment).events == schedule.events
+
+    def test_runtime_chaos_builder_is_seeded(self):
+        kwargs = dict(crashes=2, stalls=1, snapshot_failures=1,
+                      commit_delays=1, stall_seconds=0.05, seed=9)
+        one = FaultSchedule.runtime_chaos((0.0, 3.0), **kwargs)
+        two = FaultSchedule.runtime_chaos((0.0, 3.0), **kwargs)
+        assert [e.to_dict() for e in one] == [e.to_dict() for e in two]
+        assert len(one) == 5
+        assert all(0.0 <= e.at <= 3.0 for e in one)
+        assert len(one.runtime_events()) == 5
+        assert not one.environment_events()
+
+    def test_runtime_chaos_json_round_trip(self, tmp_path):
+        schedule = FaultSchedule.runtime_chaos((0.0, 2.0), crashes=1,
+                                               stalls=1, seed=2)
+        path = tmp_path / "chaos.json"
+        schedule.dump(path)
+        assert FaultSchedule.load(path).events == schedule.events
+
+    def test_environment_skips_runtime_kinds(self, generator):
+        obs = Observability()
+        environment = quiet_environment(observability=obs)
+        service = fully_available(generator, environment)
+        environment.schedule_faults(FaultSchedule([
+            FaultEvent(1.0, FaultKind.WORKER_CRASH, "any"),
+            FaultEvent(1.0, FaultKind.KILL_SERVICE, service.service_id),
+        ]))
+        environment.step(1)
+        # the service kind applied; the runtime kind was skipped, counted
+        assert not environment.is_alive(service)
+        assert obs.metrics.value(
+            "faults_runtime_skipped_total", kind="worker_crash"
+        ) == 1.0
+        assert environment.pending_faults == []
+
+
 class TestEnvironmentReplay:
     def test_step_applies_due_kill(self, generator):
         environment = quiet_environment()

@@ -1,0 +1,291 @@
+"""Tests for deterministic runtime chaos injection (ChaosPolicy + invariants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    MiddlewareRuntimeError,
+    RuntimeInvariantError,
+    WorkerCrashError,
+)
+from repro.execution.clock import SimulatedClock
+from repro.middleware.qasom import QASOM
+from repro.observability import Observability
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.resilience import FaultEvent, FaultKind, FaultSchedule
+from repro.runtime import (
+    ChaosPolicy,
+    InjectedSnapshotFailure,
+    InjectedWorkerCrash,
+    MiddlewareRuntime,
+    RequestStatus,
+    RuntimeConfig,
+    assert_runtime_invariants,
+    verify_runtime_invariants,
+)
+from repro.semantics.ontology import Ontology
+from repro.services.generator import ServiceGenerator
+from repro.composition.request import UserRequest
+from repro.composition.task import Task, leaf, sequence
+from repro.env.environment import PervasiveEnvironment
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+CAPS = ("task:One", "task:Two")
+
+
+def build_world(seed=3, services=6):
+    ontology = Ontology("runtime-chaos-tests")
+    root = ontology.declare_class("task:Root")
+    for capability in CAPS:
+        ontology.declare_class(capability, [root])
+    environment = PervasiveEnvironment(seed=seed)
+    generator = ServiceGenerator(PROPS, seed=seed)
+    for capability in CAPS:
+        for service in generator.candidates(capability, services):
+            environment.host_on_new_device(service)
+    middleware = QASOM.for_environment(environment, PROPS,
+                                       ontology=ontology)
+    task = Task("chaos", sequence(leaf("A", CAPS[0]), leaf("B", CAPS[1])))
+    request = UserRequest(task=task, constraints=(),
+                          weights={name: 1.0 for name in PROPS})
+    return middleware, request
+
+
+def policy(events, clock=None, **kwargs):
+    return ChaosPolicy(FaultSchedule(events), clock or SimulatedClock(),
+                       **kwargs)
+
+
+class TestChaosPolicyUnits:
+    def test_event_not_due_does_not_fire(self):
+        clock = SimulatedClock()
+        chaos = policy(
+            [FaultEvent(5.0, FaultKind.WORKER_CRASH, "any")], clock
+        )
+        chaos.on_worker_pickup(0)  # t=0 < 5: no crash
+        assert chaos.fired == ()
+        assert len(chaos.pending) == 1
+
+    def test_due_crash_fires_once_then_never_again(self):
+        clock = SimulatedClock()
+        clock.advance(5.0)
+        chaos = policy(
+            [FaultEvent(5.0, FaultKind.WORKER_CRASH, "any")], clock
+        )
+        with pytest.raises(InjectedWorkerCrash):
+            chaos.on_worker_pickup(0)
+        chaos.on_worker_pickup(0)  # consumed: at-most-once
+        assert len(chaos.fired) == 1
+        assert chaos.pending == ()
+
+    def test_worker_targeting(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        chaos = policy(
+            [FaultEvent(0.0, FaultKind.WORKER_CRASH, "worker-2")], clock
+        )
+        chaos.on_worker_pickup(0)  # wrong worker: not consumed
+        assert len(chaos.pending) == 1
+        with pytest.raises(InjectedWorkerCrash):
+            chaos.on_worker_pickup(2)
+
+    def test_snapshot_failure_raises_transient_middleware_error(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        chaos = policy(
+            [FaultEvent(0.0, FaultKind.SNAPSHOT_FAILURE, "runtime")], clock
+        )
+        with pytest.raises(InjectedSnapshotFailure) as excinfo:
+            chaos.on_snapshot_acquire()
+        assert isinstance(excinfo.value, MiddlewareRuntimeError)
+        assert not isinstance(InjectedWorkerCrash("x"), Exception)
+
+    def test_events_fire_in_schedule_order_per_kind(self):
+        clock = SimulatedClock()
+        clock.advance(10.0)
+        chaos = policy([
+            FaultEvent(2.0, FaultKind.WORKER_CRASH, "any"),
+            FaultEvent(1.0, FaultKind.WORKER_CRASH, "any"),
+        ], clock)
+        with pytest.raises(InjectedWorkerCrash):
+            chaos.on_worker_pickup(0)
+        assert chaos.fired[0].event.at == 1.0
+
+    def test_stall_and_commit_delay_sleep_are_capped(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        chaos = policy([
+            FaultEvent(0.0, FaultKind.WORKER_STALL, "any", duration=100.0),
+            FaultEvent(0.0, FaultKind.COMMIT_DELAY, "runtime",
+                       duration=100.0),
+        ], clock, max_sleep_seconds=0.001)
+        chaos.on_worker_pickup(0)   # returns promptly despite duration=100
+        chaos.on_commit(0)
+        assert [f.event.kind for f in chaos.fired] == [
+            FaultKind.WORKER_STALL, FaultKind.COMMIT_DELAY
+        ]
+
+    def test_max_sleep_must_be_positive(self):
+        with pytest.raises(MiddlewareRuntimeError):
+            policy([], max_sleep_seconds=0.0)
+
+    def test_from_schedule_none_without_runtime_events(self):
+        schedule = FaultSchedule(
+            [FaultEvent(1.0, FaultKind.KILL_SERVICE, "svc-1")]
+        )
+        assert ChaosPolicy.from_schedule(schedule, SimulatedClock()) is None
+
+    def test_report_is_replay_stable(self):
+        events = [
+            FaultEvent(1.0, FaultKind.WORKER_CRASH, "any"),
+            FaultEvent(2.0, FaultKind.SNAPSHOT_FAILURE, "runtime"),
+        ]
+        reports = []
+        for _ in range(2):
+            clock = SimulatedClock()
+            clock.advance(5.0)
+            chaos = policy(list(events), clock)
+            with pytest.raises(InjectedWorkerCrash):
+                chaos.on_worker_pickup(3)
+            with pytest.raises(InjectedSnapshotFailure):
+                chaos.on_snapshot_acquire()
+            reports.append(chaos.report())
+        assert reports[0] == reports[1]
+        assert reports[0]["pending"] == 0
+
+    def test_injection_counter(self):
+        obs = Observability()
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        chaos = policy(
+            [FaultEvent(0.0, FaultKind.WORKER_CRASH, "any")], clock,
+            observability=obs,
+        )
+        with pytest.raises(InjectedWorkerCrash):
+            chaos.on_worker_pickup(0)
+        assert obs.metrics.value(
+            "runtime_chaos_injected_total", kind="worker_crash"
+        ) == 1.0
+
+
+class TestChaosUnderLoad:
+    def run_chaotic(self, *, workers=2, requests=8, crashes=2, stalls=1,
+                    snapshot_failures=1, max_requeues=4):
+        middleware, request = build_world()
+        schedule = FaultSchedule.runtime_chaos(
+            (0.0, 0.2), crashes=crashes, stalls=stalls,
+            snapshot_failures=snapshot_failures, stall_seconds=0.005,
+            seed=11,
+        )
+        chaos = ChaosPolicy.from_schedule(
+            schedule, middleware.environment.clock
+        )
+        config = RuntimeConfig(workers=workers, queue_depth=requests,
+                               max_requeues=max_requeues)
+        with MiddlewareRuntime(middleware, config, chaos=chaos) as runtime:
+            handles = [runtime.submit(request) for _ in range(requests)]
+            runtime.drain()
+            report = assert_runtime_invariants(runtime, handles)
+        return runtime, handles, chaos, report
+
+    def test_no_request_lost_and_pool_restored(self):
+        runtime, handles, chaos, report = self.run_chaotic()
+        assert all(h.done() for h in handles)
+        assert report.ok
+        assert report.restarts >= 2
+        assert report.alive_workers == report.expected_workers == 2
+        assert len(chaos.pending) == 0
+
+    def test_commits_unique_and_ticket_ordered(self):
+        runtime, handles, chaos, report = self.run_chaotic()
+        tickets = [ticket for ticket, _ in runtime.commit_log]
+        assert tickets == sorted(tickets)
+        assert len(set(tickets)) == len(tickets)
+        # every successfully completed handle committed exactly once
+        done = [h for h in handles if h.status is RequestStatus.DONE]
+        committed_seqs = {seq for _, seq in runtime.commit_log}
+        assert {h.seq for h in done} <= committed_seqs
+
+    def test_crashed_requests_complete_with_results(self):
+        runtime, handles, chaos, report = self.run_chaotic()
+        requeued = [h for h in handles if h.requeues]
+        assert requeued, "chaos schedule produced no requeues"
+        for handle in requeued:
+            assert handle.status is RequestStatus.DONE
+            assert handle.result().plan is not None
+
+    def test_budget_exhaustion_fails_fast_with_worker_crash_error(self):
+        middleware, request = build_world()
+        clock = middleware.environment.clock
+        chaos = ChaosPolicy(FaultSchedule([
+            FaultEvent(0.0, FaultKind.WORKER_CRASH, "any"),
+            FaultEvent(0.0, FaultKind.WORKER_CRASH, "any"),
+        ]), clock)
+        config = RuntimeConfig(
+            workers=1, queue_depth=4, max_requeues=5,
+            retry_budget_initial=1.0, retry_budget_ratio=0.0,
+            retry_budget_cap=1.0,
+        )
+        with MiddlewareRuntime(middleware, config, chaos=chaos) as runtime:
+            handles = [runtime.submit(request) for _ in range(4)]
+            runtime.drain()
+            # First crash is paid for by the single token; the second
+            # finds the bucket empty and the request fails fast.
+            failed = [h for h in handles
+                      if h.status is RequestStatus.FAILED]
+            assert len(failed) == 1
+            with pytest.raises(WorkerCrashError):
+                failed[0].result()
+            assert runtime.retry_budget.denied == 1
+            assert runtime.retry_budget.granted == 1
+            # a failed request is not "lost": invariants still hold
+            assert verify_runtime_invariants(runtime, handles).ok
+
+    def test_max_requeues_bounds_retries(self):
+        runtime, handles, chaos, report = self.run_chaotic(max_requeues=0)
+        # with no requeues allowed every fault-hit request fails fast
+        failed = [h for h in handles if h.status is RequestStatus.FAILED]
+        assert failed
+        assert all(h.requeues == 0 for h in handles)
+        assert report.ok
+
+    def test_replay_is_deterministic_single_worker(self):
+        outcomes = []
+        for _ in range(2):
+            runtime, handles, chaos, report = self.run_chaotic(workers=1)
+            outcomes.append((
+                tuple(h.status.value for h in handles),
+                tuple(h.requeues for h in handles),
+                tuple(sorted(f.signature() for f in chaos.fired)),
+                report.restarts,
+            ))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestInvariantChecker:
+    def test_assert_raises_on_violation(self):
+        middleware, request = build_world()
+        runtime = MiddlewareRuntime(
+            middleware, RuntimeConfig(workers=1, queue_depth=2),
+            autostart=False,
+        )
+        handle = runtime.submit(request)  # queued, never processed
+        with pytest.raises(RuntimeInvariantError, match="lost"):
+            assert_runtime_invariants(runtime, [handle])
+        runtime.close(drain=False)
+
+    def test_clean_run_passes(self):
+        middleware, request = build_world()
+        with MiddlewareRuntime(
+            middleware, RuntimeConfig(workers=2, queue_depth=4)
+        ) as runtime:
+            handles = [runtime.submit(request) for _ in range(4)]
+            runtime.drain()
+            report = assert_runtime_invariants(runtime, handles)
+        assert report.ok
+        assert report.committed == 4
+        assert report.restarts == 0

@@ -1,0 +1,327 @@
+"""Tests for worker supervision, retry budgets, and shutdown hygiene."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import MiddlewareRuntimeError, WorkerCrashError
+from repro.middleware.qasom import QASOM
+from repro.observability import Observability
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.runtime import (
+    MiddlewareRuntime,
+    RequestStatus,
+    RetryBudget,
+    RuntimeConfig,
+)
+from repro.semantics.ontology import Ontology
+from repro.services.generator import ServiceGenerator
+from repro.composition.request import UserRequest
+from repro.composition.task import Task, leaf, sequence
+from repro.env.environment import PervasiveEnvironment
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+CAPS = ("task:One", "task:Two")
+
+
+def wait_until(predicate, timeout=10.0, interval=0.005):
+    """Poll for an asynchronously-updated condition (supervision races)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def build_world(seed=3, services=6, observability=None):
+    ontology = Ontology("runtime-supervisor-tests")
+    root = ontology.declare_class("task:Root")
+    for capability in CAPS:
+        ontology.declare_class(capability, [root])
+    environment = PervasiveEnvironment(seed=seed)
+    generator = ServiceGenerator(PROPS, seed=seed)
+    for capability in CAPS:
+        for service in generator.candidates(capability, services):
+            environment.host_on_new_device(service)
+    middleware = QASOM.for_environment(environment, PROPS,
+                                       ontology=ontology,
+                                       observability=observability)
+    task = Task("sup", sequence(leaf("A", CAPS[0]), leaf("B", CAPS[1])))
+    request = UserRequest(task=task, constraints=(),
+                          weights={name: 1.0 for name in PROPS})
+    return middleware, request
+
+
+class TestRetryBudget:
+    def test_initial_balance_and_acquire(self):
+        budget = RetryBudget(ratio=0.1, initial=2.0, cap=4.0)
+        assert budget.tokens == 2.0
+        assert budget.try_acquire()
+        assert budget.try_acquire()
+        assert not budget.try_acquire()
+        assert budget.granted == 2
+        assert budget.denied == 1
+
+    def test_admissions_deposit_up_to_cap(self):
+        budget = RetryBudget(ratio=0.5, initial=0.0, cap=1.0)
+        assert not budget.try_acquire()
+        for _ in range(10):
+            budget.on_admit()
+        assert budget.tokens == 1.0  # capped, not 5.0
+        assert budget.try_acquire()
+
+    def test_ratio_caps_sustained_retry_fraction(self):
+        # 100 admissions at ratio 0.25 pay for exactly 25 retries (the
+        # ratio is binary-exact, so no float drift muddies the count).
+        budget = RetryBudget(ratio=0.25, initial=0.0, cap=100.0)
+        granted = 0
+        for _ in range(100):
+            budget.on_admit()
+            if budget.try_acquire():
+                granted += 1
+        assert granted == 25
+
+    def test_validation(self):
+        with pytest.raises(MiddlewareRuntimeError):
+            RetryBudget(ratio=1.5)
+        with pytest.raises(MiddlewareRuntimeError):
+            RetryBudget(initial=-1.0)
+        with pytest.raises(MiddlewareRuntimeError):
+            RetryBudget(initial=8.0, cap=4.0)
+
+    def test_gauge_tracks_balance(self):
+        obs = Observability()
+        budget = RetryBudget(ratio=0.0, initial=1.0, cap=1.0,
+                             observability=obs)
+        budget.try_acquire()
+        assert obs.metrics.value("runtime_retry_budget_tokens") == 0.0
+        assert obs.metrics.value(
+            "runtime_retry_budget_denied_total"
+        ) is None
+        budget.try_acquire()
+        assert obs.metrics.value(
+            "runtime_retry_budget_denied_total"
+        ) == 1.0
+
+
+class TestStuckHandleRegression:
+    """Satellite fix: a raising ``_process`` must FAIL the handle.
+
+    Before the fix, an exception escaping ``_process`` killed the worker
+    and left the in-flight handle permanently QUEUED/RUNNING — its
+    ``result()`` blocked forever.  Now the worker loop routes any escapee
+    through requeue-or-fail before the thread dies.
+    """
+
+    def test_escaping_exception_fails_handle_instead_of_hanging(self):
+        middleware, request = build_world()
+        config = RuntimeConfig(workers=1, queue_depth=2, max_requeues=0)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            boom = RuntimeError("worker bug escaped _process")
+
+            def exploding_process(handle):
+                raise boom
+
+            runtime._process = exploding_process
+            handle = runtime.submit(request)
+            # result(timeout=...) returning at all IS the regression test:
+            # pre-fix this deadlocked.
+            with pytest.raises(RuntimeError, match="escaped _process"):
+                handle.result(timeout=10.0)
+            assert handle.status is RequestStatus.FAILED
+            # the worker died and was respawned (asynchronously)
+            assert wait_until(lambda: runtime.supervisor.restarts == 1)
+            assert wait_until(lambda: runtime.alive_workers == 1)
+
+    def test_escaping_exception_is_requeued_when_budget_allows(self):
+        middleware, request = build_world()
+        config = RuntimeConfig(workers=1, queue_depth=2, max_requeues=2)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            original = runtime._process
+            calls = []
+
+            def flaky_process(handle):
+                calls.append(handle.seq)
+                if len(calls) == 1:
+                    raise RuntimeError("transient worker bug")
+                return original(handle)
+
+            runtime._process = flaky_process
+            handle = runtime.submit(request)
+            result = handle.result(timeout=10.0)
+            assert result.plan is not None
+            assert handle.requeues == 1
+            assert len(calls) == 2
+
+    def test_non_terminal_return_fails_handle(self):
+        middleware, request = build_world()
+        config = RuntimeConfig(workers=1, queue_depth=2, max_requeues=0)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            runtime._process = lambda handle: None  # forgets to complete
+            handle = runtime.submit(request)
+            with pytest.raises(MiddlewareRuntimeError,
+                               match="without a terminal state"):
+                handle.result(timeout=10.0)
+            assert handle.status is RequestStatus.FAILED
+
+
+class TestCloseJoinsWorkers:
+    """Satellite fix: ``close()`` bounds its joins and reports leaks."""
+
+    def wedge_runtime(self, observability=None, **config_kwargs):
+        middleware, request = build_world(observability=observability)
+        config = RuntimeConfig(workers=1, queue_depth=2,
+                               close_join_seconds=0.05, **config_kwargs)
+        runtime = MiddlewareRuntime(middleware, config)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def wedged_process(handle):
+            entered.set()
+            release.wait(timeout=30.0)
+            handle._fail(RuntimeError("released"), RequestStatus.FAILED)
+
+        runtime._process = wedged_process
+        handle = runtime.submit(request)
+        assert entered.wait(timeout=10.0)
+        return runtime, handle, release
+
+    def test_non_draining_close_counts_leaked_threads(self):
+        obs = Observability()
+        runtime, handle, release = self.wedge_runtime(observability=obs)
+        runtime.close(drain=False)  # returns despite the wedged worker
+        assert obs.metrics.value("runtime_threads_leaked_total") == 1.0
+        release.set()
+
+    def test_draining_close_raises_on_leaked_threads(self):
+        runtime, handle, release = self.wedge_runtime()
+        with pytest.raises(MiddlewareRuntimeError, match="still alive"):
+            runtime.close(drain=True)
+        release.set()
+
+    def test_close_join_seconds_validated(self):
+        with pytest.raises(MiddlewareRuntimeError):
+            RuntimeConfig(close_join_seconds=0.0)
+
+
+class TestSequenceKeyedTickets:
+    """Satellite fix: tickets key on ``handle.seq``, never ``id(handle)``.
+
+    ``id()`` is reused after garbage collection, so a ticket map keyed on
+    it could cross-wire a dead handle's ticket onto a new submission.
+    Monotonic sequence numbers cannot collide.
+    """
+
+    def test_handle_seqs_are_unique_and_monotonic(self):
+        middleware, request = build_world()
+        config = RuntimeConfig(workers=2, queue_depth=16)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            handles = [runtime.submit(request) for _ in range(8)]
+            runtime.drain()
+        seqs = [h.seq for h in handles]
+        assert len(set(seqs)) == len(seqs)
+        assert seqs == sorted(seqs)
+
+    def test_seqs_survive_handle_garbage_collection(self):
+        import gc
+
+        middleware, request = build_world()
+        config = RuntimeConfig(workers=1, queue_depth=64)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            seen = set()
+            for _ in range(12):
+                handle = runtime.submit(request)
+                handle.result(timeout=30.0)
+                assert handle.seq not in seen
+                seen.add(handle.seq)
+                del handle
+                gc.collect()  # invite id() reuse; seqs must stay fresh
+            runtime.drain()
+            assert runtime.open_tickets == 0
+
+    def test_commit_log_records_seqs(self):
+        middleware, request = build_world()
+        config = RuntimeConfig(workers=2, queue_depth=8)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            handles = [runtime.submit(request) for _ in range(4)]
+            runtime.drain()
+            assert sorted(seq for _, seq in runtime.commit_log) == sorted(
+                h.seq for h in handles
+            )
+
+
+class TestSupervisorRespawn:
+    def test_pool_size_restored_after_repeated_deaths(self):
+        middleware, request = build_world()
+        config = RuntimeConfig(workers=2, queue_depth=8, max_requeues=0)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            failures = []
+            arm_lock = threading.Lock()
+
+            class Bomb(BaseException):
+                pass
+
+            original = runtime._process
+
+            def bombing_process(handle):
+                with arm_lock:
+                    bomb = len(failures) < 3
+                    if bomb:
+                        failures.append(handle.seq)
+                if bomb:
+                    raise Bomb("thread-killing failure")
+                return original(handle)
+
+            runtime._process = bombing_process
+            handles = [runtime.submit(request) for _ in range(6)]
+            runtime.drain()
+            assert wait_until(lambda: runtime.supervisor.restarts == 3)
+            assert wait_until(lambda: runtime.alive_workers == 2)
+            # BaseException deaths surface as WorkerCrashError on handles
+            failed = [h for h in handles
+                      if h.status is RequestStatus.FAILED]
+            assert len(failed) == 3
+            for handle in failed:
+                with pytest.raises(WorkerCrashError):
+                    handle.result()
+            done = [h for h in handles if h.status is RequestStatus.DONE]
+            assert len(done) == 3
+
+    def test_restart_counter_and_span(self):
+        obs = Observability()
+        middleware, request = build_world(observability=obs)
+        config = RuntimeConfig(workers=1, queue_depth=4, max_requeues=0)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            calls = []
+            original = runtime._process
+
+            def crashing_once(handle):
+                if not calls:
+                    calls.append(1)
+                    raise SystemExit("die")
+                return original(handle)
+
+            runtime._process = crashing_once
+            handles = [runtime.submit(request) for _ in range(2)]
+            runtime.drain()
+            assert wait_until(
+                lambda: obs.metrics.value(
+                    "runtime_worker_restarts_total"
+                ) == 1.0
+            )
+
+    def test_no_respawn_after_close(self):
+        middleware, request = build_world()
+        config = RuntimeConfig(workers=1, queue_depth=2)
+        runtime = MiddlewareRuntime(middleware, config).start()
+        runtime.close()
+        assert runtime.supervisor.spawn(0) is None
+        assert runtime.alive_workers == 0
