@@ -46,6 +46,7 @@ import random
 
 from repro.api import (
     DriverReport,
+    FlightRecorder,
     MiddlewareRuntime,
     OpenLoopDriver,
     QASOM,
@@ -112,6 +113,10 @@ def run_arm(admission: str):
         # advance the clock by ~QUEUE_DEPTH * service each, and aging the
         # warmup samples out mid-run would snap the depth back to static.
         admission_window_seconds=1e9,
+        # A flight recorder mints per-request trace contexts, so the
+        # latency windows carry exemplar trace ids pointing at the exact
+        # request behind each window's worst latency.
+        flight_recorder=FlightRecorder(),
     )
     runtime = MiddlewareRuntime(middleware, config).start()
     for _ in range(WARMUP):
@@ -133,6 +138,12 @@ def run_arm(admission: str):
     return report, effective_depth
 
 
+def worst_window(report):
+    """The window stats with the highest p99 — the exemplar points at the
+    exact request that produced that tail."""
+    return max(report.latency_windows().series(), key=lambda s: s.p99)
+
+
 def window_series_ms(report):
     """Per-window {index: (p50, p95, p99)} of simulated latency, in ms."""
     series = {}
@@ -152,6 +163,8 @@ def test_adaptive_admission_tail_latency(benchmark, emit):
     adaptive_good = adaptive_report.goodput(slo_seconds)
     static_p99 = static_report.latency_windows().merged().quantile(0.99)
     adaptive_p99 = adaptive_report.latency_windows().merged().quantile(0.99)
+    static_worst = worst_window(static_report)
+    adaptive_worst = worst_window(adaptive_report)
 
     # --- per-window p50/p95/p99 series, both arms, to JSON -----------------
     static_windows = window_series_ms(static_report)
@@ -182,6 +195,14 @@ def test_adaptive_admission_tail_latency(benchmark, emit):
         ["adaptive goodput (<= SLO)", adaptive_good],
         ["static p99 (sim s)", round(static_p99, 3)],
         ["adaptive p99 (sim s)", round(adaptive_p99, 3)],
+        ["static p99 exemplar",
+         f"{static_worst.exemplar_trace_id} "
+         f"(window {static_worst.index}, "
+         f"{(static_worst.exemplar_value or 0.0):.1f}s)"],
+        ["adaptive p99 exemplar",
+         f"{adaptive_worst.exemplar_trace_id} "
+         f"(window {adaptive_worst.index}, "
+         f"{(adaptive_worst.exemplar_value or 0.0):.1f}s)"],
         ["static SLO windows pass",
          sum(v.passed for v in slo.evaluate(
              static_report.latency_windows().series()))],
@@ -209,6 +230,14 @@ def test_adaptive_admission_tail_latency(benchmark, emit):
         "overload never materialised, the comparison is vacuous"
     )
     assert static_depth == QUEUE_DEPTH
+
+    # --- exemplars: the worst window names the exact request behind it -----
+    assert static_worst.exemplar_trace_id is not None, (
+        "static worst window carries no exemplar trace id"
+    )
+    assert adaptive_worst.exemplar_trace_id is not None, (
+        "adaptive worst window carries no exemplar trace id"
+    )
 
     # --- the gates: adaptive is no worse on tail latency or goodput --------
     assert adaptive_depth < QUEUE_DEPTH, (

@@ -93,11 +93,17 @@ from repro.experiments.drivers import (
 from repro.experiments.harness import Sweep
 from repro.experiments.reporting import render_series, render_table
 from repro.observability import (
+    FlightRecorder,
+    ForensicReporter,
     Observability,
     ObservabilityConfig,
+    RuntimeEvent,
     Slo,
     StageWindows,
+    TraceAssembly,
+    TraceContext,
     WindowedHistogram,
+    assemble_traces,
 )
 from repro.qos.model import QoSModel, build_end_to_end_model
 from repro.qos.properties import STANDARD_PROPERTIES
@@ -168,6 +174,8 @@ __all__ = [
     "FaultEvent",
     "FaultKind",
     "FaultSchedule",
+    "FlightRecorder",
+    "ForensicReporter",
     "HomeomorphismConfig",
     "MatchDegree",
     "MonitorConfig",
@@ -184,14 +192,18 @@ __all__ = [
     "QoSVector",
     "ReputationManager",
     "ResilienceConfig",
+    "RuntimeEvent",
     "STANDARD_PROPERTIES",
     "SimulatedClock",
     "Slo",
     "StageWindows",
     "Sweep",
     "TimeoutPolicy",
+    "TraceAssembly",
+    "TraceContext",
     "WindowedHistogram",
     "aggregate_composition",
+    "assemble_traces",
     "build_end_to_end_model",
     "derive_slas",
     "dump_repository",

@@ -37,6 +37,7 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.api import (
     ChaosPolicy,
     FaultSchedule,
+    FlightRecorder,
     MiddlewareConfig,
     MiddlewareRuntime,
     QASOM,
@@ -116,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "service/device kinds in the same file are "
                                "replayed by the environment (see "
                                "docs/RUNTIME.md)")
+    scenario.add_argument("--forensics", metavar="DIR", default=None,
+                          help="with --serve: record runtime events on a "
+                               "flight-recorder ring and dump forensic "
+                               "bundles (JSON) to DIR on worker crashes, "
+                               "invariant violations and SLO breaches (see "
+                               "docs/OBSERVABILITY.md)")
     scenario.add_argument("--workers", type=int, default=4,
                           help="worker threads for --serve (default 4)")
     scenario.add_argument("--requests", type=int, default=16,
@@ -172,10 +179,11 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
 
 def _wants_observability(args: argparse.Namespace) -> bool:
     return bool(args.trace or args.metrics_out or args.metrics_windows_out
-                or args.slo)
+                or args.slo or getattr(args, "forensics", None))
 
 
-def _export_observability(args: argparse.Namespace, obs, out) -> None:
+def _export_observability(args: argparse.Namespace, obs, out,
+                          forensics=None) -> None:
     if args.metrics_out:
         records = observability.write_jsonl(obs, args.metrics_out)
         print(f"\nobservability: wrote {records} records to "
@@ -199,12 +207,25 @@ def _export_observability(args: argparse.Namespace, obs, out) -> None:
         # so fall back to the execution stage.
         stage = ("request" if len(windows.stage("request")) else "execution")
         verdicts = args.slo.evaluate(
-            windows.stage(stage).series(), windows.availability()
+            windows.stage(stage).series(), windows.availability(),
+            forensics=forensics,
         )
         print(f"\nSLO on the {stage!r} stage:", file=out)
         print(observability.render_slo_table(verdicts, args.slo), file=out)
         print("SLO " + ("PASSED" if all(v.passed for v in verdicts)
                         else "VIOLATED"), file=out)
+
+
+def _report_forensics(args: argparse.Namespace, runtime, out) -> None:
+    """Print the flight-recorder / forensic-bundle summary for --forensics."""
+    if not args.forensics or runtime.forensics is None:
+        return
+    paths = runtime.forensics.paths
+    print(f"\nforensics: {runtime.recorder.recorded_total} runtime events "
+          f"recorded, {len(paths)} bundle"
+          f"{'s' if len(paths) != 1 else ''} in {args.forensics}", file=out)
+    for path in paths:
+        print(f"  {path}", file=out)
 
 
 def _build_middleware(args: argparse.Namespace, scenario: Scenario, out):
@@ -253,6 +274,10 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
         print("error: --chaos requires --serve (runtime faults are "
               "injected into the worker pool)", file=out)
         return 2
+    if args.forensics:
+        print("error: --forensics requires --serve (the flight recorder "
+              "rides on the pooled runtime)", file=out)
+        return 2
 
     result = middleware.run(scenario.request)
     plan = result.plan
@@ -288,8 +313,12 @@ def _run_scenario(args: argparse.Namespace, out) -> int:
 def _serve_scenario(args, scenario, middleware, obs, out) -> int:
     """Broker N copies of the scenario request through the pooled runtime."""
     count = max(1, args.requests)
-    config = RuntimeConfig(workers=max(1, args.workers),
-                           queue_depth=max(count, 1))
+    config = RuntimeConfig(
+        workers=max(1, args.workers),
+        queue_depth=max(count, 1),
+        flight_recorder=FlightRecorder() if args.forensics else None,
+        forensics_dir=args.forensics,
+    )
     chaos = None
     if args.chaos:
         schedule = FaultSchedule.load(args.chaos)
@@ -342,13 +371,19 @@ def _serve_scenario(args, scenario, middleware, obs, out) -> int:
         verdict = "OK" if report.ok else "; ".join(report.violations)
         print(f"invariants: {verdict}", file=out)
         if not report.ok:
+            if runtime.forensics is not None:
+                runtime.forensics.trigger(
+                    "invariant_violation", violations=report.violations
+                )
+            _report_forensics(args, runtime, out)
             return 1
     if obs is not None:
         if args.trace:
             print(f"\ntrace ({len(obs.spans)} root span"
                   f"{'s' if len(obs.spans) != 1 else ''}):", file=out)
             print(observability.render_span_tree(obs.spans), file=out)
-        _export_observability(args, obs, out)
+        _export_observability(args, obs, out, forensics=runtime.forensics)
+    _report_forensics(args, runtime, out)
     # Exit code reflects broker health, not workload luck: a rejected,
     # expired or errored request fails the run; an execution that ran to
     # a failed report (the availability lottery) is normal operation and

@@ -141,6 +141,11 @@ class RequestRecord:
         return self.handle.status
 
     @property
+    def trace_id(self) -> Optional[str]:
+        """The request's causal trace id (None when tracing is off)."""
+        return self.handle.trace_id
+
+    @property
     def wall_seconds(self) -> Optional[float]:
         """Wall-clock submission-to-terminal latency (None until then)."""
         return self.handle.total_seconds
@@ -207,7 +212,8 @@ class DriverReport:
                 continue
             latency = record.latency(axis)
             if latency is not None:
-                series.observe(latency, at=record.arrival_sim)
+                series.observe(latency, at=record.arrival_sim,
+                               exemplar=record.trace_id)
         return series
 
     def availability(self) -> Dict[int, float]:

@@ -45,7 +45,7 @@ from repro.adaptation.monitoring import AdaptationTrigger, QoSMonitor
 from repro.adaptation.substitution import ServiceSubstitution
 from repro.adaptation.task_class import TaskClassRepository
 from repro.middleware.config import MiddlewareConfig
-from repro.observability import Observability, Span
+from repro.observability import Observability, Span, TraceContext
 from repro.observability import core as observability_core
 from repro.qos.sla import ComplianceTracker, derive_slas
 from repro.resilience.breaker import BreakerRegistry
@@ -390,28 +390,50 @@ class QASOM:
             ranked=ranked, best_effort=best_effort, track_sla=track_sla,
         )
         submitted_sim = self.environment.clock.now()
+        context = (
+            TraceContext.mint() if self.observability.enabled else None
+        )
 
         def stamped(handle):
             # Simulated-clock latency annotations, mirroring what the
             # concurrent runtime stamps on pooled handles.
+            handle.trace_context = context
             handle.submitted_sim = submitted_sim
             handle.finished_sim = self.environment.clock.now()
             return handle
 
-        if spec.ranked:
-            plans = self._compose_ranked_plans(spec.request, k=spec.ranked)
-            return stamped(completed_handle(spec, plans=plans))
-        if spec.plan is not None:
-            chosen = spec.plan
-        else:
-            chosen = self._compose_plan(
-                spec.request, best_effort=spec.best_effort
-            )
-        if not spec.execute:
-            return stamped(completed_handle(spec, plans=[chosen]))
-        result = self._execute_plan(
-            chosen, adapt=spec.adapt, track_sla=spec.track_sla
+        task_name = (
+            spec.request.task.name if spec.request is not None
+            else spec.plan.task.name
         )
+        # Mirror the pooled runtime's span shape: one ``runtime.request``
+        # root per submission, every descendant carrying the minted trace
+        # id — so serial and pooled runs assemble into identical
+        # one-tree-per-request traces.
+        with self.observability.adopt(context):
+            with self.observability.span(
+                "runtime.request", task=task_name, execute=spec.execute,
+                inline=True,
+            ) as request_span:
+                if spec.ranked:
+                    plans = self._compose_ranked_plans(
+                        spec.request, k=spec.ranked
+                    )
+                    request_span.set(status="done")
+                    return stamped(completed_handle(spec, plans=plans))
+                if spec.plan is not None:
+                    chosen = spec.plan
+                else:
+                    chosen = self._compose_plan(
+                        spec.request, best_effort=spec.best_effort
+                    )
+                if not spec.execute:
+                    request_span.set(status="done")
+                    return stamped(completed_handle(spec, plans=[chosen]))
+                result = self._execute_plan(
+                    chosen, adapt=spec.adapt, track_sla=spec.track_sla
+                )
+                request_span.set(status="done")
         return stamped(completed_handle(spec, result=result))
 
     def run(
@@ -423,13 +445,17 @@ class QASOM:
         track_sla: bool = False,
     ) -> RunResult:
         """compose + execute in one step."""
-        with self.observability.span(
-            "run", task=request.task.name
-        ) as run_span:
-            plan = self._compose_plan(request, best_effort=best_effort)
-            result = self._execute_plan(
-                plan, adapt=adapt, track_sla=track_sla
-            )
+        context = (
+            TraceContext.mint() if self.observability.enabled else None
+        )
+        with self.observability.adopt(context):
+            with self.observability.span(
+                "run", task=request.task.name
+            ) as run_span:
+                plan = self._compose_plan(request, best_effort=best_effort)
+                result = self._execute_plan(
+                    plan, adapt=adapt, track_sla=track_sla
+                )
         if self.observability.enabled:
             result.trace = run_span
         return result

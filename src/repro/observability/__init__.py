@@ -19,6 +19,12 @@ Observability is **off by default**: components fall back to
 :data:`NULL_OBSERVABILITY`, whose hooks are no-ops on shared singletons.
 """
 
+from repro.observability.context import (
+    TraceAssembly,
+    TraceContext,
+    assemble_traces,
+    trace_spans,
+)
 from repro.observability.core import (
     NULL_OBSERVABILITY,
     Observability,
@@ -28,14 +34,21 @@ from repro.observability.core import (
     resolve,
     set_default,
 )
+from repro.observability.events import (
+    FlightRecorder,
+    NULL_RECORDER,
+    RuntimeEvent,
+)
 from repro.observability.exporters import (
     export_jsonl,
     read_jsonl,
     render_breakdown,
     render_span_tree,
     stage_breakdown,
+    write_atomic,
     write_jsonl,
 )
+from repro.observability.forensics import BUNDLE_SCHEMA, ForensicReporter
 from repro.observability.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -61,26 +74,34 @@ from repro.observability.windows import (
 )
 
 __all__ = [
+    "BUNDLE_SCHEMA",
     "NULL_METRICS",
     "NULL_OBSERVABILITY",
+    "NULL_RECORDER",
     "NULL_SPAN",
     "NULL_TRACER",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
+    "ForensicReporter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "ObservabilityConfig",
     "PIPELINE_STAGES",
+    "RuntimeEvent",
     "Slo",
     "SloVerdict",
     "Span",
     "StageWindows",
     "StatsWindow",
+    "TraceAssembly",
+    "TraceContext",
     "Tracer",
     "WindowStats",
     "WindowedHistogram",
+    "assemble_traces",
     "enabled",
     "export_jsonl",
     "get_default",
@@ -93,7 +114,9 @@ __all__ = [
     "set_default",
     "sparkline",
     "stage_breakdown",
+    "trace_spans",
     "window_records",
+    "write_atomic",
     "write_jsonl",
     "write_window_jsonl",
 ]

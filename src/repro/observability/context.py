@@ -1,0 +1,189 @@
+"""Explicit, serialisable trace context for causal request forensics.
+
+Since the runtime's worker pool (PR 5), one user request is touched by
+several threads: the submitter admits it, a worker composes it (possibly a
+*different* worker after a crash-requeue), and the ordered commit stage
+executes it.  The tracer's thread-local span stacks keep each thread's
+spans internally coherent, but the request's spans end up as disconnected
+roots — per-thread fragments that cannot answer "what happened to request
+X?".
+
+A :class:`TraceContext` makes the causal identity explicit:
+
+* it is **minted once per submission** (``trace_id`` from a process-wide
+  monotonic counter) and carried on the
+  :class:`~repro.runtime.handle.RunHandle`;
+* every execution stage **adopts** it
+  (:meth:`~repro.observability.spans.Tracer.adopt`), so spans opened on
+  any thread carry the same ``trace_id`` and link to their cross-thread
+  parent via ``parent_span_id``;
+* it is **serialisable** (:meth:`to_dict` / :meth:`to_header`), so the
+  same linkage survives a process boundary — the contract the ROADMAP's
+  multiprocess selection backend needs.
+
+:func:`assemble_traces` is the read side: it regroups a tracer's
+per-thread root spans into one causally linked tree per ``trace_id``
+(used by the forensic bundles and the cross-thread assembly tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.observability.spans import Span
+
+#: Process-wide monotonic trace counter.  ``next()`` on an
+#: ``itertools.count`` is atomic under the GIL, so contexts minted from
+#: any thread get unique, never-reused trace ids.
+_TRACE_SEQ = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The serialisable causal identity of one submitted request.
+
+    ``trace_id`` names the request's whole span tree; ``parent_span_id``
+    names the span new work should link under (``None`` for the first
+    execution attempt — its root span *is* the tree's root).  Contexts are
+    immutable: crossing a causal boundary derives a :meth:`child` context
+    instead of mutating this one.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh root context with a unique, monotonic trace id."""
+        return cls(trace_id=f"t{next(_TRACE_SEQ):06d}")
+
+    def child(self, parent_span_id: str) -> "TraceContext":
+        """The context for work causally under span ``parent_span_id``.
+
+        The runtime uses this after a request's first ``runtime.request``
+        span opens: a crash-requeued retry adopts the child context, so
+        its spans nest under the first attempt's root instead of starting
+        a second root — one tree per request, even across crashes.
+        """
+        return TraceContext(self.trace_id, parent_span_id)
+
+    # -- serialisation (the future process-boundary format) -------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TraceContext":
+        """Rebuild a context from :meth:`to_dict` output."""
+        return cls(
+            trace_id=str(record["trace_id"]),
+            parent_span_id=record.get("parent_span_id"),
+        )
+
+    def to_header(self) -> str:
+        """One-line wire form (``trace_id`` or ``trace_id:parent``)."""
+        if self.parent_span_id is None:
+            return self.trace_id
+        return f"{self.trace_id}:{self.parent_span_id}"
+
+    @classmethod
+    def from_header(cls, header: str) -> "TraceContext":
+        """Parse :meth:`to_header` output back into a context."""
+        trace_id, _, parent = header.partition(":")
+        if not trace_id:
+            raise ValueError(f"empty trace header: {header!r}")
+        return cls(trace_id=trace_id, parent_span_id=parent or None)
+
+    def __str__(self) -> str:
+        return self.to_header()
+
+
+@dataclass
+class TraceAssembly:
+    """One request's causally assembled span tree.
+
+    ``spans`` is every span carrying the trace id (any thread, insertion
+    order); ``fragments`` are the thread-local roots — spans whose parent
+    is either ``None`` or another fragment's descendant reached across a
+    thread boundary.  A well-formed trace has exactly one :attr:`root`:
+    the fragment with no parent inside the trace.
+    """
+
+    trace_id: str
+    spans: List[Span]
+    fragments: List[Span]
+
+    @property
+    def roots(self) -> List[Span]:
+        """Fragments whose parent span is not part of this trace."""
+        ids = {span.span_id for span in self.spans}
+        return [
+            span for span in self.fragments
+            if span.parent_id is None or span.parent_id not in ids
+        ]
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The single causal root, when the trace is well formed."""
+        roots = self.roots
+        return roots[0] if len(roots) == 1 else None
+
+    def children_of(self, span_id: str) -> List[Span]:
+        """Causal children of one span — in-thread *and* cross-thread."""
+        direct = []
+        for span in self.spans:
+            if span.parent_id == span_id:
+                direct.append(span)
+        return direct
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """JSON-serialisable span records (linkage via ids, as in JSONL)."""
+        return [span.to_dict() for span in self.spans]
+
+
+def assemble_traces(
+    roots: Iterable[Span],
+) -> Dict[str, TraceAssembly]:
+    """Group finished spans into one :class:`TraceAssembly` per trace id.
+
+    ``roots`` is a tracer's finished-roots list (e.g. ``obs.spans`` or the
+    output of :meth:`~repro.observability.spans.Tracer.all_spans` — both
+    shapes work: descendants are walked either way and deduplicated).
+    Spans without a ``trace_id`` (untraced background work) are skipped.
+    """
+    assemblies: Dict[str, TraceAssembly] = {}
+    seen: set = set()
+    for root in roots:
+        for span in root.walk():
+            if id(span) in seen:
+                continue
+            seen.add(id(span))
+            trace_id = span.trace_id
+            if trace_id is None:
+                continue
+            assembly = assemblies.get(trace_id)
+            if assembly is None:
+                assembly = assemblies[trace_id] = TraceAssembly(
+                    trace_id, [], []
+                )
+            assembly.spans.append(span)
+            if span is root or span.parent_id is None:
+                assembly.fragments.append(span)
+            else:
+                # A child span inside a walked tree: it is a fragment only
+                # if its parent lives on another thread (i.e. it was
+                # closed as a local root).  Walking roots, that cannot
+                # happen — children are reached through their parents.
+                pass
+    return assemblies
+
+
+def trace_spans(roots: Iterable[Span], trace_id: str) -> List[Span]:
+    """Every finished span of one trace, in insertion order."""
+    assembly = assemble_traces(roots).get(trace_id)
+    return list(assembly.spans) if assembly is not None else []

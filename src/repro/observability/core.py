@@ -67,6 +67,14 @@ class Observability:
     def span(self, name: str, **attributes: Any):
         return self.tracer.span(name, **attributes)
 
+    def adopt(self, context: Any):
+        """Adopt a :class:`TraceContext` for the calling thread.
+
+        Context manager: spans opened inside carry the context's trace id
+        and link under its parent span (see ``Tracer.adopt``).
+        """
+        return self.tracer.adopt(context)
+
     @property
     def spans(self):
         """Finished root spans."""
@@ -111,6 +119,9 @@ class _NullObservability:
 
     def span(self, name: str, **attributes: Any):
         return NULL_SPAN
+
+    def adopt(self, context: Any):
+        return NULL_TRACER.adopt(context)
 
     def counter(self, name: str, **labels: Any):
         return NULL_METRICS.counter(name)

@@ -18,10 +18,37 @@ middleware never materialises spans or metrics in the first place.
 from __future__ import annotations
 
 import json
+import os
 import statistics
-from typing import IO, Any, Dict, Iterable, List, Mapping, Optional, Sequence
+import tempfile
+from typing import Any, Callable, Dict, IO, Iterable, List, Mapping, Optional, Sequence
 
 from repro.observability.spans import Span
+
+
+def write_atomic(path: Any, render: Callable[[IO[str]], None]) -> None:
+    """Write a file atomically: temp file in the target dir + ``os.replace``.
+
+    A crash mid-export (a real scenario under chaos injection) leaves
+    either the previous file or the complete new one — never a torn
+    half-written dump.  The temp file lives in the destination directory
+    so the final rename stays on one filesystem.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            render(handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 #: Span attributes surfaced inline in the console tree, in display order.
 _TREE_ATTRIBUTES = (
@@ -99,13 +126,18 @@ def export_jsonl(observability: Any) -> List[Dict[str, Any]]:
 
 
 def write_jsonl(observability: Any, stream_or_path: Any) -> int:
-    """Write the JSONL dump; returns the number of records written."""
+    """Write the JSONL dump; returns the number of records written.
+
+    Paths are written atomically (see :func:`write_atomic`): readers — and
+    post-crash forensics — never observe a torn file.
+    """
     records = export_jsonl(observability)
     if hasattr(stream_or_path, "write"):
         _write_records(records, stream_or_path)
     else:
-        with open(stream_or_path, "w", encoding="utf-8") as handle:
-            _write_records(records, handle)
+        write_atomic(
+            stream_or_path, lambda handle: _write_records(records, handle)
+        )
     return len(records)
 
 

@@ -1,0 +1,172 @@
+"""Forensic bundles: everything needed to debug one anomaly, in one file.
+
+When something goes wrong inside the runtime — a worker crashes, a
+runtime invariant fails, a windowed SLO breaches — the interesting state
+is spread across four places: the flight-recorder ring, the offending
+request's span tree, the metrics registry, and the chaos policy's
+injection report.  By the time a human looks, most of it has been
+overwritten or reset.
+
+A :class:`ForensicReporter` freezes that state at the moment of the
+anomaly: :meth:`trigger` assembles a single JSON-serialisable **bundle**
+(schema ``repro.forensics/1``) holding the last-N flight-recorder events,
+the complete event slice and assembled span tree of the offending
+request, a metrics snapshot, and the chaos report — and, when a directory
+is configured, writes it atomically to
+``forensic-<seq>-<reason>.json``.  Bundles are capped (``max_bundles``)
+so a crash loop cannot fill the disk; triggers beyond the cap are counted
+but dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.observability.context import assemble_traces
+from repro.observability.events import FlightRecorder
+from repro.observability.exporters import write_atomic
+
+#: Bundle schema identifier — bump on incompatible layout changes.
+BUNDLE_SCHEMA = "repro.forensics/1"
+
+
+class ForensicReporter:
+    """Dumps flight-recorder + trace + metrics state on anomaly triggers.
+
+    ``recorder`` supplies the event ring; ``observability`` (optional)
+    supplies spans and metrics; ``chaos_report`` is a zero-argument
+    callable returning the chaos policy's replay-stable report, resolved
+    lazily at trigger time so late injections are included.  With no
+    ``directory`` the bundles are kept in memory only (:attr:`bundles`).
+    """
+
+    def __init__(
+        self,
+        recorder: FlightRecorder,
+        observability: Optional[Any] = None,
+        directory: Optional[str] = None,
+        last_events: int = 256,
+        max_bundles: int = 16,
+        chaos_report: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> None:
+        if last_events < 1:
+            raise ValueError(f"last_events must be >= 1, got {last_events}")
+        if max_bundles < 1:
+            raise ValueError(f"max_bundles must be >= 1, got {max_bundles}")
+        self.recorder = recorder
+        self.observability = observability
+        self.directory = os.fspath(directory) if directory is not None else None
+        self.last_events = last_events
+        self.max_bundles = max_bundles
+        self.chaos_report = chaos_report
+        #: Bundles assembled so far (capped at ``max_bundles``).
+        self.bundles: List[Dict[str, Any]] = []
+        #: Paths of bundles written to ``directory``, in trigger order.
+        self.paths: List[str] = []
+        #: Total triggers seen, including ones dropped beyond the cap.
+        self.triggered_total = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def trigger(
+        self,
+        reason: str,
+        trace_id: Optional[str] = None,
+        **extra: Any,
+    ) -> Optional[Dict[str, Any]]:
+        """Assemble (and persist, if configured) one forensic bundle.
+
+        ``reason`` names the anomaly (``"worker_crash"``,
+        ``"invariant_violation"``, ``"slo_breach"``); ``trace_id`` scopes
+        the per-request slices; ``extra`` lands under ``"context"``
+        verbatim.  Returns the bundle, or ``None`` when the cap is hit.
+        """
+        with self._lock:
+            self.triggered_total += 1
+            if len(self.bundles) >= self.max_bundles:
+                return None
+            seq = self.triggered_total
+        bundle = self._assemble(seq, reason, trace_id, extra)
+        path: Optional[str] = None
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+            safe_reason = "".join(
+                c if c.isalnum() or c in "-_" else "-" for c in reason
+            )
+            path = os.path.join(
+                self.directory, f"forensic-{seq:03d}-{safe_reason}.json"
+            )
+            write_atomic(
+                path,
+                lambda handle: json.dump(
+                    bundle, handle, indent=2, sort_keys=True, default=str
+                ),
+            )
+        with self._lock:
+            self.bundles.append(bundle)
+            if path is not None:
+                self.paths.append(path)
+        return bundle
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        seq: int,
+        reason: str,
+        trace_id: Optional[str],
+        extra: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        recorder = self.recorder
+        clock = getattr(recorder, "clock", None)
+        bundle: Dict[str, Any] = {
+            "schema": BUNDLE_SCHEMA,
+            "seq": seq,
+            "reason": reason,
+            "trace_id": trace_id,
+            "sim": clock.now() if clock is not None else None,
+            "events": [e.to_dict() for e in recorder.tail(self.last_events)],
+            "events_recorded_total": recorder.recorded_total,
+        }
+        if trace_id is not None:
+            bundle["trace_events"] = [
+                e.to_dict() for e in recorder.for_trace(trace_id)
+            ]
+        obs = self.observability
+        if obs is not None:
+            tracer = getattr(obs, "tracer", None)
+            if tracer is not None and getattr(tracer, "enabled", False):
+                # all_spans() snapshots under the tracer's roots lock, so
+                # assembling is safe while workers keep finishing spans.
+                assemblies = assemble_traces(tracer.all_spans())
+                if trace_id is not None:
+                    assembly = assemblies.get(trace_id)
+                    bundle["spans"] = (
+                        assembly.to_records() if assembly is not None else []
+                    )
+                else:
+                    bundle["spans"] = [
+                        record
+                        for assembly in assemblies.values()
+                        for record in assembly.to_records()
+                    ]
+            metrics = getattr(obs, "metrics", None)
+            if metrics is not None and getattr(metrics, "enabled", False):
+                bundle["metrics"] = metrics.snapshot()
+        if self.chaos_report is not None:
+            try:
+                bundle["chaos"] = self.chaos_report()
+            except Exception as exc:  # report must never mask the anomaly
+                bundle["chaos"] = {"error": repr(exc)}
+        if extra:
+            bundle["context"] = extra
+        return bundle
+
+    def __repr__(self) -> str:
+        return (
+            f"ForensicReporter(bundles={len(self.bundles)}, "
+            f"triggered={self.triggered_total}, "
+            f"directory={self.directory!r})"
+        )

@@ -7,11 +7,24 @@ upper-bound buckets, so percentile *summaries* are estimates (the upper
 bound of the bucket the quantile lands in) — cheap, bounded memory, and
 accurate enough for the per-stage latency breakdowns the Ch. VI figures
 need.
+
+Instruments are **thread-safe**: runtime worker threads share one
+registry, and the read-modify-write sequences in ``Counter.inc``,
+``Gauge.add`` and ``Histogram.observe`` would silently drop observations
+under concurrent access (``x += 1`` is not atomic — the GIL can switch
+threads between the read and the store).  Each instrument carries its own
+small lock; the disabled path (:data:`NULL_METRIC`) stays lock- and
+allocation-free.
+
+Histograms optionally record **exemplars**: the worst ``(value,
+trace_id)`` seen per bucket, so a p99 summary can name the exact request
+that produced the tail (see ``observe(..., exemplar=...)``).
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,17 +45,19 @@ def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -56,18 +71,21 @@ class Counter:
 class Gauge:
     """A value that can go up and down (pool sizes, utilities, clock skew)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def add(self, delta: float) -> None:
-        self.value += delta
+        with self._lock:
+            self.value += delta
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -90,7 +108,7 @@ class Histogram:
 
     __slots__ = (
         "name", "labels", "buckets", "counts", "count", "total",
-        "minimum", "maximum",
+        "minimum", "maximum", "exemplars", "_lock",
     )
 
     def __init__(
@@ -110,18 +128,34 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        #: Per-bucket worst observation, bucket index -> (value, trace_id);
+        #: populated lazily, only for ``observe(..., exemplar=...)`` calls.
+        self.exemplars: Dict[int, Tuple[float, str]] = {}
+        self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Record one observation.
+
+        ``exemplar`` is an opaque identity (the request's trace id): when
+        given, the bucket remembers the worst value it has seen with that
+        identity, so percentile summaries can point at a concrete request.
+        """
         # bisect_left finds the first bound >= value (bounds are inclusive
         # upper bounds); values above the last bound land in the implicit
         # overflow bucket at index len(buckets).
-        self.counts[bisect_left(self.buckets, value)] += 1
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+            self.counts[index] += 1
+            if exemplar is not None:
+                worst = self.exemplars.get(index)
+                if worst is None or value > worst[0]:
+                    self.exemplars[index] = (value, exemplar)
 
     @property
     def mean(self) -> float:
@@ -143,6 +177,10 @@ class Histogram:
         """
         if not 0 < q <= 1:
             raise ValueError("quantile must be in (0, 1]")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
         if self.count == 0:
             return 0.0
         rank = math.ceil(q * self.count)
@@ -162,19 +200,32 @@ class Histogram:
             cumulative += bucket_count
         return self.maximum
 
+    def exemplar(self) -> Optional[Tuple[float, str]]:
+        """The overall worst recorded ``(value, trace_id)``, if any."""
+        with self._lock:
+            if not self.exemplars:
+                return None
+            return max(self.exemplars.values(), key=lambda e: e[0])
+
     def summary(self) -> Dict[str, float]:
-        return {
-            "count": float(self.count),
-            "sum": self.total,
-            "min": self.minimum if self.count else 0.0,
-            "max": self.maximum if self.count else 0.0,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-            "p999": self.quantile(0.999),
-        }
+        """Count/sum/min/max/mean plus estimated percentiles.
+
+        Computed under one lock acquisition so the fields are mutually
+        consistent even while worker threads keep observing.
+        """
+        with self._lock:
+            return {
+                "count": float(self.count),
+                "sum": self.total,
+                "min": self.minimum if self.count else 0.0,
+                "max": self.maximum if self.count else 0.0,
+                "mean": self.total / self.count if self.count else 0.0,
+                "p50": self._quantile_locked(0.50),
+                "p90": self._quantile_locked(0.90),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
+                "p999": self._quantile_locked(0.999),
+            }
 
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold another histogram's observations into this one (in place).
@@ -187,17 +238,29 @@ class Histogram:
             raise ValueError(
                 "cannot merge histograms with different bucket bounds"
             )
-        for i, bucket_count in enumerate(other.counts):
-            self.counts[i] += bucket_count
-        self.count += other.count
-        self.total += other.total
-        if other.count:
-            self.minimum = min(self.minimum, other.minimum)
-            self.maximum = max(self.maximum, other.maximum)
+        # Snapshot ``other`` under its own lock, then apply under ours —
+        # never holding both (two opposite-direction merges would deadlock).
+        with other._lock:
+            counts = list(other.counts)
+            count, total = other.count, other.total
+            minimum, maximum = other.minimum, other.maximum
+            exemplars = dict(other.exemplars)
+        with self._lock:
+            for i, bucket_count in enumerate(counts):
+                self.counts[i] += bucket_count
+            self.count += count
+            self.total += total
+            if count:
+                self.minimum = min(self.minimum, minimum)
+                self.maximum = max(self.maximum, maximum)
+            for index, candidate in exemplars.items():
+                worst = self.exemplars.get(index)
+                if worst is None or candidate[0] > worst[0]:
+                    self.exemplars[index] = candidate
         return self
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record = {
             "type": "histogram",
             "name": self.name,
             "labels": dict(self.labels),
@@ -205,6 +268,14 @@ class Histogram:
             "counts": list(self.counts),
             "summary": self.summary(),
         }
+        with self._lock:
+            if self.exemplars:
+                record["exemplars"] = {
+                    str(index): {"value": value, "trace_id": trace_id}
+                    for index, (value, trace_id)
+                    in sorted(self.exemplars.items())
+                }
+        return record
 
 
 class MetricsRegistry:
@@ -261,10 +332,14 @@ class MetricsRegistry:
         return records
 
     def value(self, name: str, **labels: Any) -> Optional[float]:
-        """Convenience lookup: a counter/gauge's value, if it exists."""
+        """Convenience lookup: a counter/gauge's value — or, for
+        histograms, the observation count — if the instrument exists."""
         key = (name, _label_key(labels))
         metric = self._counters.get(key) or self._gauges.get(key)
-        return metric.value if metric is not None else None
+        if metric is not None:
+            return metric.value
+        histogram = self._histograms.get(key)
+        return float(histogram.count) if histogram is not None else None
 
     def reset(self) -> None:
         self._counters.clear()
@@ -288,7 +363,7 @@ class _NullMetric:
     def add(self, delta: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         pass
 
 

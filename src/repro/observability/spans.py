@@ -39,6 +39,7 @@ class Span:
         "name",
         "span_id",
         "parent_id",
+        "trace_id",
         "started_wall",
         "ended_wall",
         "started_sim",
@@ -55,10 +56,14 @@ class Span:
         parent_id: Optional[str],
         tracer: "Tracer",
         attributes: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        #: The causal request identity this span belongs to (None for
+        #: spans opened outside any adopted TraceContext).
+        self.trace_id = trace_id
         self.started_wall: float = 0.0
         self.ended_wall: Optional[float] = None
         self.started_sim: Optional[float] = None
@@ -118,6 +123,8 @@ class Span:
             "started_wall": self.started_wall,
             "duration_s": self.duration,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
         if self.started_sim is not None:
             record["started_sim"] = self.started_sim
         if self.ended_sim is not None:
@@ -172,6 +179,17 @@ class Tracer:
     separate roots, so concurrent requests produce coherent per-request
     trees instead of corrupting one shared stack.  Span ids are drawn from
     an atomic counter and stay unique across threads.
+
+    Cross-thread causality is explicit: a thread that :meth:`adopt`\\ s a
+    :class:`~repro.observability.context.TraceContext` stamps the
+    context's ``trace_id`` on every span it opens while adopted, and links
+    its local roots to the context's ``parent_span_id`` — so one request's
+    spans stay one causal tree no matter how many threads touch it.
+
+    The finished-roots list is guarded by a lock: worker threads finish
+    root spans concurrently with :meth:`reset` / :meth:`all_spans` calls
+    from the submitting thread, and an unguarded read-swap would silently
+    drop a span finishing in between.
     """
 
     enabled = True
@@ -181,6 +199,7 @@ class Tracer:
         self.spans: List[Span] = []
         self._local = threading.local()
         self._ids = itertools.count(1)
+        self._roots_lock = threading.Lock()
 
     @property
     def _stack(self) -> List[Span]:
@@ -189,17 +208,49 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    @property
+    def _context(self) -> Optional[Any]:
+        return getattr(self._local, "context", None)
+
+    # ------------------------------------------------------------------
+    def adopt(self, context: Any) -> "_Adoption":
+        """Adopt a trace context for this thread (context manager).
+
+        While adopted, spans opened with an empty local stack become the
+        context's causal children: they carry its ``trace_id`` and link to
+        its ``parent_span_id`` (nested spans inherit the trace id from
+        their in-thread parent as usual).  Adoptions nest; ``None``
+        restores untraced behaviour.
+        """
+        return _Adoption(self, context)
+
+    def current_trace_id(self) -> Optional[str]:
+        """The adopted context's trace id on this thread, if any."""
+        context = self._context
+        return context.trace_id if context is not None else None
+
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: Any) -> Span:
         """Create (but not yet start) a span; use as a context manager."""
         stack = self._stack
         parent = stack[-1] if stack else None
+        context = self._context if parent is None else None
+        if parent is not None:
+            parent_id: Optional[str] = parent.span_id
+            trace_id: Optional[str] = parent.trace_id
+        elif context is not None:
+            parent_id = context.parent_span_id
+            trace_id = context.trace_id
+        else:
+            parent_id = None
+            trace_id = None
         return Span(
             name,
             span_id=f"s{next(self._ids):04d}",
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_id,
             tracer=self,
             attributes=attributes or None,
+            trace_id=trace_id,
         )
 
     def _open(self, span: Span) -> None:
@@ -208,6 +259,12 @@ class Tracer:
         if self._stack:
             parent = self._stack[-1]
             span.parent_id = parent.span_id
+            span.trace_id = parent.trace_id
+        else:
+            context = self._context
+            if context is not None:
+                span.parent_id = context.parent_span_id
+                span.trace_id = context.trace_id
         self._stack.append(span)
         span.started_wall = time.perf_counter()
         if self.clock is not None:
@@ -221,28 +278,77 @@ class Tracer:
             self._stack.pop()
         elif span in self._stack:  # tolerate out-of-order exits
             self._stack.remove(span)
-        if span.parent_id is None:
-            self.spans.append(span)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None and parent.span_id == span.parent_id:
+            parent.children.append(span)
         else:
-            parent = self._stack[-1] if self._stack else None
-            if parent is not None and parent.span_id == span.parent_id:
-                parent.children.append(span)
-            else:
-                # Parent already closed (shouldn't happen with context
-                # managers) — keep the span reachable as a root.
+            # No enclosing span on this thread: the span is a local root.
+            # (Its parent_id may still point at a span on another thread —
+            # cross-thread assembly links it back up by id.)
+            with self._roots_lock:
                 self.spans.append(span)
 
     # ------------------------------------------------------------------
-    def reset(self) -> None:
-        """Drop all finished spans (the stack of open spans is kept)."""
-        self.spans = []
+    def reset(self) -> List[Span]:
+        """Atomically drop (and return) all finished root spans.
+
+        The swap happens under the roots lock, so a worker finishing a
+        root span concurrently either lands in the returned batch or in
+        the fresh list — never in a discarded copy.  The per-thread stacks
+        of *open* spans are kept.
+        """
+        with self._roots_lock:
+            dropped, self.spans = self.spans, []
+        return dropped
 
     def all_spans(self) -> List[Span]:
-        """Every finished span, depth-first across all roots."""
+        """Every finished span, depth-first across all roots.
+
+        Snapshot-safe: the roots list is copied under the lock, so workers
+        finishing spans mid-iteration can never corrupt the walk.
+        """
+        with self._roots_lock:
+            roots = list(self.spans)
         collected: List[Span] = []
-        for root in self.spans:
+        for root in roots:
             collected.extend(root.walk())
         return collected
+
+
+class _Adoption:
+    """Reusable enter/exit guard installing a trace context on a thread."""
+
+    __slots__ = ("_tracer", "_context", "_previous")
+
+    def __init__(self, tracer: Tracer, context: Any) -> None:
+        self._tracer = tracer
+        self._context = context
+        self._previous: Any = None
+
+    def __enter__(self) -> Any:
+        local = self._tracer._local
+        self._previous = getattr(local, "context", None)
+        local.context = self._context
+        return self._context
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._local.context = self._previous
+        return False
+
+
+class _NullAdoption:
+    """No-op adoption guard shared by the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_ADOPTION = _NullAdoption()
 
 
 class NullTracer:
@@ -257,8 +363,16 @@ class NullTracer:
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return NULL_SPAN
 
-    def reset(self) -> None:
-        pass
+    def adopt(self, context: Any) -> _NullAdoption:
+        """Adopting a context is a no-op when tracing is disabled."""
+        return _NULL_ADOPTION
+
+    def current_trace_id(self) -> None:
+        """No context is ever adopted on the disabled path."""
+        return None
+
+    def reset(self) -> tuple:
+        return ()
 
     def all_spans(self) -> tuple:
         return ()

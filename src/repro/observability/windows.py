@@ -37,6 +37,7 @@ from typing import (
     Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
 )
 
+from repro.observability.exporters import write_atomic
 from repro.observability.metrics import DEFAULT_BUCKETS, Histogram
 from repro.observability.spans import Span
 
@@ -67,7 +68,12 @@ DEFAULT_MAX_WINDOWS = 512
 
 @dataclass(frozen=True)
 class WindowStats:
-    """The per-window summary row of one windowed series."""
+    """The per-window summary row of one windowed series.
+
+    ``exemplar_trace_id`` / ``exemplar_value`` name the worst observation
+    the window saw, when observations carried exemplars — the concrete
+    request behind the window's tail percentile.
+    """
 
     index: int
     start: float
@@ -79,10 +85,12 @@ class WindowStats:
     p99: float
     minimum: float
     maximum: float
+    exemplar_trace_id: Optional[str] = None
+    exemplar_value: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form (what the timeline exporter writes)."""
-        return {
+        record = {
             "index": self.index,
             "start": self.start,
             "end": self.end,
@@ -94,6 +102,10 @@ class WindowStats:
             "min": self.minimum,
             "max": self.maximum,
         }
+        if self.exemplar_trace_id is not None:
+            record["exemplar_trace_id"] = self.exemplar_trace_id
+            record["exemplar_value"] = self.exemplar_value
+        return record
 
 
 class StatsWindow:
@@ -113,6 +125,7 @@ class StatsWindow:
         """Summarise the window's histogram into a :class:`WindowStats`."""
         h = self.histogram
         empty = h.count == 0
+        exemplar = h.exemplar()
         return WindowStats(
             index=self.index,
             start=self.start,
@@ -124,6 +137,8 @@ class StatsWindow:
             p99=h.quantile(0.99),
             minimum=0.0 if empty else h.minimum,
             maximum=0.0 if empty else h.maximum,
+            exemplar_trace_id=exemplar[1] if exemplar else None,
+            exemplar_value=exemplar[0] if exemplar else None,
         )
 
     def __repr__(self) -> str:
@@ -175,8 +190,18 @@ class WindowedHistogram:
         """The window index containing clock timestamp ``at``."""
         return int(math.floor(at / self.window_seconds))
 
-    def observe(self, value: float, at: Optional[float] = None) -> None:
-        """File one observation at clock time ``at`` (default: now)."""
+    def observe(
+        self,
+        value: float,
+        at: Optional[float] = None,
+        exemplar: Optional[str] = None,
+    ) -> None:
+        """File one observation at clock time ``at`` (default: now).
+
+        ``exemplar`` tags the observation with a request identity (trace
+        id); the window remembers its worst exemplar so per-window stats
+        can point at the exact request behind the tail.
+        """
         if at is None:
             if self.clock is None:
                 raise ValueError(
@@ -196,7 +221,7 @@ class WindowedHistogram:
             )
             self._windows[index] = window
             self._evict()
-        window.histogram.observe(value)
+        window.histogram.observe(value, exemplar=exemplar)
         self.observed += 1
 
     def _evict(self) -> None:
@@ -326,14 +351,16 @@ class StageWindows:
                 if stage_name is None:
                     continue
                 at = self._timestamp(span)
-                self.stage(stage_name).observe(span.duration, at=at)
+                self.stage(stage_name).observe(
+                    span.duration, at=at, exemplar=span.trace_id
+                )
                 recognised += 1
                 if span.name != "runtime.request":
                     continue
                 queue_ms = span.attributes.get("queue_ms")
                 if queue_ms is not None:
                     self.stage("admission-wait").observe(
-                        float(queue_ms) / 1e3, at=at
+                        float(queue_ms) / 1e3, at=at, exemplar=span.trace_id
                     )
                 status = str(span.attributes.get("status", "done"))
                 tally = self._outcomes.setdefault(
@@ -372,7 +399,12 @@ class StageWindows:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SloVerdict:
-    """One window's pass/fail against an :class:`Slo`."""
+    """One window's pass/fail against an :class:`Slo`.
+
+    ``exemplar_trace_id`` names the window's worst request (when the
+    underlying observations carried exemplars) — the request to pull a
+    forensic bundle or span tree for when the verdict is a failure.
+    """
 
     index: int
     start: float
@@ -380,6 +412,7 @@ class SloVerdict:
     availability: Optional[float]
     passed: bool
     failures: Tuple[str, ...] = ()
+    exemplar_trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form."""
@@ -390,6 +423,7 @@ class SloVerdict:
             "availability": self.availability,
             "passed": self.passed,
             "failures": list(self.failures),
+            "exemplar_trace_id": self.exemplar_trace_id,
         }
 
 
@@ -419,12 +453,18 @@ class Slo:
         self,
         windows: Sequence[WindowStats],
         availability: Optional[Mapping[int, float]] = None,
+        forensics: Optional[Any] = None,
     ) -> List[SloVerdict]:
         """Judge each latency window (seconds-valued) against the SLO.
 
         ``availability`` maps window index -> completed fraction (e.g.
         :meth:`StageWindows.availability` or a driver report's); windows
         absent from the mapping are judged on latency alone.
+
+        ``forensics`` (a
+        :class:`~repro.observability.forensics.ForensicReporter`) turns a
+        breach into an anomaly trigger: each failed verdict dumps a
+        ``slo_breach`` bundle scoped to the window's exemplar request.
         """
         verdicts = []
         for stats in windows:
@@ -447,14 +487,25 @@ class Slo:
                         f"availability {window_availability:.3f} < "
                         f"{self.availability:g}"
                     )
-            verdicts.append(SloVerdict(
+            verdict = SloVerdict(
                 index=stats.index,
                 start=stats.start,
                 p99_ms=p99_ms,
                 availability=window_availability,
                 passed=not failures,
                 failures=tuple(failures),
-            ))
+                exemplar_trace_id=stats.exemplar_trace_id,
+            )
+            verdicts.append(verdict)
+            if forensics is not None and not verdict.passed:
+                forensics.trigger(
+                    "slo_breach",
+                    trace_id=verdict.exemplar_trace_id,
+                    window=verdict.index,
+                    window_start=verdict.start,
+                    failures=list(verdict.failures),
+                    slo=str(self),
+                )
         return verdicts
 
     def passed(
@@ -514,13 +565,15 @@ def write_window_jsonl(
 ) -> int:
     """Write the per-window timeline as JSONL; returns records written."""
     records = window_records(stage_windows)
-    if hasattr(stream_or_path, "write"):
+
+    def _write(handle: Any) -> None:
         for record in records:
-            stream_or_path.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    if hasattr(stream_or_path, "write"):
+        _write(stream_or_path)
     else:
-        with open(stream_or_path, "w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        write_atomic(stream_or_path, _write)
     return len(records)
 
 

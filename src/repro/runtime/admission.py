@@ -41,6 +41,7 @@ from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
 from repro.observability import NULL_OBSERVABILITY
+from repro.observability.events import ADMISSION_DEPTH, NULL_RECORDER
 
 
 class StaticAdmissionController:
@@ -90,6 +91,7 @@ class AdaptiveAdmissionController:
         window_seconds: float = 5.0,
         min_depth: int = 1,
         observability: Any = NULL_OBSERVABILITY,
+        recorder: Any = NULL_RECORDER,
     ) -> None:
         if target_delay_seconds <= 0:
             raise ValueError("target delay must be positive")
@@ -104,6 +106,7 @@ class AdaptiveAdmissionController:
         self.window_seconds = float(window_seconds)
         self.min_depth = min_depth
         self.observability = observability
+        self.recorder = recorder
         self._lock = threading.Lock()
         self._arrivals: Deque[float] = deque()
         self._services: Deque[Tuple[float, float]] = deque()
@@ -185,6 +188,14 @@ class AdaptiveAdmissionController:
         previous, self._depth = self._depth, depth
         self._decisions += 1
         observability.gauge("runtime_admission_effective_depth").set(depth)
+        if self.recorder.enabled:
+            self.recorder.record(
+                ADMISSION_DEPTH,
+                depth=depth,
+                previous=previous,
+                arrival_rate=round(rate, 6),
+                service_seconds=round(service, 6),
+            )
         with observability.span(
             "runtime.admission",
             effective_depth=depth,
@@ -204,12 +215,16 @@ class AdaptiveAdmissionController:
 
 
 def build_admission_controller(
-    config: Any, observability: Any = NULL_OBSERVABILITY
+    config: Any,
+    observability: Any = NULL_OBSERVABILITY,
+    recorder: Any = NULL_RECORDER,
 ) -> Any:
     """The controller a :class:`RuntimeConfig` asks for.
 
     ``config.admission`` selects the policy: ``"static"`` (the default,
     byte-identical to the pre-policy runtime) or ``"adaptive"``.
+    ``recorder`` lets the adaptive controller stamp depth changes on the
+    runtime's flight-recorder ring.
     """
     if config.admission == "adaptive":
         return AdaptiveAdmissionController(
@@ -218,5 +233,6 @@ def build_admission_controller(
             window_seconds=config.admission_window_seconds,
             min_depth=config.admission_min_depth,
             observability=observability,
+            recorder=recorder,
         )
     return StaticAdmissionController(config.queue_depth)

@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import MiddlewareRuntimeError, RuntimeInvariantError
 from repro.observability import NULL_OBSERVABILITY
+from repro.observability.events import CHAOS_INJECTED, INVARIANT_VIOLATION, NULL_RECORDER
 from repro.resilience.faults import (
     FaultEvent,
     FaultKind,
@@ -115,6 +116,7 @@ class ChaosPolicy:
             )
         self.clock = clock
         self.observability = observability
+        self.recorder: Any = NULL_RECORDER
         self.max_sleep_seconds = float(max_sleep_seconds)
         self._lock = threading.Lock()
         self._pending: Dict[FaultKind, List[FaultEvent]] = {
@@ -134,6 +136,15 @@ class ChaosPolicy:
         if not runtime:
             return None
         return cls(runtime, clock, **kwargs)
+
+    def attach_recorder(self, recorder: Any) -> None:
+        """Stamp every future injection on a flight-recorder ring.
+
+        The runtime calls this when it owns a live recorder, so injected
+        faults interleave with the admission/pickup/commit events they
+        perturb in one globally sequenced log.
+        """
+        self.recorder = recorder
 
     # -- injection points ------------------------------------------------
     def on_worker_pickup(self, worker: int) -> None:
@@ -223,6 +234,13 @@ class ChaosPolicy:
         self.observability.counter(
             "runtime_chaos_injected_total", kind=event.kind.value
         ).inc()
+        if self.recorder.enabled:
+            self.recorder.record(
+                CHAOS_INJECTED,
+                fault=event.kind.value,
+                target=event.target,
+                scheduled_at=event.at,
+            )
         with self.observability.span(
             "runtime.chaos", kind=event.kind.value, target=event.target,
             scheduled_at=event.at,
@@ -323,9 +341,29 @@ def verify_runtime_invariants(
 def assert_runtime_invariants(
     runtime: Any, handles: Sequence[Any]
 ) -> InvariantReport:
-    """:func:`verify_runtime_invariants`, raising on any violation."""
+    """:func:`verify_runtime_invariants`, raising on any violation.
+
+    Before raising, the violation is treated as an anomaly trigger: it is
+    stamped on the runtime's flight recorder and — when the runtime has a
+    :class:`~repro.observability.forensics.ForensicReporter` — dumped as
+    an ``invariant_violation`` forensic bundle, so the evidence survives
+    the raised exception.
+    """
     report = verify_runtime_invariants(runtime, handles)
     if not report.ok:
+        recorder = getattr(runtime, "recorder", None)
+        if recorder is not None and recorder.enabled:
+            recorder.record(
+                INVARIANT_VIOLATION, violations=list(report.violations)
+            )
+        forensics = getattr(runtime, "forensics", None)
+        if forensics is not None:
+            forensics.trigger(
+                "invariant_violation",
+                violations=list(report.violations),
+                handles=report.handles,
+                committed=report.committed,
+            )
         raise RuntimeInvariantError(
             "runtime invariants violated: " + "; ".join(report.violations)
         )

@@ -122,6 +122,16 @@ class RunHandle:
         #: How many times a supervisor/transient-fault requeue re-admitted
         #: this request after a worker crash or injected snapshot failure.
         self.requeues: int = 0
+        #: How many worker crashes this request survived (set by the
+        #: runtime; drives the deferred ``worker_crash`` forensic bundle).
+        self.crashes: int = 0
+        #: The request's causal identity
+        #: (:class:`~repro.observability.context.TraceContext`), minted at
+        #: submission when observability or the flight recorder is on.
+        #: After the first execution attempt opens its root span, this is
+        #: replaced by a child context so crash-requeued retries nest
+        #: under the first attempt's root — one span tree per request.
+        self.trace_context = None
         self._done = threading.Event()
         self._status = RequestStatus.QUEUED
         self._result: Optional["RunResult"] = None
@@ -217,6 +227,16 @@ class RunHandle:
         self._await(timeout)
         self._raise_if_failed()
         return list(self._plans)
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The request's trace id, when a trace context was minted.
+
+        ``getattr`` keeps the property total on partially-constructed
+        handles (tests stub them via ``__new__``).
+        """
+        context = getattr(self, "trace_context", None)
+        return context.trace_id if context is not None else None
 
     # -- latency accounting ---------------------------------------------
     @property

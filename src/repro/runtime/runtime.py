@@ -53,6 +53,10 @@ from repro.composition.qassa import QASSA
 from repro.composition.request import UserRequest
 from repro.composition.selection import CandidateSets, CompositionPlan
 from repro.composition.selection_cache import SelectionCache
+from repro.observability import events as rt_events
+from repro.observability.context import TraceContext
+from repro.observability.events import NULL_RECORDER, FlightRecorder
+from repro.observability.forensics import ForensicReporter
 from repro.resilience.policies import TimeoutPolicy
 from repro.runtime.admission import build_admission_controller
 from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
@@ -108,6 +112,17 @@ class RuntimeConfig:
     retry_budget_initial: float = 4.0
     retry_budget_cap: float = 32.0
     close_join_seconds: float = 30.0
+    #: Causal forensics: ``flight_recorder`` attaches a
+    #: :class:`~repro.observability.events.FlightRecorder` whose ring the
+    #: runtime stamps with every lifecycle event (admission, pickup,
+    #: chaos, crash, requeue, commit, expiry).  ``forensics_dir`` makes
+    #: anomaly triggers (worker crash, invariant violation, SLO breach)
+    #: dump JSON bundles there — and, when set without an explicit
+    #: recorder, implies a default-capacity one.
+    #: ``forensics_last_events`` is the ring slice each bundle captures.
+    flight_recorder: Optional[FlightRecorder] = None
+    forensics_dir: Optional[str] = None
+    forensics_last_events: int = 256
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -150,6 +165,10 @@ class RuntimeConfig:
             raise MiddlewareRuntimeError(
                 "close_join_seconds must be positive"
             )
+        if self.forensics_last_events < 1:
+            raise MiddlewareRuntimeError(
+                "forensics_last_events must be >= 1"
+            )
 
 
 class MiddlewareRuntime:
@@ -182,8 +201,33 @@ class MiddlewareRuntime:
             observability=self.observability,
         )
         self.coalescer = RequestCoalescer(observability=self.observability)
+        self._clock = middleware.environment.clock
+
+        # Causal forensics: the flight recorder stamps lifecycle events on
+        # the shared sim clock; a forensics directory without an explicit
+        # recorder implies a default-capacity one.  The reporter is built
+        # whenever a recorder is live (bundles stay in memory when no
+        # directory is configured), and the chaos policy feeds injections
+        # into the same ring.
+        recorder = self.config.flight_recorder
+        if recorder is None and self.config.forensics_dir is not None:
+            recorder = FlightRecorder()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.forensics: Optional[ForensicReporter] = None
+        if self.recorder.enabled:
+            self.recorder.attach_clock(self._clock)
+            self.forensics = ForensicReporter(
+                self.recorder,
+                observability=self.observability,
+                directory=self.config.forensics_dir,
+                last_events=self.config.forensics_last_events,
+                chaos_report=chaos.report if chaos is not None else None,
+            )
+            if chaos is not None:
+                chaos.attach_recorder(self.recorder)
+
         self.admission = build_admission_controller(
-            self.config, self.observability
+            self.config, self.observability, recorder=self.recorder
         )
         self.supervisor = WorkerSupervisor(self)
         self.retry_budget = RetryBudget(
@@ -192,7 +236,6 @@ class MiddlewareRuntime:
             cap=self.config.retry_budget_cap,
             observability=self.observability,
         )
-        self._clock = middleware.environment.clock
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -269,6 +312,7 @@ class MiddlewareRuntime:
                 RequestStatus.CANCELLED,
             )
             self._counter("runtime_cancelled_total").inc()
+            self._crash_bundle(handle)
         for thread in threads:
             thread.join(timeout=self.config.close_join_seconds)
         leaked = [t for t in threads if t.is_alive()]
@@ -317,6 +361,10 @@ class MiddlewareRuntime:
         )
         handle = RunHandle(spec)
         handle.submitted_sim = self._clock.now()
+        if self.observability.enabled or self.recorder.enabled:
+            # The request's causal identity, minted exactly once; every
+            # span and flight-recorder event it produces carries this id.
+            handle.trace_context = TraceContext.mint()
         self._counter("runtime_submitted_total").inc()
         self.admission.on_arrival(handle.submitted_sim)
         with self._lock:
@@ -332,6 +380,13 @@ class MiddlewareRuntime:
                     RequestStatus.REJECTED,
                 )
                 self._counter("runtime_rejected_total").inc()
+                if self.recorder.enabled:
+                    self.recorder.record(
+                        rt_events.ADMISSION_REJECT,
+                        trace_id=handle.trace_id,
+                        seq=handle.seq,
+                        depth=self.admission.effective_depth(),
+                    )
                 return handle
             if spec.execute:
                 with self._commit_cond:
@@ -339,6 +394,13 @@ class MiddlewareRuntime:
                     self._next_ticket += 1
             self._queue.append(handle)
             self._gauge("runtime_queue_depth").set(len(self._queue))
+            if self.recorder.enabled:
+                self.recorder.record(
+                    rt_events.ADMISSION_ACCEPT,
+                    trace_id=handle.trace_id,
+                    seq=handle.seq,
+                    queued=len(self._queue),
+                )
             self._work.notify()
         self.retry_budget.on_admit()
         if self.autostart and not self._started:
@@ -429,6 +491,14 @@ class MiddlewareRuntime:
                 self._gauge("runtime_queue_depth").set(len(self._queue))
                 self._in_flight += 1
                 self._gauge("runtime_in_flight").set(self._in_flight)
+            if self.recorder.enabled:
+                self.recorder.record(
+                    rt_events.WORKER_PICKUP,
+                    trace_id=handle.trace_id,
+                    seq=handle.seq,
+                    worker=worker,
+                    attempt=handle.requeues,
+                )
             try:
                 try:
                     if self.chaos is not None:
@@ -454,11 +524,24 @@ class MiddlewareRuntime:
                     # *before* the in-flight count drops so drain() can
                     # never observe the orphan as finished work, then let
                     # the supervisor see the death.
+                    handle.crashes += 1
+                    if self.recorder.enabled:
+                        self.recorder.record(
+                            rt_events.WORKER_CRASH,
+                            trace_id=handle.trace_id,
+                            seq=handle.seq,
+                            worker=worker,
+                            error=type(exc).__name__,
+                        )
                     self._requeue_or_fail(handle, exc)
                     raise
             finally:
                 if handle.done() and handle.finished_sim is None:
                     handle.finished_sim = self._clock.now()
+                # Deferred crash bundle: by now the attempt's spans have
+                # closed (the ``with`` blocks unwound inside _process), so
+                # the bundle captures the victim's complete span tree.
+                self._crash_bundle(handle)
                 with self._lock:
                     self._in_flight -= 1
                     self._gauge("runtime_in_flight").set(self._in_flight)
@@ -486,12 +569,12 @@ class MiddlewareRuntime:
             ticket_live = (
                 not handle.spec.execute or handle.seq in self._tickets
             )
-        if (
+        retryable = (
             not closed
             and ticket_live
             and handle.requeues < self.config.max_requeues
-            and self.retry_budget.try_acquire()
-        ):
+        )
+        if retryable and self.retry_budget.try_acquire():
             handle.requeues += 1
             handle._mark_requeued()
             with self._lock:
@@ -502,7 +585,24 @@ class MiddlewareRuntime:
                 self._work.notify()
                 self._requeues += 1
             self._counter("runtime_requeued_total").inc()
+            if self.recorder.enabled:
+                self.recorder.record(
+                    rt_events.REQUEST_REQUEUED,
+                    trace_id=handle.trace_id,
+                    seq=handle.seq,
+                    attempt=handle.requeues,
+                    error=type(error).__name__,
+                )
             return
+        if retryable and self.recorder.enabled:
+            # The retryable conditions held, so the budget was consulted
+            # and said no — the metastability guard refusing a requeue.
+            self.recorder.record(
+                rt_events.RETRY_DENIED,
+                trace_id=handle.trace_id,
+                seq=handle.seq,
+                tokens=self.retry_budget.tokens,
+            )
         self._abandon_ticket(handle)
         if not isinstance(error, Exception):
             error = WorkerCrashError(
@@ -512,8 +612,30 @@ class MiddlewareRuntime:
         handle.finished_sim = self._clock.now()
         handle._fail(error, RequestStatus.FAILED)
         self._counter("runtime_failed_total").inc()
+        if self.recorder.enabled:
+            self.recorder.record(
+                rt_events.REQUEST_FAILED,
+                trace_id=handle.trace_id,
+                seq=handle.seq,
+                error=type(error).__name__,
+            )
 
     def _process(self, handle: RunHandle) -> None:
+        """Adopt the request's trace context, then run the pipeline.
+
+        Adoption happens here — *after* the chaos pickup point — so a
+        crash-at-pickup attempt contributes no spans to the request's
+        trace; the surviving attempt's ``runtime.request`` span is the
+        tree's sole root.
+        """
+        context = handle.trace_context
+        if context is None:
+            self._process_adopted(handle)
+            return
+        with self.observability.adopt(context):
+            self._process_adopted(handle)
+
+    def _process_adopted(self, handle: RunHandle) -> None:
         spec = handle.spec
         handle._mark_running()
         if self._expired(handle):
@@ -525,8 +647,20 @@ class MiddlewareRuntime:
         )
         with self.observability.span(
             "runtime.request", task=task_name, execute=spec.execute,
+            attempt=handle.requeues,
         ) as span:
             span.set(queue_ms=round((handle.queue_seconds or 0.0) * 1e3, 3))
+            context = handle.trace_context
+            span_id = getattr(span, "span_id", None)
+            if (
+                context is not None
+                and span_id is not None
+                and context.parent_span_id is None
+            ):
+                # First attempt: later causal work — the commit stage, a
+                # crash-requeued retry on another worker — links under
+                # this root span instead of opening a second root.
+                handle.trace_context = context.child(span_id)
             try:
                 if spec.plan is not None:
                     plans = [spec.plan]
@@ -536,6 +670,7 @@ class MiddlewareRuntime:
                     handle._complete(plans=plans)
                     self._counter("runtime_completed_total").inc()
                     span.set(status="done")
+                    self._record_done(handle)
                     return
                 if self._expired(handle):
                     self._expire(handle, "pre-commit")
@@ -548,6 +683,7 @@ class MiddlewareRuntime:
                 handle._complete(result)
                 self._counter("runtime_completed_total").inc()
                 span.set(status="done")
+                self._record_done(handle)
             except InjectedSnapshotFailure:
                 # Transient chaos — keep the ticket; the worker loop
                 # requeues the request under the retry budget.
@@ -558,6 +694,13 @@ class MiddlewareRuntime:
                 handle._fail(exc, RequestStatus.FAILED)
                 self._counter("runtime_failed_total").inc()
                 span.set(status="failed")
+                if self.recorder.enabled:
+                    self.recorder.record(
+                        rt_events.REQUEST_FAILED,
+                        trace_id=handle.trace_id,
+                        seq=handle.seq,
+                        error=type(exc).__name__,
+                    )
 
     def _compose(self, spec: RunSpec) -> List[CompositionPlan]:
         """Concurrent composition: snapshot + batched discovery + private
@@ -664,6 +807,14 @@ class MiddlewareRuntime:
                     track_sla=handle.spec.track_sla,
                 )
             service_ended = self._clock.now()
+            if self.recorder.enabled:
+                self.recorder.record(
+                    rt_events.COMMIT,
+                    trace_id=handle.trace_id,
+                    seq=handle.seq,
+                    ticket=ticket,
+                    service_seconds=service_ended - service_started,
+                )
             self.admission.on_complete(
                 service_ended - service_started, service_ended
             )
@@ -705,6 +856,48 @@ class MiddlewareRuntime:
             RequestStatus.EXPIRED,
         )
         self._counter("runtime_expired_total").inc()
+        if self.recorder.enabled:
+            self.recorder.record(
+                rt_events.DEADLINE_EXPIRED,
+                trace_id=handle.trace_id,
+                seq=handle.seq,
+                stage=stage,
+            )
+
+    def _record_done(self, handle: RunHandle) -> None:
+        """Stamp a request's successful completion on the event ring."""
+        if self.recorder.enabled:
+            self.recorder.record(
+                rt_events.REQUEST_DONE,
+                trace_id=handle.trace_id,
+                seq=handle.seq,
+                requeues=handle.requeues,
+            )
+
+    def _crash_bundle(self, handle: RunHandle) -> None:
+        """Dump the deferred ``worker_crash`` bundle for a crash survivor.
+
+        Triggered when a crash-victim request reaches a terminal state —
+        not at crash time, and only after its spans have closed — so the
+        bundle tells the whole story: admission → pickup → crash →
+        requeue → (pickup →) commit or failure, plus the request's
+        complete single-rooted span tree.  At most one bundle per request.
+        """
+        if handle.crashes == 0 or self.forensics is None:
+            return
+        if not handle.done():
+            return  # still requeued; bundle at the terminal state instead
+        if getattr(handle, "_crash_bundled", False):
+            return
+        handle._crash_bundled = True
+        self.forensics.trigger(
+            "worker_crash",
+            trace_id=handle.trace_id,
+            seq=handle.seq,
+            crashes=handle.crashes,
+            requeues=handle.requeues,
+            status=handle.status.value,
+        )
 
     def _abandon_ticket(self, handle: RunHandle) -> None:
         """Release a commit ticket without executing (failure/expiry)."""

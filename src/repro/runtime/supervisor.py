@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import MiddlewareRuntimeError
 from repro.observability import NULL_OBSERVABILITY
+from repro.observability.events import WORKER_RESTART
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard, typing only
     from repro.runtime.runtime import MiddlewareRuntime
@@ -197,6 +198,13 @@ class WorkerSupervisor:
             error=type(error).__name__,
         ):
             pass
+        recorder = getattr(self.runtime, "recorder", None)
+        if recorder is not None and recorder.enabled:
+            recorder.record(
+                WORKER_RESTART,
+                worker=index,
+                error=type(error).__name__,
+            )
         self.spawn(index)
 
     def __repr__(self) -> str:

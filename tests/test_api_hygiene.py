@@ -134,14 +134,17 @@ class TestStableApiSurface:
             "AggregationApproach", "ClosedLoopDriver", "ComplianceTracker",
             "DriverReport", "ExecutionEngine",
             "ExecutionReport", "FaultEvent", "FaultKind", "FaultSchedule",
+            "FlightRecorder", "ForensicReporter",
             "HomeomorphismConfig", "MatchDegree", "MonitorConfig",
             "Observability", "ObservabilityConfig", "OnOffArrivals",
             "Ontology", "OpenLoopDriver", "PoissonArrivals", "QASSA",
             "QassaConfig", "QoSModel", "QoSObservation", "QoSVector",
-            "ReputationManager", "ResilienceConfig", "STANDARD_PROPERTIES",
+            "ReputationManager", "ResilienceConfig", "RuntimeEvent",
+            "STANDARD_PROPERTIES",
             "SimulatedClock", "Slo", "StageWindows", "Sweep", "TimeoutPolicy",
-            "WindowedHistogram",
-            "aggregate_composition", "build_end_to_end_model", "derive_slas",
+            "TraceAssembly", "TraceContext", "WindowedHistogram",
+            "aggregate_composition", "assemble_traces",
+            "build_end_to_end_model", "derive_slas",
             "dump_repository", "figures", "observability", "render_series",
             "render_table",
         }

@@ -1,0 +1,158 @@
+"""Tests for trace-context propagation (repro.observability.context)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import Observability
+from repro.observability.context import (
+    TraceContext,
+    assemble_traces,
+    trace_spans,
+)
+
+
+class TestTraceContext:
+    def test_mint_produces_unique_rootless_contexts(self):
+        first, second = TraceContext.mint(), TraceContext.mint()
+        assert first.trace_id != second.trace_id
+        assert first.parent_span_id is None
+
+    def test_child_keeps_the_trace_id_and_reparents(self):
+        root = TraceContext.mint()
+        child = root.child("s0042")
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == "s0042"
+        assert root.parent_span_id is None  # contexts are immutable
+
+    def test_contexts_are_frozen(self):
+        context = TraceContext.mint()
+        with pytest.raises(AttributeError):
+            context.trace_id = "tampered"
+
+    def test_dict_round_trip(self):
+        context = TraceContext.mint().child("s0007")
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    def test_header_round_trip_crosses_a_text_boundary(self):
+        context = TraceContext.mint().child("s0009")
+        header = context.to_header()
+        assert isinstance(header, str)
+        assert TraceContext.from_header(header) == context
+
+    def test_rootless_header_round_trip(self):
+        context = TraceContext.mint()
+        assert TraceContext.from_header(context.to_header()) == context
+
+
+class TestAdoption:
+    def test_adopted_spans_carry_the_trace_id(self):
+        obs = Observability()
+        context = TraceContext.mint()
+        with obs.adopt(context):
+            with obs.span("work"):
+                pass
+        (root,) = obs.spans
+        assert root.trace_id == context.trace_id
+
+    def test_nested_spans_inherit_from_the_in_thread_parent(self):
+        obs = Observability()
+        context = TraceContext.mint()
+        with obs.adopt(context):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        (root,) = obs.spans
+        (inner,) = root.children
+        assert inner.trace_id == context.trace_id
+        assert inner.parent_id == root.span_id
+
+    def test_adoption_restores_the_previous_context_on_exit(self):
+        obs = Observability()
+        outer, inner = TraceContext.mint(), TraceContext.mint()
+        with obs.adopt(outer):
+            with obs.adopt(inner):
+                assert obs.tracer.current_trace_id() == inner.trace_id
+            assert obs.tracer.current_trace_id() == outer.trace_id
+        assert obs.tracer.current_trace_id() is None
+
+    def test_adoption_is_thread_local(self):
+        obs = Observability()
+        context = TraceContext.mint()
+        seen = {}
+
+        def worker():
+            seen["other"] = obs.tracer.current_trace_id()
+
+        with obs.adopt(context):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+
+class TestAssembly:
+    def _linked_run(self, obs, context, count=2):
+        with obs.adopt(context):
+            with obs.span("root") as root:
+                for _ in range(count):
+                    with obs.span("child"):
+                        pass
+        return root
+
+    def test_assemble_groups_spans_by_trace_id(self):
+        obs = Observability()
+        contexts = [TraceContext.mint() for _ in range(3)]
+        for context in contexts:
+            self._linked_run(obs, context)
+        traces = assemble_traces(obs.tracer.all_spans())
+        assert sorted(traces) == sorted(c.trace_id for c in contexts)
+        for trace in traces.values():
+            assert len(trace.roots) == 1
+
+    def test_cross_thread_fragments_reattach_under_their_root(self):
+        obs = Observability()
+        context = TraceContext.mint()
+        with obs.adopt(context):
+            with obs.span("request") as root:
+                pass
+        # A second thread adopts the child context (the handoff the
+        # runtime performs) and contributes a fragment.
+        child_context = context.child(root.span_id)
+
+        def worker():
+            with obs.adopt(child_context):
+                with obs.span("retry"):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        trace = assemble_traces(obs.tracer.all_spans())[context.trace_id]
+        # The fragment's parent is inside the trace, so there is still
+        # exactly one root.
+        assert [span.name for span in trace.roots] == ["request"]
+        assert trace.root is not None
+        assert [s.name for s in trace.children_of(trace.root.span_id)] == [
+            "retry"
+        ]
+
+    def test_trace_spans_filters_one_trace(self):
+        obs = Observability()
+        kept, dropped = TraceContext.mint(), TraceContext.mint()
+        self._linked_run(obs, kept)
+        self._linked_run(obs, dropped)
+        spans = trace_spans(obs.spans, kept.trace_id)
+        assert spans
+        assert all(span.trace_id == kept.trace_id for span in spans)
+
+    def test_to_records_emit_the_trace_id(self):
+        obs = Observability()
+        context = TraceContext.mint()
+        self._linked_run(obs, context)
+        trace = assemble_traces(obs.spans)[context.trace_id]
+        records = trace.to_records()
+        assert records
+        assert all(r["trace_id"] == context.trace_id for r in records)

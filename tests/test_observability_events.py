@@ -1,0 +1,120 @@
+"""Tests for the flight-recorder event ring (repro.observability.events)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.execution.clock import SimulatedClock
+from repro.observability.events import (
+    ADMISSION_ACCEPT,
+    COMMIT,
+    NULL_RECORDER,
+    WORKER_CRASH,
+    FlightRecorder,
+    RuntimeEvent,
+)
+
+
+class TestRuntimeEvent:
+    def test_to_dict_is_json_serialisable(self):
+        event = RuntimeEvent(
+            seq=1, kind=COMMIT, wall=12.5, sim=3.0,
+            trace_id="t000001", attributes={"ticket": 4},
+        )
+        record = json.loads(json.dumps(event.to_dict()))
+        assert record["seq"] == 1
+        assert record["kind"] == COMMIT
+        assert record["trace_id"] == "t000001"
+        assert record["attributes"]["ticket"] == 4
+
+    def test_events_are_frozen(self):
+        event = RuntimeEvent(seq=1, kind=COMMIT, wall=0.0)
+        with pytest.raises(AttributeError):
+            event.kind = "tampered"
+
+
+class TestFlightRecorder:
+    def test_records_carry_monotonic_seq_and_wall_time(self):
+        recorder = FlightRecorder(capacity=8)
+        first = recorder.record(ADMISSION_ACCEPT, trace_id="t1")
+        second = recorder.record(COMMIT, trace_id="t1")
+        assert (first.seq, second.seq) == (1, 2)
+        assert second.wall >= first.wall
+        assert len(recorder) == 2
+
+    def test_ring_evicts_oldest_but_keeps_the_total(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record(COMMIT, index=index)
+        assert len(recorder) == 4
+        assert recorder.recorded_total == 10
+        assert [e.attributes["index"] for e in recorder.events()] == [
+            6, 7, 8, 9,
+        ]
+
+    def test_tail_returns_the_last_n(self):
+        recorder = FlightRecorder(capacity=16)
+        for index in range(6):
+            recorder.record(COMMIT, index=index)
+        assert [e.attributes["index"] for e in recorder.tail(2)] == [4, 5]
+
+    def test_for_trace_filters_by_trace_id(self):
+        recorder = FlightRecorder()
+        recorder.record(ADMISSION_ACCEPT, trace_id="t1")
+        recorder.record(ADMISSION_ACCEPT, trace_id="t2")
+        recorder.record(WORKER_CRASH, trace_id="t1")
+        kinds = [e.kind for e in recorder.for_trace("t1")]
+        assert kinds == [ADMISSION_ACCEPT, WORKER_CRASH]
+
+    def test_attached_clock_stamps_sim_time(self):
+        clock = SimulatedClock()
+        clock.advance(7.25)
+        recorder = FlightRecorder()
+        recorder.attach_clock(clock)
+        event = recorder.record(COMMIT)
+        assert event.sim == 7.25
+
+    def test_kind_attribute_does_not_collide_with_the_parameter(self):
+        # ``kind`` is positional-only, so an *attribute* named kind is
+        # legal (the chaos injector records the fault kind this way).
+        recorder = FlightRecorder()
+        event = recorder.record(COMMIT, kind_attr=1, fault="worker_crash")
+        assert event.kind == COMMIT
+        assert event.attributes["fault"] == "worker_crash"
+
+    def test_concurrent_records_lose_nothing(self):
+        recorder = FlightRecorder(capacity=100_000)
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    recorder.record(COMMIT) for _ in range(2_000)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.recorded_total == 16_000
+        assert len(recorder) == 16_000
+        seqs = [event.seq for event in recorder.events()]
+        assert sorted(set(seqs)) == list(range(1, 16_001))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        assert not NULL_RECORDER.enabled
+        assert NULL_RECORDER.record(COMMIT, anything=1) is None
+        assert NULL_RECORDER.events() == ()
+        assert NULL_RECORDER.tail(5) == ()
+        assert NULL_RECORDER.for_trace("t1") == ()
+        assert NULL_RECORDER.recorded_total == 0
+        assert len(NULL_RECORDER) == 0

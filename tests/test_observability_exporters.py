@@ -5,6 +5,8 @@ from __future__ import annotations
 import io
 import json
 
+import pytest
+
 from repro.execution.clock import SimulatedClock
 from repro.observability import (
     Observability,
@@ -111,3 +113,30 @@ class TestStageBreakdown:
     def test_render_empty_breakdown(self):
         text = render_breakdown({})
         assert "stage" in text
+
+
+class TestAtomicWrites:
+    def test_write_atomic_replaces_and_leaves_no_temp_files(self, tmp_path):
+        from repro.observability.exporters import write_atomic
+
+        path = tmp_path / "dump.jsonl"
+        path.write_text("previous contents\n")
+        write_atomic(path, lambda handle: handle.write("fresh\n"))
+        assert path.read_text() == "fresh\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["dump.jsonl"]
+
+    def test_failed_render_preserves_the_previous_file(self, tmp_path):
+        from repro.observability.exporters import write_atomic
+
+        path = tmp_path / "dump.jsonl"
+        path.write_text("previous contents\n")
+
+        def torn(handle):
+            handle.write("half a reco")
+            raise RuntimeError("crash mid-export")
+
+        with pytest.raises(RuntimeError):
+            write_atomic(path, torn)
+        # The old file survives untouched; the torn temp file is gone.
+        assert path.read_text() == "previous contents\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["dump.jsonl"]

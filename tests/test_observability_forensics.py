@@ -1,0 +1,128 @@
+"""Tests for forensic bundle assembly (repro.observability.forensics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import Observability
+from repro.observability.context import TraceContext
+from repro.observability.events import (
+    ADMISSION_ACCEPT,
+    COMMIT,
+    WORKER_CRASH,
+    FlightRecorder,
+)
+from repro.observability.forensics import BUNDLE_SCHEMA, ForensicReporter
+
+
+def _seeded_recorder():
+    recorder = FlightRecorder(capacity=64)
+    recorder.record(ADMISSION_ACCEPT, trace_id="t1", seq=1)
+    recorder.record(ADMISSION_ACCEPT, trace_id="t2", seq=2)
+    recorder.record(WORKER_CRASH, trace_id="t1", worker=0)
+    recorder.record(COMMIT, trace_id="t2", ticket=1)
+    return recorder
+
+
+class TestTrigger:
+    def test_bundle_carries_schema_reason_and_event_slices(self):
+        reporter = ForensicReporter(_seeded_recorder(), last_events=3)
+        bundle = reporter.trigger("worker_crash", trace_id="t1", seq=1)
+        assert bundle["schema"] == BUNDLE_SCHEMA
+        assert bundle["reason"] == "worker_crash"
+        assert bundle["trace_id"] == "t1"
+        assert len(bundle["events"]) == 3  # the last-N tail
+        assert bundle["events_recorded_total"] == 4
+        assert [e["kind"] for e in bundle["trace_events"]] == [
+            ADMISSION_ACCEPT, WORKER_CRASH,
+        ]
+        assert bundle["context"] == {"seq": 1}
+
+    def test_bundle_scopes_spans_to_the_offending_trace(self):
+        obs = Observability()
+        victim, bystander = TraceContext.mint(), TraceContext.mint()
+        for context in (victim, bystander):
+            with obs.adopt(context):
+                with obs.span("runtime.request"):
+                    pass
+        reporter = ForensicReporter(_seeded_recorder(), observability=obs)
+        bundle = reporter.trigger("worker_crash",
+                                  trace_id=victim.trace_id)
+        assert [s["trace_id"] for s in bundle["spans"]] == [victim.trace_id]
+        assert "metrics" in bundle
+
+    def test_unscoped_trigger_includes_all_traced_spans(self):
+        obs = Observability()
+        for _ in range(2):
+            with obs.adopt(TraceContext.mint()):
+                with obs.span("runtime.request"):
+                    pass
+        reporter = ForensicReporter(_seeded_recorder(), observability=obs)
+        bundle = reporter.trigger("invariant_violation", violations=["x"])
+        assert len(bundle["spans"]) == 2
+        assert bundle["context"] == {"violations": ["x"]}
+
+    def test_chaos_report_is_resolved_lazily_and_errors_are_captured(self):
+        calls = []
+
+        def report():
+            calls.append(1)
+            if len(calls) > 1:
+                raise RuntimeError("chaos ledger gone")
+            return {"fired": 3}
+
+        reporter = ForensicReporter(_seeded_recorder(), chaos_report=report)
+        assert not calls  # nothing resolved at construction time
+        assert reporter.trigger("a")["chaos"] == {"fired": 3}
+        assert "chaos ledger gone" in reporter.trigger("b")["chaos"]["error"]
+
+    def test_max_bundles_caps_assembly_but_counts_triggers(self):
+        reporter = ForensicReporter(_seeded_recorder(), max_bundles=2)
+        assert reporter.trigger("one") is not None
+        assert reporter.trigger("two") is not None
+        assert reporter.trigger("three") is None
+        assert len(reporter.bundles) == 2
+        assert reporter.triggered_total == 3
+
+
+class TestPersistence:
+    def test_bundles_are_written_as_valid_json(self, tmp_path):
+        reporter = ForensicReporter(
+            _seeded_recorder(), directory=tmp_path / "forensics"
+        )
+        reporter.trigger("worker_crash", trace_id="t1")
+        (path,) = reporter.paths
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["schema"] == BUNDLE_SCHEMA
+        assert loaded["trace_id"] == "t1"
+        assert path.endswith("forensic-001-worker_crash.json")
+
+    def test_reason_is_sanitised_in_the_filename(self, tmp_path):
+        reporter = ForensicReporter(
+            _seeded_recorder(), directory=tmp_path
+        )
+        reporter.trigger("slo breach/p99!")
+        (path,) = reporter.paths
+        assert path.endswith("forensic-001-slo-breach-p99-.json")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        reporter = ForensicReporter(_seeded_recorder(), directory=tmp_path)
+        reporter.trigger("one")
+        reporter.trigger("two")
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert len(list(tmp_path.iterdir())) == 2
+
+
+class TestValidation:
+    def test_last_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ForensicReporter(_seeded_recorder(), last_events=0)
+
+    def test_max_bundles_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ForensicReporter(_seeded_recorder(), max_bundles=0)

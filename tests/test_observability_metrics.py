@@ -205,3 +205,98 @@ class TestNullRegistry:
         NULL_METRIC.observe(1.0)
         assert NULL_METRICS.snapshot() == []
         assert NULL_METRICS.value("a") is None
+
+
+class TestExemplars:
+    def test_observe_keeps_the_worst_exemplar_per_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0))
+        histogram.observe(0.4, exemplar="t1")
+        histogram.observe(0.9, exemplar="t2")
+        histogram.observe(0.5, exemplar="t3")  # not the bucket's worst
+        histogram.observe(7.0, exemplar="t4")
+        assert histogram.exemplar() == (7.0, "t4")
+        record = histogram.to_dict()
+        by_bucket = {
+            index: entry["trace_id"]
+            for index, entry in record["exemplars"].items()
+        }
+        assert by_bucket["0"] == "t2"
+        assert by_bucket["2"] == "t4"
+
+    def test_exemplar_is_none_without_observations_or_trace_ids(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        assert histogram.exemplar() is None
+        histogram.observe(0.5)  # untraced observation
+        assert histogram.exemplar() is None
+        assert "exemplars" not in histogram.to_dict()
+
+    def test_merge_folds_exemplars_keeping_the_worst(self):
+        left = Histogram("h", buckets=(1.0,))
+        right = Histogram("h", buckets=(1.0,))
+        left.observe(0.5, exemplar="slow-ish")
+        right.observe(0.9, exemplar="slowest")
+        left.merge(right)
+        assert left.exemplar() == (0.9, "slowest")
+
+
+class TestRegistryValue:
+    def test_value_reads_histogram_counts(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        assert registry.value("latency") == 2.0
+
+
+class TestThreadSafety:
+    """Lost-update regressions: instruments under concurrent mutation."""
+
+    THREADS = 8
+    PER_THREAD = 5_000
+
+    def _hammer(self, target):
+        import threading
+
+        threads = [
+            threading.Thread(target=target) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_concurrent_histogram_observes_lose_no_updates(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+
+        def worker():
+            for index in range(self.PER_THREAD):
+                histogram.observe(index % 7, exemplar=f"t{index}")
+
+        self._hammer(worker)
+        expected = self.THREADS * self.PER_THREAD
+        assert histogram.count == expected
+        assert sum(histogram.counts) == expected
+        per_thread_total = sum(index % 7 for index in range(self.PER_THREAD))
+        assert histogram.total == self.THREADS * per_thread_total
+
+    def test_concurrent_gauge_adds_lose_no_updates(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+
+        def worker():
+            for _ in range(self.PER_THREAD):
+                gauge.add(1.0)
+
+        self._hammer(worker)
+        assert registry.value("g") == self.THREADS * self.PER_THREAD
+
+    def test_concurrent_counter_incs_lose_no_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+
+        def worker():
+            for _ in range(self.PER_THREAD):
+                counter.inc()
+
+        self._hammer(worker)
+        assert registry.value("c_total") == self.THREADS * self.PER_THREAD

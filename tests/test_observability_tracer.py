@@ -156,3 +156,63 @@ class TestNullTracer:
         with pytest.raises(RuntimeError):
             with NULL_SPAN:
                 raise RuntimeError("boom")
+
+
+class TestTracerConcurrency:
+    """Regression: reset() racing workers that append roots concurrently."""
+
+    def test_reset_never_drops_concurrently_finished_roots(self):
+        import threading
+
+        tracer = Tracer()
+        per_thread = 500
+        workers = 4
+        batches = []
+        stop = threading.Event()
+
+        def produce():
+            for _ in range(per_thread):
+                with tracer.span("root"):
+                    pass
+
+        def reap():
+            while not stop.is_set():
+                batches.append(tracer.reset())
+
+        threads = [threading.Thread(target=produce) for _ in range(workers)]
+        reaper = threading.Thread(target=reap)
+        reaper.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        reaper.join()
+        batches.append(tracer.reset())
+        # Every finished root landed in exactly one reaped batch.
+        reaped = [span for batch in batches for span in batch]
+        assert len(reaped) == workers * per_thread
+        assert len({span.span_id for span in reaped}) == len(reaped)
+
+    def test_all_spans_snapshot_is_stable_under_concurrent_appends(self):
+        import threading
+
+        tracer = Tracer()
+        done = threading.Event()
+
+        def produce():
+            while not done.is_set():
+                with tracer.span("root"):
+                    pass
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            for _ in range(200):
+                snapshot = tracer.all_spans()
+                # The walk over the snapshot never raises even while the
+                # producer keeps appending to the live roots list.
+                assert all(span.name == "root" for span in snapshot)
+        finally:
+            done.set()
+            producer.join()
