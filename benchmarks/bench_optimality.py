@@ -1,0 +1,176 @@
+"""Optimality gap vs problem size, certified by the branch-and-bound oracle.
+
+The paper's optimality experiments (Fig. VI.8) stop where exhaustive
+enumeration stops.  :class:`~repro.composition.exact.ExactSelection`
+removes that ceiling: it returns the *same plan, bit for bit* as
+``ExhaustiveSelection`` (same optimum, same first-in-enumeration-order
+tie-break) while expanding a small fraction of the assignment tree, so the
+QASSA optimality gap can be measured at sizes the enumeration baseline
+cannot reach.
+
+Two bands:
+
+* **tractable** — sizes where enumeration still runs.  Gate: the oracle's
+  plan is byte-identical to the exhaustive optimum on every instance, and
+  at the largest shared size it expands <= 10% of the enumeration's nodes.
+* **beyond-exhaustive** — sizes whose search space exceeds
+  ``ExhaustiveSelection``'s exploration limit.  Here the oracle is the
+  only source of ground truth; the sweep reports QASSA's certified gap.
+
+The sweep lands in ``BENCH_optimality.json`` at the repo root (see
+``benchmarks/conftest.py``), so the certified gap trajectory is reviewed
+like any other headline series.
+"""
+
+from __future__ import annotations
+
+from repro.composition.baselines import ExhaustiveSelection
+from repro.composition.exact import ExactSelection
+from repro.composition.qassa import QASSA
+from repro.experiments.harness import Sweep, measure, optimality, try_select
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import WorkloadSpec, make_workload
+
+#: (activities, services) pairs with search spaces from 5e2 to 3e4 —
+#: enumeration still runs, so every plan can be checked bit-for-bit.
+TRACTABLE_SIZES = ((3, 8), (4, 8), (4, 12), (5, 8))
+
+#: Sizes whose space exceeds ExhaustiveSelection's default 5e6 limit —
+#: only the branch-and-bound oracle can certify the optimum there.
+BEYOND_SIZES = ((5, 50), (6, 50))
+
+SEEDS = (0, 1, 2)
+CONSTRAINTS = 4
+TIGHTNESS = 0.6
+
+
+def build(activities, services, seed):
+    return make_workload(
+        WorkloadSpec(
+            activities=activities,
+            services_per_activity=services,
+            constraints=CONSTRAINTS,
+            tightness=TIGHTNESS,
+            seed=seed,
+        )
+    )
+
+
+def plans_identical(a, b):
+    return (
+        a.service_ids() == b.service_ids()
+        and a.utility == b.utility
+        and a.feasible == b.feasible
+        and a.aggregated_qos == b.aggregated_qos
+    )
+
+
+def test_optimality_gap_vs_size(benchmark, emit):
+    sweep = Sweep("optimality", x_label="search space")
+    rows = []
+
+    # --- tractable band: byte-identity + node efficiency ------------------
+    worst_ratio_at_largest = 0.0
+    for activities, services in TRACTABLE_SIZES:
+        gaps, ratios, identical = [], [], 0
+        runs = 0
+        for seed in SEEDS:
+            workload = build(activities, services, seed)
+            exact_sel = ExactSelection(workload.properties)
+            full_sel = ExhaustiveSelection(workload.properties)
+            exact_plan = try_select(exact_sel, workload.request,
+                                    workload.candidates)
+            full_plan = try_select(full_sel, workload.request,
+                                   workload.candidates)
+            runs += 1
+            assert (exact_plan is None) == (full_plan is None)
+            if exact_plan is None:
+                identical += 1  # both prove infeasibility
+                continue
+            assert plans_identical(exact_plan, full_plan)
+            identical += 1
+            space = workload.candidates.search_space()
+            ratios.append(
+                exact_plan.statistics.extra["nodes_expanded"] / space
+            )
+            qassa_plan = try_select(QASSA(workload.properties),
+                                    workload.request, workload.candidates)
+            if qassa_plan is not None:
+                gaps.append(optimality(qassa_plan, exact_plan))
+        assert identical == runs
+        space = services ** activities
+        point_ratio = max(ratios) if ratios else 0.0
+        if (activities, services) == TRACTABLE_SIZES[-1]:
+            worst_ratio_at_largest = point_ratio
+        sweep.add(
+            float(space),
+            qassa_gap=(sum(gaps) / len(gaps)) if gaps else float("nan"),
+            node_fraction=point_ratio,
+            certified=1.0,
+        )
+        rows.append([
+            f"{activities}x{services}", f"{space:.1e}",
+            f"{point_ratio:.4f}",
+            f"{(sum(gaps) / len(gaps)):.4f}" if gaps else "-",
+            "exhaustive+bnb",
+        ])
+
+    # Gate: at the largest shared size the oracle expands <= 10% of the
+    # nodes full enumeration would visit.
+    assert 0.0 < worst_ratio_at_largest <= 0.10
+
+    # --- beyond-exhaustive band: oracle-only certification ----------------
+    beyond_reported = 0
+    for activities, services in BEYOND_SIZES:
+        gaps, ratios = [], []
+        for seed in SEEDS[:2]:
+            workload = build(activities, services, seed)
+            space = workload.candidates.search_space()
+            # This band must actually exceed the enumeration baseline.
+            assert space > ExhaustiveSelection(workload.properties).limit
+            exact_plan = try_select(ExactSelection(workload.properties),
+                                    workload.request, workload.candidates)
+            if exact_plan is None:
+                continue
+            ratios.append(
+                exact_plan.statistics.extra["nodes_expanded"] / space
+            )
+            qassa_plan = try_select(QASSA(workload.properties),
+                                    workload.request, workload.candidates)
+            if qassa_plan is not None:
+                gaps.append(optimality(qassa_plan, exact_plan))
+        space = services ** activities
+        if gaps:
+            beyond_reported += 1
+        sweep.add(
+            float(space),
+            qassa_gap=(sum(gaps) / len(gaps)) if gaps else float("nan"),
+            node_fraction=max(ratios) if ratios else float("nan"),
+            certified=1.0,
+        )
+        rows.append([
+            f"{activities}x{services}", f"{space:.1e}",
+            f"{max(ratios):.2e}" if ratios else "-",
+            f"{(sum(gaps) / len(gaps)):.4f}" if gaps else "-",
+            "bnb only",
+        ])
+
+    # Gate: the QASSA gap is certified at >= 1 size beyond the
+    # enumeration limit — the whole point of the oracle.
+    assert beyond_reported >= 1
+
+    emit(
+        "optimality",
+        render_table(
+            ["size", "space", "node fraction", "QASSA gap", "certified by"],
+            rows,
+            title="QASSA optimality gap, certified by branch-and-bound",
+        ),
+        data=sweep,
+    )
+
+    workload = build(5, 25, seed=0)
+    selector = ExactSelection(workload.properties)
+    benchmark(
+        lambda: try_select(selector, workload.request, workload.candidates)
+    )

@@ -36,6 +36,7 @@ TRACKED_BENCHMARKS = {
     "throughput": "BENCH_throughput.json",
     "tail_latency": "BENCH_tail_latency.json",
     "chaos": "BENCH_chaos.json",
+    "optimality": "BENCH_optimality.json",
 }
 
 #: Most-recent runs kept per trajectory file.

@@ -18,6 +18,9 @@ Modules:
   for QoS-aware selection under global constraints (§IV.3).
 * :mod:`repro.composition.baselines` — exhaustive, greedy, random and
   genetic baselines used by the optimality experiments.
+* :mod:`repro.composition.exact` — the exact branch-and-bound selection
+  oracle: ExhaustiveSelection's optimum (and tie-break) at scales where
+  enumeration is intractable.
 * :mod:`repro.composition.distributed` — the distributed variant of QASSA
   for ad hoc (infrastructure-less) environments (§IV.4, Fig. VI.12).
 """
@@ -34,6 +37,7 @@ from repro.composition.baselines import (
     RandomSelection,
 )
 from repro.composition.distributed import DistributedQASSA
+from repro.composition.exact import ExactSelection
 from repro.composition.qassa import QASSA, QassaConfig
 from repro.composition.request import GlobalConstraint, UserRequest
 from repro.composition.selection import (
@@ -60,6 +64,7 @@ __all__ = [
     "CompositionPlan",
     "Conditional",
     "DistributedQASSA",
+    "ExactSelection",
     "ExhaustiveSelection",
     "GeneticSelection",
     "GlobalConstraint",

@@ -16,6 +16,25 @@ all sharing QASSA's interface (``select(request, candidates)`` →
 * :class:`GeneticSelection` — a penalty-based genetic algorithm in the style
   of Canfora et al., the classic heuristic competitor for QoS-aware
   composition.
+
+(See :class:`repro.composition.exact.ExactSelection` for the branch-and-
+bound oracle that replaces exhaustive enumeration at realistic scales.)
+
+**The ``best_effort`` contract** — uniform across every selector here,
+QASSA and :class:`~repro.composition.exact.ExactSelection`:
+
+* ``best_effort=False`` (the default everywhere): ``select()`` raises
+  :class:`~repro.errors.SelectionError` when the algorithm finds no
+  assignment satisfying the request's global constraints.  For the exact
+  algorithms that is a proof of infeasibility; for the heuristics it only
+  means *they* found nothing feasible.
+* ``best_effort=True``: instead of raising, the highest-utility assignment
+  the algorithm examined is returned with ``plan.feasible == False``, so
+  optimality plots and the adaptation framework can still reason about
+  near-misses.
+
+Every returned plan's ``feasible`` flag is always consistent with
+``request.satisfied_by(plan.aggregated_qos)``.
 """
 
 from __future__ import annotations
@@ -39,6 +58,7 @@ from repro.composition.selection import (
     evaluate_assignment,
     make_global_normalizer,
 )
+from repro.composition.utility import Normalizer, service_utility
 
 
 class _BaseSelector:
@@ -72,15 +92,30 @@ class _BaseSelector:
         stats: SelectionStatistics,
         alternates: int = 0,
     ) -> CompositionPlan:
+        relevant: Optional[Dict[str, QoSProperty]] = None
+        weights: Optional[Dict[str, float]] = None
         selections = {}
         for name, primary in assignment.items():
             ranked = [primary]
             if alternates:
-                for service in candidates[name]:
-                    if service != primary:
-                        ranked.append(service)
-                    if len(ranked) >= 1 + alternates:
-                        break
+                # Alternates back a plan's dynamic binding/substitution, so
+                # they must actually be *ranked*: score each non-primary
+                # candidate with the activity's local SAW utility and keep
+                # the best (candidate order breaks exact ties).
+                if relevant is None:
+                    relevant = self._relevant(request)
+                    weights = request.normalised_weights(relevant)
+                pool = candidates[name]
+                local_norm = Normalizer.from_vectors(
+                    [s.advertised_qos for s in pool], relevant
+                )
+                scored = sorted(
+                    (s for s in pool if s != primary),
+                    key=lambda s: -service_utility(
+                        s.advertised_qos, local_norm, weights
+                    ),
+                )
+                ranked.extend(scored[:alternates])
             selections[name] = SelectedActivity(name, ranked)
         return CompositionPlan(
             task=request.task,
@@ -115,6 +150,7 @@ class ExhaustiveSelection(_BaseSelector):
         request: UserRequest,
         candidates: CandidateSets,
         best_effort: bool = False,
+        alternates: int = 0,
     ) -> CompositionPlan:
         started = time.perf_counter()
         stats = SelectionStatistics(search_space=candidates.search_space())
@@ -149,12 +185,14 @@ class ExhaustiveSelection(_BaseSelector):
         if best is not None:
             utility, assignment, aggregated = best
             return self._plan(
-                request, assignment, candidates, aggregated, utility, True, stats
+                request, assignment, candidates, aggregated, utility, True,
+                stats, alternates,
             )
         if best_effort and best_any is not None:
             utility, assignment, aggregated = best_any
             return self._plan(
-                request, assignment, candidates, aggregated, utility, False, stats
+                request, assignment, candidates, aggregated, utility, False,
+                stats, alternates,
             )
         raise SelectionError("no feasible composition exists (exhaustive proof)")
 
@@ -164,14 +202,18 @@ class GreedySelection(_BaseSelector):
 
     Runs in O(total candidates) but ignores global constraints entirely —
     the resulting plan may be infeasible, which is precisely the weakness
-    the paper's global phase addresses.
+    the paper's global phase addresses.  Like every other selector it
+    raises on an infeasible outcome unless ``best_effort`` is set (see the
+    module docstring for the contract); callers charting greedy's missing
+    feasibility guarantee pass ``best_effort=True`` explicitly.
     """
 
     def select(
         self,
         request: UserRequest,
         candidates: CandidateSets,
-        best_effort: bool = True,
+        best_effort: bool = False,
+        alternates: int = 0,
     ) -> CompositionPlan:
         started = time.perf_counter()
         stats = SelectionStatistics(search_space=candidates.search_space())
@@ -180,8 +222,6 @@ class GreedySelection(_BaseSelector):
         normalizer = make_global_normalizer(
             request.task, candidates, relevant, self.approach
         )
-
-        from repro.composition.utility import Normalizer, service_utility
 
         assignment: Dict[str, ServiceDescription] = {}
         for name in candidates.activity_names():
@@ -205,12 +245,18 @@ class GreedySelection(_BaseSelector):
         if not feasible and not best_effort:
             raise SelectionError("greedy selection violates the global constraints")
         return self._plan(
-            request, assignment, candidates, aggregated, utility, feasible, stats
+            request, assignment, candidates, aggregated, utility, feasible,
+            stats, alternates,
         )
 
 
 class RandomSelection(_BaseSelector):
-    """Uniform random assignments with retries — the optimality floor."""
+    """Uniform random assignments — the optimality floor.
+
+    All ``attempts`` samples are drawn and the *best* feasible one (by
+    utility) is returned — returning the first feasible hit would
+    understate the random baseline in optimality plots.
+    """
 
     def __init__(
         self,
@@ -228,6 +274,7 @@ class RandomSelection(_BaseSelector):
         request: UserRequest,
         candidates: CandidateSets,
         best_effort: bool = False,
+        alternates: int = 0,
     ) -> CompositionPlan:
         started = time.perf_counter()
         stats = SelectionStatistics(search_space=candidates.search_space())
@@ -237,6 +284,7 @@ class RandomSelection(_BaseSelector):
         )
         rng = random.Random(self.seed)
         names = candidates.activity_names()
+        best_feasible = None
         best_any = None
 
         for _ in range(self.attempts):
@@ -247,20 +295,23 @@ class RandomSelection(_BaseSelector):
             )
             stats.combinations_explored += 1
             stats.utility_evaluations += 1
-            if feasible:
-                stats.elapsed_seconds = time.perf_counter() - started
-                return self._plan(
-                    request, assignment, candidates, aggregated, utility, True,
-                    stats,
-                )
+            if feasible and (best_feasible is None or utility > best_feasible[0]):
+                best_feasible = (utility, assignment, aggregated)
             if best_any is None or utility > best_any[0]:
                 best_any = (utility, assignment, aggregated)
 
         stats.elapsed_seconds = time.perf_counter() - started
+        if best_feasible is not None:
+            utility, assignment, aggregated = best_feasible
+            return self._plan(
+                request, assignment, candidates, aggregated, utility, True,
+                stats, alternates,
+            )
         if best_effort and best_any is not None:
             utility, assignment, aggregated = best_any
             return self._plan(
-                request, assignment, candidates, aggregated, utility, False, stats
+                request, assignment, candidates, aggregated, utility, False,
+                stats, alternates,
             )
         raise SelectionError(
             f"random selection found no feasible composition in "
@@ -301,6 +352,7 @@ class GeneticSelection(_BaseSelector):
         request: UserRequest,
         candidates: CandidateSets,
         best_effort: bool = False,
+        alternates: int = 0,
     ) -> CompositionPlan:
         started = time.perf_counter()
         stats = SelectionStatistics(search_space=candidates.search_space())
@@ -390,11 +442,13 @@ class GeneticSelection(_BaseSelector):
         if best_feasible is not None:
             utility, assignment, aggregated = best_feasible
             return self._plan(
-                request, assignment, candidates, aggregated, utility, True, stats
+                request, assignment, candidates, aggregated, utility, True,
+                stats, alternates,
             )
         if best_effort and best_any is not None:
             utility, assignment, aggregated = best_any
             return self._plan(
-                request, assignment, candidates, aggregated, utility, False, stats
+                request, assignment, candidates, aggregated, utility, False,
+                stats, alternates,
             )
         raise SelectionError("genetic search found no feasible composition")

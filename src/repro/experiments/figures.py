@@ -96,7 +96,9 @@ def fig_vi5a(
         )
         greedy = GreedySelection(workload.properties)
         greedy_elapsed, _ = measure(
-            lambda: greedy.select(workload.request, workload.candidates),
+            lambda: greedy.select(
+                workload.request, workload.candidates, best_effort=True
+            ),
             repetitions,
         )
         sweep.add(
@@ -173,7 +175,7 @@ def fig_vi6a(
             workload.candidates,
         )
         greedy_plan = GreedySelection(workload.properties).select(
-            workload.request, workload.candidates
+            workload.request, workload.candidates, best_effort=True
         )
         if optimal is None:
             continue  # no feasible composition at this point

@@ -322,6 +322,16 @@ def verify_runtime_invariants(
     alive = runtime.alive_workers
     running = runtime.running
     if running and alive != expected:
+        # Supervision is asynchronous: a crash on the last in-flight
+        # request can land this check in the gap between the worker's
+        # death and the supervisor's respawn.  Restoration only has to
+        # *happen*, not to have happened already, so poll briefly before
+        # calling the pool unrestored.
+        deadline = time.monotonic() + 2.0
+        while alive != expected and time.monotonic() < deadline:
+            time.sleep(0.01)
+            alive = runtime.alive_workers
+    if running and alive != expected:
         violations.append(
             f"worker pool not restored: {alive} alive of {expected}"
         )

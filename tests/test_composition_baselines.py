@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.errors import SelectionError
@@ -13,9 +15,12 @@ from repro.composition.baselines import (
     GreedySelection,
     RandomSelection,
 )
+from repro.composition.exact import ExactSelection
+from repro.composition.qassa import QASSA
 from repro.composition.request import GlobalConstraint, UserRequest
-from repro.composition.selection import CandidateSets
+from repro.composition.selection import CandidateSets, evaluate_assignment
 from repro.composition.task import Task, leaf, sequence
+from repro.composition.utility import Normalizer, service_utility
 
 PROPS = {
     name: STANDARD_PROPERTIES[name]
@@ -96,8 +101,10 @@ class TestGreedy:
 
     def test_greedy_may_violate_constraints(self):
         request, candidates = build_problem(rt_bound=0.001)
-        plan = GreedySelection(PROPS).select(request, candidates)
-        assert not plan.feasible  # best_effort default is True
+        plan = GreedySelection(PROPS).select(
+            request, candidates, best_effort=True
+        )
+        assert not plan.feasible
 
     def test_greedy_strict_mode_raises(self):
         request, candidates = build_problem(rt_bound=0.001)
@@ -160,3 +167,135 @@ class TestGenetic:
         request, candidates = build_problem(rt_bound=0.001)
         with pytest.raises(SelectionError):
             GeneticSelection(PROPS, generations=5).select(request, candidates)
+
+
+ALL_SELECTORS = [
+    pytest.param(lambda: ExhaustiveSelection(PROPS), id="exhaustive"),
+    pytest.param(lambda: ExactSelection(PROPS), id="exact"),
+    pytest.param(lambda: GreedySelection(PROPS), id="greedy"),
+    pytest.param(lambda: RandomSelection(PROPS, attempts=10, seed=0),
+                 id="random"),
+    pytest.param(lambda: GeneticSelection(PROPS, generations=5, seed=0),
+                 id="genetic"),
+    pytest.param(lambda: QASSA(PROPS), id="qassa"),
+]
+
+
+class TestBestEffortContract:
+    """Regression: ``best_effort`` semantics must be uniform.
+
+    GreedySelection used to default ``best_effort=True`` while every other
+    selector defaulted to False, so swapping selectors silently changed
+    whether infeasibility raised or produced a constraint-violating plan.
+    """
+
+    @pytest.mark.parametrize("make_selector", ALL_SELECTORS)
+    def test_infeasible_raises_by_default(self, make_selector):
+        request, candidates = build_problem(rt_bound=0.001)
+        with pytest.raises(SelectionError):
+            make_selector().select(request, candidates)
+
+    @pytest.mark.parametrize("make_selector", ALL_SELECTORS)
+    def test_best_effort_returns_flagged_plan(self, make_selector):
+        request, candidates = build_problem(rt_bound=0.001)
+        plan = make_selector().select(request, candidates, best_effort=True)
+        assert not plan.feasible
+        assert not request.satisfied_by(plan.aggregated_qos)
+
+
+class TestRankedAlternates:
+    """Regression: alternates used to be kept in raw pool order.
+
+    ``_BaseSelector._plan`` now ranks each activity's non-primary
+    candidates by their local SAW utility so dynamic binding substitutes
+    the *best* remaining service first.
+    """
+
+    def test_alternates_sorted_by_local_utility(self):
+        request, candidates = build_problem(activities=3, services=8, seed=5)
+        plan = ExhaustiveSelection(PROPS).select(
+            request, candidates, alternates=4
+        )
+        relevant = {n: PROPS[n] for n in request.relevant_properties or PROPS}
+        weights = request.normalised_weights(relevant)
+        for name in candidates.activity_names():
+            pool = candidates[name]
+            ranked = plan.selections[name].services
+            assert len(ranked) == 5  # primary + 4 alternates
+            local_norm = Normalizer.from_vectors(
+                [s.advertised_qos for s in pool], relevant
+            )
+            scores = [
+                service_utility(s.advertised_qos, local_norm, weights)
+                for s in ranked[1:]
+            ]
+            assert scores == sorted(scores, reverse=True)
+            # The kept alternates are the top-scoring non-primary services,
+            # not simply the pool prefix.
+            best_others = sorted(
+                (s for s in pool if s != ranked[0]),
+                key=lambda s: -service_utility(
+                    s.advertised_qos, local_norm, weights
+                ),
+            )[:4]
+            assert [s.name for s in ranked[1:]] == [
+                s.name for s in best_others
+            ]
+
+    def test_alternates_available_from_every_selector(self):
+        request, candidates = build_problem(activities=2, services=6)
+        for make_selector in (
+            lambda: ExactSelection(PROPS),
+            lambda: GreedySelection(PROPS),
+            lambda: RandomSelection(PROPS, attempts=5, seed=1),
+            lambda: GeneticSelection(PROPS, generations=5, seed=1),
+        ):
+            plan = make_selector().select(request, candidates, alternates=2)
+            for name in candidates.activity_names():
+                assert len(plan.selections[name].alternates) == 2
+
+
+class TestRandomBestOfAttempts:
+    """Regression: RandomSelection used to return the *first* feasible
+    assignment instead of the best feasible one across all attempts."""
+
+    def test_returns_best_feasible_across_attempts(self):
+        request, candidates = build_problem(activities=3, services=8, seed=9)
+        attempts, seed = 25, 4
+        plan = RandomSelection(PROPS, attempts=attempts, seed=seed).select(
+            request, candidates
+        )
+        # Replay the selector's own deterministic draw sequence and score
+        # every attempt from scratch.
+        relevant = {n: PROPS[n] for n in request.relevant_properties or PROPS}
+        from repro.composition.selection import make_global_normalizer
+
+        normalizer = make_global_normalizer(
+            request.task, candidates, relevant,
+            ExhaustiveSelection(PROPS).approach,
+        )
+        rng = random.Random(seed)
+        names = candidates.activity_names()
+        utilities = []
+        for _ in range(attempts):
+            assignment = {n: rng.choice(candidates[n]) for n in names}
+            _, utility, feasible = evaluate_assignment(
+                request.task, request, assignment, relevant, normalizer,
+                ExhaustiveSelection(PROPS).approach,
+            )
+            if feasible:
+                utilities.append(utility)
+        assert utilities, "fixture must produce feasible draws"
+        assert plan.utility == max(utilities)
+        # The instance must actually discriminate first-feasible from
+        # best-feasible, or this regression test is vacuous.
+        assert utilities[0] < max(utilities)
+
+    def test_more_attempts_never_worse(self):
+        request, candidates = build_problem(activities=3, services=8, seed=9)
+        utilities = [
+            RandomSelection(PROPS, attempts=n, seed=4)
+            .select(request, candidates).utility
+            for n in (1, 5, 25)
+        ]
+        assert utilities == sorted(utilities)

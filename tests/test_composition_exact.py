@@ -1,0 +1,155 @@
+"""Tests for the exact branch-and-bound selection oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoCandidateError, SelectionError
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+from repro.composition.aggregation import AggregationApproach
+from repro.composition.baselines import ExhaustiveSelection
+from repro.composition.exact import ExactSelection
+from repro.composition.request import GlobalConstraint, UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import Task, leaf, sequence
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability")
+}
+
+
+def build_problem(activities=3, services=6, seed=0, rt_bound=None):
+    task = Task(
+        "p", sequence(*[leaf(f"A{i}", f"task:C{i}") for i in range(activities)])
+    )
+    generator = ServiceGenerator(PROPS, seed=seed)
+    candidates = CandidateSets(
+        task,
+        {a.name: generator.candidates(a.capability, services)
+         for a in task.activities},
+    )
+    constraints = ()
+    if rt_bound is not None:
+        constraints = (GlobalConstraint.at_most("response_time", rt_bound),)
+    request = UserRequest(
+        task, constraints=constraints, weights={n: 1.0 for n in PROPS}
+    )
+    return request, candidates
+
+
+def assert_identical(a, b):
+    assert a.service_ids() == b.service_ids()
+    assert a.utility == b.utility
+    assert a.feasible == b.feasible
+    assert a.aggregated_qos == b.aggregated_qos
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize(
+        "approach", list(AggregationApproach), ids=lambda a: a.name
+    )
+    def test_byte_identical_to_exhaustive(self, seed, approach):
+        request, candidates = build_problem(
+            activities=3, services=5, seed=seed
+        )
+        exact = ExactSelection(PROPS, approach).select(request, candidates)
+        full = ExhaustiveSelection(PROPS, approach).select(request, candidates)
+        assert_identical(exact, full)
+
+    @pytest.mark.parametrize("rt_bound", (250.0, 400.0, 800.0))
+    def test_identical_under_constraints(self, rt_bound):
+        request, candidates = build_problem(
+            activities=4, services=5, seed=3, rt_bound=rt_bound
+        )
+        exact_run = lambda **kw: ExactSelection(PROPS).select(
+            request, candidates, **kw
+        )
+        full_run = lambda **kw: ExhaustiveSelection(PROPS).select(
+            request, candidates, **kw
+        )
+        try:
+            full = full_run()
+        except SelectionError:
+            with pytest.raises(SelectionError):
+                exact_run()
+            assert_identical(
+                exact_run(best_effort=True), full_run(best_effort=True)
+            )
+        else:
+            assert_identical(exact_run(), full)
+
+    def test_prunes_most_of_the_space(self):
+        request, candidates = build_problem(activities=4, services=8, seed=1)
+        plan = ExactSelection(PROPS).select(request, candidates)
+        space = candidates.search_space()
+        assert plan.statistics.extra["nodes_expanded"] <= 0.10 * space
+        # Far fewer leaf evaluations than full enumeration.
+        assert plan.statistics.utility_evaluations < space
+
+    def test_deterministic_replay(self):
+        request, candidates = build_problem(activities=4, services=7, seed=2)
+        a = ExactSelection(PROPS).select(request, candidates)
+        b = ExactSelection(PROPS).select(request, candidates)
+        assert_identical(a, b)
+        assert a.statistics.extra == b.statistics.extra
+
+
+class TestFeasibility:
+    def test_proves_infeasibility(self):
+        request, candidates = build_problem(rt_bound=0.001)
+        with pytest.raises(SelectionError):
+            ExactSelection(PROPS).select(request, candidates)
+
+    def test_best_effort_matches_exhaustive(self):
+        request, candidates = build_problem(rt_bound=0.001)
+        exact = ExactSelection(PROPS).select(
+            request, candidates, best_effort=True
+        )
+        full = ExhaustiveSelection(PROPS).select(
+            request, candidates, best_effort=True
+        )
+        assert not exact.feasible
+        assert_identical(exact, full)
+
+    def test_node_budget_guard(self):
+        request, candidates = build_problem(activities=4, services=6)
+        with pytest.raises(SelectionError, match="node budget"):
+            ExactSelection(PROPS, max_nodes=3).select(request, candidates)
+
+
+class TestPresolve:
+    def test_dominance_fixing_reported(self):
+        # Clustered pools always contain weakly dominated candidates.
+        request, candidates = build_problem(activities=3, services=12, seed=4)
+        plan = ExactSelection(PROPS).select(request, candidates)
+        assert plan.statistics.extra["fixed_dominated"] >= 1
+
+    def test_empty_candidate_pool_raises(self):
+        task = Task("p", sequence(leaf("A0", "task:C0"), leaf("A1", "task:C1")))
+        generator = ServiceGenerator(PROPS, seed=0)
+        with pytest.raises(NoCandidateError):
+            CandidateSets(
+                task, {"A0": generator.candidates("task:C0", 3), "A1": []}
+            )
+
+    def test_constraint_on_unadvertised_property_raises(self):
+        request, candidates = build_problem(activities=2, services=3)
+        throughput = STANDARD_PROPERTIES["throughput"]
+        bad_request = UserRequest(
+            request.task,
+            constraints=(GlobalConstraint.at_least("throughput", 1.0),),
+            weights=dict(request.weights),
+        )
+        props = dict(PROPS, throughput=throughput)
+        with pytest.raises(SelectionError):
+            ExactSelection(props).select(bad_request, candidates)
+
+    def test_single_candidate_task(self):
+        request, candidates = build_problem(activities=2, services=1)
+        exact = ExactSelection(PROPS).select(request, candidates)
+        full = ExhaustiveSelection(PROPS).select(request, candidates)
+        assert_identical(exact, full)
+        assert len(exact.selections) == 2

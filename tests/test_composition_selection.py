@@ -89,6 +89,75 @@ class TestGlobalNormalizer:
         assert 0.0 <= utility <= 1.0
 
 
+class TestNormalizerEdgeCases:
+    """Edge cases surfaced while building the differential fuzzing sweep."""
+
+    def test_unadvertised_property_raises(self, small_task, generator):
+        # A normaliser over a property no candidate advertises cannot be
+        # built — the error must be a SelectionError, not a KeyError.
+        from repro.qos.properties import STANDARD_PROPERTIES
+
+        candidates = CandidateSets(
+            small_task,
+            {a.name: generator.candidates(a.capability, 2)
+             for a in small_task.activities},
+        )
+        props = {"security_level": STANDARD_PROPERTIES["security_level"]}
+        with pytest.raises(SelectionError):
+            make_global_normalizer(
+                small_task, candidates, props, AggregationApproach.PESSIMISTIC
+            )
+
+    def test_single_candidate_degenerate_spans(
+        self, small_task, generator, props4, loose_request
+    ):
+        # One candidate per activity collapses every span to a point;
+        # normalised utility must stay defined and inside [0, 1].
+        candidates = CandidateSets(
+            small_task,
+            {a.name: generator.candidates(a.capability, 1)
+             for a in small_task.activities},
+        )
+        normalizer = make_global_normalizer(
+            small_task, candidates, props4, AggregationApproach.PESSIMISTIC
+        )
+        assignment = {
+            name: candidates[name][0] for name in candidates.activity_names()
+        }
+        aggregated, utility, feasible = evaluate_assignment(
+            small_task, loose_request, assignment, props4, normalizer,
+            AggregationApproach.PESSIMISTIC,
+        )
+        assert 0.0 <= utility <= 1.0
+        assert feasible
+        for name in props4:
+            low, high = normalizer.span(name)
+            assert low == aggregated[name] == high
+
+    def test_infeasible_constraint_detected(
+        self, small_task, small_candidates, props4
+    ):
+        request = UserRequest(
+            small_task,
+            constraints=(GlobalConstraint.at_most("response_time", 0.0),),
+            weights={"response_time": 1.0},
+        )
+        normalizer = make_global_normalizer(
+            small_task, small_candidates, props4,
+            AggregationApproach.PESSIMISTIC,
+        )
+        assignment = {
+            name: small_candidates[name][0]
+            for name in small_candidates.activity_names()
+        }
+        relevant = {"response_time": props4["response_time"]}
+        _, _, feasible = evaluate_assignment(
+            small_task, request, assignment, relevant, normalizer,
+            AggregationApproach.PESSIMISTIC,
+        )
+        assert not feasible
+
+
 class TestCompositionPlanRebind:
     def test_rebind_recomputes_aggregate_and_feasibility(
         self, small_task, small_candidates, props4
