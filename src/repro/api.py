@@ -35,24 +35,41 @@ from repro.errors import (
     ReproError,
     RuntimeInvariantError,
     RuntimeShutdownError,
+    UnsupportedBackendFeatureError,
     WorkerCrashError,
+    WorkerProcessCrash,
 )
 from repro.middleware.config import MiddlewareConfig
 from repro.middleware.qasom import QASOM, RunResult
 from repro.runtime import (
+    BACKEND_CHOICES,
     AdaptiveAdmissionController,
     ChaosPolicy,
+    ExecutionBackend,
     InvariantReport,
     MiddlewareRuntime,
+    ProcessBackend,
     RequestStatus,
     RetryBudget,
     RunHandle,
     RuntimeConfig,
+    ThreadBackend,
     assert_runtime_invariants,
     verify_runtime_invariants,
 )
+from repro.composition.baselines import (
+    ExhaustiveSelection,
+    GeneticSelection,
+    GreedySelection,
+    RandomSelection,
+)
+from repro.composition.exact import ExactSelection
 from repro.composition.request import GlobalConstraint, UserRequest
-from repro.composition.selection import CandidateSets, CompositionPlan
+from repro.composition.selection import (
+    CandidateSets,
+    CompositionPlan,
+    Selector,
+)
 from repro.composition.task import Task, leaf, loop, parallel, sequence
 from repro.resilience.degradation import PartialExecutionReport
 
@@ -123,16 +140,19 @@ __all__ = [
     # core middleware
     "AdaptiveAdmissionController",
     "AdmissionRejectedError",
+    "BACKEND_CHOICES",
     "CandidateSets",
     "ChaosPolicy",
     "CompositionPlan",
     "DeadlineExceededError",
+    "ExecutionBackend",
     "GlobalConstraint",
     "InvariantReport",
     "MiddlewareConfig",
     "MiddlewareRuntime",
     "MiddlewareRuntimeError",
     "PartialExecutionReport",
+    "ProcessBackend",
     "QASOM",
     "ReproError",
     "RequestStatus",
@@ -143,8 +163,11 @@ __all__ = [
     "RuntimeInvariantError",
     "RuntimeShutdownError",
     "Task",
+    "ThreadBackend",
+    "UnsupportedBackendFeatureError",
     "UserRequest",
     "WorkerCrashError",
+    "WorkerProcessCrash",
     "assert_runtime_invariants",
     "leaf",
     "loop",
@@ -169,13 +192,17 @@ __all__ = [
     "ClosedLoopDriver",
     "ComplianceTracker",
     "DriverReport",
+    "ExactSelection",
     "ExecutionEngine",
     "ExecutionReport",
+    "ExhaustiveSelection",
     "FaultEvent",
     "FaultKind",
     "FaultSchedule",
     "FlightRecorder",
     "ForensicReporter",
+    "GeneticSelection",
+    "GreedySelection",
     "HomeomorphismConfig",
     "MatchDegree",
     "MonitorConfig",
@@ -190,10 +217,12 @@ __all__ = [
     "QoSModel",
     "QoSObservation",
     "QoSVector",
+    "RandomSelection",
     "ReputationManager",
     "ResilienceConfig",
     "RuntimeEvent",
     "STANDARD_PROPERTIES",
+    "Selector",
     "SimulatedClock",
     "Slo",
     "StageWindows",

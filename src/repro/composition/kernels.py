@@ -1,0 +1,268 @@
+"""Vectorized QASSA hot-path kernels (numpy matrix formulation).
+
+Profiling the selection pipeline shows two pure-Python hot loops: scoring
+every candidate of an activity (normalise each QoS vector, weight, sum —
+the local phase's SAW pass) and computing per-property aggregation bounds
+for the global normaliser (two pattern-tree walks per property).  This
+module re-expresses both as numpy array kernels in the classic
+matrix-formulation idiom: candidates become an ``(N, P)`` value matrix
+scored in one normalise-weight-sum pass, and the bounds tree is walked
+*once* carrying ``(2, P)`` best/worst arrays with per-``AggregationKind``
+column masks instead of once per property.
+
+**Bit-identity contract** — the kernels are drop-in replacements gated by
+:attr:`~repro.composition.qassa.QassaConfig.vectorized`, so they must
+produce *byte-identical* plans to the scalar path (the differential
+fuzzing harness enforces this).  Two rules make that possible:
+
+* only **elementwise** array operations are used — IEEE-754 guarantees an
+  elementwise ``+``/``-``/``*``/``/`` matches the identical scalar
+  operation bit for bit;
+* reductions are written as **explicit left folds in the scalar code's
+  iteration order** — never ``np.sum``/``np.dot``, whose pairwise
+  summation associates differently and drifts in the last ulp.
+
+numpy is an optional dependency (the ``[perf]`` extra): when it is absent
+:data:`HAVE_NUMPY` is ``False`` and callers fall back to the scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import AggregationError
+from repro.qos.properties import AggregationKind, Direction, QoSProperty
+from repro.qos.values import QoSVector
+from repro.composition.aggregation import AggregationApproach, _is_time_like
+from repro.composition.task import Conditional, Leaf, Loop, Node, Parallel, Sequence as SeqNode
+from repro.composition.utility import Normalizer
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    import numpy as _np
+except Exception:  # noqa: BLE001 - any import failure means "no numpy"
+    _np = None
+
+#: Whether the vectorized kernels are usable in this interpreter.
+HAVE_NUMPY = _np is not None
+
+
+def score_candidates(
+    vectors: Sequence[QoSVector],
+    normalizer: Normalizer,
+    relevant: Mapping[str, QoSProperty],
+    weights: Mapping[str, float],
+) -> Tuple[List[Dict[str, float]], List[float]]:
+    """Normalise and SAW-score all candidates of one activity at once.
+
+    Returns ``(points, utilities)`` exactly as the scalar pass produces
+    them: ``points[i]`` is ``normalizer.normalise_vector(vectors[i])`` and
+    ``utilities[i]`` is ``service_utility(vectors[i], normalizer,
+    weights)``, with every value converted back to a builtin ``float`` so
+    nothing downstream ever sees a numpy scalar.
+    """
+    assert _np is not None, "score_candidates requires numpy"
+    names = list(relevant)
+    n, p = len(vectors), len(names)
+    values = _np.zeros((n, p), dtype=_np.float64)
+    mask = _np.zeros((n, p), dtype=bool)
+    for i, vector in enumerate(vectors):
+        for j, name in enumerate(names):
+            value = vector.get(name)
+            if value is not None:
+                values[i, j] = value
+                mask[i, j] = True
+
+    # Per-property normalised scores: elementwise (value - low) / width or
+    # (high - value) / width, clipped to [0, 1]; a degenerate span scores
+    # 1.0 — the exact arithmetic of Normalizer.normalise, per element.
+    scores = _np.empty((n, p), dtype=_np.float64)
+    for j, name in enumerate(names):
+        low, high = normalizer.span(name)
+        width = high - low
+        if width <= 0:
+            scores[:, j] = 1.0
+            continue
+        if relevant[name].direction is Direction.NEGATIVE:
+            raw = (high - values[:, j]) / width
+        else:
+            raw = (values[:, j] - low) / width
+        scores[:, j] = _np.minimum(_np.maximum(raw, 0.0), 1.0)
+
+    # SAW utilities, accumulated in weights order (the scalar fold order);
+    # a candidate that does not advertise a property contributes +0.0,
+    # which is bit-identical to the scalar code skipping the term.
+    column = {name: j for j, name in enumerate(names)}
+    utilities = _np.zeros(n, dtype=_np.float64)
+    for name, weight in weights.items():
+        j = column.get(name)
+        if j is None:
+            continue
+        utilities = utilities + _np.where(
+            mask[:, j], weight * scores[:, j], 0.0
+        )
+
+    points: List[Dict[str, float]] = [
+        {
+            name: float(scores[i, j])
+            for j, name in enumerate(names)
+            if mask[i, j]
+        }
+        for i in range(n)
+    ]
+    return points, [float(u) for u in utilities]
+
+
+def batched_aggregation_bounds(
+    task,
+    relevant: Mapping[str, QoSProperty],
+    per_activity_extremes: Mapping[str, Mapping[str, Tuple[float, float]]],
+    approach: AggregationApproach,
+) -> Dict[str, Tuple[float, float]]:
+    """(best, worst) achievable aggregates for *all* properties in one walk.
+
+    Equivalent to calling
+    :func:`~repro.composition.aggregation.aggregation_bounds` once per
+    property, but the pattern tree is walked a single time carrying a
+    ``(2, P)`` array (row 0: the walk fed per-activity best values, row 1:
+    fed worst values) and combining children with per-kind column masks.
+    Fold orders match the scalar combinators, so results are bit-identical.
+    """
+    assert _np is not None, "batched_aggregation_bounds requires numpy"
+    names = list(relevant)
+    props = [relevant[name] for name in names]
+    additive = _np.array(
+        [p.aggregation is AggregationKind.ADDITIVE for p in props]
+    )
+    multiplicative = _np.array(
+        [p.aggregation is AggregationKind.MULTIPLICATIVE for p in props]
+    )
+    minimum = _np.array([p.aggregation is AggregationKind.MIN for p in props])
+    maximum = _np.array([p.aggregation is AggregationKind.MAX for p in props])
+    average = _np.array(
+        [p.aggregation is AggregationKind.AVERAGE for p in props]
+    )
+    known = additive | multiplicative | minimum | maximum | average
+    if not bool(known.all()):
+        unknown = props[int(_np.argmin(known))]
+        raise AggregationError(
+            f"unknown aggregation kind: {unknown.aggregation!r}"
+        )
+    time_like = _np.array([_is_time_like(p) for p in props])
+    negative = _np.array(
+        [p.direction is Direction.NEGATIVE for p in props]
+    )
+
+    def folds(children: List["_np.ndarray"]):
+        """Left folds over child arrays: (sum, prod, min, max)."""
+        acc_sum, acc_prod = children[0], children[0]
+        acc_min, acc_max = children[0], children[0]
+        for child in children[1:]:
+            acc_sum = acc_sum + child
+            acc_prod = acc_prod * child
+            acc_min = _np.minimum(acc_min, child)
+            acc_max = _np.maximum(acc_max, child)
+        return acc_sum, acc_prod, acc_min, acc_max
+
+    def by_kind(acc_sum, acc_prod, acc_min, acc_max, acc_avg, add_branch):
+        return _np.where(
+            additive, add_branch,
+            _np.where(
+                multiplicative, acc_prod,
+                _np.where(
+                    minimum, acc_min,
+                    _np.where(maximum, acc_max, acc_avg),
+                ),
+            ),
+        )
+
+    def walk(node: Node) -> "_np.ndarray":
+        if isinstance(node, Leaf):
+            name = node.activity.name
+            try:
+                extremes = per_activity_extremes[name]
+            except KeyError:
+                raise AggregationError(
+                    f"no value of {props[0].name!r} for activity {name!r}"
+                ) from None
+            return _np.array(
+                [
+                    [extremes[pname][0] for pname in names],
+                    [extremes[pname][1] for pname in names],
+                ],
+                dtype=_np.float64,
+            )
+        if isinstance(node, SeqNode):
+            children = [walk(child) for child in node.members]
+            acc_sum, acc_prod, acc_min, acc_max = folds(children)
+            acc_avg = acc_sum / len(children)
+            return by_kind(
+                acc_sum, acc_prod, acc_min, acc_max, acc_avg, acc_sum
+            )
+        if isinstance(node, Parallel):
+            children = [walk(child) for child in node.branches]
+            acc_sum, acc_prod, acc_min, acc_max = folds(children)
+            acc_avg = acc_sum / len(children)
+            # Additive durations overlap (slowest branch); additive
+            # resources are consumed by every branch.
+            add_branch = _np.where(time_like, acc_max, acc_sum)
+            return by_kind(
+                acc_sum, acc_prod, acc_min, acc_max, acc_avg, add_branch
+            )
+        if isinstance(node, Conditional):
+            children = [walk(child) for child in node.branches]
+            if approach is AggregationApproach.MEAN:
+                probabilities = node.branch_probabilities()
+                if len(probabilities) != len(children):
+                    raise AggregationError(
+                        f"conditional mean-value aggregation of "
+                        f"{props[0].name!r} got {len(children)} branch "
+                        f"values but {len(probabilities)} probabilities"
+                    )
+                total = sum(probabilities)
+                if abs(total - 1.0) > 1e-6:
+                    raise AggregationError(
+                        f"conditional branch probabilities sum to "
+                        f"{total:g}, expected 1 (mean-value aggregation "
+                        f"of {props[0].name!r})"
+                    )
+                acc = _np.zeros_like(children[0])
+                for probability, child in zip(probabilities, children):
+                    acc = acc + probability * child
+                return acc
+            _, _, acc_min, acc_max = folds(children)
+            if approach is AggregationApproach.PESSIMISTIC:
+                return _np.where(negative, acc_max, acc_min)
+            return _np.where(negative, acc_min, acc_max)
+        if isinstance(node, Loop):
+            body = walk(node.body)
+
+            def at(n: float) -> "_np.ndarray":
+                # Python's ``**`` (libm pow), not ``np.power``: numpy's
+                # SIMD pow drifts a last ulp from libm on some inputs,
+                # which would break bit-identity with the scalar path.
+                # Only multiplicative columns are powered, exactly like
+                # the scalar per-property dispatch.
+                powered = body.copy()
+                for j in range(len(props)):
+                    if multiplicative[j]:
+                        powered[0, j] = float(body[0, j]) ** n
+                        powered[1, j] = float(body[1, j]) ** n
+                return by_kind(body, powered, body, body, body, n * body)
+
+            if approach is AggregationApproach.MEAN:
+                return at(node.mean_iterations())
+            lo, hi = at(1.0), at(float(node.max_iterations))
+            if approach is AggregationApproach.PESSIMISTIC:
+                return _np.where(
+                    negative, _np.maximum(lo, hi), _np.minimum(lo, hi)
+                )
+            return _np.where(
+                negative, _np.minimum(lo, hi), _np.maximum(lo, hi)
+            )
+        raise AggregationError(f"unknown pattern node: {type(node).__name__}")
+
+    bounds = walk(task.root)
+    return {
+        name: (float(bounds[0, j]), float(bounds[1, j]))
+        for j, name in enumerate(names)
+    }

@@ -48,6 +48,7 @@ from repro.errors import SelectionError
 from repro.qos.properties import QoSProperty
 from repro.qos.values import QoSVector
 from repro.services.description import ServiceDescription
+from repro.composition import kernels
 from repro.composition.aggregation import AggregationApproach, aggregation_bounds
 from repro.composition.clustering import QoSLevel, build_qos_levels
 from repro.composition.request import UserRequest
@@ -72,6 +73,13 @@ class QassaConfig:
     how many ranked services each activity retains for dynamic binding.
     ``max_combinations`` caps the global phase's lattice exploration;
     ``repair_passes`` bounds the per-state constraint-repair loop.
+
+    ``vectorized`` routes the local-phase scoring pass and the global
+    normaliser's aggregation bounds through the numpy kernels of
+    :mod:`repro.composition.kernels`.  The kernels are bit-identical to
+    the scalar path (enforced by the differential fuzzing harness), so
+    the flag changes throughput, never plans; it is silently ignored when
+    numpy is not installed.
     """
 
     levels_per_activity: int = 4
@@ -82,6 +90,7 @@ class QassaConfig:
     feasible_beam: int = 2
     prune_dominated: bool = True
     seed: int = 0
+    vectorized: bool = True
 
 
 @dataclass
@@ -143,6 +152,7 @@ class QASSA:
         self.config = config
         self.cache = cache
         self.obs = observability_core.resolve(observability)
+        self._use_kernels = config.vectorized and kernels.HAVE_NUMPY
 
     # ------------------------------------------------------------------
     # public entry point
@@ -483,8 +493,15 @@ class QASSA:
             kept_services = [kept_services[i] for i in keep]
             kept_vectors = [kept_vectors[i] for i in keep]
 
-        points = [normalizer.normalise_vector(v) for v in kept_vectors]
-        utilities = [service_utility(v, normalizer, weights) for v in kept_vectors]
+        if self._use_kernels and kept_vectors:
+            points, utilities = kernels.score_candidates(
+                kept_vectors, normalizer, relevant, weights
+            )
+        else:
+            points = [normalizer.normalise_vector(v) for v in kept_vectors]
+            utilities = [
+                service_utility(v, normalizer, weights) for v in kept_vectors
+            ]
         stats.utility_evaluations += len(utilities)
 
         levels, km = build_qos_levels(
@@ -518,6 +535,18 @@ class QASSA:
         :func:`~repro.composition.selection.make_global_normalizer` but
         reusable from cached local selections without rescanning candidates.
         """
+        if self._use_kernels and relevant:
+            bounds = kernels.batched_aggregation_bounds(
+                task,
+                relevant,
+                {name: sel.extremes for name, sel in locals_.items()},
+                self.approach,
+            )
+            spans = {
+                pname: (min(best, worst), max(best, worst))
+                for pname, (best, worst) in bounds.items()
+            }
+            return Normalizer(dict(relevant), spans)
         spans: Dict[str, Tuple[float, float]] = {}
         for pname, prop in relevant.items():
             per_activity = {

@@ -12,7 +12,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.errors import NoCandidateError, SelectionError
 from repro.qos.properties import QoSProperty
@@ -26,6 +35,35 @@ from repro.composition.aggregation import (
 from repro.composition.request import UserRequest
 from repro.composition.task import Task
 from repro.composition.utility import Normalizer, composition_utility
+
+
+@runtime_checkable
+class Selector(Protocol):
+    """The uniform contract every selection algorithm satisfies.
+
+    A selector turns ``(request, candidates)`` into a
+    :class:`CompositionPlan`.  ``best_effort`` asks for the best
+    *infeasible* plan instead of a :class:`~repro.errors.SelectionError`
+    when no explored composition meets the global constraints;
+    ``alternates`` asks each activity to retain that many ranked
+    substitute services beyond its primary (dynamic binding /
+    substitution support).  :class:`~repro.composition.qassa.QASSA`
+    configures alternates through
+    :attr:`~repro.composition.qassa.QassaConfig.alternates_kept` rather
+    than per call, which a structural protocol accommodates — callers
+    that need the knob per call use the exact/baseline selectors.
+    """
+
+    def select(
+        self,
+        request: UserRequest,
+        candidates: "CandidateSets",
+        best_effort: bool = False,
+        alternates: int = 0,
+    ) -> "CompositionPlan":
+        """Select a composition fulfilling (or best-effort failing) the
+        request."""
+        ...
 
 
 class CandidateSets:

@@ -23,6 +23,13 @@ class UnknownConceptError(OntologyError):
         super().__init__(f"unknown concept: {uri!r}")
         self.uri = uri
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) through __init__, which double-wraps it; rebuild from
+        # the original constructor argument instead.  Exceptions cross
+        # process boundaries on the runtime's process backend.
+        return (type(self), (self.uri,))
+
 
 class UnitError(ReproError):
     """Raised when two QoS values with incompatible units are combined."""
@@ -57,6 +64,11 @@ class NoCandidateError(CompositionError):
     def __init__(self, activity: str) -> None:
         super().__init__(f"no service candidate for activity {activity!r}")
         self.activity = activity
+
+    def __reduce__(self):
+        # See UnknownConceptError.__reduce__: keep the round-tripped
+        # message identical to the original's (process-backend transport).
+        return (type(self), (self.activity,))
 
 
 class SelectionError(CompositionError):
@@ -122,6 +134,24 @@ class WorkerCrashError(MiddlewareRuntimeError):
     could not (or was not allowed to) requeue it — the requeue budget was
     exhausted, the bounded requeue count was reached, or the crash landed
     mid-commit where re-execution would not be safe."""
+
+
+class WorkerProcessCrash(WorkerCrashError):
+    """A worker *process* of the process execution backend died mid-compose
+    (killed, OOM, or a crash in the child interpreter).  Transient by
+    contract: the backend respawns the process and the runtime requeues the
+    request under its original admission ticket (budget permitting); when
+    the requeue is refused, the handle fails with this error — still a
+    :class:`WorkerCrashError`, so callers need not care which backend's
+    worker died."""
+
+
+class UnsupportedBackendFeatureError(MiddlewareRuntimeError):
+    """A runtime feature was requested on an execution backend that cannot
+    honour it (e.g. chaos injection, the flight recorder or cross-layer
+    estimation on the process backend, which cannot share parent-side
+    mutable state with its workers).  Raised at construction time — never a
+    silent no-op."""
 
 
 class RuntimeInvariantError(MiddlewareRuntimeError):

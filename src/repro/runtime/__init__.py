@@ -16,6 +16,13 @@ from repro.runtime.admission import (
     StaticAdmissionController,
     build_admission_controller,
 )
+from repro.runtime.backends import (
+    BACKEND_CHOICES,
+    ExecutionBackend,
+    ProcessBackend,
+    ThreadBackend,
+    build_backend,
+)
 from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
 from repro.runtime.chaos import (
     ChaosPolicy,
@@ -33,8 +40,13 @@ from repro.runtime.supervisor import RetryBudget, WorkerSupervisor
 
 __all__ = [
     "AdaptiveAdmissionController",
+    "BACKEND_CHOICES",
     "ChaosPolicy",
     "DiscoveryBatcher",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "build_backend",
     "FiredFault",
     "InjectedSnapshotFailure",
     "InjectedWorkerCrash",

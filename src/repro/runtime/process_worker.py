@@ -1,0 +1,164 @@
+"""Child-process side of the process execution backend.
+
+A worker process is a tiny request-reply server over one
+:mod:`multiprocessing` pipe.  The parent primes it with a
+:class:`WorkerContext` (the picklable slice of middleware configuration
+composition needs), ships a pickled
+:class:`~repro.services.registry.RegistrySnapshot` once per registry
+generation, and then sends one ``("compose", ComposeRequest)`` message per
+request.  The child recomposes exactly the way a parent-side worker thread
+would — batched discovery against the snapshot, a private QASSA selector —
+and returns the finished :class:`~repro.composition.selection.CompositionPlan`
+list, which the parent rehydrates onto its own service objects (see
+:meth:`repro.runtime.backends.ProcessBackend._rehydrate`).
+
+Determinism across the pickle boundary is load-bearing: discovery iterates
+capabilities in sorted order and snapshots index candidates as materialised
+tuples, so a deserialised snapshot yields byte-identical candidate pools —
+and QASSA is a pure function of pools + request — which is what lets the
+process backend keep the runtime's pooled==serial plan guarantee.
+
+Messages (all tuples, first element is the kind):
+
+``("context", WorkerContext)``
+    Fire-and-forget; must precede any compose.
+``("snapshot", RegistrySnapshot)``
+    Fire-and-forget; replaces the worker's world view.
+``("compose", ComposeRequest)``
+    Request-reply; answered with ``("ok", [CompositionPlan, ...])`` or
+    ``("error", exception)`` (``("error_opaque", type_name, message)``
+    when the exception itself does not pickle).
+``("exit",)``
+    Clean shutdown.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import NoCandidateError
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.aggregation import AggregationApproach
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets, CompositionPlan
+from repro.composition.selection_cache import SelectionCache
+from repro.qos.properties import QoSProperty
+from repro.runtime.batching import DiscoveryBatcher
+from repro.semantics.matching import MatchCache, MatchDegree
+from repro.semantics.ontology import Ontology
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Everything a worker process needs to compose, beyond the snapshot."""
+
+    properties: Dict[str, QoSProperty]
+    aggregation: AggregationApproach
+    qassa: QassaConfig
+    discovery_minimum_degree: MatchDegree
+    ontology: Optional[Ontology]
+    incremental_selection: bool
+
+
+@dataclass(frozen=True)
+class ComposeRequest:
+    """One composition order: the request plus its selection options."""
+
+    request: UserRequest
+    ranked: int
+    best_effort: bool
+
+
+class _WorkerState:
+    """Per-process composition machinery, rebuilt from a WorkerContext."""
+
+    def __init__(self, context: WorkerContext) -> None:
+        self.context = context
+        self.snapshot = None
+        self.batcher = DiscoveryBatcher(
+            ontology=context.ontology,
+            match_cache=(
+                MatchCache(context.ontology)
+                if context.ontology is not None else None
+            ),
+        )
+        self.selector = QASSA(
+            context.properties,
+            context.aggregation,
+            context.qassa,
+            cache=(
+                SelectionCache() if context.incremental_selection else None
+            ),
+        )
+
+    def compose(self, order: ComposeRequest) -> List[CompositionPlan]:
+        """Mirror of ``MiddlewareRuntime._compose_against``, sans spans."""
+        if self.snapshot is None:
+            raise RuntimeError("compose before any snapshot was shipped")
+        request = order.request
+        pools: Dict[str, list] = {}
+        for activity in request.task.activities:
+            services = self.batcher.candidates(
+                self.snapshot,
+                activity.capability,
+                self.context.discovery_minimum_degree,
+            )
+            if not services:
+                raise NoCandidateError(activity.name)
+            pools[activity.name] = services
+        candidates = CandidateSets(request.task, pools)
+        if order.ranked:
+            return self.selector.select_ranked(
+                request, candidates, k=order.ranked
+            )
+        return [
+            self.selector.select(
+                request, candidates, best_effort=order.best_effort
+            )
+        ]
+
+
+def _error_reply(exc: Exception) -> tuple:
+    """An ``("error", ...)`` reply, degrading to opaque transport.
+
+    ``Connection.send`` pickles into a buffer before writing any bytes, so
+    probing with ``pickle.dumps`` first guarantees the reply that *is*
+    sent never corrupts the stream mid-message.
+    """
+    try:
+        pickle.dumps(exc)
+        return ("error", exc)
+    except Exception:  # noqa: BLE001 - any pickle failure degrades
+        return ("error_opaque", type(exc).__name__, str(exc))
+
+
+def worker_main(conn) -> None:
+    """Entry point of a worker process (module-level for spawn pickling)."""
+    state: Optional[_WorkerState] = None
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return  # parent went away; nothing left to serve
+            kind = message[0]
+            if kind == "context":
+                state = _WorkerState(message[1])
+            elif kind == "snapshot" and state is not None:
+                state.snapshot = message[1]
+            elif kind == "compose":
+                try:
+                    if state is None:
+                        raise RuntimeError("compose before context")
+                    plans = state.compose(message[1])
+                    reply = ("ok", plans)
+                    pickle.dumps(reply)  # probe before touching the pipe
+                except Exception as exc:  # noqa: BLE001 - shipped to parent
+                    reply = _error_reply(exc)
+                conn.send(reply)
+            elif kind == "exit":
+                return
+    finally:
+        conn.close()

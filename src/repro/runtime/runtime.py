@@ -22,7 +22,14 @@ shared environment:
   shared semantic match cache), and whole composition results for
   *identical* requests coalesce through a
   :class:`~repro.runtime.batching.RequestCoalescer` — the throughput win
-  on repeated task templates, since the GIL rules out parallel selection.
+  on repeated task templates under the thread backend, where the GIL
+  serialises selection.
+* **Pluggable execution backends** — the CPU-bound composition step runs
+  on an :class:`~repro.runtime.backends.ExecutionBackend`:
+  ``backend="thread"`` composes inline on the worker threads (full
+  feature support), ``backend="process"`` dispatches to a pool of worker
+  processes recomposing on pickled registry snapshots — genuinely
+  parallel selection beyond the GIL, still byte-identical to serial.
 * **Deterministic ordered commit** — composition is concurrent, but
   executions commit strictly in admission order under the environment's
   shared clock/RNG, so a pooled run produces byte-identical plans *and*
@@ -37,6 +44,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
@@ -47,7 +55,9 @@ from repro.errors import (
     MiddlewareRuntimeError,
     NoCandidateError,
     RuntimeShutdownError,
+    UnsupportedBackendFeatureError,
     WorkerCrashError,
+    WorkerProcessCrash,
 )
 from repro.composition.qassa import QASSA
 from repro.composition.request import UserRequest
@@ -59,6 +69,7 @@ from repro.observability.events import NULL_RECORDER, FlightRecorder
 from repro.observability.forensics import ForensicReporter
 from repro.resilience.policies import TimeoutPolicy
 from repro.runtime.admission import build_admission_controller
+from repro.runtime.backends import BACKEND_CHOICES, build_backend
 from repro.runtime.batching import DiscoveryBatcher, RequestCoalescer
 from repro.runtime.chaos import ChaosPolicy, InjectedSnapshotFailure
 from repro.runtime.handle import RequestStatus, RunHandle, RunSpec
@@ -75,12 +86,22 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
 class RuntimeConfig:
     """Tuning knobs of the concurrent runtime.
 
-    ``workers`` bounds the composition pool; ``queue_depth`` bounds the
-    admission queue (beyond it, submissions are rejected — backpressure);
-    ``deadline`` is the per-request completion budget on the wall clock
-    (the default policy has no timeout).  ``drain_on_close`` controls
-    whether :meth:`MiddlewareRuntime.close` finishes the queued work or
-    cancels it.
+    ``backend`` selects the :class:`~repro.runtime.backends.ExecutionBackend`
+    that runs the CPU-bound composition step: ``"thread"`` (inline on the
+    worker threads — full feature support) or ``"process"`` (a pool of
+    worker processes recomposing on pickled registry snapshots — parallel
+    selection beyond the GIL; chaos injection, the flight recorder,
+    forensics and cross-layer estimation are unsupported there and raise
+    :class:`~repro.errors.UnsupportedBackendFeatureError` at construction).
+    An unknown backend name raises :class:`ValueError` listing the valid
+    choices.  ``workers`` bounds the composition pool for either backend;
+    ``queue_depth`` bounds the admission queue (beyond it, submissions are
+    rejected — backpressure); ``deadline`` is the per-request completion
+    budget on the wall clock (the default policy has no timeout).
+    ``drain_on_close`` controls whether :meth:`MiddlewareRuntime.close`
+    finishes the queued work or cancels it.  ``worker_threads`` is the
+    deprecated pre-backend spelling of the pool size; when given it maps
+    onto ``workers`` with a :class:`DeprecationWarning`.
 
     ``admission`` selects the backpressure policy: ``"static"`` (the
     default — the fixed ``queue_depth`` bound, byte-identical to the
@@ -92,7 +113,11 @@ class RuntimeConfig:
     clock, and the depth never drops below ``admission_min_depth``).
     """
 
+    backend: str = "thread"
     workers: int = 4
+    #: Deprecated alias of ``workers`` (the pre-backend spelling); mapped
+    #: onto ``workers`` in ``__post_init__`` with a DeprecationWarning.
+    worker_threads: Optional[int] = None
     queue_depth: int = 64
     deadline: TimeoutPolicy = field(default_factory=TimeoutPolicy)
     drain_on_close: bool = True
@@ -125,6 +150,34 @@ class RuntimeConfig:
     forensics_last_events: int = 256
 
     def __post_init__(self) -> None:
+        if self.worker_threads is not None:
+            warnings.warn(
+                "RuntimeConfig(worker_threads=...) is deprecated; use "
+                "RuntimeConfig(workers=..., backend='thread')",
+                DeprecationWarning,
+                stacklevel=3,  # through the dataclass __init__ to the caller
+            )
+            object.__setattr__(self, "workers", self.worker_threads)
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"valid choices: {', '.join(BACKEND_CHOICES)}"
+            )
+        if self.backend == "process":
+            unsupported = [
+                name for name, value in (
+                    ("flight_recorder", self.flight_recorder),
+                    ("forensics_dir", self.forensics_dir),
+                )
+                if value is not None
+            ]
+            if unsupported:
+                raise UnsupportedBackendFeatureError(
+                    f"the process backend cannot honour "
+                    f"{', '.join(unsupported)}: worker processes cannot "
+                    f"share the parent's event ring; use backend='thread' "
+                    f"or drop the feature"
+                )
         if self.workers < 1:
             raise MiddlewareRuntimeError("runtime needs at least one worker")
         if self.queue_depth < 1:
@@ -193,6 +246,23 @@ class MiddlewareRuntime:
         self.config = config if config is not None else RuntimeConfig()
         self.autostart = autostart
         self.chaos = chaos
+        if self.config.backend == "process":
+            # Explicit and loud, never a silent no-op: these features need
+            # parent-side shared mutable state a worker process can't see.
+            if chaos is not None:
+                raise UnsupportedBackendFeatureError(
+                    "chaos injection is not supported on the process "
+                    "backend: injection points live in the parent while "
+                    "composition runs in worker processes; use "
+                    "backend='thread'"
+                )
+            if middleware.estimator is not None:
+                raise UnsupportedBackendFeatureError(
+                    "cross-layer estimation is not supported on the "
+                    "process backend: estimated QoS depends on live "
+                    "device/link state worker processes cannot observe; "
+                    "use backend='thread'"
+                )
         self.observability = middleware.observability
         self.snapshots = SnapshotManager(middleware.environment.registry)
         self.batcher = DiscoveryBatcher(
@@ -265,6 +335,12 @@ class MiddlewareRuntime:
         # same plans as the serial selector without any cross-thread races.
         self._thread_state = threading.local()
 
+        # Where composition executes: the worker threads themselves
+        # (ThreadBackend) or a pool of worker processes the threads
+        # dispatch to (ProcessBackend).  Built last — backends may read
+        # any of the runtime state above.
+        self.backend = build_backend(self)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -276,6 +352,8 @@ class MiddlewareRuntime:
             if self._started:
                 return self
             self._started = True
+        # Backend first: worker threads may dispatch to it immediately.
+        self.backend.start()
         for index in range(self.config.workers):
             self.supervisor.spawn(index)
         return self
@@ -317,15 +395,31 @@ class MiddlewareRuntime:
             thread.join(timeout=self.config.close_join_seconds)
         leaked = [t for t in threads if t.is_alive()]
         self._threads.clear()
+        # Backend teardown after the dispatching threads are gone (they
+        # hold backend channels while composing) — and before any leak
+        # error, so worker processes never outlive a failed close.
+        leaked_workers = self.backend.stop(self.config.close_join_seconds)
+        if leaked_workers:
+            self._counter("runtime_processes_leaked_total").inc(
+                leaked_workers
+            )
         if leaked:
             self._counter("runtime_threads_leaked_total").inc(len(leaked))
-            if drain:
+        if drain and (leaked or leaked_workers):
+            parts = []
+            if leaked:
                 names = ", ".join(t.name for t in leaked)
-                raise MiddlewareRuntimeError(
+                parts.append(
                     f"{len(leaked)} worker thread(s) still alive "
                     f"{self.config.close_join_seconds:g}s after a draining "
                     f"close: {names}"
                 )
+            if leaked_workers:
+                parts.append(
+                    f"{leaked_workers} worker process(es) survived "
+                    f"termination"
+                )
+            raise MiddlewareRuntimeError("; ".join(parts))
 
     def __enter__(self) -> "MiddlewareRuntime":
         return self.start()
@@ -514,8 +608,10 @@ class MiddlewareRuntime:
                                 "terminal state"
                             ),
                         )
-                except InjectedSnapshotFailure as exc:
-                    # Transient runtime fault: the worker survives, the
+                except (InjectedSnapshotFailure, WorkerProcessCrash) as exc:
+                    # Transient runtime fault (injected, or a worker
+                    # process death the backend already absorbed by
+                    # respawning): the dispatching thread survives, the
                     # request goes back to the queue (budget permitting).
                     self._requeue_or_fail(handle, exc)
                 except BaseException as exc:
@@ -684,9 +780,10 @@ class MiddlewareRuntime:
                 self._counter("runtime_completed_total").inc()
                 span.set(status="done")
                 self._record_done(handle)
-            except InjectedSnapshotFailure:
-                # Transient chaos — keep the ticket; the worker loop
-                # requeues the request under the retry budget.
+            except (InjectedSnapshotFailure, WorkerProcessCrash):
+                # Transient fault (injected chaos, or a worker process
+                # crash) — keep the ticket; the worker loop requeues the
+                # request under the retry budget.
                 span.set(status="requeued")
                 raise
             except Exception as exc:  # noqa: BLE001 - failure lands on handle
@@ -711,9 +808,9 @@ class MiddlewareRuntime:
         snapshot = self.snapshots.acquire()
         key = self._plan_key(spec, snapshot.generation)
         if key is None:
-            return self._compose_against(spec, snapshot)
+            return self.backend.compose(spec, snapshot)
         return self.coalescer.plans(
-            key, lambda: self._compose_against(spec, snapshot)
+            key, lambda: self.backend.compose(spec, snapshot)
         )
 
     def _plan_key(self, spec: RunSpec, generation: int):

@@ -114,14 +114,18 @@ class TestStableApiSurface:
         expected = {
             # core middleware
             "AdaptiveAdmissionController", "AdmissionRejectedError",
+            "BACKEND_CHOICES",
             "CandidateSets", "ChaosPolicy", "CompositionPlan",
-            "DeadlineExceededError", "GlobalConstraint", "InvariantReport",
+            "DeadlineExceededError", "ExecutionBackend",
+            "GlobalConstraint", "InvariantReport",
             "MiddlewareConfig",
             "MiddlewareRuntime", "MiddlewareRuntimeError",
-            "PartialExecutionReport", "QASOM", "ReproError", "RequestStatus",
+            "PartialExecutionReport", "ProcessBackend", "QASOM",
+            "ReproError", "RequestStatus",
             "RetryBudget", "RunHandle", "RunResult", "RuntimeConfig",
             "RuntimeInvariantError", "RuntimeShutdownError",
-            "Task", "UserRequest", "WorkerCrashError",
+            "Task", "ThreadBackend", "UnsupportedBackendFeatureError",
+            "UserRequest", "WorkerCrashError", "WorkerProcessCrash",
             "assert_runtime_invariants", "leaf", "loop", "parallel",
             "sequence", "verify_runtime_invariants",
             # environment & scenarios
@@ -132,15 +136,18 @@ class TestStableApiSurface:
             "build_shopping_scenario",
             # toolkit
             "AggregationApproach", "ClosedLoopDriver", "ComplianceTracker",
-            "DriverReport", "ExecutionEngine",
-            "ExecutionReport", "FaultEvent", "FaultKind", "FaultSchedule",
+            "DriverReport", "ExactSelection", "ExecutionEngine",
+            "ExecutionReport", "ExhaustiveSelection",
+            "FaultEvent", "FaultKind", "FaultSchedule",
             "FlightRecorder", "ForensicReporter",
+            "GeneticSelection", "GreedySelection",
             "HomeomorphismConfig", "MatchDegree", "MonitorConfig",
             "Observability", "ObservabilityConfig", "OnOffArrivals",
             "Ontology", "OpenLoopDriver", "PoissonArrivals", "QASSA",
             "QassaConfig", "QoSModel", "QoSObservation", "QoSVector",
+            "RandomSelection",
             "ReputationManager", "ResilienceConfig", "RuntimeEvent",
-            "STANDARD_PROPERTIES",
+            "STANDARD_PROPERTIES", "Selector",
             "SimulatedClock", "Slo", "StageWindows", "Sweep", "TimeoutPolicy",
             "TraceAssembly", "TraceContext", "WindowedHistogram",
             "aggregate_composition", "assemble_traces",

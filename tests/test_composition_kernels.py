@@ -1,0 +1,243 @@
+"""Vectorized QASSA kernels are bit-identical to the scalar hot path.
+
+``repro.composition.kernels`` re-expresses the two selection hot loops —
+candidate normalise-weight-sum scoring and per-property aggregation
+bounds — as numpy kernels gated by ``QassaConfig(vectorized=True)``.
+Because the vectorized path is a drop-in replacement, equality here is
+``==`` on floats (bit identity), never ``pytest.approx``: the kernels use
+only elementwise operations and explicit left folds in scalar iteration
+order, so any drift is a bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.composition import kernels
+from repro.composition.aggregation import (
+    AggregationApproach,
+    aggregation_bounds,
+)
+from repro.composition.qassa import QASSA, QassaConfig
+from repro.composition.request import UserRequest
+from repro.composition.selection import CandidateSets
+from repro.composition.task import (
+    Task, conditional, leaf, loop, parallel, sequence,
+)
+from repro.composition.utility import Normalizer, service_utility
+from repro.qos.properties import STANDARD_PROPERTIES
+from repro.services.generator import ServiceGenerator
+
+numpy = pytest.importorskip("numpy")
+
+PROPS = {
+    name: STANDARD_PROPERTIES[name]
+    for name in ("response_time", "cost", "availability", "reliability")
+}
+
+
+def _vectors(seed, count):
+    generator = ServiceGenerator(PROPS, seed=seed)
+    return [
+        service.advertised_qos
+        for service in generator.candidates("task:Any", count)
+    ]
+
+
+def _pattern_task():
+    return Task("kernel-patterns", sequence(
+        leaf("A", "task:Alpha"),
+        parallel(leaf("B", "task:Beta"), leaf("C", "task:Gamma")),
+        conditional(
+            leaf("D", "task:Beta"), leaf("E", "task:Gamma"),
+            probabilities=(0.25, 0.75),
+        ),
+        loop(leaf("F", "task:Alpha"), max_iterations=4,
+             expected_iterations=2.5),
+    ))
+
+
+class TestScoreCandidates:
+    @pytest.mark.parametrize("seed", [3, 11, 19, 27])
+    def test_bit_identical_to_scalar_scoring(self, seed):
+        vectors = _vectors(seed, 12)
+        normalizer = Normalizer.from_vectors(vectors, PROPS)
+        rng = random.Random(seed)
+        weights = {
+            name: round(rng.uniform(0.05, 1.0), 3) for name in PROPS
+        }
+        points, utilities = kernels.score_candidates(
+            vectors, normalizer, PROPS, weights
+        )
+        expected_points = [normalizer.normalise_vector(v) for v in vectors]
+        expected_utils = [
+            service_utility(v, normalizer, weights) for v in vectors
+        ]
+        assert points == expected_points
+        assert utilities == expected_utils
+
+    def test_missing_properties_score_like_scalar(self):
+        vectors = [
+            v.restrict(("response_time", "cost")) if i % 2 else v
+            for i, v in enumerate(_vectors(5, 8))
+        ]
+        normalizer = Normalizer.from_vectors(vectors, PROPS)
+        weights = {name: 0.25 for name in PROPS}
+        points, utilities = kernels.score_candidates(
+            vectors, normalizer, PROPS, weights
+        )
+        assert points == [normalizer.normalise_vector(v) for v in vectors]
+        assert utilities == [
+            service_utility(v, normalizer, weights) for v in vectors
+        ]
+
+    def test_degenerate_span_scores_one(self):
+        vectors = [_vectors(7, 1)[0]] * 3  # identical candidates: width 0
+        normalizer = Normalizer.from_vectors(vectors, PROPS)
+        points, _ = kernels.score_candidates(
+            vectors, normalizer, PROPS, {name: 1.0 for name in PROPS}
+        )
+        for point in points:
+            assert all(score == 1.0 for score in point.values())
+
+    def test_outputs_are_builtin_floats(self):
+        vectors = _vectors(9, 4)
+        normalizer = Normalizer.from_vectors(vectors, PROPS)
+        points, utilities = kernels.score_candidates(
+            vectors, normalizer, PROPS, {name: 0.5 for name in PROPS}
+        )
+        for utility in utilities:
+            assert type(utility) is float
+        for point in points:
+            for score in point.values():
+                assert type(score) is float
+
+
+class TestBatchedAggregationBounds:
+    @pytest.mark.parametrize("approach", list(AggregationApproach))
+    @pytest.mark.parametrize("seed", [13, 29])
+    def test_bit_identical_to_per_property_bounds(self, seed, approach):
+        task = _pattern_task()
+        rng = random.Random(seed)
+        extremes = {}
+        for activity in task.activities:
+            per_property = {}
+            for name, prop in PROPS.items():
+                a = rng.uniform(*prop.value_range)
+                b = rng.uniform(*prop.value_range)
+                per_property[name] = (
+                    prop.direction.best((a, b)),
+                    prop.direction.worst((a, b)),
+                )
+            extremes[activity.name] = per_property
+
+        batched = kernels.batched_aggregation_bounds(
+            task, PROPS, extremes, approach
+        )
+        for name, prop in PROPS.items():
+            per_activity = {
+                activity: extremes[activity][name] for activity in extremes
+            }
+            expected = aggregation_bounds(
+                task, prop, per_activity, approach
+            )
+            assert batched[name] == expected, (
+                f"{name} bounds diverged under {approach}"
+            )
+
+    def test_outputs_are_builtin_floats(self):
+        task = _pattern_task()
+        extremes = {
+            activity.name: {
+                name: (1.0, 2.0) if prop.direction.name == "NEGATIVE"
+                else (2.0, 1.0)
+                for name, prop in PROPS.items()
+            }
+            for activity in task.activities
+        }
+        bounds = kernels.batched_aggregation_bounds(
+            task, PROPS, extremes, AggregationApproach.PESSIMISTIC
+        )
+        for best, worst in bounds.values():
+            assert type(best) is float and type(worst) is float
+
+    def test_missing_activity_raises_like_scalar(self):
+        from repro.errors import AggregationError
+
+        task = Task("missing", sequence(leaf("A", "task:Alpha"),
+                                        leaf("B", "task:Beta")))
+        extremes = {"A": {name: (1.0, 2.0) for name in PROPS}}
+        with pytest.raises(AggregationError) as batched_err:
+            kernels.batched_aggregation_bounds(
+                task, PROPS, extremes, AggregationApproach.PESSIMISTIC
+            )
+        first = next(iter(PROPS.values()))
+        with pytest.raises(AggregationError) as scalar_err:
+            aggregation_bounds(
+                task, first, {"A": (1.0, 2.0)},
+                AggregationApproach.PESSIMISTIC,
+            )
+        assert str(batched_err.value) == str(scalar_err.value)
+
+
+class TestQassaDispatch:
+    @staticmethod
+    def _selection_world(seed=23):
+        generator = ServiceGenerator(PROPS, seed=seed)
+        task = Task("dispatch", sequence(leaf("A", "task:Alpha"),
+                                         leaf("B", "task:Beta")))
+        pools = {
+            "A": list(generator.candidates("task:Alpha", 6)),
+            "B": list(generator.candidates("task:Beta", 6)),
+        }
+        candidates = CandidateSets(task, pools)
+        request = UserRequest(
+            task=task, constraints=(),
+            weights={name: 1.0 for name in PROPS},
+        )
+        return request, candidates
+
+    def test_vectorized_flag_controls_kernel_use(self):
+        scalar = QASSA(PROPS, config=QassaConfig(vectorized=False))
+        vectorized = QASSA(PROPS, config=QassaConfig(vectorized=True))
+        assert scalar._use_kernels is False
+        assert vectorized._use_kernels is True
+
+    def test_scalar_config_never_calls_kernels(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("scalar config must not reach the kernels")
+
+        monkeypatch.setattr(kernels, "score_candidates", explode)
+        monkeypatch.setattr(kernels, "batched_aggregation_bounds", explode)
+        request, candidates = self._selection_world()
+        plan = QASSA(PROPS, config=QassaConfig(vectorized=False)).select(
+            request, candidates
+        )
+        assert plan.feasible
+
+    def test_missing_numpy_falls_back_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        selector = QASSA(PROPS, config=QassaConfig(vectorized=True))
+        assert selector._use_kernels is False
+        request, candidates = self._selection_world()
+        assert selector.select(request, candidates).feasible
+
+    def test_vectorized_plan_equals_scalar_plan(self):
+        # One world, two selectors: selection never mutates candidates,
+        # and sharing them keeps service ids comparable.
+        request, candidates = self._selection_world()
+        scalar_plan = QASSA(
+            PROPS, config=QassaConfig(vectorized=False)
+        ).select(request, candidates)
+        vector_plan = QASSA(
+            PROPS, config=QassaConfig(vectorized=True)
+        ).select(request, candidates)
+        assert vector_plan.service_ids() == scalar_plan.service_ids()
+        assert vector_plan.utility == scalar_plan.utility
+        assert vector_plan.feasible == scalar_plan.feasible
+        for name in scalar_plan.aggregated_qos:
+            assert vector_plan.aggregated_qos[name] == (
+                scalar_plan.aggregated_qos[name]
+            )

@@ -1,0 +1,308 @@
+"""Backend conformance: both execution backends honour the same contract.
+
+The execution-backend redesign makes *where* composition runs a config
+knob (``RuntimeConfig(backend="thread" | "process")``).  These tests run
+the same conformance suite against both backends through one parametrized
+fixture: pooled results stay byte-identical to serial, admission /
+deadline / rejection semantics are backend-independent, ``close()`` leaks
+nothing, and a killed worker process surfaces as a requeue or a
+:class:`~repro.errors.WorkerCrashError` — never a hang.  Config-level
+validation (unknown names, unsupported feature combinations, the
+``worker_threads`` deprecation shim) rides along.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.errors import (
+    MiddlewareRuntimeError,
+    UnsupportedBackendFeatureError,
+    WorkerCrashError,
+    WorkerProcessCrash,
+)
+from repro.middleware.config import MiddlewareConfig
+from repro.middleware.qasom import QASOM
+from repro.observability import FlightRecorder
+from repro.resilience.policies import TimeoutPolicy
+from repro.runtime import (
+    BACKEND_CHOICES,
+    ChaosPolicy,
+    ExecutionBackend,
+    MiddlewareRuntime,
+    ProcessBackend,
+    RequestStatus,
+    RuntimeConfig,
+    ThreadBackend,
+)
+
+from tests.test_runtime_determinism import (
+    build_world,
+    plan_signature,
+    report_signature,
+)
+
+BACKENDS = ("thread", "process")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """The backend name under test; the whole suite runs once per value."""
+    return request.param
+
+
+def _config(backend_name, **overrides):
+    overrides.setdefault("workers", 2)
+    overrides.setdefault("queue_depth", 64)
+    return RuntimeConfig(backend=backend_name, **overrides)
+
+
+class TestPooledEqualsSerialOnEveryBackend:
+    def test_backend_run_matches_serial_byte_for_byte(self, backend):
+        middleware_serial, requests_serial, _ = build_world(seed=29)
+        serial = [middleware_serial.submit(r).result()
+                  for r in requests_serial]
+
+        middleware_pooled, requests_pooled, _ = build_world(seed=29)
+        config = _config(backend, queue_depth=len(requests_pooled))
+        with MiddlewareRuntime(middleware_pooled, config) as runtime:
+            handles = [runtime.submit(r) for r in requests_pooled]
+            runtime.drain(timeout=120.0)
+
+        for index, (expected, handle) in enumerate(zip(serial, handles)):
+            pooled = handle.result()
+            assert plan_signature(expected.plan) == plan_signature(
+                pooled.plan
+            ), f"request {index} ({backend}): plans diverged"
+            assert report_signature(expected.report) == report_signature(
+                pooled.report
+            ), f"request {index} ({backend}): reports diverged"
+
+    def test_plan_services_resolve_on_the_parent_registry(self, backend):
+        """Rehydrated plans bind the parent's own service objects."""
+        middleware, requests, _ = build_world(seed=31, profiles=2, repeats=1)
+        registry = middleware.environment.registry
+        with MiddlewareRuntime(middleware, _config(backend)) as runtime:
+            result = runtime.submit(requests[0]).result()
+        for selection in result.plan.selections.values():
+            for service in selection.services:
+                assert registry.get(service.service_id) is service
+
+
+class TestAdmissionSemantics:
+    def test_overload_rejects_identically(self, backend):
+        middleware, requests, _ = build_world(seed=37, repeats=4)
+        config = _config(backend, workers=1, queue_depth=1)
+        with MiddlewareRuntime(middleware, config) as runtime:
+            handles = [runtime.submit(r) for r in requests]
+            runtime.drain(timeout=120.0)
+        statuses = [h.status for h in handles]
+        assert RequestStatus.REJECTED in statuses, (
+            f"{backend}: a 1-deep queue fed {len(requests)} requests "
+            f"must reject some"
+        )
+        for handle in handles:
+            assert handle.done()
+            assert handle.status in (
+                RequestStatus.DONE, RequestStatus.REJECTED,
+            )
+
+    def test_deadline_expiry_is_backend_independent(self, backend):
+        middleware, requests, _ = build_world(seed=41, profiles=1, repeats=1)
+        config = _config(
+            backend, workers=1,
+            deadline=TimeoutPolicy(invoke_timeout_ms=1e-6),
+        )
+        with MiddlewareRuntime(middleware, config) as runtime:
+            handle = runtime.submit(requests[0])
+            runtime.drain(timeout=60.0)
+        assert handle.status is RequestStatus.EXPIRED
+
+    def test_submit_after_close_raises(self, backend):
+        middleware, requests, _ = build_world(seed=43, profiles=1, repeats=1)
+        runtime = MiddlewareRuntime(middleware, _config(backend))
+        runtime.start()
+        runtime.close()
+        from repro.errors import RuntimeShutdownError
+
+        with pytest.raises(RuntimeShutdownError):
+            runtime.submit(requests[0])
+
+
+class TestLifecycleHygiene:
+    def test_close_leaks_no_workers(self, backend):
+        middleware, requests, _ = build_world(seed=47)
+        config = _config(backend, queue_depth=len(requests))
+        runtime = MiddlewareRuntime(middleware, config)
+        with runtime:
+            handles = [runtime.submit(r) for r in requests]
+            runtime.drain(timeout=120.0)
+        assert all(h.done() for h in handles)
+        assert runtime.alive_workers == 0
+        # No child process may survive a clean close — on either backend
+        # (the thread backend must simply never have spawned one).
+        deadline = time.time() + 10.0
+        while multiprocessing.active_children() and time.time() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+    def test_close_is_idempotent(self, backend):
+        middleware, _, _ = build_world(seed=53, profiles=1, repeats=1)
+        runtime = MiddlewareRuntime(middleware, _config(backend))
+        runtime.start()
+        runtime.close()
+        runtime.close()  # second close must be a quiet no-op
+        assert not runtime.running
+
+    def test_backend_object_matches_config(self, backend):
+        middleware, _, _ = build_world(seed=59, profiles=1, repeats=1)
+        runtime = MiddlewareRuntime(
+            middleware, _config(backend), autostart=False
+        )
+        expected = {"thread": ThreadBackend, "process": ProcessBackend}
+        assert isinstance(runtime.backend, expected[backend])
+        assert isinstance(runtime.backend, ExecutionBackend)
+        assert runtime.backend.name == backend
+        runtime.close()
+
+
+class TestWorkerProcessCrashes:
+    """Process-backend only: killed children never hang the runtime."""
+
+    def test_killed_worker_requeues_or_fails_loudly(self):
+        middleware, requests, _ = build_world(seed=61, profiles=3, repeats=1)
+        config = _config("process", workers=1,
+                         queue_depth=len(requests))
+        with MiddlewareRuntime(middleware, config) as runtime:
+            # Murder the (idle) worker process out from under the backend:
+            # the next dispatch hits a dead pipe, which must surface as a
+            # WorkerProcessCrash and a respawn — never a hang.
+            victim = runtime.backend._channels[0].process
+            victim.terminate()
+            victim.join(timeout=10.0)
+            assert not victim.is_alive()
+            handles = [runtime.submit(r) for r in requests]
+            runtime.drain(timeout=120.0)
+        for handle in handles:
+            assert handle.done(), "killed worker must never hang a request"
+            if handle.status is RequestStatus.DONE:
+                assert handle.result().plan is not None
+            else:
+                assert handle.status is RequestStatus.FAILED
+                with pytest.raises(WorkerCrashError):
+                    handle.result()
+        # At least one request observed the corpse and was salvaged.
+        assert runtime.requeued >= 1 or any(
+            h.status is RequestStatus.FAILED for h in handles
+        )
+
+    def test_requeued_request_still_matches_serial(self):
+        middleware_serial, requests_serial, _ = build_world(
+            seed=67, profiles=2, repeats=1
+        )
+        serial = [middleware_serial.submit(r).result()
+                  for r in requests_serial]
+
+        middleware, requests, _ = build_world(seed=67, profiles=2, repeats=1)
+        config = _config("process", workers=1, queue_depth=len(requests))
+        with MiddlewareRuntime(middleware, config) as runtime:
+            victim = runtime.backend._channels[0].process
+            victim.terminate()
+            victim.join(timeout=10.0)
+            handles = [runtime.submit(r) for r in requests]
+            runtime.drain(timeout=120.0)
+        for expected, handle in zip(serial, handles):
+            if handle.status is RequestStatus.DONE:
+                assert plan_signature(handle.result().plan) == (
+                    plan_signature(expected.plan)
+                ), "a crash-requeued request must still commit serially"
+
+    def test_worker_process_crash_is_a_worker_crash_error(self):
+        assert issubclass(WorkerProcessCrash, WorkerCrashError)
+
+
+class TestConfigValidation:
+    def test_unknown_backend_lists_the_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            RuntimeConfig(backend="fiber")
+        message = str(excinfo.value)
+        assert "fiber" in message
+        for choice in BACKEND_CHOICES:
+            assert choice in message
+
+    def test_process_backend_rejects_flight_recorder(self):
+        with pytest.raises(UnsupportedBackendFeatureError):
+            RuntimeConfig(backend="process",
+                          flight_recorder=FlightRecorder())
+
+    def test_process_backend_rejects_forensics_dir(self, tmp_path):
+        with pytest.raises(UnsupportedBackendFeatureError):
+            RuntimeConfig(backend="process", forensics_dir=str(tmp_path))
+
+    def test_process_backend_rejects_chaos(self):
+        from repro.execution.clock import SimulatedClock
+        from repro.resilience import FaultEvent, FaultKind, FaultSchedule
+
+        middleware, _, _ = build_world(seed=71, profiles=1, repeats=1)
+        chaos = ChaosPolicy(
+            FaultSchedule([FaultEvent(5.0, FaultKind.WORKER_CRASH, "any")]),
+            SimulatedClock(),
+        )
+        with pytest.raises(UnsupportedBackendFeatureError):
+            MiddlewareRuntime(
+                middleware, RuntimeConfig(backend="process"), chaos=chaos,
+            )
+
+    def test_process_backend_rejects_cross_layer_estimation(self):
+        from tests.test_runtime_determinism import CAPS, PROPS
+        from repro.env.environment import PervasiveEnvironment
+        from repro.semantics.ontology import Ontology
+        from repro.services.generator import ServiceGenerator
+
+        ontology = Ontology("backend-tests")
+        root = ontology.declare_class("task:Root")
+        for capability in CAPS:
+            ontology.declare_class(capability, [root])
+        environment = PervasiveEnvironment(seed=73)
+        generator = ServiceGenerator(PROPS, seed=73)
+        for service in generator.candidates(CAPS[0], 3):
+            environment.host_on_new_device(service)
+        middleware = QASOM.for_environment(
+            environment, PROPS, ontology=ontology,
+            config=MiddlewareConfig(infrastructure_aware=True),
+        )
+        assert middleware.estimator is not None
+        with pytest.raises(UnsupportedBackendFeatureError):
+            MiddlewareRuntime(middleware, RuntimeConfig(backend="process"))
+
+    def test_thread_backend_still_supports_everything(self, tmp_path):
+        config = RuntimeConfig(
+            backend="thread",
+            flight_recorder=FlightRecorder(),
+            forensics_dir=str(tmp_path),
+        )
+        assert config.backend == "thread"
+
+    def test_unsupported_feature_error_is_a_runtime_error(self):
+        assert issubclass(
+            UnsupportedBackendFeatureError, MiddlewareRuntimeError
+        )
+
+
+class TestWorkerThreadsShim:
+    def test_worker_threads_warns_and_maps_onto_workers(self):
+        with pytest.warns(DeprecationWarning, match="worker_threads"):
+            config = RuntimeConfig(worker_threads=6)
+        assert config.workers == 6
+        assert config.backend == "thread"
+
+    def test_workers_spelling_is_shim_free(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = RuntimeConfig(workers=6)
+        assert config.workers == 6
